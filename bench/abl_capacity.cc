@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation (this repo): IOMMU structure capacities -- the PW-queue
+ * size (the limiter the paper notes for Barre) and the redirection
+ * table size (Table I: 1024).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+namespace
+{
+
+const std::vector<std::string> kWorkloads = {"SPMV", "PR", "MT",
+                                             "FWS", "KM"};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Ablation: IOMMU structure capacities",
+        "PW-queue size (Barre's limiter) and redirection-table size",
+        "\"the size of the PW-queue limits [Barre's] performance "
+        "improvement\"; the RT is sized 1024 entries");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+
+    // PW-queue sweep under Barre (queue revisit is what it bounds).
+    {
+        TablePrinter table({"PW-queue capacity", "barre G-MEAN",
+                            "revisit completions (SPMV)"});
+        for (const std::size_t capacity : {16u, 64u, 256u, 1024u}) {
+            SystemConfig cfg = SystemConfig::mi100();
+            cfg.iommuPwQueueCapacity = capacity;
+            const auto base = runSuite(
+                cfg, TranslationPolicy::baseline(), ops, kWorkloads);
+            const auto barre = runSuite(
+                cfg, TranslationPolicy::barre(), ops, kWorkloads);
+            table.addRow({std::to_string(capacity),
+                          fmt(geomeanSpeedup(base, barre)) + "x",
+                          std::to_string(
+                              barre[0].iommu.revisitCompletions)});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // Redirection-table size sweep under full HDPAT.
+    {
+        TablePrinter table({"RT entries", "hdpat G-MEAN",
+                            "redirects sent (SPMV)"});
+        for (const std::size_t entries : {128u, 512u, 1024u, 4096u}) {
+            SystemConfig cfg = SystemConfig::mi100();
+            cfg.redirectionTableEntries = entries;
+            const auto base = runSuite(
+                cfg, TranslationPolicy::baseline(), ops, kWorkloads);
+            const auto hdpat = runSuite(
+                cfg, TranslationPolicy::hdpat(), ops, kWorkloads);
+            table.addRow({std::to_string(entries),
+                          fmt(geomeanSpeedup(base, hdpat)) + "x",
+                          std::to_string(
+                              hdpat[0].iommu.redirectsSent)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation (this repo): the concentric layer count C (§IV-C says it is
+ * tunable by drivers/firmware; default 2) and the selective-push
+ * access-count threshold (§IV-F).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+namespace
+{
+
+const std::vector<std::string> kWorkloads = {"SPMV", "PR", "FWS",
+                                             "FIR", "MM", "KM"};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Ablation: layer count C and push threshold",
+        "C in {1, 2, 3}; auxiliary push threshold in {1, 2, 4, 8}",
+        "the paper defaults to C=2 (\"one step away from the border\") "
+        "and a selective push threshold on PTE access counts");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+    const SystemConfig cfg = SystemConfig::mi100();
+    const auto base = runSuite(cfg, TranslationPolicy::baseline(), ops,
+                               kWorkloads);
+
+    {
+        TablePrinter table({"C (caching layers)", "caching GPMs",
+                            "hdpat G-MEAN"});
+        const int ring_sizes[] = {0, 8, 24, 48};
+        for (const int layers : {1, 2, 3}) {
+            TranslationPolicy pol = TranslationPolicy::hdpat();
+            pol.concentricLayers = layers;
+            pol.name = "hdpat-C" + std::to_string(layers);
+            const auto v = runSuite(cfg, pol, ops, kWorkloads);
+            table.addRow({std::to_string(layers),
+                          std::to_string(ring_sizes[layers]),
+                          fmt(geomeanSpeedup(base, v)) + "x"});
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        TablePrinter table({"push threshold", "hdpat G-MEAN",
+                            "pushes sent (SPMV)"});
+        for (const unsigned threshold : {1u, 2u, 4u, 8u}) {
+            TranslationPolicy pol = TranslationPolicy::hdpat();
+            pol.auxPushThreshold = threshold;
+            pol.name = "hdpat-t" + std::to_string(threshold);
+            const auto v = runSuite(cfg, pol, ops, kWorkloads);
+            table.addRow({std::to_string(threshold),
+                          fmt(geomeanSpeedup(base, v)) + "x",
+                          std::to_string(v[0].iommu.pushesSent)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

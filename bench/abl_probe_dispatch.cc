@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (this repo): concurrent vs sequential layer probes. §IV-D
+ * says requests go to all concentric layers concurrently and the
+ * earliest response wins; the alternative chains probes inward. This
+ * harness measures what the concurrency buys.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+namespace
+{
+
+const std::vector<std::string> kWorkloads = {"SPMV", "PR", "FWS",
+                                             "FIR", "MM", "KM"};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Ablation: probe dispatch",
+        "concurrent layer probes vs sequential inward chaining",
+        "the paper chooses concurrent dispatch so a nearby layer can "
+        "answer without waiting for inner-layer misses");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+    const SystemConfig cfg = SystemConfig::mi100();
+    const auto base = runSuite(cfg, TranslationPolicy::baseline(), ops,
+                               kWorkloads);
+
+    TranslationPolicy concurrent = TranslationPolicy::hdpat();
+    TranslationPolicy sequential = TranslationPolicy::hdpat();
+    sequential.concurrentProbes = false;
+    sequential.name = "hdpat-sequential";
+
+    const auto conc = runSuite(cfg, concurrent, ops, kWorkloads);
+    const auto seq = runSuite(cfg, sequential, ops, kWorkloads);
+
+    TablePrinter table({"workload", "concurrent", "sequential",
+                        "concurrent RTT", "sequential RTT"});
+    for (std::size_t w = 0; w < base.size(); ++w) {
+        table.addRow({base[w].workload,
+                      fmt(speedupOver(base[w], conc[w])) + "x",
+                      fmt(speedupOver(base[w], seq[w])) + "x",
+                      fmt(conc[w].remoteRtt.mean(), 0),
+                      fmt(seq[w].remoteRtt.mean(), 0)});
+    }
+    table.addRow({"G-MEAN", fmt(geomeanSpeedup(base, conc)) + "x",
+                  fmt(geomeanSpeedup(base, seq)) + "x", "-", "-"});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (this repo): the clustering + rotation design space --
+ * rotation on/off and quadrant count N_c in {2, 4, 8}. The paper
+ * fixes N_c = 4 with rotation (§IV-D/E); this harness quantifies why.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+namespace
+{
+
+const std::vector<std::string> kWorkloads = {"SPMV", "PR", "FWS",
+                                             "FIR", "MM", "KM"};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Ablation: clustering + rotation",
+        "rotation on/off x cluster count, geometric mean speedup",
+        "the paper argues quadrant clustering with 180-degree "
+        "rotation keeps a cached copy near every requester");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+    const SystemConfig cfg = SystemConfig::mi100();
+    const auto base = runSuite(cfg, TranslationPolicy::baseline(), ops,
+                               kWorkloads);
+
+    TablePrinter table({"clusters", "rotation off", "rotation on"});
+    for (const int clusters : {2, 4, 8}) {
+        std::vector<std::string> row{std::to_string(clusters)};
+        for (const bool rotate : {false, true}) {
+            TranslationPolicy pol = TranslationPolicy::hdpat();
+            pol.numClusters = clusters;
+            pol.rotation = rotate;
+            pol.name = "hdpat-c" + std::to_string(clusters) +
+                       (rotate ? "-rot" : "-norot");
+            const auto v = runSuite(cfg, pol, ops, kWorkloads);
+            row.push_back(fmt(geomeanSpeedup(base, v)) + "x");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\n(geomean over " << kWorkloads.size()
+              << " translation-heavy workloads)\n";
+    return 0;
+}

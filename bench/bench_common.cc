@@ -1,0 +1,46 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hdpat::bench
+{
+
+void
+printBanner(const std::string &figure, const std::string &what,
+            const std::string &paper_result)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s -- %s\n", figure.c_str(), what.c_str());
+    std::printf("paper reports: %s\n", paper_result.c_str());
+    std::printf("(scale op counts with HDPAT_BENCH_SCALE or argv[1])\n");
+    std::printf("==============================================================\n\n");
+}
+
+std::size_t
+benchOps(int argc, char **argv, double fraction)
+{
+    if (argc > 1) {
+        const long long v = std::atoll(argv[1]);
+        if (v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const double ops =
+        static_cast<double>(defaultOpsPerGpm()) * fraction;
+    return static_cast<std::size_t>(ops < 500.0 ? 500.0 : ops);
+}
+
+RunResult
+run(const SystemConfig &cfg, const TranslationPolicy &pol,
+    const std::string &workload, std::size_t ops, bool capture_trace)
+{
+    RunSpec spec;
+    spec.config = cfg;
+    spec.policy = pol;
+    spec.workload = workload;
+    spec.opsPerGpm = ops;
+    spec.captureIommuTrace = capture_trace;
+    return runOnce(spec);
+}
+
+} // namespace hdpat::bench

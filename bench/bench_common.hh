@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared plumbing for the per-figure bench harnesses: banner printing
+ * (with the paper's reported result for comparison), op-count
+ * selection, and common sweep loops.
+ */
+
+#ifndef HDPAT_BENCH_BENCH_COMMON_HH
+#define HDPAT_BENCH_BENCH_COMMON_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hh"
+#include "driver/runner.hh"
+#include "driver/table_printer.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat::bench
+{
+
+/**
+ * Print the figure banner: what the paper reports and how this harness
+ * reproduces it. Every bench starts with this so the output is
+ * self-describing.
+ */
+void printBanner(const std::string &figure, const std::string &what,
+                 const std::string &paper_result);
+
+/**
+ * Ops per GPM for this harness: @p fraction of the global default
+ * (HDPAT_BENCH_SCALE-scaled), overridable with argv[1].
+ */
+std::size_t benchOps(int argc, char **argv, double fraction = 1.0);
+
+/** Run one workload under one policy at the bench's op count. */
+RunResult run(const SystemConfig &cfg, const TranslationPolicy &pol,
+              const std::string &workload, std::size_t ops,
+              bool capture_trace = false);
+
+} // namespace hdpat::bench
+
+#endif // HDPAT_BENCH_BENCH_COMMON_HH

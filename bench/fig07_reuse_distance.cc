@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig 7: distribution of access counts between repeated translation
+ * requests (reuse distance) for selected benchmarks. Small distances
+ * motivate combining translations per walk; large distances argue for
+ * big, rarely-evicted caching (observation O3).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "driver/trace_analysis.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Fig 7", "reuse distance between repeated translations",
+        "distances range from a few requests to hundreds of thousands, "
+        "so LRU set-associative caching alone cannot capture reuse");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+
+    TablePrinter table({"workload", "repeats", "<=16", "17-256",
+                        "257-4K", "4K-64K", ">64K", "median", "p90"});
+    for (const std::string &wl :
+         {std::string("BT"), std::string("FWT"), std::string("MT"),
+          std::string("PR"), std::string("SPMV"),
+          std::string("FWS")}) {
+        const RunResult r =
+            bench::run(SystemConfig::mi100(),
+                       TranslationPolicy::baseline(), wl, ops,
+                       /*capture_trace=*/true);
+        const Log2Histogram h = analyzeReuseDistance(r.iommu.trace);
+        auto band = [&](std::uint64_t lo, std::uint64_t hi) {
+            const double f =
+                h.fractionAtOrBelow(hi) -
+                (lo == 0 ? 0.0 : h.fractionAtOrBelow(lo - 1));
+            return fmtPct(f);
+        };
+        table.addRow({wl, std::to_string(h.totalCount()),
+                      band(0, 16), band(17, 256), band(257, 4096),
+                      band(4097, 65536),
+                      fmtPct(1.0 - h.fractionAtOrBelow(65536)),
+                      std::to_string(h.quantile(0.5)),
+                      std::to_string(h.quantile(0.9))});
+    }
+    table.print(std::cout);
+    return 0;
+}

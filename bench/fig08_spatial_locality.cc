@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig 8: spatial locality of consecutive translation requests -- the
+ * fraction of next requests whose VPN lies within 1/2/4/8/16 pages of
+ * the current one (observation O4, the basis for proactive delivery).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "driver/trace_analysis.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Fig 8", "VPN distance between consecutive IOMMU requests",
+        "10%-30% of next requests target pages within a small distance "
+        "of the current one, especially AES/FWS/MM");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+
+    TablePrinter table({"workload", "<=1", "<=2", "<=4", "<=8",
+                        "<=16"});
+    for (const std::string &wl : workloadAbbrs()) {
+        const RunResult r =
+            bench::run(SystemConfig::mi100(),
+                       TranslationPolicy::baseline(), wl, ops,
+                       /*capture_trace=*/true);
+        const auto fractions = spatialLocalityFractions(
+            r.iommu.trace, {1, 2, 4, 8, 16});
+        table.addRow({wl, fmtPct(fractions[0]), fmtPct(fractions[1]),
+                      fmtPct(fractions[2]), fmtPct(fractions[3]),
+                      fmtPct(fractions[4])});
+    }
+    table.print(std::cout);
+    return 0;
+}

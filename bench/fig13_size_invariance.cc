@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig 13: time series of IOMMU-served translation requests for FIR at
+ * different problem sizes. Similar curve shapes justify using scaled
+ * footprints as a proxy for full-size runs.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Fig 13", "FIR IOMMU request rate over time vs problem size",
+        "IOMMU pressure is steady and size-invariant, so small "
+        "configurations are representative");
+
+    const std::size_t ops = bench::benchOps(argc, argv);
+
+    TablePrinter table({"footprint", "windows", "mean req/window",
+                        "peak req/window", "steady-state ratio"});
+    std::cout << "per-window IOMMU-served requests (100k-cycle "
+                 "windows):\n\n";
+    for (const double scale : {0.25, 0.5, 1.0}) {
+        RunSpec spec;
+        spec.config = SystemConfig::mi100();
+        spec.policy = TranslationPolicy::baseline();
+        spec.workload = "FIR";
+        spec.opsPerGpm = ops;
+        spec.footprintScale = scale;
+        const RunResult r = runOnce(spec);
+
+        const TimeSeries &served = r.iommu.servedPerWindow;
+        double sum = 0.0, peak = 0.0;
+        std::cout << "  " << fmt(scale * 256, 0) << " MB: ";
+        const std::size_t shown =
+            std::min<std::size_t>(16, served.windows());
+        for (std::size_t w = 0; w < served.windows(); ++w) {
+            sum += served.windowSum(w);
+            peak = std::max(peak, served.windowSum(w));
+            if (w < shown)
+                std::cout << fmt(served.windowSum(w), 0) << " ";
+        }
+        if (served.windows() > shown)
+            std::cout << "...";
+        std::cout << '\n';
+
+        const double mean =
+            served.windows()
+                ? sum / static_cast<double>(served.windows())
+                : 0.0;
+        table.addRow({fmt(scale * 256, 0) + " MB",
+                      std::to_string(served.windows()), fmt(mean, 0),
+                      fmt(peak, 0),
+                      fmt(peak > 0 ? mean / peak : 0.0, 2)});
+    }
+    std::cout << '\n';
+    table.print(std::cout);
+    std::cout << "\nSimilar mean/peak ratios across sizes indicate the "
+                 "size-invariant request behaviour of Fig 13.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig 15: ablation of HDPAT's techniques -- route-based caching,
+ * concentric caching, distributed caching, clustering+rotation, the
+ * redirection table, proactive delivery, and the full combination.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Fig 15", "ablation of HDPAT techniques",
+        "route/concentric ~ no gain; distributed 1.08x; "
+        "cluster+rotation 1.13x; +redirection 1.18x; +prefetch 1.17x; "
+        "full HDPAT 1.57x");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.67);
+    const SystemConfig cfg = SystemConfig::mi100();
+
+    const std::vector<TranslationPolicy> policies = {
+        TranslationPolicy::routeCaching(),
+        TranslationPolicy::concentricCaching(),
+        TranslationPolicy::distributedCaching(),
+        TranslationPolicy::clusterRotation(),
+        TranslationPolicy::withRedirection(),
+        TranslationPolicy::withPrefetch(),
+        TranslationPolicy::hdpat()};
+
+    const auto base =
+        runSuite(cfg, TranslationPolicy::baseline(), ops);
+
+    std::vector<std::string> header{"workload"};
+    for (const auto &pol : policies)
+        header.push_back(pol.name);
+    TablePrinter table(std::move(header));
+
+    std::vector<std::vector<double>> all_speedups(policies.size());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const auto results = runSuite(cfg, policies[p], ops);
+        all_speedups[p] = speedups(base, results);
+    }
+
+    for (std::size_t w = 0; w < base.size(); ++w) {
+        std::vector<std::string> row{base[w].workload};
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            row.push_back(fmt(all_speedups[p][w]) + "x");
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gmean_row{"G-MEAN"};
+    for (const auto &sp : all_speedups)
+        gmean_row.push_back(fmt(geomean(sp)) + "x");
+    table.addRow(std::move(gmean_row));
+    table.print(std::cout);
+    return 0;
+}

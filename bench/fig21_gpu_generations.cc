@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 21: HDPAT's geometric-mean improvement across GPM configurations
+ * modeled after commercial GPUs (MI100/MI200/MI300/H100/H200).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "config/gpu_presets.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Fig 21", "HDPAT across GPU-generation configurations",
+        "1.57x on MI100; 1.47x/1.50x on MI200/MI300; larger-memory "
+        "H100/H200 reach 2.52x/2.36x");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.5);
+
+    TablePrinter table({"configuration", "hdpat G-MEAN speedup"});
+    for (const SystemConfig &cfg : gpuGenerationConfigs()) {
+        const auto base =
+            runSuite(cfg, TranslationPolicy::baseline(), ops);
+        const auto hdpat =
+            runSuite(cfg, TranslationPolicy::hdpat(), ops);
+        table.addRow({cfg.name,
+                      fmt(geomeanSpeedup(base, hdpat)) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig 22: HDPAT on a larger 7x12 wafer (83 GPMs) -- per-workload
+ * speedups and the geometric mean.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    bench::printBanner(
+        "Fig 22", "HDPAT on the 7x12 wafer (83 GPMs)",
+        "all workloads improve; geometric mean 1.49x");
+
+    const std::size_t ops = bench::benchOps(argc, argv, 0.67);
+    const SystemConfig cfg = SystemConfig::mi100Wafer7x12();
+
+    const auto base =
+        runSuite(cfg, TranslationPolicy::baseline(), ops);
+    const auto hdpat = runSuite(cfg, TranslationPolicy::hdpat(), ops);
+
+    TablePrinter table({"workload", "speedup", "offloaded"});
+    const auto sp = speedups(base, hdpat);
+    for (std::size_t w = 0; w < base.size(); ++w) {
+        table.addRow({base[w].workload, fmt(sp[w]) + "x",
+                      fmtPct(hdpat[w].offloadedFraction())});
+    }
+    table.addRow({"G-MEAN", fmt(geomean(sp)) + "x", "-"});
+    table.print(std::cout);
+    return 0;
+}

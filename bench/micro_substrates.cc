@@ -1,0 +1,173 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator substrates: they
+ * bound per-event simulation cost (the numbers that determine how
+ * large a wafer/workload the simulator can handle).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hdpat/cluster_map.hh"
+#include "iommu/redirection_table.hh"
+#include "mem/cuckoo_filter.hh"
+#include "mem/page_table.hh"
+#include "mem/tlb.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+void
+BM_EventQueueScheduleAndPop(benchmark::State &state)
+{
+    Engine engine;
+    Rng rng(1);
+    Tick horizon = 0;
+    for (auto _ : state) {
+        (void)_;
+        horizon = engine.now();
+        for (int i = 0; i < 64; ++i)
+            engine.scheduleAt(horizon + rng.uniformInt(1000), [] {});
+        for (int i = 0; i < 64; ++i)
+            engine.step();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void
+BM_CuckooFilterLookup(benchmark::State &state)
+{
+    CuckooFilter filter(1u << 17);
+    for (Vpn v = 0; v < 100000; ++v)
+        filter.insert(v);
+    Vpn probe = 0;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(filter.contains(probe));
+        probe = (probe + 7919) % 200000;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooFilterLookup);
+
+void
+BM_CuckooFilterInsertErase(benchmark::State &state)
+{
+    CuckooFilter filter(1u << 16);
+    Vpn v = 0;
+    for (auto _ : state) {
+        (void)_;
+        filter.insert(v);
+        filter.erase(v);
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CuckooFilterInsertErase);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb tlb(64, 32);
+    for (Vpn v = 0; v < 2048; ++v)
+        tlb.insert(v, v);
+    Vpn probe = 0;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(tlb.lookup(probe));
+        probe = (probe + 13) % 4096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_RedirectionTableLookup(benchmark::State &state)
+{
+    RedirectionTable rt(1024);
+    for (Vpn v = 0; v < 1024; ++v)
+        rt.insert(v, static_cast<TileId>(v % 48));
+    Vpn probe = 0;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(rt.lookup(probe));
+        probe = (probe + 17) % 2048;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedirectionTableLookup);
+
+void
+BM_NetworkComputeArrival(benchmark::State &state)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    Network net(engine, topo, NocParams{});
+    Rng rng(3);
+    const auto &gpms = topo.gpmTiles();
+    for (auto _ : state) {
+        (void)_;
+        const TileId a = gpms[rng.uniformInt(gpms.size())];
+        const TileId b = gpms[rng.uniformInt(gpms.size())];
+        benchmark::DoNotOptimize(net.computeArrival(0, a, b, 32));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkComputeArrival);
+
+void
+BM_ClusterMapAuxTile(benchmark::State &state)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    const ClusterMap map(layers, 4, true);
+    Vpn vpn = 0;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(map.auxTileFor(vpn, 0));
+        benchmark::DoNotOptimize(map.auxTileFor(vpn, 1));
+        ++vpn;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClusterMapAuxTile);
+
+void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    GlobalPageTable pt(12);
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    pt.allocate((1u << 16) * pt.pageBytes(), topo.gpmTiles());
+    Vpn probe = pt.vpnOf(0x100 << 12);
+    Vpn v = probe;
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(pt.translate(v));
+        v = probe + (v * 2654435761u) % (1u << 16);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageTableTranslate);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    Rng rng(9);
+    ZipfSampler zipf(4096, 0.9);
+    for (auto _ : state) {
+        (void)_;
+        benchmark::DoNotOptimize(zipf.sample(rng));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+} // namespace
+} // namespace hdpat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table I: the wafer-scale GPU configuration. Dumps every parameter of
+ * the active SystemConfig so runs are auditable against the paper.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+int
+main()
+{
+    bench::printBanner("Table I", "wafer-scale GPU configuration",
+                       "the MI100-derived configuration of Table I");
+
+    const SystemConfig cfg = SystemConfig::mi100();
+    TablePrinter table({"module", "configuration"});
+    auto tlb_row = [&](const char *name, const TlbLevelParams &tlb) {
+        table.addRow({name,
+                      std::to_string(tlb.sets) + "-set, " +
+                          std::to_string(tlb.ways) + "-way, " +
+                          std::to_string(tlb.mshrs) + "-MSHR, " +
+                          std::to_string(tlb.latency) +
+                          "-cycle latency, LRU"});
+    };
+
+    table.addRow({"CU", "1.0 GHz, " + std::to_string(cfg.cusPerGpm) +
+                            " per GPM"});
+    table.addRow({"L2 cache",
+                  std::to_string(cfg.l2CacheBytes >> 20) + " MB, " +
+                      std::to_string(cfg.l2CacheWays) + "-way"});
+    tlb_row("L1 TLB", cfg.l1Tlb);
+    tlb_row("L2 TLB", cfg.l2Tlb);
+    table.addRow({"GMMU cache",
+                  std::to_string(cfg.lastLevelTlb.sets) + "-set, " +
+                      std::to_string(cfg.lastLevelTlb.ways) + "-way"});
+    table.addRow({"GMMU",
+                  std::to_string(cfg.gmmuWalkers) +
+                      " shared page table walkers, " +
+                      std::to_string(cfg.gmmuWalkLatency) +
+                      " cycles per walk (100 x 5 levels)"});
+    table.addRow({"IOMMU",
+                  std::to_string(cfg.iommuWalkers) +
+                      " shared page table walkers, " +
+                      std::to_string(cfg.iommuWalkLatency) +
+                      " cycles per walk (100 x 5 levels)"});
+    table.addRow({"Redirection table",
+                  std::to_string(cfg.redirectionTableEntries) +
+                      " entries, LRU"});
+    table.addRow({"HBM", "8 GB, " +
+                             fmt(cfg.hbmBytesPerTick / 1000.0, 2) +
+                             " TB/s, " +
+                             std::to_string(cfg.hbmLatency) +
+                             "-cycle latency"});
+    table.addRow({"Mesh network",
+                  fmt(cfg.noc.bytesPerTick, 0) + " GB/s per link, " +
+                      std::to_string(cfg.noc.linkLatency) +
+                      "-cycle latency per link"});
+    table.addRow({"Topology",
+                  std::to_string(cfg.meshWidth) + "x" +
+                      std::to_string(cfg.meshHeight) + " mesh, " +
+                      std::to_string(cfg.numGpms()) +
+                      " GPMs + central CPU"});
+    table.addRow({"Page size",
+                  std::to_string(cfg.pageBytes() / 1024) + " KB"});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table II: benchmarks, workgroup counts, and memory footprints.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace hdpat;
+
+int
+main()
+{
+    bench::printBanner("Table II",
+                       "benchmark suite metadata",
+                       "14 benchmarks from Hetero-Mark / AMDAPPSDK / "
+                       "SHOC / DNNMark with the listed footprints");
+
+    TablePrinter table(
+        {"abbr", "benchmark", "workgroups", "memory FP"});
+    for (const WorkloadInfo &info : workloadTable()) {
+        table.addRow({info.abbr, info.name,
+                      std::to_string(info.workgroups),
+                      std::to_string(info.footprintBytes >> 20) +
+                          " MB"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * §V-F: area and power overhead of the redirection table, from the
+ * calibrated 7 nm analytical SRAM model.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "driver/area_model.hh"
+
+using namespace hdpat;
+
+int
+main()
+{
+    bench::printBanner("Sec V-F",
+                       "redirection table area/power overhead",
+                       "RT: 0.034 mm^2, 0.16 W; 0.02% area and 0.09% "
+                       "power of an AMD Ryzen 9 CPU die");
+
+    const SramEstimate rt = estimateSram(1024, kRedirectionEntryBits);
+    const SramEstimate tlb = estimateSram(512, kTlbEntryBits);
+
+    TablePrinter table({"structure", "entries", "bits/entry",
+                        "area (mm^2)", "power (W)", "% CPU area",
+                        "% CPU TDP"});
+    table.addRow({"redirection table", "1024",
+                  std::to_string(kRedirectionEntryBits),
+                  fmt(rt.areaMm2, 3), fmt(rt.powerW, 2),
+                  fmtPct(rt.areaMm2 / kCpuDieAreaMm2, 2),
+                  fmtPct(rt.powerW / kCpuTdpW, 2)});
+    table.addRow({"equal-area IOMMU TLB (Fig 19)", "512",
+                  std::to_string(kTlbEntryBits), fmt(tlb.areaMm2, 3),
+                  fmt(tlb.powerW, 2),
+                  fmtPct(tlb.areaMm2 / kCpuDieAreaMm2, 2),
+                  fmtPct(tlb.powerW / kCpuTdpW, 2)});
+    table.print(std::cout);
+
+    std::cout << "\nreference CPU die (AMD Ryzen 9 7900X): "
+              << kCpuDieAreaMm2 << " mm^2, " << kCpuTdpW << " W TDP\n";
+    return 0;
+}

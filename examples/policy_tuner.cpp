@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Policy tuner: sweep HDPAT's tunables (concentric layer count C,
+ * prefetch degree, auxiliary push threshold) for one workload and
+ * print the best configuration -- the kind of design-space exploration
+ * §IV-C says is "tunable by drivers or firmware".
+ *
+ * Usage: policy_tuner [WORKLOAD] [OPS_PER_GPM]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "driver/table_printer.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "FIR";
+    const std::size_t ops =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 6000;
+
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.workload = workload;
+    spec.opsPerGpm = ops;
+
+    spec.policy = TranslationPolicy::baseline();
+    const RunResult base = runOnce(spec);
+
+    std::cout << "HDPAT policy tuning for " << workload << " (baseline "
+              << base.totalTicks << " cycles)\n\n";
+
+    TablePrinter table({"C", "prefetch", "threshold", "cycles",
+                        "speedup", "offload"});
+    double best = 0.0;
+    std::string best_desc;
+    for (int layers : {1, 2, 3}) {
+        for (int degree : {1, 4, 8}) {
+            for (unsigned threshold : {1u, 2u, 4u}) {
+                TranslationPolicy pol = TranslationPolicy::hdpat();
+                pol.concentricLayers = layers;
+                pol.prefetchDegree = degree;
+                pol.prefetch = degree > 1;
+                pol.auxPushThreshold = threshold;
+                spec.policy = pol;
+                const RunResult r = runOnce(spec);
+                const double speedup = speedupOver(base, r);
+                table.addRow({std::to_string(layers),
+                              std::to_string(degree),
+                              std::to_string(threshold),
+                              std::to_string(r.totalTicks),
+                              fmt(speedup) + "x",
+                              fmtPct(r.offloadedFraction())});
+                if (speedup > best) {
+                    best = speedup;
+                    best_desc = "C=" + std::to_string(layers) +
+                                " prefetch=" + std::to_string(degree) +
+                                " threshold=" + std::to_string(threshold);
+                }
+            }
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nbest: " << best_desc << " (" << fmt(best) << "x)\n";
+    return 0;
+}

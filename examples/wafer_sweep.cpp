@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wafer sweep: how does HDPAT's benefit change with wafer size? Runs a
+ * workload on progressively larger meshes (3x3 up to 7x12) under the
+ * baseline and HDPAT, showing the centralized IOMMU bottleneck grow
+ * with GPM count and HDPAT's advantage grow with it (the paper's
+ * motivation in a single program).
+ *
+ * Usage: wafer_sweep [WORKLOAD] [OPS_PER_GPM]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "driver/table_printer.hh"
+
+using namespace hdpat;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "SPMV";
+    const std::size_t ops =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 6000;
+
+    struct Mesh
+    {
+        int w, h;
+    };
+    const std::vector<Mesh> meshes = {
+        {3, 3}, {5, 5}, {7, 7}, {9, 7}, {12, 7}};
+
+    std::cout << "HDPAT wafer-size sweep: " << workload << ", " << ops
+              << " ops per GPM\n\n";
+
+    TablePrinter table({"mesh", "GPMs", "baseline cyc", "hdpat cyc",
+                        "speedup", "IOMMU offload"});
+    for (const Mesh &mesh : meshes) {
+        RunSpec spec;
+        spec.config = SystemConfig::mi100();
+        spec.config.meshWidth = mesh.w;
+        spec.config.meshHeight = mesh.h;
+        spec.config.name = std::to_string(mesh.w) + "x" +
+                           std::to_string(mesh.h);
+        spec.workload = workload;
+        spec.opsPerGpm = ops;
+
+        spec.policy = TranslationPolicy::baseline();
+        const RunResult base = runOnce(spec);
+        spec.policy = TranslationPolicy::hdpat();
+        const RunResult hdpat = runOnce(spec);
+
+        table.addRow({spec.config.name,
+                      std::to_string(spec.config.numGpms()),
+                      std::to_string(base.totalTicks),
+                      std::to_string(hdpat.totalTicks),
+                      fmt(speedupOver(base, hdpat)) + "x",
+                      fmtPct(hdpat.offloadedFraction())});
+    }
+    table.print(std::cout);
+    return 0;
+}

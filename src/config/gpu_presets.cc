@@ -1,0 +1,42 @@
+#include "config/gpu_presets.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+std::vector<SystemConfig>
+gpuGenerationConfigs()
+{
+    return {SystemConfig::mi100(), SystemConfig::mi200(),
+            SystemConfig::mi300(), SystemConfig::h100(),
+            SystemConfig::h200()};
+}
+
+std::vector<PageSizePoint>
+pageSizeSweep()
+{
+    return {{12, "4KB"}, {14, "16KB"}, {16, "64KB"}, {21, "2MB"}};
+}
+
+SystemConfig
+configByName(const std::string &name)
+{
+    if (name == "MI100")
+        return SystemConfig::mi100();
+    if (name == "MI200")
+        return SystemConfig::mi200();
+    if (name == "MI300")
+        return SystemConfig::mi300();
+    if (name == "H100")
+        return SystemConfig::h100();
+    if (name == "H200")
+        return SystemConfig::h200();
+    if (name == "MI100-7x12")
+        return SystemConfig::mi100Wafer7x12();
+    if (name == "MCM4")
+        return SystemConfig::mcm4();
+    hdpat_fatal("unknown configuration preset: " << name);
+}
+
+} // namespace hdpat

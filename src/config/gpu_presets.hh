@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Named registries of configuration presets used by the sensitivity
+ * benches: GPU generations (Fig 21) and page sizes (Fig 20).
+ */
+
+#ifndef HDPAT_CONFIG_GPU_PRESETS_HH
+#define HDPAT_CONFIG_GPU_PRESETS_HH
+
+#include <string>
+#include <vector>
+
+#include "config/system_config.hh"
+
+namespace hdpat
+{
+
+/** The GPU-generation sweep of Fig 21, in paper order. */
+std::vector<SystemConfig> gpuGenerationConfigs();
+
+/** Page-size sweep of Fig 20 (shift, label). */
+struct PageSizePoint
+{
+    unsigned pageShift;
+    std::string label;
+};
+std::vector<PageSizePoint> pageSizeSweep();
+
+/** Look up a preset by its name ("MI100", "H200", ...). */
+SystemConfig configByName(const std::string &name);
+
+} // namespace hdpat
+
+#endif // HDPAT_CONFIG_GPU_PRESETS_HH

@@ -1,0 +1,114 @@
+#include "config/system_config.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+std::size_t
+SystemConfig::numGpms() const
+{
+    if (topology == TopologyKind::Mcm4)
+        return 4;
+    return static_cast<std::size_t>(meshWidth) * meshHeight - 1;
+}
+
+void
+SystemConfig::validate() const
+{
+    hdpat_fatal_if(meshWidth <= 0 || meshHeight <= 0, "empty mesh");
+    hdpat_fatal_if(pageShift < 10 || pageShift > 30,
+                   "unreasonable page shift " << pageShift);
+    hdpat_fatal_if(issueWidth <= 0, "issue width must be positive");
+    hdpat_fatal_if(maxOutstandingOps <= 0,
+                   "outstanding window must be positive");
+    hdpat_fatal_if(iommuWalkers == 0, "IOMMU needs at least one walker");
+    hdpat_fatal_if(gmmuWalkers == 0, "GMMU needs at least one walker");
+    hdpat_fatal_if(iommuPwQueueCapacity == 0, "PW-queue cannot be empty");
+    hdpat_fatal_if(iommuIngressPerCycle <= 0,
+                   "IOMMU ingress rate must be positive");
+}
+
+SystemConfig
+SystemConfig::mi100()
+{
+    return SystemConfig{}; // Table I defaults are the MI100-derived GPM.
+}
+
+SystemConfig
+SystemConfig::mi200()
+{
+    SystemConfig c;
+    c.name = "MI200-7x7";
+    c.computeScale = 0.95;
+    c.l2CacheBytes = 8u << 20;
+    c.hbmBytesPerTick = 1640.0; // HBM2e, 1.6 TB/s
+    c.hbmLatency = 115;
+    return c;
+}
+
+SystemConfig
+SystemConfig::mi300()
+{
+    SystemConfig c;
+    c.name = "MI300-7x7";
+    c.computeScale = 1.1;
+    c.cusPerGpm = 38;
+    c.issueWidth = 5;
+    c.l2CacheBytes = 16u << 20;
+    c.hbmBytesPerTick = 2650.0; // HBM3
+    c.hbmLatency = 110;
+    return c;
+}
+
+SystemConfig
+SystemConfig::h100()
+{
+    SystemConfig c;
+    c.name = "H100-7x7";
+    // A GPM that is one quarter of an H100 has far more memory-level
+    // parallelism (256 KB L1 per CU, 50 MB L2) than the MI100 slice.
+    c.computeScale = 2.8;
+    // "256KB L1 per CU and 50MB L2" -- model the jump as a much larger
+    // data cache per GPM (50 MB / 4 GPM-quarters) and HBM2e bandwidth.
+    c.l2CacheBytes = 12u << 20;
+    c.l2CacheWays = 24;
+    c.hbmBytesPerTick = 2000.0;
+    c.hbmLatency = 115;
+    c.maxOutstandingOps = 768;
+    return c;
+}
+
+SystemConfig
+SystemConfig::h200()
+{
+    SystemConfig c = h100();
+    c.name = "H200-7x7";
+    c.computeScale = 2.6;
+    c.hbmBytesPerTick = 4800.0; // HBM3e
+    c.hbmLatency = 105;
+    return c;
+}
+
+SystemConfig
+SystemConfig::mi100Wafer7x12()
+{
+    SystemConfig c;
+    c.name = "MI100-7x12";
+    c.meshWidth = 12;
+    c.meshHeight = 7;
+    return c;
+}
+
+SystemConfig
+SystemConfig::mcm4()
+{
+    SystemConfig c;
+    c.name = "MI100-MCM4";
+    c.topology = TopologyKind::Mcm4;
+    c.meshWidth = 3;
+    c.meshHeight = 3;
+    return c;
+}
+
+} // namespace hdpat

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * SystemConfig: every hardware parameter of the simulated wafer-scale
+ * GPU, mirroring Table I of the paper, plus knobs for the sensitivity
+ * studies (page size, wafer dimensions, GPU generation).
+ */
+
+#ifndef HDPAT_CONFIG_SYSTEM_CONFIG_HH
+#define HDPAT_CONFIG_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "noc/network.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/** Structural + timing parameters of one TLB level. */
+struct TlbLevelParams
+{
+    std::size_t sets = 1;
+    std::size_t ways = 32;
+    std::size_t mshrs = 4;
+    Tick latency = 4;
+
+    std::size_t entries() const { return sets * ways; }
+};
+
+/** Which wafer/package the system is built on. */
+enum class TopologyKind
+{
+    Wafer, ///< width x height mesh with CPU at the center tile
+    Mcm4,  ///< 4-GPM MCM package (Fig 4's comparison point)
+};
+
+/**
+ * Full system configuration (Table I defaults).
+ *
+ * All latencies are in core cycles at 1 GHz.
+ */
+struct SystemConfig
+{
+    std::string name = "MI100-7x7";
+
+    // ---- Topology ----------------------------------------------------
+    TopologyKind topology = TopologyKind::Wafer;
+    int meshWidth = 7;
+    int meshHeight = 7;
+
+    // ---- Per-GPM compute ----------------------------------------------
+    int cusPerGpm = 32;
+    /** Memory operations a GPM may issue per cycle (aggregate of CUs). */
+    int issueWidth = 4;
+    /** Outstanding memory operations per GPM (latency-hiding window). */
+    int maxOutstandingOps = 512;
+    /**
+     * Relative memory-op throughput of this GPM generation vs the
+     * MI100 baseline; scales every workload's issue rate and window
+     * (more/faster CUs issue memory operations faster, which is what
+     * makes the larger H100/H200 configs more translation-bound in
+     * Fig 21).
+     */
+    double computeScale = 1.0;
+
+    // ---- Virtual memory ----------------------------------------------
+    unsigned pageShift = 12; ///< 4 KiB pages by default.
+
+    // ---- GPM translation hierarchy (Table I) ---------------------------
+    TlbLevelParams l1Tlb{1, 32, 4, 4};
+    TlbLevelParams l2Tlb{64, 32, 32, 32};
+    /** "GMMU Cache": the last-level TLB probed by peers. */
+    TlbLevelParams lastLevelTlb{64, 16, 0, 10};
+    Tick cuckooLatency = 2;
+    std::size_t cuckooCapacity = 1u << 17;
+    /**
+     * Extra per-attempt cost when a translation request stops at an
+     * intermediate GPM in the sequential route-based / concentric
+     * schemes: store-and-forward of the request plus arbitration for
+     * the shared filter/TLB ports (local translations have priority,
+     * §V-A). This is the "repeated translation attempts" penalty of
+     * §IV-B.
+     */
+    Tick chainAttemptOverhead = 24;
+    std::size_t gmmuWalkers = 8;
+    Tick gmmuWalkLatency = 500; ///< 100 cycles x 5 levels.
+    /**
+     * Page-walk-cache entries per level at the GMMU (0 = off, the
+     * paper's flat-latency model). An extension explored by abl_pwc.
+     */
+    std::size_t gmmuPwcEntriesPerLevel = 0;
+
+    // ---- IOMMU (Table I) ----------------------------------------------
+    std::size_t iommuWalkers = 16;
+    Tick iommuWalkLatency = 500;
+    /** Page-walk-cache entries per level at the IOMMU (0 = off). */
+    std::size_t iommuPwcEntriesPerLevel = 0;
+    /** Ingress buffer ("IOMMU buffer", Fig 4 uses 4096). */
+    std::size_t iommuBufferCapacity = 4096;
+    /** Internal PW-queue feeding the walkers. */
+    std::size_t iommuPwQueueCapacity = 64;
+    /** Requests the ingress stage can process per cycle. */
+    int iommuIngressPerCycle = 2;
+    Tick iommuIngressLatency = 4;
+    std::size_t redirectionTableEntries = 1024;
+    /** Equal-area conventional TLB for the Fig 19 comparison. */
+    std::size_t iommuTlbEntries = 512;
+    /**
+     * MSHRs of the Fig 19 TLB. MSHRs are wide CAM entries, so the
+     * equal-area budget only affords a file smaller than the walker
+     * pool -- which is precisely the concurrency limitation §IV-F
+     * holds against a conventional TLB (a full file stalls ingress
+     * and strangles walk parallelism).
+     */
+    std::size_t iommuTlbMshrs = 8;
+    /** Forwarding contexts for Trans-FW-style walk delegation. */
+    std::size_t iommuForwardContexts = 64;
+
+    // ---- Data side ------------------------------------------------------
+    std::size_t l2CacheBytes = 4u << 20;
+    std::size_t l2CacheWays = 16;
+    std::size_t cacheLineBytes = 64;
+    Tick dataHitLatency = 20;
+    Tick hbmLatency = 120;
+    double hbmBytesPerTick = 1230.0; ///< 1.23 TB/s at 1 GHz.
+
+    // ---- Interconnect (Table I) ----------------------------------------
+    NocParams noc{};
+
+    // ---- Derived helpers -------------------------------------------------
+    std::size_t pageBytes() const { return std::size_t(1) << pageShift; }
+
+    /** GPM count for this topology. */
+    std::size_t numGpms() const;
+
+    /** Validate invariants; calls hdpat_fatal on bad configs. */
+    void validate() const;
+
+    // ---- Presets (GPU generations, §V-E Fig 21) -------------------------
+    static SystemConfig mi100();
+    static SystemConfig mi200();
+    static SystemConfig mi300();
+    static SystemConfig h100();
+    static SystemConfig h200();
+
+    /** Baseline MI100 wafer but with a 7x12 mesh (Fig 22). */
+    static SystemConfig mi100Wafer7x12();
+
+    /** The 4-GPM MCM comparison system (Fig 4). */
+    static SystemConfig mcm4();
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_CONFIG_SYSTEM_CONFIG_HH

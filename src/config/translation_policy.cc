@@ -1,0 +1,118 @@
+#include "config/translation_policy.hh"
+
+namespace hdpat
+{
+
+TranslationPolicy
+TranslationPolicy::baseline()
+{
+    TranslationPolicy p;
+    p.name = "baseline";
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::hdpat()
+{
+    TranslationPolicy p;
+    p.name = "hdpat";
+    p.peerMode = PeerCachingMode::ClusterRotation;
+    p.redirectionTable = true;
+    p.prefetch = true;
+    p.prefetchDegree = 4;
+    p.pwQueueRevisit = true;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::routeCaching()
+{
+    TranslationPolicy p;
+    p.name = "route-based";
+    p.peerMode = PeerCachingMode::RouteBased;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::concentricCaching()
+{
+    TranslationPolicy p;
+    p.name = "concentric";
+    p.peerMode = PeerCachingMode::Concentric;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::distributedCaching()
+{
+    TranslationPolicy p;
+    p.name = "distributed";
+    p.peerMode = PeerCachingMode::Distributed;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::clusterRotation()
+{
+    TranslationPolicy p;
+    p.name = "cluster+rotation";
+    p.peerMode = PeerCachingMode::ClusterRotation;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::withRedirection()
+{
+    TranslationPolicy p = clusterRotation();
+    p.name = "redirection";
+    p.redirectionTable = true;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::withPrefetch()
+{
+    TranslationPolicy p = clusterRotation();
+    p.name = "prefetch";
+    p.prefetch = true;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::transFw()
+{
+    TranslationPolicy p;
+    p.name = "trans-fw";
+    p.walkMode = IommuWalkMode::ForwardToHome;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::valkyrie()
+{
+    TranslationPolicy p;
+    p.name = "valkyrie";
+    p.neighborTlbProbe = true;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::barre()
+{
+    TranslationPolicy p;
+    p.name = "barre";
+    p.pwQueueRevisit = true;
+    return p;
+}
+
+TranslationPolicy
+TranslationPolicy::hdpatWithIommuTlb()
+{
+    TranslationPolicy p = hdpat();
+    p.name = "hdpat-iommu-tlb";
+    p.redirectionTable = false;
+    p.iommuTlbInsteadOfRt = true;
+    return p;
+}
+
+} // namespace hdpat

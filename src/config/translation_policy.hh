@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Translation policy: which remote-translation mechanism a simulated
+ * system uses. Covers the naive baseline, every HDPAT ablation step
+ * (§IV-B..G, Fig 15), and the three state-of-the-art comparison points
+ * (Trans-FW, Valkyrie, Barre; §V-A "Baselines").
+ */
+
+#ifndef HDPAT_CONFIG_TRANSLATION_POLICY_HH
+#define HDPAT_CONFIG_TRANSLATION_POLICY_HH
+
+#include <string>
+
+namespace hdpat
+{
+
+/** How remote translations may be served before reaching the IOMMU. */
+enum class PeerCachingMode
+{
+    /** No peer caching: all remote translations go to the IOMMU. */
+    None,
+    /** §IV-B: probe every GPM on the XY route toward the CPU. */
+    RouteBased,
+    /**
+     * §IV-C: one sequential attempt per concentric layer (nearest tile
+     * in each layer), any GPM may cache any PTE.
+     */
+    Concentric,
+    /**
+     * §V-A: two symmetric groups; probe the nearest same-group peer
+     * once, then go to the IOMMU.
+     */
+    Distributed,
+    /**
+     * §IV-D/E: clustering (Eq. 1-2) + rotation; concurrent probes to
+     * the single candidate GPM per layer.
+     */
+    ClusterRotation,
+};
+
+/** How the IOMMU resolves walks it cannot redirect. */
+enum class IommuWalkMode
+{
+    /** Walk locally with the IOMMU's own walker pool (default). */
+    Local,
+    /**
+     * Trans-FW style: delegate the walk to the home GPM's GMMU; the
+     * IOMMU holds a forwarding context until the reply returns.
+     */
+    ForwardToHome,
+};
+
+/** Full policy description. */
+struct TranslationPolicy
+{
+    std::string name = "baseline";
+
+    PeerCachingMode peerMode = PeerCachingMode::None;
+
+    /** IOMMU-side redirection table (§IV-F). */
+    bool redirectionTable = false;
+
+    /**
+     * Replace the redirection table with a conventional, MSHR-limited
+     * TLB of equal area (Fig 19 sensitivity).
+     */
+    bool iommuTlbInsteadOfRt = false;
+
+    /** Proactive page-entry delivery (§IV-G). */
+    bool prefetch = false;
+
+    /** Contiguous PTEs resolved per walk when prefetching (paper: 4). */
+    int prefetchDegree = 4;
+
+    /**
+     * Revisit the PW-queue after each walk and complete identical
+     * pending requests (§IV-F step 6; also Barre's core mechanism).
+     */
+    bool pwQueueRevisit = false;
+
+    /** Valkyrie-style probe of the nearest neighbour's L2 TLB. */
+    bool neighborTlbProbe = false;
+
+    /** Trans-FW-style walk delegation. */
+    IommuWalkMode walkMode = IommuWalkMode::Local;
+
+    /**
+     * Minimum PTE access count before the IOMMU pushes a demand
+     * translation to auxiliary GPMs (§IV-F "selective" push).
+     */
+    unsigned auxPushThreshold = 2;
+
+    /** Number of concentric caching layers C (§IV-C; default 2). */
+    int concentricLayers = 2;
+
+    /** Quadrant cluster count N_c (§IV-D; the paper uses 4). */
+    int numClusters = 4;
+
+    /** 180-degree rotation of alternate layers (§IV-E). */
+    bool rotation = true;
+
+    /**
+     * Dispatch cluster+rotation probes to all layers concurrently
+     * (§IV-D: "requests are sent concurrently to all concentric
+     * layers"). When false, probes chain sequentially inward --
+     * the design alternative this repo's DESIGN.md calls out.
+     */
+    bool concurrentProbes = true;
+
+    /** True when any peer caching structure is active. */
+    bool usesPeerCaching() const
+    {
+        return peerMode != PeerCachingMode::None;
+    }
+
+    // ---- Presets ---------------------------------------------------
+
+    /** Naive: every non-local translation walks at the IOMMU. */
+    static TranslationPolicy baseline();
+
+    /** Full HDPAT: cluster+rotation, RT, prefetch, queue revisit. */
+    static TranslationPolicy hdpat();
+
+    /** Ablation: route-based caching only (§IV-B). */
+    static TranslationPolicy routeCaching();
+
+    /** Ablation: concentric caching only (§IV-C). */
+    static TranslationPolicy concentricCaching();
+
+    /** Ablation: straightforward distributed caching (§V-A). */
+    static TranslationPolicy distributedCaching();
+
+    /** Ablation: clustering + rotation, no RT/prefetch (§IV-D/E). */
+    static TranslationPolicy clusterRotation();
+
+    /** Ablation: cluster+rotation plus the redirection table. */
+    static TranslationPolicy withRedirection();
+
+    /** Ablation: cluster+rotation plus proactive delivery. */
+    static TranslationPolicy withPrefetch();
+
+    /** Comparison: Trans-FW (remote walk forwarding). */
+    static TranslationPolicy transFw();
+
+    /** Comparison: Valkyrie (inter-TLB locality via neighbour probe). */
+    static TranslationPolicy valkyrie();
+
+    /** Comparison: Barre (PW-queue translation coalescing). */
+    static TranslationPolicy barre();
+
+    /** Fig 19: HDPAT with an IOMMU TLB replacing the RT. */
+    static TranslationPolicy hdpatWithIommuTlb();
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_CONFIG_TRANSLATION_POLICY_HH

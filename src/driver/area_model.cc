@@ -1,0 +1,18 @@
+#include "driver/area_model.hh"
+
+namespace hdpat
+{
+
+SramEstimate
+estimateSram(std::size_t entries, std::size_t bits_per_entry,
+             const AreaModelParams &params)
+{
+    const double bits = static_cast<double>(entries) *
+                        static_cast<double>(bits_per_entry);
+    SramEstimate estimate;
+    estimate.areaMm2 = bits * params.mm2PerBit;
+    estimate.powerW = bits * params.wattsPerBit;
+    return estimate;
+}
+
+} // namespace hdpat

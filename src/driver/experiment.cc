@@ -1,0 +1,54 @@
+#include "driver/experiment.hh"
+
+#include "sim/log.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+
+std::vector<RunResult>
+runSuite(const SystemConfig &cfg, const TranslationPolicy &pol,
+         std::size_t ops_per_gpm,
+         const std::vector<std::string> &workloads, std::uint64_t seed)
+{
+    const std::vector<std::string> &names =
+        workloads.empty() ? workloadAbbrs() : workloads;
+
+    std::vector<RunResult> results;
+    results.reserve(names.size());
+    for (const std::string &name : names) {
+        RunSpec spec;
+        spec.config = cfg;
+        spec.policy = pol;
+        spec.workload = name;
+        spec.opsPerGpm = ops_per_gpm;
+        spec.seed = seed;
+        results.push_back(runOnce(spec));
+    }
+    return results;
+}
+
+std::vector<double>
+speedups(const std::vector<RunResult> &base,
+         const std::vector<RunResult> &variant)
+{
+    hdpat_panic_if(base.size() != variant.size(),
+                   "speedups over mismatched sweeps");
+    std::vector<double> out;
+    out.reserve(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        hdpat_panic_if(base[i].workload != variant[i].workload,
+                       "speedups over misaligned workloads");
+        out.push_back(speedupOver(base[i], variant[i]));
+    }
+    return out;
+}
+
+double
+geomeanSpeedup(const std::vector<RunResult> &base,
+               const std::vector<RunResult> &variant)
+{
+    return geomean(speedups(base, variant));
+}
+
+} // namespace hdpat

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Experiment helpers shared by the per-figure bench harnesses: run the
+ * whole 14-benchmark suite under a policy, compute per-workload
+ * speedups against a baseline sweep, and geometric means.
+ */
+
+#ifndef HDPAT_DRIVER_EXPERIMENT_HH
+#define HDPAT_DRIVER_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "driver/run_result.hh"
+#include "driver/runner.hh"
+
+namespace hdpat
+{
+
+/**
+ * Run every workload in @p workloads (default: the full Table II
+ * suite) under one config/policy. Results are in workload order.
+ */
+std::vector<RunResult>
+runSuite(const SystemConfig &cfg, const TranslationPolicy &pol,
+         std::size_t ops_per_gpm = 0,
+         const std::vector<std::string> &workloads = {},
+         std::uint64_t seed = 0x5eed);
+
+/**
+ * Per-workload speedups of @p variant over @p base (same workload
+ * order required).
+ */
+std::vector<double> speedups(const std::vector<RunResult> &base,
+                             const std::vector<RunResult> &variant);
+
+/** Geometric-mean speedup of @p variant over @p base. */
+double geomeanSpeedup(const std::vector<RunResult> &base,
+                      const std::vector<RunResult> &variant);
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_EXPERIMENT_HH

@@ -1,0 +1,36 @@
+#include "driver/report.hh"
+
+#include <ostream>
+
+namespace hdpat
+{
+
+void
+writeRunCsv(std::ostream &os, const std::vector<RunResult> &runs)
+{
+    os << "workload,policy,config,cycles,ops,remote_ops,"
+          "remote_resolutions,peer_cache,redirection,proactive,"
+          "iommu_walk,iommu_tlb,home_gmmu,neighbor_tlb,"
+          "offloaded_frac,rtt_mean,iommu_walks,noc_packets,"
+          "noc_byte_hops\n";
+    for (const RunResult &r : runs) {
+        os << r.workload << ',' << r.policy << ',' << r.config << ','
+           << r.totalTicks << ',' << r.opsTotal << ',' << r.remoteOps
+           << ',' << r.remoteResolutions;
+        for (std::size_t i = 0; i < kNumTranslationSources; ++i)
+            os << ',' << r.sourceCounts[i];
+        os << ',' << r.offloadedFraction() << ',' << r.remoteRtt.mean()
+           << ',' << r.iommu.walksCompleted << ',' << r.noc.packets
+           << ',' << r.noc.byteHops << '\n';
+    }
+}
+
+void
+writeTraceCsv(std::ostream &os, const IommuTrace &trace)
+{
+    os << "tick,vpn\n";
+    for (const auto &[tick, vpn] : trace)
+        os << tick << ',' << vpn << '\n';
+}
+
+} // namespace hdpat

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Machine-readable result export: RunResult rows as CSV, and the IOMMU
+ * request trace as CSV, for plotting/analysis outside the simulator.
+ */
+
+#ifndef HDPAT_DRIVER_REPORT_HH
+#define HDPAT_DRIVER_REPORT_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "driver/run_result.hh"
+#include "driver/trace_analysis.hh"
+
+namespace hdpat
+{
+
+/**
+ * Write one CSV row per RunResult, with a header line. Columns:
+ * workload, policy, config, cycles, ops, remote_ops,
+ * remote_resolutions, peer_cache, redirection, proactive, iommu_walk,
+ * iommu_tlb, home_gmmu, neighbor_tlb, offloaded_frac, rtt_mean,
+ * iommu_walks, noc_packets, noc_byte_hops.
+ */
+void writeRunCsv(std::ostream &os, const std::vector<RunResult> &runs);
+
+/** Write the (tick, vpn) IOMMU trace as CSV with a header line. */
+void writeTraceCsv(std::ostream &os, const IommuTrace &trace);
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_REPORT_HH

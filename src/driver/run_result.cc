@@ -1,0 +1,71 @@
+#include "driver/run_result.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+std::uint64_t
+RunResult::remoteServed() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : sourceCounts)
+        total += c;
+    return total;
+}
+
+double
+RunResult::sourceFraction(TranslationSource source) const
+{
+    const std::uint64_t total = remoteServed();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(
+               sourceCounts[static_cast<std::size_t>(source)]) /
+           static_cast<double>(total);
+}
+
+double
+RunResult::offloadedFraction() const
+{
+    const std::uint64_t total = remoteServed();
+    if (total == 0)
+        return 0.0;
+    const std::uint64_t iommu_served =
+        sourceCounts[static_cast<std::size_t>(
+            TranslationSource::IommuWalk)] +
+        sourceCounts[static_cast<std::size_t>(
+            TranslationSource::IommuTlb)];
+    return 1.0 - static_cast<double>(iommu_served) /
+                     static_cast<double>(total);
+}
+
+Tick
+RunResult::minGpmFinish() const
+{
+    Tick best = kTickNever;
+    for (const auto &[tile, tick] : gpmFinish)
+        best = std::min(best, tick);
+    return best == kTickNever ? 0 : best;
+}
+
+Tick
+RunResult::maxGpmFinish() const
+{
+    Tick worst = 0;
+    for (const auto &[tile, tick] : gpmFinish)
+        worst = std::max(worst, tick);
+    return worst;
+}
+
+double
+speedupOver(const RunResult &base, const RunResult &x)
+{
+    hdpat_panic_if(x.totalTicks == 0, "speedup over a zero-tick run");
+    return static_cast<double>(base.totalTicks) /
+           static_cast<double>(x.totalTicks);
+}
+
+} // namespace hdpat

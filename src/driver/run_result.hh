@@ -1,0 +1,80 @@
+/**
+ * @file
+ * RunResult: everything a bench or example needs from one simulated
+ * run -- end-to-end time, per-GPM finish ticks, the Fig 16 breakdown,
+ * IOMMU pipeline statistics, and NoC traffic totals.
+ */
+
+#ifndef HDPAT_DRIVER_RUN_RESULT_HH
+#define HDPAT_DRIVER_RUN_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "iommu/iommu.hh"
+#include "noc/network.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+struct RunResult
+{
+    std::string workload;
+    std::string policy;
+    std::string config;
+
+    /** End-to-end execution time (latest GPM finish). */
+    Tick totalTicks = 0;
+
+    /** (tile, finish tick) per GPM, in tile order. */
+    std::vector<std::pair<TileId, Tick>> gpmFinish;
+
+    // ---- Aggregated GPM-side statistics -------------------------------
+    std::uint64_t opsTotal = 0;
+    std::uint64_t l1TlbHits = 0;
+    std::uint64_t l2TlbHits = 0;
+    std::uint64_t llTlbHits = 0;
+    std::uint64_t localWalks = 0;
+    std::uint64_t cuckooFalsePositives = 0;
+    std::uint64_t remoteOps = 0;
+    std::uint64_t remoteResolutions = 0;
+    std::array<std::uint64_t, kNumTranslationSources> sourceCounts{};
+    SummaryStat remoteRtt;
+    std::uint64_t probesSentTotal = 0;
+    std::uint64_t probesReceivedTotal = 0;
+    std::uint64_t probeHitsTotal = 0;
+    std::uint64_t pushesReceivedTotal = 0;
+
+    // ---- Component snapshots -------------------------------------------
+    Iommu::Stats iommu;
+    Network::Stats noc;
+
+    // ---- Helpers ---------------------------------------------------------
+    /** Total remote translations resolved (sum of sourceCounts). */
+    std::uint64_t remoteServed() const;
+
+    /** Fraction of remote translations served by @p source. */
+    double sourceFraction(TranslationSource source) const;
+
+    /**
+     * Fraction of remote translations served *without* an IOMMU walk
+     * (the paper's "offloaded 42.1%" metric).
+     */
+    double offloadedFraction() const;
+
+    /** Earliest and latest GPM finish (Fig 5 imbalance). */
+    Tick minGpmFinish() const;
+    Tick maxGpmFinish() const;
+};
+
+/** base.totalTicks / x.totalTicks, i.e. >1 means x is faster. */
+double speedupOver(const RunResult &base, const RunResult &x);
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_RUN_RESULT_HH

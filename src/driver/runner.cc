@@ -1,0 +1,45 @@
+#include "driver/runner.hh"
+
+#include <cstdlib>
+
+#include "driver/system.hh"
+#include "sim/log.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+
+double
+benchScale()
+{
+    static const double scale = [] {
+        const char *env = std::getenv("HDPAT_BENCH_SCALE");
+        if (!env)
+            return 1.0;
+        const double v = std::atof(env);
+        return v > 0.0 ? v : 1.0;
+    }();
+    return scale;
+}
+
+std::size_t
+defaultOpsPerGpm()
+{
+    return static_cast<std::size_t>(12000.0 * benchScale());
+}
+
+RunResult
+runOnce(const RunSpec &spec)
+{
+    System system(spec.config, spec.policy);
+    if (spec.captureIommuTrace)
+        system.setCaptureIommuTrace(true);
+
+    auto workload = makeWorkload(spec.workload, spec.footprintScale);
+    const std::size_t ops =
+        spec.opsPerGpm ? spec.opsPerGpm : defaultOpsPerGpm();
+    system.loadWorkload(*workload, ops, spec.seed);
+    return system.run();
+}
+
+} // namespace hdpat

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Runner: one-call experiment execution for benches and examples.
+ * Centralises op-count scaling (HDPAT_BENCH_SCALE) and seeds, so every
+ * figure harness runs the same way.
+ */
+
+#ifndef HDPAT_DRIVER_RUNNER_HH
+#define HDPAT_DRIVER_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "driver/run_result.hh"
+
+namespace hdpat
+{
+
+/** Complete description of one simulation run. */
+struct RunSpec
+{
+    SystemConfig config;
+    TranslationPolicy policy;
+    std::string workload = "SPMV";
+
+    /** Memory ops per GPM; 0 = defaultOpsPerGpm(). */
+    std::size_t opsPerGpm = 0;
+    std::uint64_t seed = 0x5eed;
+    double footprintScale = 1.0;
+    bool captureIommuTrace = false;
+};
+
+/** Build the system, load the workload, run, return the result. */
+RunResult runOnce(const RunSpec &spec);
+
+/**
+ * Global op-count multiplier from the HDPAT_BENCH_SCALE environment
+ * variable (default 1.0). Benches multiply their default op counts by
+ * this, so `HDPAT_BENCH_SCALE=4 ./fig14_overall` runs 4x longer.
+ */
+double benchScale();
+
+/** Default per-GPM op count (base 12000, scaled by benchScale()). */
+std::size_t defaultOpsPerGpm();
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_RUNNER_HH

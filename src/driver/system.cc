@@ -1,0 +1,161 @@
+#include "driver/system.hh"
+
+#include <unordered_map>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+MeshTopology
+System::buildTopology(const SystemConfig &cfg)
+{
+    if (cfg.topology == TopologyKind::Mcm4)
+        return MeshTopology::mcm4();
+    return MeshTopology::wafer(cfg.meshWidth, cfg.meshHeight);
+}
+
+System::System(const SystemConfig &cfg, const TranslationPolicy &pol)
+    : cfg_(cfg), pol_(pol), topo_(buildTopology(cfg)),
+      net_(engine_, topo_, cfg.noc), pt_(cfg.pageShift),
+      layers_(topo_, pol.concentricLayers),
+      clusterMap_(layers_, pol.numClusters, pol.rotation),
+      groups_(layers_)
+{
+    cfg_.validate();
+    hdpat_fatal_if(pol_.usesPeerCaching() && layers_.numLayers() == 0,
+                   "policy '" << pol_.name
+                              << "' needs concentric caching layers");
+
+    iommu_ = std::make_unique<Iommu>(engine_, net_, pt_, cfg_, pol_,
+                                     topo_.cpuTile());
+
+    gpmByTile_.assign(static_cast<std::size_t>(topo_.numTiles()),
+                      nullptr);
+    for (TileId tile : topo_.gpmTiles()) {
+        auto gpm = std::make_unique<Gpm>(tile, engine_, net_, pt_, cfg_,
+                                         pol_);
+        gpmByTile_[static_cast<std::size_t>(tile)] = gpm.get();
+        gpms_.push_back(std::move(gpm));
+    }
+
+    std::vector<PeerEndpoint *> peers(
+        static_cast<std::size_t>(topo_.numTiles()), nullptr);
+    for (auto &gpm : gpms_)
+        peers[static_cast<std::size_t>(gpm->tile())] = gpm.get();
+    iommu_->setPeers(std::move(peers));
+    iommu_->setClusterMap(&clusterMap_);
+
+    for (auto &gpm : gpms_) {
+        gpm->connect(iommu_.get(), &layers_, &clusterMap_, &groups_,
+                     &gpmByTile_);
+        if (pol_.neighborTlbProbe) {
+            // Valkyrie: probe the nearest GPM (an orthogonal mesh
+            // neighbour when one exists).
+            const Coord c = topo_.coordOf(gpm->tile());
+            TileId best = kInvalidTile;
+            int best_dist = 0;
+            for (TileId other : topo_.gpmTiles()) {
+                if (other == gpm->tile())
+                    continue;
+                const int d = topo_.hopDistance(gpm->tile(), other);
+                if (best == kInvalidTile || d < best_dist ||
+                    (d == best_dist && other < best)) {
+                    best = other;
+                    best_dist = d;
+                }
+            }
+            (void)c;
+            gpm->setNeighborTarget(best);
+        }
+    }
+}
+
+void
+System::loadWorkload(Workload &workload, std::size_t ops_per_gpm,
+                     std::uint64_t seed)
+{
+    hdpat_fatal_if(loaded_, "System::loadWorkload called twice");
+    loaded_ = true;
+    workloadName_ = workload.info().abbr;
+
+    workload.allocate(pt_, topo_.gpmTiles());
+
+    // Seed each GPM's cuckoo filter with its local pages (one pass
+    // over the page table, bucketed by home).
+    std::unordered_map<TileId, std::vector<Vpn>> by_home;
+    pt_.forEachPage([&by_home](Vpn vpn, const Pte &pte) {
+        by_home[pte.home].push_back(vpn);
+    });
+    for (auto &gpm : gpms_) {
+        auto it = by_home.find(gpm->tile());
+        if (it != by_home.end())
+            gpm->seedLocalPages(it->second);
+    }
+
+    for (std::size_t i = 0; i < gpms_.size(); ++i) {
+        gpms_[i]->setWork(workload.streamFor(i, gpms_.size(),
+                                             ops_per_gpm, seed));
+        const double rate =
+            workload.info().opsPerCycle * cfg_.computeScale;
+        const int window = static_cast<int>(
+            workload.info().maxOutstanding * cfg_.computeScale);
+        gpms_[i]->setIssueParams(rate, window);
+    }
+}
+
+std::size_t
+System::shootdown(Vpn vpn)
+{
+    std::size_t invalidated = 0;
+    for (auto &gpm : gpms_)
+        invalidated += gpm->shootdown(vpn);
+    iommu_->shootdown(vpn);
+    pt_.unmap(vpn);
+    return invalidated;
+}
+
+RunResult
+System::run()
+{
+    hdpat_fatal_if(!loaded_, "System::run without a workload");
+
+    for (auto &gpm : gpms_)
+        gpm->start();
+    engine_.run();
+
+    RunResult result;
+    result.workload = workloadName_;
+    result.policy = pol_.name;
+    result.config = cfg_.name;
+
+    for (auto &gpm : gpms_) {
+        const Gpm::Stats &s = gpm->stats();
+        hdpat_panic_if(!s.finished,
+                       "GPM " << gpm->tile()
+                              << " did not finish (deadlock?)");
+        result.gpmFinish.emplace_back(gpm->tile(), s.finishTick);
+        result.totalTicks = std::max(result.totalTicks, s.finishTick);
+
+        result.opsTotal += s.opsCompleted;
+        result.l1TlbHits += s.l1TlbHits;
+        result.l2TlbHits += s.l2TlbHits;
+        result.llTlbHits += s.llTlbHits;
+        result.localWalks += s.localWalks;
+        result.cuckooFalsePositives += s.cuckooFalsePositives;
+        result.remoteOps += s.remoteOps;
+        result.remoteResolutions += s.remoteResolutions;
+        for (std::size_t i = 0; i < kNumTranslationSources; ++i)
+            result.sourceCounts[i] += s.sourceCounts[i];
+        result.remoteRtt.merge(s.remoteRtt);
+        result.probesReceivedTotal += s.probesReceived;
+        result.probeHitsTotal += s.probeHits;
+        result.pushesReceivedTotal += s.pushesReceived;
+    }
+
+    result.iommu = iommu_->stats();
+    result.noc = net_.stats();
+    return result;
+}
+
+} // namespace hdpat

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * System: builds and wires a complete simulated wafer-scale GPU --
+ * topology, network, page table, concentric layers, cluster map,
+ * IOMMU, and one Gpm per tile -- loads a workload, runs the event loop
+ * to completion, and collects a RunResult.
+ *
+ * This is the primary entry point of the library's public API:
+ *
+ * @code
+ *   SystemConfig cfg = SystemConfig::mi100();
+ *   TranslationPolicy pol = TranslationPolicy::hdpat();
+ *   System sys(cfg, pol);
+ *   auto wl = makeWorkload("SPMV");
+ *   sys.loadWorkload(*wl, 20000, 42);
+ *   RunResult r = sys.run();
+ * @endcode
+ */
+
+#ifndef HDPAT_DRIVER_SYSTEM_HH
+#define HDPAT_DRIVER_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "driver/run_result.hh"
+#include "gpm/gpm.hh"
+#include "hdpat/cluster_map.hh"
+#include "hdpat/concentric_layers.hh"
+#include "iommu/iommu.hh"
+#include "mem/page_table.hh"
+#include "noc/mesh_topology.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "workloads/workload.hh"
+
+namespace hdpat
+{
+
+class System
+{
+  public:
+    System(const SystemConfig &cfg, const TranslationPolicy &pol);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Allocate @p workload's buffers and hand each GPM its stream.
+     *
+     * @param ops_per_gpm Memory operations each GPM executes.
+     * @param seed RNG seed (per-GPM seeds are derived from it).
+     */
+    void loadWorkload(Workload &workload, std::size_t ops_per_gpm,
+                      std::uint64_t seed);
+
+    /** Record the (tick, VPN) stream arriving at the IOMMU. */
+    void setCaptureIommuTrace(bool on) { iommu_->setCaptureTrace(on); }
+
+    /** Run to completion and gather statistics. */
+    RunResult run();
+
+    /**
+     * Free one page: broadcast a TLB shootdown to every GPM and the
+     * IOMMU, then unmap the PTE. The paper (§II-A) treats shootdowns
+     * as rare (memory free only) with negligible timing impact, so
+     * this is modeled as a state operation.
+     * @return Total cached copies invalidated across the wafer.
+     */
+    std::size_t shootdown(Vpn vpn);
+
+    // ---- Component access (tests, examples) ----------------------------
+    Engine &engine() { return engine_; }
+    Network &network() { return net_; }
+    const MeshTopology &topology() const { return topo_; }
+    GlobalPageTable &pageTable() { return pt_; }
+    Iommu &iommu() { return *iommu_; }
+    const ConcentricLayers &layers() const { return layers_; }
+    const ClusterMap &clusterMap() const { return clusterMap_; }
+    std::size_t numGpms() const { return gpms_.size(); }
+    Gpm &gpm(std::size_t index) { return *gpms_[index]; }
+    Gpm *gpmAtTile(TileId tile)
+    {
+        return gpmByTile_[static_cast<std::size_t>(tile)];
+    }
+    const SystemConfig &config() const { return cfg_; }
+    const TranslationPolicy &policy() const { return pol_; }
+
+  private:
+    static MeshTopology buildTopology(const SystemConfig &cfg);
+
+    SystemConfig cfg_;
+    TranslationPolicy pol_;
+
+    Engine engine_;
+    MeshTopology topo_;
+    Network net_;
+    GlobalPageTable pt_;
+    ConcentricLayers layers_;
+    ClusterMap clusterMap_;
+    DistributedGroups groups_;
+    std::unique_ptr<Iommu> iommu_;
+    std::vector<std::unique_ptr<Gpm>> gpms_;
+    std::vector<Gpm *> gpmByTile_;
+    std::string workloadName_ = "(none)";
+    bool loaded_ = false;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_SYSTEM_HH

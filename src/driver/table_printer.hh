@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Column-aligned plain-text table output for the bench harnesses, so
+ * every figure prints readable rows/series matching the paper.
+ */
+
+#ifndef HDPAT_DRIVER_TABLE_PRINTER_HH
+#define HDPAT_DRIVER_TABLE_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdpat
+{
+
+class TablePrinter
+{
+  public:
+    /** @param header Column titles. */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with padded columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals digits (e.g. fmt(1.5732, 2) -> "1.57"). */
+std::string fmt(double value, int decimals = 2);
+
+/** Format a fraction as a percentage string ("42.1%"). */
+std::string fmtPct(double fraction, int decimals = 1);
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_TABLE_PRINTER_HH

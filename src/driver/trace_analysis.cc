@@ -1,0 +1,71 @@
+#include "driver/trace_analysis.hh"
+
+#include <unordered_map>
+
+namespace hdpat
+{
+
+TranslationCountBuckets
+analyzeTranslationCounts(const IommuTrace &trace)
+{
+    std::unordered_map<Vpn, std::uint64_t> counts;
+    for (const auto &[tick, vpn] : trace)
+        ++counts[vpn];
+
+    TranslationCountBuckets buckets;
+    for (const auto &[vpn, count] : counts) {
+        if (count == 1)
+            ++buckets.once;
+        else if (count == 2)
+            ++buckets.twice;
+        else if (count <= 10)
+            ++buckets.threeToTen;
+        else if (count <= 100)
+            ++buckets.elevenToHundred;
+        else
+            ++buckets.moreThanHundred;
+    }
+    return buckets;
+}
+
+Log2Histogram
+analyzeReuseDistance(const IommuTrace &trace)
+{
+    Log2Histogram histogram;
+    std::unordered_map<Vpn, std::uint64_t> last_seen;
+    for (std::uint64_t i = 0; i < trace.size(); ++i) {
+        const Vpn vpn = trace[i].second;
+        auto it = last_seen.find(vpn);
+        if (it != last_seen.end())
+            histogram.add(i - it->second);
+        last_seen[vpn] = i;
+    }
+    return histogram;
+}
+
+std::vector<double>
+spatialLocalityFractions(const IommuTrace &trace,
+                         const std::vector<std::uint64_t> &distances)
+{
+    std::vector<std::uint64_t> counts(distances.size(), 0);
+    std::uint64_t pairs = 0;
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        const Vpn a = trace[i].second;
+        const Vpn b = trace[i + 1].second;
+        const std::uint64_t dist = a > b ? a - b : b - a;
+        ++pairs;
+        for (std::size_t d = 0; d < distances.size(); ++d) {
+            if (dist <= distances[d])
+                ++counts[d];
+        }
+    }
+
+    std::vector<double> fractions(distances.size(), 0.0);
+    if (pairs == 0)
+        return fractions;
+    for (std::size_t d = 0; d < distances.size(); ++d)
+        fractions[d] = static_cast<double>(counts[d]) / pairs;
+    return fractions;
+}
+
+} // namespace hdpat

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Offline analysis of the IOMMU's (tick, VPN) request trace, producing
+ * the characterisation data behind observations O3 and O4:
+ *  - per-page translation-count distribution (Fig 6),
+ *  - reuse-distance distribution between repeats (Fig 7),
+ *  - spatial proximity of consecutive requests (Fig 8).
+ */
+
+#ifndef HDPAT_DRIVER_TRACE_ANALYSIS_HH
+#define HDPAT_DRIVER_TRACE_ANALYSIS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+using IommuTrace = std::vector<std::pair<Tick, Vpn>>;
+
+/** Fig 6 buckets: how many pages were translated N times. */
+struct TranslationCountBuckets
+{
+    std::uint64_t once = 0;
+    std::uint64_t twice = 0;
+    std::uint64_t threeToTen = 0;
+    std::uint64_t elevenToHundred = 0;
+    std::uint64_t moreThanHundred = 0;
+
+    std::uint64_t totalPages() const
+    {
+        return once + twice + threeToTen + elevenToHundred +
+               moreThanHundred;
+    }
+    double fraction(std::uint64_t bucket_count) const
+    {
+        const std::uint64_t total = totalPages();
+        return total ? static_cast<double>(bucket_count) / total : 0.0;
+    }
+};
+
+TranslationCountBuckets analyzeTranslationCounts(const IommuTrace &trace);
+
+/**
+ * Fig 7: for every repeated translation, the number of intervening
+ * requests since the previous translation of the same VPN.
+ */
+Log2Histogram analyzeReuseDistance(const IommuTrace &trace);
+
+/**
+ * Fig 8: fraction of consecutive request pairs whose VPN distance is
+ * within each threshold of @p distances (e.g. {1, 2, 4, 8}).
+ */
+std::vector<double>
+spatialLocalityFractions(const IommuTrace &trace,
+                         const std::vector<std::uint64_t> &distances);
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_TRACE_ANALYSIS_HH

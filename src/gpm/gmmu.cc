@@ -1,0 +1,61 @@
+#include "gpm/gmmu.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+Gmmu::Gmmu(Engine &engine, const GlobalPageTable &pt, TileId self,
+           std::size_t walkers, Tick walk_latency,
+           std::size_t pwc_entries)
+    : engine_(engine), pt_(pt), self_(self), freeWalkers_(walkers),
+      walkLatency_(walk_latency),
+      pwc_(pwc_entries, 5, walk_latency / 5)
+{
+    hdpat_fatal_if(walkers == 0, "GMMU needs at least one walker");
+}
+
+void
+Gmmu::requestWalk(Vpn vpn, WalkCallback cb)
+{
+    ++stats_.walksRequested;
+    queue_.push_back(Pending{vpn, std::move(cb), engine_.now()});
+    tryStart();
+}
+
+void
+Gmmu::tryStart()
+{
+    while (freeWalkers_ > 0 && !queue_.empty()) {
+        Pending p = std::move(queue_.front());
+        queue_.pop_front();
+        --freeWalkers_;
+        stats_.queueWait.add(
+            static_cast<double>(engine_.now() - p.enqueued));
+        const Tick latency = pwc_.enabled()
+                                 ? pwc_.walkLatency(p.vpn)
+                                 : walkLatency_;
+        engine_.scheduleIn(latency, [this, p = std::move(p)] {
+            ++freeWalkers_;
+            ++stats_.walksCompleted;
+            const Pte *pte = pt_.translate(p.vpn);
+            std::optional<Pfn> result;
+            if (pte && pte->home == self_) {
+                result = pte->pfn;
+                ++stats_.localHits;
+                pwc_.fill(p.vpn);
+            } else {
+                // The local page table only maps locally homed pages:
+                // the walk was a cuckoo false positive (or a probe for
+                // a page homed elsewhere).
+                ++stats_.misses;
+            }
+            p.cb(p.vpn, result);
+            tryStart();
+        });
+    }
+}
+
+} // namespace hdpat

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The per-GPM GMMU: a pool of page-table walkers over the GPM's local
+ * page table (Table I: 8 shared walkers, 100 x 5 = 500 cycles). Serves
+ * the GPM's own local translations, cuckoo-filter false positives,
+ * peer-probe spills, and Trans-FW delegated walks.
+ */
+
+#ifndef HDPAT_GPM_GMMU_HH
+#define HDPAT_GPM_GMMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "mem/page_table.hh"
+#include "mem/page_walk_cache.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class Gmmu
+{
+  public:
+    /** Walk result: PFN when the page is homed locally, else nullopt. */
+    using WalkCallback = std::function<void(Vpn, std::optional<Pfn>)>;
+
+    struct Stats
+    {
+        std::uint64_t walksRequested = 0;
+        std::uint64_t walksCompleted = 0;
+        std::uint64_t localHits = 0;
+        std::uint64_t misses = 0;
+        SummaryStat queueWait;
+    };
+
+    /**
+     * @param pwc_entries Page-walk-cache entries per level (0 = off;
+     *        when on, walk latency shrinks by 100 cycles per cached
+     *        upper level).
+     */
+    Gmmu(Engine &engine, const GlobalPageTable &pt, TileId self,
+         std::size_t walkers, Tick walk_latency,
+         std::size_t pwc_entries = 0);
+
+    /** Queue a walk of @p vpn; @p cb fires at completion. */
+    void requestWalk(Vpn vpn, WalkCallback cb);
+
+    std::size_t queueDepth() const { return queue_.size(); }
+    const Stats &stats() const { return stats_; }
+    const PageWalkCache &pwc() const { return pwc_; }
+
+  private:
+    struct Pending
+    {
+        Vpn vpn;
+        WalkCallback cb;
+        Tick enqueued;
+    };
+
+    void tryStart();
+
+    Engine &engine_;
+    const GlobalPageTable &pt_;
+    TileId self_;
+    std::size_t freeWalkers_;
+    Tick walkLatency_;
+    PageWalkCache pwc_;
+    std::deque<Pending> queue_;
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_GPM_GMMU_HH

@@ -1,0 +1,337 @@
+#include "gpm/gpm.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+Gpm::Gpm(TileId tile, Engine &engine, Network &net, GlobalPageTable &pt,
+         const SystemConfig &cfg, const TranslationPolicy &pol)
+    : tile_(tile), engine_(engine), net_(net), pt_(pt), cfg_(cfg),
+      pol_(pol),
+      l1Tlb_(cfg.l1Tlb.sets, cfg.l1Tlb.ways),
+      l2Tlb_(cfg.l2Tlb.sets, cfg.l2Tlb.ways),
+      cuckoo_(cfg.cuckooCapacity, 12,
+              0x1234abcdu ^ static_cast<std::uint64_t>(tile)),
+      llTlb_(cfg.lastLevelTlb.sets, cfg.lastLevelTlb.ways),
+      gmmu_(engine, pt, tile, cfg.gmmuWalkers, cfg.gmmuWalkLatency,
+            cfg.gmmuPwcEntriesPerLevel),
+      dataCache_(cfg.l2CacheBytes, cfg.l2CacheWays, cfg.cacheLineBytes),
+      dram_(cfg.hbmLatency, cfg.hbmBytesPerTick),
+      remoteMshr_(cfg.l2Tlb.mshrs),
+      issueRate_(static_cast<double>(cfg.issueWidth)),
+      issueWindow_(cfg.maxOutstandingOps)
+{
+}
+
+void
+Gpm::setIssueParams(double ops_per_cycle, int max_outstanding)
+{
+    if (ops_per_cycle > 0.0)
+        issueRate_ = ops_per_cycle;
+    if (max_outstanding > 0)
+        issueWindow_ = max_outstanding;
+}
+
+void
+Gpm::connect(Iommu *iommu, const ConcentricLayers *layers,
+             const ClusterMap *cluster_map,
+             const DistributedGroups *groups,
+             const std::vector<Gpm *> *gpms_by_tile)
+{
+    iommu_ = iommu;
+    layers_ = layers;
+    clusterMap_ = cluster_map;
+    groups_ = groups;
+    gpms_ = gpms_by_tile;
+}
+
+std::size_t
+Gpm::shootdown(Vpn vpn)
+{
+    std::size_t invalidated = 0;
+    invalidated += l1Tlb_.invalidate(vpn).has_value();
+    invalidated += l2Tlb_.invalidate(vpn).has_value();
+    const auto ll_entry = llTlb_.invalidate(vpn);
+    if (ll_entry) {
+        ++invalidated;
+        if (ll_entry->remote)
+            cuckoo_.erase(vpn);
+    }
+    // The permanent filter entry for a locally homed page goes too:
+    // the page is being freed from the local page table.
+    if (pt_.homeOf(vpn) == tile_)
+        cuckoo_.erase(vpn);
+    return invalidated;
+}
+
+void
+Gpm::setWork(std::unique_ptr<AddressStream> stream)
+{
+    stream_ = std::move(stream);
+}
+
+void
+Gpm::setOnFinished(std::function<void(TileId)> cb)
+{
+    onFinished_ = std::move(cb);
+}
+
+void
+Gpm::seedLocalPages(std::span<const Vpn> vpns)
+{
+    // The cuckoo filter tracks everything translatable locally; local
+    // pages are permanently present (paper §II-B).
+    for (Vpn vpn : vpns)
+        cuckoo_.insert(vpn);
+}
+
+void
+Gpm::start()
+{
+    if (!stream_) {
+        streamDone_ = true;
+        checkFinished();
+        return;
+    }
+    if (!issueScheduled_) {
+        issueScheduled_ = true;
+        engine_.scheduleIn(0, [this] {
+            issueScheduled_ = false;
+            tryIssue();
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Issue engine
+// ---------------------------------------------------------------------
+
+void
+Gpm::tryIssue()
+{
+    if (streamDone_)
+        return;
+
+    const double now = static_cast<double>(engine_.now());
+    // Idle slots are not banked: a window-full stall does not earn a
+    // catch-up burst once completions arrive.
+    if (nextIssueTime_ < now)
+        nextIssueTime_ = now;
+
+    // Issue every op whose slot falls within the current cycle.
+    while (outstanding_ < issueWindow_ && nextIssueTime_ < now + 1.0) {
+        std::optional<Addr> va = stream_->next();
+        if (!va) {
+            streamDone_ = true;
+            checkFinished();
+            return;
+        }
+        ++outstanding_;
+        ++stats_.opsIssued;
+        nextIssueTime_ += 1.0 / issueRate_;
+        beginOp(*va);
+    }
+
+    // Out of this cycle's issue budget but the window has room:
+    // continue when the next slot arrives. (A full window resumes
+    // from completions instead.)
+    if (outstanding_ < issueWindow_ && !issueScheduled_) {
+        issueScheduled_ = true;
+        const Tick wake = static_cast<Tick>(nextIssueTime_) + 1;
+        engine_.scheduleAt(wake, [this] {
+            issueScheduled_ = false;
+            tryIssue();
+        });
+    }
+}
+
+void
+Gpm::beginOp(Addr va)
+{
+    translate(va);
+}
+
+void
+Gpm::completeOpAt(Tick when)
+{
+    engine_.scheduleAt(when, [this] {
+        hdpat_panic_if(outstanding_ <= 0, "op completion underflow");
+        --outstanding_;
+        ++stats_.opsCompleted;
+        tryIssue();
+        checkFinished();
+    });
+}
+
+void
+Gpm::checkFinished()
+{
+    if (streamDone_ && outstanding_ == 0 && !stats_.finished) {
+        stats_.finished = true;
+        stats_.finishTick = engine_.now();
+        if (onFinished_)
+            onFinished_(tile_);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local translation path (Fig 10(a))
+// ---------------------------------------------------------------------
+
+void
+Gpm::translate(Addr va)
+{
+    const Vpn vpn = pt_.vpnOf(va);
+    Tick t = engine_.now() + cfg_.l1Tlb.latency;
+
+    if (l1Tlb_.lookup(vpn)) {
+        ++stats_.l1TlbHits;
+        dataAccess(va, t);
+        return;
+    }
+
+    t += cfg_.l2Tlb.latency;
+    if (auto pfn = l2Tlb_.lookup(vpn)) {
+        ++stats_.l2TlbHits;
+        l1Tlb_.insert(vpn, *pfn);
+        dataAccess(va, t);
+        return;
+    }
+
+    t += cfg_.cuckooLatency;
+    if (!cuckoo_.contains(vpn)) {
+        // Negative: guaranteed absent from the last-level TLB and the
+        // local page table; go remote immediately.
+        ++stats_.cuckooNegatives;
+        startRemote(va, t);
+        return;
+    }
+
+    t += cfg_.lastLevelTlb.latency;
+    if (const TlbEntry *entry = llTlb_.lookupEntry(vpn)) {
+        ++stats_.llTlbHits;
+        fillLocalHierarchy(vpn, entry->pfn, entry->remote);
+        dataAccess(va, t);
+        return;
+    }
+
+    // Walk the local page table; a miss there means the cuckoo filter
+    // answered a false positive and the request continues remotely
+    // (the "doubled latency" case of §II-B).
+    engine_.scheduleAt(t, [this, va, vpn] {
+        ++stats_.localWalks;
+        const auto outcome = localWalkMshr_.registerMiss(
+            vpn, [this, va](Vpn v, Pfn pfn) {
+                onLocalWalkDone(va, v,
+                                pfn == kInvalidPfn
+                                    ? std::nullopt
+                                    : std::optional<Pfn>(pfn));
+            });
+        if (outcome == MshrFile::Outcome::Allocated) {
+            gmmu_.requestWalk(vpn, [this](Vpn v, std::optional<Pfn> p) {
+                localWalkMshr_.resolve(v, p.value_or(kInvalidPfn));
+            });
+        }
+    });
+}
+
+void
+Gpm::onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn)
+{
+    if (pfn) {
+        insertLastLevel(vpn, *pfn, /*remote=*/false,
+                        /*prefetched=*/false);
+        fillLocalHierarchy(vpn, *pfn, /*remote=*/false);
+        dataAccess(va, engine_.now());
+        return;
+    }
+    ++stats_.cuckooFalsePositives;
+    startRemote(va, engine_.now());
+}
+
+void
+Gpm::fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote)
+{
+    l2Tlb_.insert(vpn, pfn, remote);
+    l1Tlb_.insert(vpn, pfn, remote);
+}
+
+void
+Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
+{
+    if (remote) {
+        if (llTlb_.peek(vpn)) {
+            // Refresh: the cuckoo filter already tracks this VPN.
+            llTlb_.insert(vpn, pfn, true, prefetched);
+            return;
+        }
+        const auto evicted = llTlb_.insert(vpn, pfn, true, prefetched);
+        cuckoo_.insert(vpn);
+        if (evicted && evicted->remote)
+            cuckoo_.erase(evicted->vpn);
+        return;
+    }
+
+    const auto evicted = llTlb_.insert(vpn, pfn, false, false);
+    // Locally homed pages stay in the cuckoo filter permanently (the
+    // local page table still maps them); only cached remote PTEs are
+    // removed on eviction.
+    if (evicted && evicted->remote)
+        cuckoo_.erase(evicted->vpn);
+}
+
+// ---------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------
+
+void
+Gpm::dataAccess(Addr va, Tick when)
+{
+    // Run the access at its start time: link and DRAM busy-until state
+    // must only ever be advanced at the current tick, or one packet
+    // reserved far in the future would stall every later sender.
+    engine_.scheduleAt(when, [this, va] { dataAccessNow(va); });
+}
+
+void
+Gpm::dataAccessNow(Addr va)
+{
+    const Tick now = engine_.now();
+    if (dataCache_.access(va)) {
+        ++stats_.dataCacheHits;
+        completeOpAt(now + cfg_.dataHitLatency);
+        return;
+    }
+
+    const TileId home = pt_.homeOf(pt_.vpnOf(va));
+    if (home == tile_ || home == kInvalidTile) {
+        ++stats_.dataLocalAccesses;
+        completeOpAt(dram_.access(now, cfg_.cacheLineBytes));
+        return;
+    }
+
+    // Remote zero-copy access at cacheline granularity (§II-A):
+    // request header to the home GPM, HBM access there, line back.
+    // The return leg is computed in an event at the home side so link
+    // state is never reserved at a future timestamp.
+    ++stats_.dataRemoteAccesses;
+    const Tick t_req = net_.computeArrival(
+        now, tile_, home, NocMessageBytes::kDataHeader);
+    Gpm *home_gpm = (*gpms_)[static_cast<std::size_t>(home)];
+    engine_.scheduleAt(t_req, [this, home, home_gpm] {
+        const Tick t_mem = home_gpm->dram().access(engine_.now(),
+                                                   cfg_.cacheLineBytes);
+        engine_.scheduleAt(t_mem, [this, home] {
+            const Tick t_resp = net_.computeArrival(
+                engine_.now(), home, tile_,
+                NocMessageBytes::kCacheLine +
+                    NocMessageBytes::kDataHeader);
+            completeOpAt(t_resp);
+        });
+    });
+}
+
+} // namespace hdpat

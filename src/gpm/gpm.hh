@@ -1,0 +1,302 @@
+/**
+ * @file
+ * A GPU Processing Module: the compute tile of the wafer (Fig 1(b)).
+ *
+ * Models, per GPM:
+ *  - an issue engine aggregating the CUs (issue width + outstanding
+ *    memory-operation window);
+ *  - the translation hierarchy: L1 TLB -> shared L2 TLB -> cuckoo
+ *    filter -> last-level TLB ("GMMU cache") -> GMMU walkers;
+ *  - the remote-translation client implementing the active policy
+ *    (baseline IOMMU, route-based / concentric / distributed /
+ *    cluster+rotation peer caching, Valkyrie neighbour probing);
+ *  - the auxiliary-cache server side: peer probes, redirected
+ *    requests, proactive PTE pushes, Trans-FW delegated walks;
+ *  - the data side: L2 data cache tag array + local HBM, with remote
+ *    accesses riding the mesh to the home GPM's HBM.
+ */
+
+#ifndef HDPAT_GPM_GPM_HH
+#define HDPAT_GPM_GPM_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "gpm/gmmu.hh"
+#include "hdpat/cluster_map.hh"
+#include "hdpat/concentric_layers.hh"
+#include "iommu/iommu.hh"
+#include "iommu/messages.hh"
+#include "mem/cuckoo_filter.hh"
+#include "mem/dram_model.hh"
+#include "mem/mshr.hh"
+#include "mem/set_assoc_cache.hh"
+#include "mem/tlb.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+#include "workloads/address_stream.hh"
+
+namespace hdpat
+{
+
+/** A hit/miss reply to a peer-cache or neighbour-TLB probe. */
+struct ProbeReply
+{
+    Vpn vpn = 0;
+    /** Matches the requester's per-VPN protocol epoch. */
+    std::uint64_t epoch = 0;
+    bool hit = false;
+    Pfn pfn = kInvalidPfn;
+    /** Classification when hit (peer / proactive / neighbour). */
+    TranslationSource source = TranslationSource::PeerCache;
+    /** Tile that answered (receives no fill; misses upstream do). */
+    TileId responder = kInvalidTile;
+};
+
+/** A sequential probe travelling a chain of caching GPMs. */
+struct ChainProbe
+{
+    Vpn vpn = 0;
+    TileId requester = kInvalidTile;
+    std::uint64_t epoch = 0;
+    Tick issuedAt = 0;
+    /** Tiles probed so far (they missed; candidates for fills). */
+    std::vector<TileId> visited;
+    /** Tiles still to probe, front first. */
+    std::vector<TileId> remaining;
+};
+
+class Gpm : public PeerEndpoint
+{
+  public:
+    struct Stats
+    {
+        // Issue engine.
+        std::uint64_t opsIssued = 0;
+        std::uint64_t opsCompleted = 0;
+
+        // Local translation hierarchy.
+        std::uint64_t l1TlbHits = 0;
+        std::uint64_t l2TlbHits = 0;
+        std::uint64_t cuckooNegatives = 0;
+        std::uint64_t cuckooFalsePositives = 0;
+        std::uint64_t llTlbHits = 0;
+        std::uint64_t localWalks = 0;
+
+        // Remote translation client.
+        std::uint64_t remoteOps = 0;
+        std::uint64_t remoteResolutions = 0;
+        std::uint64_t remoteStalls = 0;
+        std::array<std::uint64_t, kNumTranslationSources> sourceCounts{};
+        SummaryStat remoteRtt;
+
+        // Auxiliary server side.
+        std::uint64_t probesReceived = 0;
+        std::uint64_t probeHits = 0;
+        std::uint64_t pushesReceived = 0;
+        std::uint64_t redirectedReceived = 0;
+        std::uint64_t redirectedHits = 0;
+        std::uint64_t neighborProbesReceived = 0;
+        std::uint64_t neighborProbeHits = 0;
+        std::uint64_t delegatedWalks = 0;
+
+        // Data side.
+        std::uint64_t dataCacheHits = 0;
+        std::uint64_t dataLocalAccesses = 0;
+        std::uint64_t dataRemoteAccesses = 0;
+
+        Tick finishTick = 0;
+        bool finished = false;
+    };
+
+    Gpm(TileId tile, Engine &engine, Network &net, GlobalPageTable &pt,
+        const SystemConfig &cfg, const TranslationPolicy &pol);
+
+    /** Wire up system-level structures (called once by System). */
+    void connect(Iommu *iommu, const ConcentricLayers *layers,
+                 const ClusterMap *cluster_map,
+                 const DistributedGroups *groups,
+                 const std::vector<Gpm *> *gpms_by_tile);
+
+    /** Valkyrie: the neighbour GPM whose L2 TLB this GPM probes. */
+    void setNeighborTarget(TileId neighbor) { neighborTile_ = neighbor; }
+
+    /**
+     * Pre-populate the cuckoo filter with the VPNs homed on this GPM
+     * (the local page table always maps them).
+     */
+    void seedLocalPages(std::span<const Vpn> vpns);
+
+    /** Assign this GPM's slice of the workload. */
+    void setWork(std::unique_ptr<AddressStream> stream);
+
+    /**
+     * Override the issue engine for the loaded workload.
+     *
+     * @param ops_per_cycle Aggregate memory-op issue rate (compute
+     *        intensity); <= 0 keeps the SystemConfig issue width.
+     * @param max_outstanding Outstanding-op window; <= 0 keeps the
+     *        SystemConfig default.
+     */
+    void setIssueParams(double ops_per_cycle, int max_outstanding);
+
+    /** Callback fired once when this GPM drains its work. */
+    void setOnFinished(std::function<void(TileId)> cb);
+
+    /** Begin issuing (schedules the first issue event). */
+    void start();
+
+    /**
+     * TLB shootdown of one page (§II-A: only needed when freeing
+     * memory): drops every cached copy from the local hierarchy and
+     * keeps the cuckoo filter consistent.
+     * @return Number of TLB entries invalidated.
+     */
+    std::size_t shootdown(Vpn vpn);
+
+    TileId tile() const { return tile_; }
+    bool finished() const { return stats_.finished; }
+    Tick finishTick() const { return stats_.finishTick; }
+    const Stats &stats() const { return stats_; }
+
+    DramModel &dram() { return dram_; }
+    const Tlb &l2Tlb() const { return l2Tlb_; }
+    const Tlb &lastLevelTlb() const { return llTlb_; }
+    const CuckooFilter &cuckooFilter() const { return cuckoo_; }
+    const Gmmu &gmmu() const { return gmmu_; }
+
+    // ---- PeerEndpoint (messages from the IOMMU) ----------------------
+    void receivePtePush(Vpn vpn, Pfn pfn, bool prefetched) override;
+    void receiveRedirectedRequest(const RemoteRequest &req) override;
+    void receiveTranslationResponse(Vpn vpn, Pfn pfn,
+                                    TranslationSource source) override;
+    void receiveDelegatedWalk(const RemoteRequest &req) override;
+
+    // ---- Peer-to-peer handlers ---------------------------------------
+    /** Concurrent cluster+rotation probe (§IV-D). */
+    void receiveProbe(Vpn vpn, TileId requester, std::uint64_t epoch);
+    /** Sequential chain probe (route-based / concentric / distributed). */
+    void receiveChainProbe(ChainProbe probe);
+    /** Valkyrie neighbour L2-TLB probe. */
+    void receiveNeighborProbe(Vpn vpn, TileId requester,
+                              std::uint64_t epoch);
+    /** Reply to any probe this GPM sent. */
+    void receiveProbeReply(const ProbeReply &reply);
+
+  private:
+    /** Remote-resolution protocol state for one in-flight VPN. */
+    struct RemoteCtx
+    {
+        Tick startTick = 0;
+        std::uint64_t epoch = 0;
+        int probesOutstanding = 0;
+        bool resolved = false;
+        bool sentToIommu = false;
+        /** Chain tiles eligible for a fill push on resolution. */
+        std::vector<TileId> fillTargets;
+    };
+
+    // ---- Issue engine (gpm.cc) ---------------------------------------
+    void tryIssue();
+    void beginOp(Addr va);
+    void completeOpAt(Tick when);
+    void checkFinished();
+
+    // ---- Local translation path (gpm.cc) -----------------------------
+    void translate(Addr va);
+    void onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn);
+    void fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote);
+    void insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched);
+
+    // ---- Data path (gpm.cc) ------------------------------------------
+    void dataAccess(Addr va, Tick when);
+    void dataAccessNow(Addr va);
+
+    // ---- Remote client (translation_client.cc) -----------------------
+    void startRemote(Addr va, Tick when);
+    void launchRemoteProtocol(Vpn vpn);
+    void launchClusterProbes(Vpn vpn, RemoteCtx &ctx);
+    void launchChain(Vpn vpn, RemoteCtx &ctx, std::vector<TileId> chain,
+                     bool fill_on_resolve = true);
+    void launchNeighborProbe(Vpn vpn, RemoteCtx &ctx);
+    void sendToIommu(Vpn vpn, Tick issued_at);
+    void resolveRemote(Vpn vpn, Pfn pfn, TranslationSource source);
+    void retryStalledRemote();
+
+    /** Chain construction helpers. */
+    std::vector<TileId> buildRouteChain() const;
+    std::vector<TileId> buildConcentricChain() const;
+    TileId nearestInLayerExcluding(int layer, TileId from,
+                                   TileId exclude) const;
+
+    /** Probe service shared by receiveProbe/receiveChainProbe. */
+    void probeLookup(
+        Vpn vpn,
+        const std::function<void(Tick extra_latency, bool hit, Pfn pfn,
+                                 bool prefetched)> &done);
+
+    void replyProbe(TileId to, const ProbeReply &reply,
+                    Tick extra_latency);
+
+    // ---- Members -------------------------------------------------------
+    TileId tile_;
+    Engine &engine_;
+    Network &net_;
+    GlobalPageTable &pt_;
+    const SystemConfig &cfg_;
+    TranslationPolicy pol_;
+
+    Iommu *iommu_ = nullptr;
+    const ConcentricLayers *layers_ = nullptr;
+    const ClusterMap *clusterMap_ = nullptr;
+    const DistributedGroups *groups_ = nullptr;
+    const std::vector<Gpm *> *gpms_ = nullptr;
+    TileId neighborTile_ = kInvalidTile;
+
+    // Translation hierarchy.
+    Tlb l1Tlb_;
+    Tlb l2Tlb_;
+    CuckooFilter cuckoo_;
+    Tlb llTlb_;
+    Gmmu gmmu_;
+
+    // Data side.
+    SetAssocCache dataCache_;
+    DramModel dram_;
+
+    /** Coalesces concurrent local walks of the same VPN (unbounded). */
+    MshrFile localWalkMshr_{0};
+
+    // Remote client state.
+    MshrFile remoteMshr_;
+    std::unordered_map<Vpn, RemoteCtx> remoteCtx_;
+    std::deque<Addr> stalledRemote_;
+    std::uint64_t epochCounter_ = 0;
+
+    // Issue engine state.
+    std::unique_ptr<AddressStream> stream_;
+    bool streamDone_ = false;
+    int outstanding_ = 0;
+    /** Memory-op issue rate (ops/cycle) and window for this run. */
+    double issueRate_;
+    int issueWindow_;
+    /** Fractional time the next op may issue at. */
+    double nextIssueTime_ = 0.0;
+    bool issueScheduled_ = false;
+    std::function<void(TileId)> onFinished_;
+
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_GPM_GPM_HH

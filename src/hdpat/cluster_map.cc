@@ -1,0 +1,121 @@
+#include "hdpat/cluster_map.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+ClusterMap::ClusterMap(const ConcentricLayers &layers, int num_clusters,
+                       bool rotate)
+    : layers_(layers), numClusters_(num_clusters), rotate_(rotate)
+{
+    hdpat_fatal_if(num_clusters <= 0, "need at least one cluster");
+
+    for (int layer = 0; layer < layers_.numLayers(); ++layer) {
+        std::vector<TileId> tiles = layers_.layerTiles(layer);
+
+        // Rotation: alternate layers begin their enumeration 180
+        // degrees around the ring, so cached copies of the same VPN
+        // in adjacent layers sit on opposite sides of the wafer.
+        if (rotate_ && (layer % 2) == 1) {
+            const std::size_t half = tiles.size() / 2;
+            std::rotate(tiles.begin(), tiles.begin() + half, tiles.end());
+        }
+
+        // Chunk the ring into N_c contiguous clusters, as evenly as
+        // possible (clipped rings on rectangular wafers may not divide
+        // exactly by four).
+        const std::size_t n = tiles.size();
+        const std::size_t clusters =
+            std::min<std::size_t>(numClusters_, n);
+        std::vector<std::size_t> starts;
+        std::size_t offset = 0;
+        for (std::size_t c = 0; c < clusters; ++c) {
+            starts.push_back(offset);
+            offset += n / clusters + (c < n % clusters ? 1 : 0);
+        }
+        starts.push_back(n); // sentinel end
+
+        ordered_.push_back(std::move(tiles));
+        clusterStart_.push_back(std::move(starts));
+    }
+}
+
+TileId
+ClusterMap::auxTileFor(Vpn vpn, int layer) const
+{
+    hdpat_panic_if(layer < 0 || layer >= numLayers(),
+                   "aux layer " << layer << " out of range");
+    const auto &tiles = ordered_[static_cast<std::size_t>(layer)];
+    const auto &starts = clusterStart_[static_cast<std::size_t>(layer)];
+    const std::size_t clusters = starts.size() - 1;
+
+    const std::size_t cluster =
+        static_cast<std::size_t>(vpn % clusters);               // Eq. 1
+    const std::size_t group_size = starts[cluster + 1] - starts[cluster];
+    const std::size_t local = static_cast<std::size_t>(
+        (vpn / clusters) % group_size);                         // Eq. 2
+    return tiles[starts[cluster] + local];
+}
+
+std::vector<TileId>
+ClusterMap::auxTilesFor(Vpn vpn) const
+{
+    std::vector<TileId> out;
+    out.reserve(static_cast<std::size_t>(numLayers()));
+    for (int layer = 0; layer < numLayers(); ++layer)
+        out.push_back(auxTileFor(vpn, layer));
+    return out;
+}
+
+DistributedGroups::DistributedGroups(const ConcentricLayers &layers)
+    : topo_(layers.topology())
+{
+    for (int layer = 0; layer < layers.numLayers(); ++layer) {
+        for (TileId t : layers.layerTiles(layer))
+            groups_[groupOf(t)].push_back(t);
+    }
+    hdpat_fatal_if(groups_[0].empty() && groups_[1].empty(),
+                   "distributed groups need caching tiles");
+}
+
+int
+DistributedGroups::groupOf(TileId tile) const
+{
+    const Coord c = topo_.coordOf(tile);
+    const Coord center = topo_.cpuCoord();
+    if (c.x != center.x)
+        return c.x < center.x ? 0 : 1;
+    // Tiles on the CPU column split by vertical side.
+    return c.y < center.y ? 0 : 1;
+}
+
+TileId
+DistributedGroups::nearestGroupPeer(TileId from) const
+{
+    const auto &group = groups_[groupOf(from)];
+    TileId best = kInvalidTile;
+    int best_dist = 0;
+    for (TileId t : group) {
+        if (t == from)
+            continue;
+        const int d = topo_.hopDistance(from, t);
+        if (best == kInvalidTile || d < best_dist ||
+            (d == best_dist && t < best)) {
+            best = t;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+const std::vector<TileId> &
+DistributedGroups::groupTiles(int group) const
+{
+    hdpat_panic_if(group != 0 && group != 1, "group must be 0 or 1");
+    return groups_[group];
+}
+
+} // namespace hdpat

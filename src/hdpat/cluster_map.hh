@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Clustering + rotation map (paper §IV-D/E, Fig 11).
+ *
+ * Within each concentric layer a PTE lives on exactly one GPM:
+ *
+ *   ID_cluster = VPN mod N_c                      (Eq. 1)
+ *   ID_local   = floor(VPN / N_c) mod N_g         (Eq. 2)
+ *
+ * where N_c is the number of (quadrant-based) clusters and N_g the
+ * GPMs per cluster in that layer. The rotation mechanism offsets the
+ * enumeration start of alternate layers by 180 degrees so that every
+ * requester has a nearby caching candidate in some layer.
+ *
+ * Also provides the symmetric two-group assignment used by the
+ * straightforward distributed-caching baseline (§V-A).
+ */
+
+#ifndef HDPAT_HDPAT_CLUSTER_MAP_HH
+#define HDPAT_HDPAT_CLUSTER_MAP_HH
+
+#include <vector>
+
+#include "hdpat/concentric_layers.hh"
+#include "noc/mesh_topology.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class ClusterMap
+{
+  public:
+    /**
+     * @param layers Concentric layer structure.
+     * @param num_clusters N_c; the paper uses quadrant clustering (4).
+     * @param rotate Enable the 180-degree rotation of alternate layers.
+     */
+    ClusterMap(const ConcentricLayers &layers, int num_clusters = 4,
+               bool rotate = true);
+
+    /** The single candidate caching GPM for @p vpn in @p layer. */
+    TileId auxTileFor(Vpn vpn, int layer) const;
+
+    /** Candidate GPMs for @p vpn across all layers (inner first). */
+    std::vector<TileId> auxTilesFor(Vpn vpn) const;
+
+    int numLayers() const { return layers_.numLayers(); }
+    int numClusters() const { return numClusters_; }
+    bool rotationEnabled() const { return rotate_; }
+
+    const ConcentricLayers &layers() const { return layers_; }
+
+  private:
+    const ConcentricLayers &layers_;
+    int numClusters_;
+    bool rotate_;
+    /**
+     * Per layer: the angle-ordered tile list, rotated by half a ring
+     * for odd layers when rotation is enabled, then chunked into
+     * clusters. clusterStart_[layer][c] is the offset of cluster c.
+     */
+    std::vector<std::vector<TileId>> ordered_;
+    std::vector<std::vector<std::size_t>> clusterStart_;
+};
+
+/**
+ * The straightforward distributed-caching baseline (§V-A): the caching
+ * GPMs (same tiles as the concentric setup) are split into two equal
+ * groups placed symmetrically on the two sides of the CPU; a requester
+ * probes the nearest peer within its own group, then goes straight to
+ * the IOMMU.
+ */
+class DistributedGroups
+{
+  public:
+    explicit DistributedGroups(const ConcentricLayers &layers);
+
+    /** Group (0 or 1) of any tile: side of the CPU column. */
+    int groupOf(TileId tile) const;
+
+    /**
+     * Nearest caching peer of @p from within its own group (never
+     * @p from itself). Returns kInvalidTile if the group has no other
+     * caching member.
+     */
+    TileId nearestGroupPeer(TileId from) const;
+
+    const std::vector<TileId> &groupTiles(int group) const;
+
+  private:
+    const MeshTopology &topo_;
+    std::vector<TileId> groups_[2];
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_HDPAT_CLUSTER_MAP_HH

@@ -1,0 +1,74 @@
+#include "hdpat/concentric_layers.hh"
+
+#include <algorithm>
+
+#include "noc/geometry.hh"
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+ConcentricLayers::ConcentricLayers(const MeshTopology &topo,
+                                   int num_layers)
+    : topo_(topo)
+{
+    hdpat_fatal_if(num_layers < 0, "negative layer count");
+    layerOf_.assign(static_cast<std::size_t>(topo_.numTiles()), -1);
+
+    const Coord center = topo_.cpuCoord();
+    for (int ring = 1; ring <= num_layers; ++ring) {
+        std::vector<TileId> tiles;
+        for (TileId gpm : topo_.gpmTiles()) {
+            if (topo_.ringOf(gpm) == ring)
+                tiles.push_back(gpm);
+        }
+        if (tiles.empty())
+            continue; // Ring clipped away entirely (tiny meshes).
+        std::sort(tiles.begin(), tiles.end(),
+                  [&](TileId a, TileId b) {
+                      const double aa = angleOf(topo_.coordOf(a), center);
+                      const double ab = angleOf(topo_.coordOf(b), center);
+                      if (aa != ab)
+                          return aa < ab;
+                      return a < b;
+                  });
+        const int layer = static_cast<int>(layers_.size());
+        for (TileId t : tiles)
+            layerOf_[static_cast<std::size_t>(t)] = layer;
+        layers_.push_back(std::move(tiles));
+    }
+}
+
+const std::vector<TileId> &
+ConcentricLayers::layerTiles(int layer) const
+{
+    hdpat_panic_if(layer < 0 || layer >= numLayers(),
+                   "layer " << layer << " out of range");
+    return layers_[static_cast<std::size_t>(layer)];
+}
+
+int
+ConcentricLayers::layerOf(TileId tile) const
+{
+    if (tile < 0 || tile >= topo_.numTiles())
+        return -1;
+    return layerOf_[static_cast<std::size_t>(tile)];
+}
+
+TileId
+ConcentricLayers::nearestInLayer(int layer, TileId from) const
+{
+    const auto &tiles = layerTiles(layer);
+    TileId best = tiles.front();
+    int best_dist = topo_.hopDistance(from, best);
+    for (TileId t : tiles) {
+        const int d = topo_.hopDistance(from, t);
+        if (d < best_dist || (d == best_dist && t < best)) {
+            best = t;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+} // namespace hdpat

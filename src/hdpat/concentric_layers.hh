@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Concentric caching layers (paper §IV-C).
+ *
+ * GPMs are organised into rings by Chebyshev distance from the central
+ * CPU tile. With C caching layers, rings 1..C act as translation
+ * caches; layer index 0 is the innermost ring. The paper's default for
+ * a 7x7 wafer is C=2 ("one step away from the border"), leaving the
+ * outermost ring as pure requesters.
+ */
+
+#ifndef HDPAT_HDPAT_CONCENTRIC_LAYERS_HH
+#define HDPAT_HDPAT_CONCENTRIC_LAYERS_HH
+
+#include <vector>
+
+#include "noc/mesh_topology.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class ConcentricLayers
+{
+  public:
+    /**
+     * @param topo The wafer topology.
+     * @param num_layers Requested layer count C; clamped to the rings
+     *                   actually present (a ring with no GPM is
+     *                   skipped).
+     */
+    ConcentricLayers(const MeshTopology &topo, int num_layers);
+
+    /** Actual number of caching layers built (<= requested C). */
+    int numLayers() const { return static_cast<int>(layers_.size()); }
+
+    /**
+     * Tiles of caching layer @p layer, ordered counter-clockwise by
+     * angle around the CPU (stable enumeration used by ClusterMap).
+     * Layer 0 is the innermost ring.
+     */
+    const std::vector<TileId> &layerTiles(int layer) const;
+
+    /** Layer index of @p tile, or -1 when it is not a caching tile. */
+    int layerOf(TileId tile) const;
+
+    /** True when @p tile caches translations for peers. */
+    bool isCachingTile(TileId tile) const { return layerOf(tile) >= 0; }
+
+    /**
+     * The tile of layer @p layer closest (hop count) to @p from; ties
+     * break toward the lowest tile id for determinism.
+     */
+    TileId nearestInLayer(int layer, TileId from) const;
+
+    const MeshTopology &topology() const { return topo_; }
+
+  private:
+    const MeshTopology &topo_;
+    std::vector<std::vector<TileId>> layers_;
+    std::vector<int> layerOf_; ///< Indexed by tile id; -1 = none.
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_HDPAT_CONCENTRIC_LAYERS_HH

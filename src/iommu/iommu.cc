@@ -1,0 +1,380 @@
+#include "iommu/iommu.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+const char *
+translationSourceName(TranslationSource src)
+{
+    switch (src) {
+      case TranslationSource::PeerCache:
+        return "peer-cache";
+      case TranslationSource::Redirect:
+        return "redirection";
+      case TranslationSource::ProactiveDelivery:
+        return "proactive-delivery";
+      case TranslationSource::IommuWalk:
+        return "iommu";
+      case TranslationSource::IommuTlb:
+        return "iommu-tlb";
+      case TranslationSource::HomeGmmu:
+        return "home-gmmu";
+      case TranslationSource::NeighborTlb:
+        return "neighbor-tlb";
+    }
+    return "unknown";
+}
+
+Iommu::Iommu(Engine &engine, Network &net, GlobalPageTable &pt,
+             const SystemConfig &cfg, const TranslationPolicy &pol,
+             TileId cpu_tile)
+    : engine_(engine), net_(net), pt_(pt), cfg_(cfg), pol_(pol),
+      cpuTile_(cpu_tile), freeWalkers_(cfg.iommuWalkers),
+      freeForwardContexts_(cfg.iommuForwardContexts),
+      pwc_(cfg.iommuPwcEntriesPerLevel, 5, cfg.iommuWalkLatency / 5)
+{
+    if (pol_.redirectionTable && !pol_.iommuTlbInsteadOfRt)
+        rt_.emplace(cfg_.redirectionTableEntries);
+    if (pol_.iommuTlbInsteadOfRt)
+        tlb_.emplace(cfg_.iommuTlbEntries, cfg_.iommuTlbMshrs);
+}
+
+void
+Iommu::setPeers(std::vector<PeerEndpoint *> peers)
+{
+    peers_ = std::move(peers);
+}
+
+void
+Iommu::receiveRequest(const RemoteRequest &req)
+{
+    ++stats_.requestsReceived;
+    if (!req.allowRedirect)
+        ++stats_.redirectBounces;
+    if (stats_.captureTrace)
+        stats_.trace.emplace_back(engine_.now(), req.vpn);
+
+    Pending p;
+    p.req = req;
+    p.arriveTick = engine_.now();
+    ingressQueue_.push_back(std::move(p));
+    sampleDepth();
+    scheduleIngress(engine_.now());
+}
+
+void
+Iommu::scheduleIngress(Tick when)
+{
+    if (ingressScheduled_)
+        return;
+    ingressScheduled_ = true;
+    engine_.scheduleAt(std::max(when, engine_.now()), [this] {
+        ingressScheduled_ = false;
+        processIngress();
+    });
+}
+
+void
+Iommu::processIngress()
+{
+    int budget = cfg_.iommuIngressPerCycle;
+    while (budget > 0 && !ingressQueue_.empty()) {
+        const Tick ready =
+            ingressQueue_.front().arriveTick + cfg_.iommuIngressLatency;
+        if (ready > engine_.now()) {
+            scheduleIngress(ready);
+            return;
+        }
+        if (admitHead() == Admit::Stall) {
+            ++stats_.ingressStalls;
+            return; // Retried when a PW slot or MSHR frees.
+        }
+        --budget;
+    }
+    if (!ingressQueue_.empty())
+        scheduleIngress(engine_.now() + 1);
+}
+
+Iommu::Admit
+Iommu::admitHead()
+{
+    Pending p = ingressQueue_.front();
+    const Vpn vpn = p.req.vpn;
+    const Tick now = engine_.now();
+
+    // 1. Redirection table (Fig 12 steps 1-2).
+    if (rt_ && p.req.allowRedirect) {
+        if (auto aux = rt_->lookup(vpn)) {
+            if (*aux != p.req.requester) {
+                ++stats_.redirectsSent;
+                stats_.preQueueLatency.add(
+                    static_cast<double>(now - p.arriveTick));
+                PeerEndpoint *peer =
+                    peers_[static_cast<std::size_t>(*aux)];
+                hdpat_panic_if(!peer, "redirect to a non-GPM tile");
+                RemoteRequest fwd = p.req;
+                net_.send(cpuTile_, *aux,
+                          NocMessageBytes::kTranslationRequest,
+                          [peer, fwd] {
+                              peer->receiveRedirectedRequest(fwd);
+                          });
+                ingressQueue_.pop_front();
+                recordServed();
+                return Admit::Done;
+            }
+            // The requester itself is the registered holder but it
+            // missed locally: the cached copy was evicted. Drop the
+            // stale entry and fall through to a walk.
+            rt_->invalidate(vpn);
+            ++stats_.staleRedirectsSkipped;
+        }
+    }
+
+    // 2. Conventional IOMMU TLB (Fig 19 sensitivity mode).
+    if (tlb_) {
+        if (auto pfn = tlb_->lookup(vpn)) {
+            ++stats_.tlbHits;
+            stats_.preQueueLatency.add(
+                static_cast<double>(now - p.arriveTick));
+            respond(p.req, *pfn, TranslationSource::IommuTlb);
+            ingressQueue_.pop_front();
+            recordServed();
+            return Admit::Done;
+        }
+        if (tlb_->mshrs().inFlight(vpn)) {
+            // Merge with the in-flight walk; served at its completion.
+            const RemoteRequest req = p.req;
+            tlb_->mshrs().registerMiss(
+                vpn, [this, req](Vpn, Pfn pfn) {
+                    respond(req, pfn, TranslationSource::IommuWalk);
+                    recordServed();
+                });
+            ++stats_.mshrMerges;
+            stats_.preQueueLatency.add(
+                static_cast<double>(now - p.arriveTick));
+            ingressQueue_.pop_front();
+            return Admit::Done;
+        }
+        if (tlb_->mshrs().full())
+            return Admit::Stall; // The paper's MSHR concurrency limit.
+    }
+
+    // 3. PW-queue admission.
+    if (pwQueue_.size() >= cfg_.iommuPwQueueCapacity)
+        return Admit::Stall;
+
+    if (tlb_) {
+        const RemoteRequest req = p.req;
+        tlb_->mshrs().registerMiss(vpn, [this, req](Vpn, Pfn pfn) {
+            respond(req, pfn, TranslationSource::IommuWalk);
+            recordServed();
+        });
+        p.viaMshr = true;
+    }
+
+    stats_.preQueueLatency.add(static_cast<double>(now - p.arriveTick));
+    ingressQueue_.pop_front();
+    enqueueWalk(std::move(p));
+    return Admit::Done;
+}
+
+void
+Iommu::enqueueWalk(Pending p)
+{
+    p.pwEnqueueTick = engine_.now();
+    pwQueue_.push_back(std::move(p));
+    tryStartWalks();
+}
+
+void
+Iommu::tryStartWalks()
+{
+    if (pol_.walkMode == IommuWalkMode::ForwardToHome) {
+        // Trans-FW: delegate to the home GPM; a forwarding context is
+        // held for the whole round trip.
+        while (freeForwardContexts_ > 0 && !pwQueue_.empty()) {
+            Pending p = std::move(pwQueue_.front());
+            pwQueue_.pop_front();
+            --freeForwardContexts_;
+            stats_.pwQueueLatency.add(
+                static_cast<double>(engine_.now() - p.pwEnqueueTick));
+            ++stats_.delegationsSent;
+            const TileId home = pt_.homeOf(p.req.vpn);
+            hdpat_panic_if(home == kInvalidTile,
+                           "delegated walk for unmapped VPN "
+                               << p.req.vpn);
+            PeerEndpoint *peer = peers_[static_cast<std::size_t>(home)];
+            const RemoteRequest req = p.req;
+            net_.send(cpuTile_, home,
+                      NocMessageBytes::kTranslationRequest,
+                      [peer, req] { peer->receiveDelegatedWalk(req); });
+        }
+        return;
+    }
+
+    while (freeWalkers_ > 0 && !pwQueue_.empty()) {
+        Pending p = std::move(pwQueue_.front());
+        pwQueue_.pop_front();
+        --freeWalkers_;
+        stats_.pwQueueLatency.add(
+            static_cast<double>(engine_.now() - p.pwEnqueueTick));
+        ++stats_.walksStarted;
+        const Tick start = engine_.now();
+        const Tick latency = pwc_.enabled()
+                                 ? pwc_.walkLatency(p.req.vpn)
+                                 : cfg_.iommuWalkLatency;
+        engine_.scheduleIn(latency,
+                           [this, p = std::move(p), start]() mutable {
+                               completeWalk(std::move(p), start);
+                           });
+    }
+}
+
+void
+Iommu::completeWalk(Pending p, Tick walk_start)
+{
+    ++freeWalkers_;
+    ++stats_.walksCompleted;
+    stats_.walkLatency.add(
+        static_cast<double>(engine_.now() - walk_start));
+
+    const Vpn vpn = p.req.vpn;
+    Pte *pte = pt_.translateMutable(vpn);
+    hdpat_panic_if(!pte, "IOMMU walk of unmapped VPN " << vpn);
+    pwc_.fill(vpn);
+    ++pte->accessCount;
+    const Pfn pfn = pte->pfn;
+
+    if (p.viaMshr) {
+        hdpat_panic_if(!tlb_, "viaMshr without an IOMMU TLB");
+        tlb_->fill(vpn, pfn);
+        tlb_->mshrs().resolve(vpn, pfn); // Responds to all waiters.
+    } else {
+        respond(p.req, pfn, TranslationSource::IommuWalk);
+        recordServed();
+    }
+
+    // PW-queue revisit (Fig 12 step 6; also Barre's mechanism):
+    // complete identical pending requests without extra walks.
+    if (pol_.pwQueueRevisit && !pwQueue_.empty()) {
+        auto it = pwQueue_.begin();
+        while (it != pwQueue_.end()) {
+            if (it->req.vpn == vpn) {
+                stats_.pwQueueLatency.add(static_cast<double>(
+                    engine_.now() - it->pwEnqueueTick));
+                ++stats_.revisitCompletions;
+                respond(it->req, pfn, TranslationSource::IommuWalk);
+                recordServed();
+                it = pwQueue_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // Selective auxiliary push + redirection-table update (§IV-F).
+    const bool cluster_push =
+        clusterMap_ && pol_.peerMode == PeerCachingMode::ClusterRotation;
+    if (cluster_push && pte->accessCount >= pol_.auxPushThreshold) {
+        pushPte(vpn, pfn, /*prefetched=*/false);
+        if (rt_)
+            rt_->insert(vpn, clusterMap_->auxTileFor(vpn, 0));
+    }
+
+    // Proactive page-entry delivery (§IV-G): the walker also fetches
+    // the next prefetchDegree-1 PTEs (they share a PTE cache line, so
+    // no additional walk latency is charged).
+    if (pol_.prefetch) {
+        for (int d = 1; d < pol_.prefetchDegree; ++d) {
+            const Vpn pv = vpn + static_cast<Vpn>(d);
+            const Pte *ppte = pt_.translate(pv);
+            if (!ppte)
+                continue;
+            ++stats_.prefetchedPtes;
+            if (tlb_)
+                tlb_->fill(pv, ppte->pfn);
+            if (cluster_push) {
+                pushPte(pv, ppte->pfn, /*prefetched=*/true);
+                if (rt_)
+                    rt_->insert(pv, clusterMap_->auxTileFor(pv, 0));
+            }
+        }
+    }
+
+    sampleDepth();
+    tryStartWalks();
+    // A walker and possibly PW slots freed: unblock a stalled ingress.
+    scheduleIngress(engine_.now() + 1);
+}
+
+void
+Iommu::respond(const RemoteRequest &req, Pfn pfn,
+               TranslationSource source)
+{
+    ++stats_.responsesSent;
+    PeerEndpoint *peer = peers_[static_cast<std::size_t>(req.requester)];
+    hdpat_panic_if(!peer, "response to a non-GPM tile");
+    const Vpn vpn = req.vpn;
+    net_.send(cpuTile_, req.requester,
+              NocMessageBytes::kTranslationResponse,
+              [peer, vpn, pfn, source] {
+                  peer->receiveTranslationResponse(vpn, pfn, source);
+              });
+}
+
+void
+Iommu::pushPte(Vpn vpn, Pfn pfn, bool prefetched)
+{
+    for (int layer = 0; layer < clusterMap_->numLayers(); ++layer) {
+        const TileId aux = clusterMap_->auxTileFor(vpn, layer);
+        PeerEndpoint *peer = peers_[static_cast<std::size_t>(aux)];
+        hdpat_panic_if(!peer, "PTE push to a non-GPM tile");
+        ++stats_.pushesSent;
+        net_.send(cpuTile_, aux, NocMessageBytes::kPtePush,
+                  [peer, vpn, pfn, prefetched] {
+                      peer->receivePtePush(vpn, pfn, prefetched);
+                  });
+    }
+}
+
+void
+Iommu::receiveDelegatedResult(Vpn vpn)
+{
+    (void)vpn;
+    ++freeForwardContexts_;
+    ++stats_.delegationReturns;
+    recordServed();
+    sampleDepth();
+    tryStartWalks();
+    scheduleIngress(engine_.now() + 1);
+}
+
+void
+Iommu::shootdown(Vpn vpn)
+{
+    if (rt_)
+        rt_->invalidate(vpn);
+    if (tlb_)
+        tlb_->invalidate(vpn);
+}
+
+void
+Iommu::recordServed()
+{
+    stats_.servedPerWindow.add(engine_.now(), 1.0);
+}
+
+void
+Iommu::sampleDepth()
+{
+    const std::size_t depth = backlog();
+    stats_.bufferDepth.add(engine_.now(), static_cast<double>(depth));
+    stats_.maxBufferDepth =
+        std::max<std::uint64_t>(stats_.maxBufferDepth, depth);
+}
+
+} // namespace hdpat

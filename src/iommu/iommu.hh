@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The central IOMMU at the CPU tile (Fig 12).
+ *
+ * Pipeline:
+ *   arrival -> ingress buffer ("pre-queue") -> ingress stage
+ *     -> redirection table / IOMMU-TLB check
+ *     -> PW-queue -> walker pool -> completion
+ *          (+ PW-queue revisit, selective auxiliary push, proactive
+ *           page-entry delivery, redirection-table update)
+ *
+ * The ingress stage admits a bounded number of requests per cycle and
+ * stalls when the PW-queue (or the TLB's MSHR file, in Fig 19 mode) is
+ * full; stalled requests accumulate in the ingress buffer, producing
+ * the pre-queue latency that dominates Fig 3.
+ */
+
+#ifndef HDPAT_IOMMU_IOMMU_HH
+#define HDPAT_IOMMU_IOMMU_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "hdpat/cluster_map.hh"
+#include "iommu/iommu_tlb.hh"
+#include "iommu/messages.hh"
+#include "iommu/redirection_table.hh"
+#include "mem/page_table.hh"
+#include "mem/page_walk_cache.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+
+namespace hdpat
+{
+
+class Iommu
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t requestsReceived = 0;
+        std::uint64_t redirectsSent = 0;
+        std::uint64_t redirectBounces = 0;
+        std::uint64_t staleRedirectsSkipped = 0;
+        std::uint64_t tlbHits = 0;
+        std::uint64_t mshrMerges = 0;
+        std::uint64_t ingressStalls = 0;
+        std::uint64_t walksStarted = 0;
+        std::uint64_t walksCompleted = 0;
+        std::uint64_t revisitCompletions = 0;
+        std::uint64_t prefetchedPtes = 0;
+        std::uint64_t pushesSent = 0;
+        std::uint64_t responsesSent = 0;
+        std::uint64_t delegationsSent = 0;
+        std::uint64_t delegationReturns = 0;
+
+        /** Per served request: time awaiting service initiation. */
+        SummaryStat preQueueLatency;
+        /** Per served request: time inside the PW-queue. */
+        SummaryStat pwQueueLatency;
+        /** Page-table walk duration (queueing excluded). */
+        SummaryStat walkLatency;
+
+        /** Total buffered requests (pre-queue + PW-queue), per window. */
+        TimeSeries bufferDepth{100000};
+        std::uint64_t maxBufferDepth = 0;
+
+        /** IOMMU-served translations per window (Fig 13). */
+        TimeSeries servedPerWindow{100000};
+
+        /** Optional request trace (tick, VPN) for Figs 6/7/8. */
+        bool captureTrace = false;
+        std::vector<std::pair<Tick, Vpn>> trace;
+    };
+
+    Iommu(Engine &engine, Network &net, GlobalPageTable &pt,
+          const SystemConfig &cfg, const TranslationPolicy &pol,
+          TileId cpu_tile);
+
+    /** Peer endpoints indexed by tile id (null for inactive tiles). */
+    void setPeers(std::vector<PeerEndpoint *> peers);
+
+    /** Cluster map for auxiliary pushes (null when not applicable). */
+    void setClusterMap(const ClusterMap *map) { clusterMap_ = map; }
+
+    /** Enable capturing the (tick, VPN) arrival trace. */
+    void setCaptureTrace(bool on) { stats_.captureTrace = on; }
+
+    /** A translation request arrived at the CPU tile. */
+    void receiveRequest(const RemoteRequest &req);
+
+    /** Trans-FW: a delegated walk finished at the home GPM. */
+    void receiveDelegatedResult(Vpn vpn);
+
+    /**
+     * TLB shootdown of one page at the IOMMU side: drops the
+     * redirection-table entry and (Fig 19 mode) the IOMMU TLB entry.
+     */
+    void shootdown(Vpn vpn);
+
+    /** Current pre-queue + PW-queue occupancy. */
+    std::size_t backlog() const
+    {
+        return ingressQueue_.size() + pwQueue_.size();
+    }
+
+    const Stats &stats() const { return stats_; }
+    const RedirectionTable *redirectionTable() const
+    {
+        return rt_ ? &*rt_ : nullptr;
+    }
+    const IommuTlb *iommuTlb() const { return tlb_ ? &*tlb_ : nullptr; }
+    const PageWalkCache &pageWalkCache() const { return pwc_; }
+
+  private:
+    struct Pending
+    {
+        RemoteRequest req;
+        Tick arriveTick = 0;
+        Tick pwEnqueueTick = 0;
+        /** Fig 19 mode: response delivered via MSHR resolution. */
+        bool viaMshr = false;
+    };
+
+    enum class Admit { Done, Stall };
+
+    void scheduleIngress(Tick when);
+    void processIngress();
+    Admit admitHead();
+    void enqueueWalk(Pending p);
+    void tryStartWalks();
+    void completeWalk(Pending p, Tick walk_start);
+    void respond(const RemoteRequest &req, Pfn pfn,
+                 TranslationSource source);
+    void pushPte(Vpn vpn, Pfn pfn, bool prefetched);
+    void recordServed();
+    void sampleDepth();
+
+    Engine &engine_;
+    Network &net_;
+    GlobalPageTable &pt_;
+    const SystemConfig &cfg_;
+    TranslationPolicy pol_;
+    TileId cpuTile_;
+
+    std::vector<PeerEndpoint *> peers_;
+    const ClusterMap *clusterMap_ = nullptr;
+    std::optional<RedirectionTable> rt_;
+    std::optional<IommuTlb> tlb_;
+
+    PageWalkCache pwc_;
+    std::deque<Pending> ingressQueue_;
+    std::deque<Pending> pwQueue_;
+    std::size_t freeWalkers_;
+    std::size_t freeForwardContexts_;
+    bool ingressScheduled_ = false;
+
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_IOMMU_IOMMU_HH

@@ -1,0 +1,13 @@
+#include "iommu/iommu_tlb.hh"
+
+#include <algorithm>
+
+namespace hdpat
+{
+
+IommuTlb::IommuTlb(std::size_t entries, std::size_t mshrs)
+    : tlb_(std::max<std::size_t>(1, entries / 16), 16), mshrs_(mshrs)
+{
+}
+
+} // namespace hdpat

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The conventional IOMMU-side TLB used by the Fig 19 sensitivity study:
+ * an equal-area alternative to the redirection table. Because a TLB
+ * stores PFNs and metadata it holds only half the entries (512 vs
+ * 1024), and because misses must occupy MSHRs, a full MSHR file stalls
+ * the IOMMU ingress — the concurrency limitation §IV-F argues against.
+ */
+
+#ifndef HDPAT_IOMMU_IOMMU_TLB_HH
+#define HDPAT_IOMMU_IOMMU_TLB_HH
+
+#include "mem/mshr.hh"
+#include "mem/tlb.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class IommuTlb
+{
+  public:
+    /**
+     * @param entries Total entries (organised 16-way).
+     * @param mshrs MSHR count limiting outstanding misses.
+     */
+    IommuTlb(std::size_t entries, std::size_t mshrs);
+
+    /** Look up @p vpn. */
+    std::optional<Pfn> lookup(Vpn vpn) { return tlb_.lookup(vpn); }
+
+    /** Fill a translation (demand or prefetched). */
+    void fill(Vpn vpn, Pfn pfn) { tlb_.insert(vpn, pfn); }
+
+    /** Shootdown support. @return true when an entry was dropped. */
+    bool invalidate(Vpn vpn) { return tlb_.invalidate(vpn).has_value(); }
+
+    MshrFile &mshrs() { return mshrs_; }
+    const Tlb &tlb() const { return tlb_; }
+
+  private:
+    Tlb tlb_;
+    MshrFile mshrs_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_IOMMU_IOMMU_TLB_HH

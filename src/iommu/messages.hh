@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Message types and the peer interface shared between the IOMMU and
+ * the GPMs. The Network delivers messages as scheduled callbacks; these
+ * structs are the payloads those callbacks carry.
+ */
+
+#ifndef HDPAT_IOMMU_MESSAGES_HH
+#define HDPAT_IOMMU_MESSAGES_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * Which mechanism ultimately served a *remote* translation. Mirrors the
+ * Fig 16 breakdown (peer caching / redirection / proactive delivery /
+ * IOMMU) plus the categories used by the comparison baselines.
+ */
+enum class TranslationSource : std::uint8_t
+{
+    PeerCache = 0,     ///< Hit in an auxiliary GPM's cached (demand) PTE.
+    Redirect,          ///< Served via an IOMMU redirection-table hit.
+    ProactiveDelivery, ///< Hit on a proactively delivered (prefetched) PTE.
+    IommuWalk,         ///< Full page-table walk at the IOMMU.
+    IommuTlb,          ///< Hit in the Fig-19 conventional IOMMU TLB.
+    HomeGmmu,          ///< Trans-FW: walked by the home GPM's GMMU.
+    NeighborTlb,       ///< Valkyrie: hit in a neighbour GPM's L2 TLB.
+};
+
+constexpr std::size_t kNumTranslationSources = 7;
+
+/** Printable name of a TranslationSource. */
+const char *translationSourceName(TranslationSource src);
+
+/** A remote translation request as it travels the wafer. */
+struct RemoteRequest
+{
+    Vpn vpn = 0;
+    /** GPM awaiting the PFN. */
+    TileId requester = kInvalidTile;
+    /** Tick at which the requester issued the remote resolution. */
+    Tick issuedAt = 0;
+    /**
+     * Cleared when a redirected request misses at the auxiliary GPM and
+     * bounces back, so the IOMMU does not redirect it a second time.
+     */
+    bool allowRedirect = true;
+};
+
+/**
+ * Interface the IOMMU (and peer GPMs) use to deliver messages into a
+ * GPM. Implemented by Gpm; methods are invoked by Network callbacks at
+ * message-arrival time.
+ */
+class PeerEndpoint
+{
+  public:
+    virtual ~PeerEndpoint() = default;
+
+    /** An auxiliary PTE pushed by the IOMMU (§IV-F step 5 / §IV-G). */
+    virtual void receivePtePush(Vpn vpn, Pfn pfn, bool prefetched) = 0;
+
+    /** A request redirected here by the redirection table (§IV-F). */
+    virtual void receiveRedirectedRequest(const RemoteRequest &req) = 0;
+
+    /** The PFN answer for a remote translation this GPM requested. */
+    virtual void receiveTranslationResponse(Vpn vpn, Pfn pfn,
+                                            TranslationSource source) = 0;
+
+    /** Trans-FW: the IOMMU delegates a page walk to this home GPM. */
+    virtual void receiveDelegatedWalk(const RemoteRequest &req) = 0;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_IOMMU_MESSAGES_HH

@@ -1,0 +1,57 @@
+#include "iommu/redirection_table.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+RedirectionTable::RedirectionTable(std::size_t capacity)
+    : capacity_(capacity)
+{
+    hdpat_fatal_if(capacity == 0, "redirection table needs capacity");
+}
+
+std::optional<TileId>
+RedirectionTable::lookup(Vpn vpn)
+{
+    ++stats_.lookups;
+    auto it = map_.find(vpn);
+    if (it == map_.end())
+        return std::nullopt;
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->aux;
+}
+
+void
+RedirectionTable::insert(Vpn vpn, TileId aux_tile)
+{
+    ++stats_.inserts;
+    auto it = map_.find(vpn);
+    if (it != map_.end()) {
+        it->second->aux = aux_tile;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (map_.size() >= capacity_) {
+        const Entry &victim = lru_.back();
+        map_.erase(victim.vpn);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(Entry{vpn, aux_tile});
+    map_[vpn] = lru_.begin();
+}
+
+void
+RedirectionTable::invalidate(Vpn vpn)
+{
+    auto it = map_.find(vpn);
+    if (it == map_.end())
+        return;
+    lru_.erase(it->second);
+    map_.erase(it);
+    ++stats_.invalidations;
+}
+
+} // namespace hdpat

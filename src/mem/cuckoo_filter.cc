@@ -1,0 +1,164 @@
+#include "mem/cuckoo_filter.hh"
+
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+namespace
+{
+
+/** Round up to the next power of two (minimum 1). */
+std::size_t
+nextPow2(std::size_t x)
+{
+    if (x <= 1)
+        return 1;
+    return std::size_t(1) << std::bit_width(x - 1);
+}
+
+} // namespace
+
+CuckooFilter::CuckooFilter(std::size_t capacity, unsigned fingerprint_bits,
+                           std::uint64_t seed)
+    : fpBits_(fingerprint_bits), seed_(seed), kickRng_(seed ^ 0xc0ffee)
+{
+    hdpat_fatal_if(fingerprint_bits == 0 || fingerprint_bits > 16,
+                   "cuckoo fingerprint bits must be in [1, 16]");
+    // Size for ~95% load: buckets = capacity / (4 * 0.95), power of two.
+    const std::size_t wanted =
+        static_cast<std::size_t>(static_cast<double>(capacity) /
+                                 (kSlotsPerBucket * 0.95)) + 1;
+    numBuckets_ = nextPow2(wanted);
+    table_.assign(numBuckets_ * kSlotsPerBucket, 0);
+}
+
+std::uint64_t
+CuckooFilter::hash(std::uint64_t x) const
+{
+    // 64-bit mix (murmur3 finalizer) keyed by the seed.
+    x ^= seed_;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+CuckooFilter::Fingerprint
+CuckooFilter::fingerprintOf(Vpn vpn) const
+{
+    const std::uint64_t h = hash(vpn * 0x9e3779b97f4a7c15ull + 1);
+    Fingerprint fp =
+        static_cast<Fingerprint>(h & ((1u << fpBits_) - 1));
+    // Fingerprint 0 means "empty slot"; remap.
+    return fp == 0 ? 1 : fp;
+}
+
+std::size_t
+CuckooFilter::indexOf(Vpn vpn) const
+{
+    return static_cast<std::size_t>(hash(vpn)) & (numBuckets_ - 1);
+}
+
+std::size_t
+CuckooFilter::altIndex(std::size_t idx, Fingerprint fp) const
+{
+    return (idx ^ static_cast<std::size_t>(hash(fp))) & (numBuckets_ - 1);
+}
+
+bool
+CuckooFilter::bucketInsert(std::size_t bucket, Fingerprint fp)
+{
+    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
+        auto &slot = table_[bucket * kSlotsPerBucket + s];
+        if (slot == 0) {
+            slot = fp;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CuckooFilter::bucketErase(std::size_t bucket, Fingerprint fp)
+{
+    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
+        auto &slot = table_[bucket * kSlotsPerBucket + s];
+        if (slot == fp) {
+            slot = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CuckooFilter::bucketContains(std::size_t bucket, Fingerprint fp) const
+{
+    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
+        if (table_[bucket * kSlotsPerBucket + s] == fp)
+            return true;
+    }
+    return false;
+}
+
+bool
+CuckooFilter::insert(Vpn vpn)
+{
+    ++stats_.inserts;
+    Fingerprint fp = fingerprintOf(vpn);
+    std::size_t i1 = indexOf(vpn);
+    std::size_t i2 = altIndex(i1, fp);
+    if (bucketInsert(i1, fp) || bucketInsert(i2, fp)) {
+        ++count_;
+        return true;
+    }
+    // Relocate: kick random victims between the two candidate buckets.
+    std::size_t idx = kickRng_.chance(0.5) ? i1 : i2;
+    for (unsigned kick = 0; kick < kMaxKicks; ++kick) {
+        const unsigned victim =
+            static_cast<unsigned>(kickRng_.uniformInt(kSlotsPerBucket));
+        auto &slot = table_[idx * kSlotsPerBucket + victim];
+        std::swap(fp, slot);
+        idx = altIndex(idx, fp);
+        if (bucketInsert(idx, fp)) {
+            ++count_;
+            return true;
+        }
+    }
+    ++stats_.insertFailures;
+    return false;
+}
+
+bool
+CuckooFilter::erase(Vpn vpn)
+{
+    const Fingerprint fp = fingerprintOf(vpn);
+    const std::size_t i1 = indexOf(vpn);
+    const std::size_t i2 = altIndex(i1, fp);
+    if (bucketErase(i1, fp) || bucketErase(i2, fp)) {
+        ++stats_.deletes;
+        --count_;
+        return true;
+    }
+    return false;
+}
+
+bool
+CuckooFilter::contains(Vpn vpn) const
+{
+    ++stats_.lookups;
+    const Fingerprint fp = fingerprintOf(vpn);
+    const std::size_t i1 = indexOf(vpn);
+    const std::size_t i2 = altIndex(i1, fp);
+    const bool hit = bucketContains(i1, fp) || bucketContains(i2, fp);
+    if (hit)
+        ++stats_.positives;
+    return hit;
+}
+
+} // namespace hdpat

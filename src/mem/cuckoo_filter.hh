@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A real cuckoo filter (Fan et al., CoNEXT'14), as used between the
+ * L2 TLB and the last-level TLB in each GPM (paper §II-B).
+ *
+ * The filter answers "might this VPN be translatable locally?" with no
+ * false negatives and a small, organic false-positive rate. Supports
+ * insertion and deletion so the GPM can remove evicted cached PTEs.
+ */
+
+#ifndef HDPAT_MEM_CUCKOO_FILTER_HH
+#define HDPAT_MEM_CUCKOO_FILTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * Bucketed cuckoo filter with 4-slot buckets and partial-key cuckoo
+ * hashing. Fingerprints are 12 bits by default (stored in uint16).
+ */
+class CuckooFilter
+{
+  public:
+    /** Statistics kept by the filter. */
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t positives = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t insertFailures = 0;
+        std::uint64_t deletes = 0;
+    };
+
+    /**
+     * @param capacity Number of items the filter should hold; the
+     *                 bucket array is sized for ~95% max load.
+     * @param fingerprint_bits Fingerprint width (1..16).
+     * @param seed Hash seed (determinism).
+     */
+    explicit CuckooFilter(std::size_t capacity,
+                          unsigned fingerprint_bits = 12,
+                          std::uint64_t seed = 0x5bd1e995u);
+
+    /**
+     * Insert @p vpn.
+     * @return false if the filter is too full (after max relocations);
+     *         the item is then dropped, which can only cause false
+     *         negatives at the *simulated structure* level, so callers
+     *         treat failure as "must not rely on the filter" and track
+     *         it via stats.
+     */
+    bool insert(Vpn vpn);
+
+    /** Remove one copy of @p vpn. @return true if a copy was found. */
+    bool erase(Vpn vpn);
+
+    /** Membership query (may return false positives). */
+    bool contains(Vpn vpn) const;
+
+    /** Current number of stored fingerprints. */
+    std::size_t size() const { return count_; }
+
+    /** Total slots (4 per bucket). */
+    std::size_t slotCount() const { return table_.size(); }
+
+    /** Load factor in [0, 1]. */
+    double loadFactor() const
+    {
+        return static_cast<double>(count_) /
+               static_cast<double>(table_.size());
+    }
+
+    const Stats &stats() const { return stats_; }
+    Stats &stats() { return stats_; }
+
+    static constexpr unsigned kSlotsPerBucket = 4;
+    static constexpr unsigned kMaxKicks = 500;
+
+  private:
+    using Fingerprint = std::uint16_t;
+
+    std::uint64_t hash(std::uint64_t x) const;
+    Fingerprint fingerprintOf(Vpn vpn) const;
+    std::size_t indexOf(Vpn vpn) const;
+    std::size_t altIndex(std::size_t idx, Fingerprint fp) const;
+
+    bool bucketInsert(std::size_t bucket, Fingerprint fp);
+    bool bucketErase(std::size_t bucket, Fingerprint fp);
+    bool bucketContains(std::size_t bucket, Fingerprint fp) const;
+
+    std::size_t numBuckets_;
+    unsigned fpBits_;
+    std::uint64_t seed_;
+    /** Flat table: bucket b occupies slots [4b, 4b+4). 0 = empty. */
+    std::vector<Fingerprint> table_;
+    std::size_t count_ = 0;
+    mutable Stats stats_;
+    Rng kickRng_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_MEM_CUCKOO_FILTER_HH

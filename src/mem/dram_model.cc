@@ -1,0 +1,33 @@
+#include "mem/dram_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+DramModel::DramModel(Tick latency, double bytes_per_tick)
+    : latency_(latency), bytesPerTick_(bytes_per_tick)
+{
+    hdpat_fatal_if(bytes_per_tick <= 0.0, "DRAM bandwidth must be > 0");
+}
+
+Tick
+DramModel::access(Tick now, std::size_t bytes)
+{
+    ++stats_.accesses;
+    stats_.bytes += bytes;
+
+    // Fractional serialization: an HBM stack at 1.23 TB/s moves a
+    // cache line in a small fraction of a core cycle.
+    const double serialize =
+        static_cast<double>(bytes) / bytesPerTick_;
+    const double start = std::max(static_cast<double>(now), nextFree_);
+    nextFree_ = start + serialize;
+    stats_.busyTicks += static_cast<Tick>(serialize) + 1;
+    return static_cast<Tick>(std::ceil(start + serialize)) + latency_;
+}
+
+} // namespace hdpat

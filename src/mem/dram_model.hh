@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytical HBM stack model: fixed access latency plus a bandwidth
+ * constraint enforced through a channel busy-until time (Table I:
+ * 8 GB @ 1.23 TB/s per GPM).
+ */
+
+#ifndef HDPAT_MEM_DRAM_MODEL_HH
+#define HDPAT_MEM_DRAM_MODEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class DramModel
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t bytes = 0;
+        Tick busyTicks = 0;
+    };
+
+    /**
+     * @param latency Fixed access latency in ticks.
+     * @param bytes_per_tick Sustained bandwidth (bytes per cycle).
+     */
+    DramModel(Tick latency, double bytes_per_tick);
+
+    /**
+     * Issue an access of @p bytes at time @p now.
+     * @return Absolute completion tick (serialization + fixed latency).
+     */
+    Tick access(Tick now, std::size_t bytes);
+
+    Tick latency() const { return latency_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    Tick latency_;
+    double bytesPerTick_;
+    /** Channel busy-until time, in fractional ticks. */
+    double nextFree_ = 0.0;
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_MEM_DRAM_MODEL_HH

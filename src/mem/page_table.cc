@@ -1,0 +1,96 @@
+#include "mem/page_table.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+GlobalPageTable::GlobalPageTable(unsigned page_shift)
+    : pageShift_(page_shift)
+{
+    hdpat_fatal_if(page_shift < 10 || page_shift > 30,
+                   "unreasonable page shift " << page_shift);
+}
+
+BufferHandle
+GlobalPageTable::allocate(std::size_t bytes, std::span<const TileId> homes)
+{
+    hdpat_fatal_if(homes.empty(), "allocate() with no home GPMs");
+    hdpat_fatal_if(bytes == 0, "allocate() of zero bytes");
+
+    const std::size_t pages = (bytes + pageBytes() - 1) / pageBytes();
+    BufferHandle handle;
+    handle.baseVa = baseOf(nextVpn_);
+    handle.numPages = pages;
+    handle.pageBytes = pageBytes();
+
+    // Contiguous equal blocks per home; remainder spills round-robin
+    // into the earliest homes, mirroring an even driver-side split.
+    const std::size_t per_home = pages / homes.size();
+    const std::size_t remainder = pages % homes.size();
+    std::size_t page = 0;
+    for (std::size_t h = 0; h < homes.size(); ++h) {
+        std::size_t block = per_home + (h < remainder ? 1 : 0);
+        for (std::size_t i = 0; i < block; ++i, ++page) {
+            const Vpn vpn = nextVpn_ + page;
+            Pte pte;
+            pte.home = homes[h];
+            pte.pfn = nextPfn_[homes[h]]++;
+            table_.emplace(vpn, pte);
+            ++homeCounts_[homes[h]];
+        }
+    }
+    nextVpn_ += pages;
+    return handle;
+}
+
+bool
+GlobalPageTable::unmap(Vpn vpn)
+{
+    auto it = table_.find(vpn);
+    if (it == table_.end())
+        return false;
+    auto home_it = homeCounts_.find(it->second.home);
+    if (home_it != homeCounts_.end() && home_it->second > 0)
+        --home_it->second;
+    table_.erase(it);
+    return true;
+}
+
+const Pte *
+GlobalPageTable::translate(Vpn vpn) const
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+Pte *
+GlobalPageTable::translateMutable(Vpn vpn)
+{
+    auto it = table_.find(vpn);
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+TileId
+GlobalPageTable::homeOf(Vpn vpn) const
+{
+    const Pte *pte = translate(vpn);
+    return pte ? pte->home : kInvalidTile;
+}
+
+std::size_t
+GlobalPageTable::pagesHomedOn(TileId tile) const
+{
+    auto it = homeCounts_.find(tile);
+    return it == homeCounts_.end() ? 0 : it->second;
+}
+
+void
+GlobalPageTable::forEachPage(
+    const std::function<void(Vpn, const Pte &)> &fn) const
+{
+    for (const auto &[vpn, pte] : table_)
+        fn(vpn, pte);
+}
+
+} // namespace hdpat

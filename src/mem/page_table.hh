@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The global page table (held by the CPU/IOMMU) and the block-contiguous
+ * buffer partitioning the paper's driver model uses (§II-A: a 480-page
+ * allocation on 48 GPMs puts pages 1-10 on GPM 1, 11-20 on GPM 2, ...).
+ *
+ * Each GPM's "local page table" is the subset of this table homed on
+ * that GPM; the GMMU walks it, and the IOMMU walks the whole table.
+ */
+
+#ifndef HDPAT_MEM_PAGE_TABLE_HH
+#define HDPAT_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/** One page-table entry. */
+struct Pte
+{
+    Pfn pfn = kInvalidPfn;
+    /** GPM whose HBM holds the physical page. */
+    TileId home = kInvalidTile;
+    /**
+     * Translation access counter, tracked in otherwise-unused PTE bits
+     * (paper §IV-F) and used by the IOMMU's selective auxiliary push.
+     */
+    std::uint32_t accessCount = 0;
+};
+
+/** A virtual buffer returned by GlobalPageTable::allocate(). */
+struct BufferHandle
+{
+    Addr baseVa = 0;
+    std::size_t numPages = 0;
+    std::size_t pageBytes = 0;
+
+    Addr endVa() const { return baseVa + numPages * pageBytes; }
+};
+
+/**
+ * Global page table plus the buffer allocator that populates it.
+ */
+class GlobalPageTable
+{
+  public:
+    /** @param page_shift log2(page size); 12 -> 4 KiB. */
+    explicit GlobalPageTable(unsigned page_shift = 12);
+
+    unsigned pageShift() const { return pageShift_; }
+    std::size_t pageBytes() const { return std::size_t(1) << pageShift_; }
+
+    Vpn vpnOf(Addr va) const { return va >> pageShift_; }
+    Addr baseOf(Vpn vpn) const { return Addr(vpn) << pageShift_; }
+
+    /**
+     * Allocate a buffer of @p bytes, split across @p homes in contiguous
+     * equal blocks (the last home absorbs the remainder).
+     */
+    BufferHandle allocate(std::size_t bytes, std::span<const TileId> homes);
+
+    /**
+     * Remove a mapping (memory free). The caller is responsible for
+     * shooting down cached copies (System::shootdown does both).
+     * @return true when the VPN was mapped.
+     */
+    bool unmap(Vpn vpn);
+
+    /** Look up a mapping; nullptr when the VPN is unmapped. */
+    const Pte *translate(Vpn vpn) const;
+
+    /** Mutable access (IOMMU bumps accessCount). */
+    Pte *translateMutable(Vpn vpn);
+
+    /** Home GPM of a VPN, or kInvalidTile when unmapped. */
+    TileId homeOf(Vpn vpn) const;
+
+    /** Total mapped pages. */
+    std::size_t size() const { return table_.size(); }
+
+    /** Number of pages homed on @p tile. */
+    std::size_t pagesHomedOn(TileId tile) const;
+
+    /** Visit every mapping (unordered). */
+    void forEachPage(const std::function<void(Vpn, const Pte &)> &fn) const;
+
+  private:
+    unsigned pageShift_;
+    std::unordered_map<Vpn, Pte> table_;
+    std::unordered_map<TileId, std::size_t> homeCounts_;
+    /** Next unallocated VPN (bump allocator, starts above null page). */
+    Vpn nextVpn_ = 0x100;
+    /** Per-home next free PFN. */
+    std::unordered_map<TileId, Pfn> nextPfn_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_MEM_PAGE_TABLE_HH

@@ -1,0 +1,68 @@
+#include "mem/page_walk_cache.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+PageWalkCache::PageWalkCache(std::size_t entries_per_level,
+                             unsigned levels, Tick level_latency,
+                             unsigned bits_per_level)
+    : levels_(levels), levelLatency_(level_latency),
+      bitsPerLevel_(bits_per_level)
+{
+    hdpat_fatal_if(levels < 2, "a walk needs at least two levels");
+    if (entries_per_level == 0)
+        return; // Disabled.
+    // One cache per skippable level: levels 1..levels-1 (the root
+    // pointer is architectural state; the leaf PTE is never cached
+    // here -- that is the TLB's job).
+    const std::size_t sets =
+        std::max<std::size_t>(1, entries_per_level / 4);
+    for (unsigned level = 1; level < levels_; ++level)
+        caches_.emplace_back(sets, 4);
+}
+
+Vpn
+PageWalkCache::prefixOf(Vpn vpn, unsigned level) const
+{
+    // A cached level-L entry is the pointer to the level-(L+1) table,
+    // identified by the VPN bits above the lower (levels - L) levels;
+    // the deepest cacheable entry (L = levels-1) is the leaf-table
+    // pointer, keyed by vpn >> bits. Mix in the level so prefixes
+    // from different levels do not alias in the shared tag space.
+    const unsigned shift = (levels_ - level) * bitsPerLevel_;
+    return ((vpn >> shift) << 4) | level;
+}
+
+Tick
+PageWalkCache::walkLatency(Vpn vpn)
+{
+    ++stats_.walksServed;
+    if (!enabled())
+        return static_cast<Tick>(levels_) * levelLatency_;
+
+    // Find the deepest cached level; every level above it is skipped.
+    unsigned skipped = 0;
+    for (unsigned level = levels_ - 1; level >= 1; --level) {
+        if (caches_[level - 1].lookup(prefixOf(vpn, level))) {
+            skipped = level;
+            break;
+        }
+    }
+    stats_.levelsSkipped += skipped;
+    return static_cast<Tick>(levels_ - skipped) * levelLatency_;
+}
+
+void
+PageWalkCache::fill(Vpn vpn)
+{
+    if (!enabled())
+        return;
+    for (unsigned level = 1; level < levels_; ++level)
+        caches_[level - 1].insert(prefixOf(vpn, level), 0);
+}
+
+} // namespace hdpat

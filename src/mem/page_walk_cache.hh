@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Page-walk cache (PWC): caches upper-level page-table entries so a
+ * walker can skip already-resolved levels.
+ *
+ * The paper models every walk as a flat 100 x 5 = 500 cycles; a PWC is
+ * the standard hardware optimization on top (an extension explored by
+ * the `abl_pwc` bench). The model: a radix walk touches 5 levels; the
+ * PWC is looked up for the deepest cached prefix of the VPN, and the
+ * walk pays 100 cycles per remaining level. Completing a walk installs
+ * all intermediate levels.
+ */
+
+#ifndef HDPAT_MEM_PAGE_WALK_CACHE_HH
+#define HDPAT_MEM_PAGE_WALK_CACHE_HH
+
+#include <cstdint>
+
+#include "mem/tlb.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class PageWalkCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t walksServed = 0;
+        std::uint64_t levelsSkipped = 0;
+    };
+
+    /**
+     * @param entries_per_level Capacity of each level's cache
+     *                          (4-way set associative); 0 disables.
+     * @param levels Radix levels in a full walk (paper: 5).
+     * @param level_latency Cycles per level (paper: 100).
+     * @param bits_per_level VPN bits consumed per level (x86-style 9).
+     */
+    PageWalkCache(std::size_t entries_per_level, unsigned levels = 5,
+                  Tick level_latency = 100, unsigned bits_per_level = 9);
+
+    bool enabled() const { return !caches_.empty(); }
+    unsigned levels() const { return levels_; }
+
+    /**
+     * Latency of walking @p vpn given the current cache contents:
+     * (levels - skippable) * level_latency. The leaf level always
+     * walks (the PWC holds non-leaf entries only).
+     */
+    Tick walkLatency(Vpn vpn);
+
+    /** Install the intermediate levels after a completed walk. */
+    void fill(Vpn vpn);
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** Tag for level @p level (0 = root): the VPN prefix above it. */
+    Vpn prefixOf(Vpn vpn, unsigned level) const;
+
+    unsigned levels_;
+    Tick levelLatency_;
+    unsigned bitsPerLevel_;
+    /** One tag store per non-leaf level below the root. */
+    std::vector<Tlb> caches_;
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_MEM_PAGE_WALK_CACHE_HH

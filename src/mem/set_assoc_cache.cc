@@ -1,0 +1,85 @@
+#include "mem/set_assoc_cache.hh"
+
+#include <bit>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+SetAssocCache::SetAssocCache(std::size_t size_bytes, std::size_t num_ways,
+                             std::size_t line_bytes)
+    : numWays_(num_ways), lineBytes_(line_bytes)
+{
+    hdpat_fatal_if(line_bytes == 0 || (line_bytes & (line_bytes - 1)),
+                   "cache line size must be a power of two");
+    hdpat_fatal_if(num_ways == 0, "cache needs at least one way");
+    lineShift_ = static_cast<unsigned>(std::bit_width(line_bytes) - 1);
+    const std::size_t total_lines = size_bytes / line_bytes;
+    numSets_ = total_lines / num_ways;
+    hdpat_fatal_if(numSets_ == 0,
+                   "cache too small: " << size_bytes << " bytes");
+    lines_.resize(numSets_ * numWays_);
+}
+
+std::size_t
+SetAssocCache::setIndex(Addr line_addr) const
+{
+    std::uint64_t x = line_addr;
+    x ^= x >> 15;
+    x *= 0x2545f4914f6cdd1dull;
+    return static_cast<std::size_t>(x % numSets_);
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    ++stats_.accesses;
+    const Addr line_addr = addr >> lineShift_;
+    const std::size_t base = setIndex(line_addr) * numWays_;
+
+    Line *victim = nullptr;
+    for (std::size_t w = 0; w < numWays_; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == line_addr) {
+            ++stats_.hits;
+            line.lruStamp = ++lruClock_;
+            return true;
+        }
+        if (!line.valid) {
+            if (!victim || victim->valid)
+                victim = &line;
+        } else if (!victim || (victim->valid &&
+                               line.lruStamp < victim->lruStamp)) {
+            victim = &line;
+        }
+    }
+
+    victim->tag = line_addr;
+    victim->valid = true;
+    victim->lruStamp = ++lruClock_;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr line_addr = addr >> lineShift_;
+    const std::size_t base =
+        const_cast<SetAssocCache *>(this)->setIndex(line_addr) * numWays_;
+    for (std::size_t w = 0; w < numWays_; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == line_addr)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace hdpat

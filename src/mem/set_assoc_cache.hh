@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tag-only set-associative cache used to model each GPM's data cache
+ * (the unified L2 of Fig 1(b)); it decides whether a memory operation
+ * pays HBM / remote-NoC cost after translation.
+ */
+
+#ifndef HDPAT_MEM_SET_ASSOC_CACHE_HH
+#define HDPAT_MEM_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * LRU set-associative tag array keyed by cache-line address.
+ * access() combines lookup and fill (allocate-on-miss).
+ */
+class SetAssocCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t hits = 0;
+    };
+
+    /**
+     * @param size_bytes Total capacity.
+     * @param num_ways Associativity.
+     * @param line_bytes Cache line size (power of two).
+     */
+    SetAssocCache(std::size_t size_bytes, std::size_t num_ways,
+                  std::size_t line_bytes = 64);
+
+    /** Access @p addr: @return true on hit; fills on miss. */
+    bool access(Addr addr);
+
+    /** Probe without filling or touching LRU. */
+    bool contains(Addr addr) const;
+
+    void flush();
+
+    std::size_t numSets() const { return numSets_; }
+    std::size_t numWays() const { return numWays_; }
+    std::size_t lineBytes() const { return lineBytes_; }
+
+    double hitRate() const
+    {
+        return stats_.accesses
+                   ? static_cast<double>(stats_.hits) / stats_.accesses
+                   : 0.0;
+    }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr line_addr) const;
+
+    std::size_t numSets_;
+    std::size_t numWays_;
+    std::size_t lineBytes_;
+    unsigned lineShift_;
+    std::vector<Line> lines_;
+    std::uint64_t lruClock_ = 0;
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_MEM_SET_ASSOC_CACHE_HH

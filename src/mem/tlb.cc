@@ -1,0 +1,132 @@
+#include "mem/tlb.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+Tlb::Tlb(std::size_t num_sets, std::size_t num_ways)
+    : numSets_(num_sets), numWays_(num_ways)
+{
+    hdpat_fatal_if(num_sets == 0 || num_ways == 0,
+                   "TLB requires at least one set and one way");
+    entries_.resize(numSets_ * numWays_);
+}
+
+std::size_t
+Tlb::setIndex(Vpn vpn) const
+{
+    // Mix bits so strided VPN streams do not all land in one set.
+    std::uint64_t x = vpn;
+    x ^= x >> 17;
+    x *= 0xed5ad4bbull;
+    return static_cast<std::size_t>(x % numSets_);
+}
+
+TlbEntry *
+Tlb::find(Vpn vpn)
+{
+    const std::size_t base = setIndex(vpn) * numWays_;
+    for (std::size_t w = 0; w < numWays_; ++w) {
+        TlbEntry &entry = entries_[base + w];
+        if (entry.valid && entry.vpn == vpn)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const TlbEntry *
+Tlb::find(Vpn vpn) const
+{
+    return const_cast<Tlb *>(this)->find(vpn);
+}
+
+std::optional<Pfn>
+Tlb::lookup(Vpn vpn)
+{
+    if (const TlbEntry *entry = lookupEntry(vpn))
+        return entry->pfn;
+    return std::nullopt;
+}
+
+const TlbEntry *
+Tlb::lookupEntry(Vpn vpn)
+{
+    ++stats_.lookups;
+    if (TlbEntry *entry = find(vpn)) {
+        ++stats_.hits;
+        entry->lruStamp = ++lruClock_;
+        return entry;
+    }
+    return nullptr;
+}
+
+std::optional<Pfn>
+Tlb::peek(Vpn vpn) const
+{
+    if (const TlbEntry *entry = find(vpn))
+        return entry->pfn;
+    return std::nullopt;
+}
+
+std::optional<TlbEntry>
+Tlb::insert(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
+{
+    ++stats_.inserts;
+    if (TlbEntry *entry = find(vpn)) {
+        entry->pfn = pfn;
+        entry->remote = remote;
+        entry->prefetched = prefetched;
+        entry->lruStamp = ++lruClock_;
+        return std::nullopt;
+    }
+
+    const std::size_t base = setIndex(vpn) * numWays_;
+    TlbEntry *victim = nullptr;
+    for (std::size_t w = 0; w < numWays_; ++w) {
+        TlbEntry &entry = entries_[base + w];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lruStamp < victim->lruStamp)
+            victim = &entry;
+    }
+
+    std::optional<TlbEntry> evicted;
+    if (victim->valid) {
+        evicted = *victim;
+        ++stats_.evictions;
+    } else {
+        ++occupancy_;
+    }
+    victim->vpn = vpn;
+    victim->pfn = pfn;
+    victim->remote = remote;
+    victim->prefetched = prefetched;
+    victim->valid = true;
+    victim->lruStamp = ++lruClock_;
+    return evicted;
+}
+
+std::optional<TlbEntry>
+Tlb::invalidate(Vpn vpn)
+{
+    if (TlbEntry *entry = find(vpn)) {
+        TlbEntry copy = *entry;
+        entry->valid = false;
+        --occupancy_;
+        return copy;
+    }
+    return std::nullopt;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+    occupancy_ = 0;
+}
+
+} // namespace hdpat

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set-associative TLB with LRU replacement (Table I structures: L1
+ * vector/scalar/instruction TLBs, the shared L2 TLB, the last-level
+ * TLB / GMMU cache, and the conventional IOMMU-side TLB of Fig 19).
+ */
+
+#ifndef HDPAT_MEM_TLB_HH
+#define HDPAT_MEM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/** One translation held by a TLB. */
+struct TlbEntry
+{
+    Vpn vpn = 0;
+    Pfn pfn = kInvalidPfn;
+    /**
+     * True when this entry caches a translation for a page homed on a
+     * *different* GPM (a "remote PTE" in HDPAT peer caching). Used so
+     * evictions know whether to update the cuckoo filter.
+     */
+    bool remote = false;
+    /**
+     * True when the entry arrived via proactive page-entry delivery
+     * (§IV-G) rather than a demand fill; used to classify peer hits
+     * into the Fig 16 "proactive delivery" bucket.
+     */
+    bool prefetched = false;
+    bool valid = false;
+    /** Monotonic LRU stamp; larger = more recently used. */
+    std::uint64_t lruStamp = 0;
+};
+
+/**
+ * A set-associative, LRU-replacement TLB.
+ *
+ * Timing is modeled by the owning component (the TLB itself is a pure
+ * state container), matching how the paper separates structure from
+ * latency (Table I lists per-level latencies).
+ */
+class Tlb
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t inserts = 0;
+    };
+
+    /**
+     * @param num_sets Number of sets (>= 1).
+     * @param num_ways Associativity (>= 1).
+     */
+    Tlb(std::size_t num_sets, std::size_t num_ways);
+
+    /** Look up @p vpn; updates LRU on hit. */
+    std::optional<Pfn> lookup(Vpn vpn);
+
+    /** Like lookup() but exposes the full entry (nullptr on miss). */
+    const TlbEntry *lookupEntry(Vpn vpn);
+
+    /** Look up without disturbing replacement state. */
+    std::optional<Pfn> peek(Vpn vpn) const;
+
+    /**
+     * Insert (or refresh) a translation.
+     *
+     * @return The entry evicted to make room, if any. The caller uses
+     *         this to keep auxiliary structures (cuckoo filter) in sync.
+     */
+    std::optional<TlbEntry> insert(Vpn vpn, Pfn pfn, bool remote = false,
+                                   bool prefetched = false);
+
+    /** Invalidate @p vpn. @return the invalidated entry, if present. */
+    std::optional<TlbEntry> invalidate(Vpn vpn);
+
+    /** Drop everything. */
+    void flush();
+
+    std::size_t numSets() const { return numSets_; }
+    std::size_t numWays() const { return numWays_; }
+    std::size_t capacity() const { return numSets_ * numWays_; }
+
+    /** Number of valid entries currently stored. */
+    std::size_t occupancy() const { return occupancy_; }
+
+    double hitRate() const
+    {
+        return stats_.lookups
+                   ? static_cast<double>(stats_.hits) / stats_.lookups
+                   : 0.0;
+    }
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    std::size_t setIndex(Vpn vpn) const;
+    TlbEntry *find(Vpn vpn);
+    const TlbEntry *find(Vpn vpn) const;
+
+    std::size_t numSets_;
+    std::size_t numWays_;
+    std::vector<TlbEntry> entries_; ///< Flat: set s at [s*ways, ...).
+    std::uint64_t lruClock_ = 0;
+    std::size_t occupancy_ = 0;
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_MEM_TLB_HH

@@ -1,0 +1,45 @@
+#include "noc/geometry.hh"
+
+#include <algorithm>
+
+namespace hdpat
+{
+
+int
+manhattan(Coord a, Coord b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+int
+chebyshev(Coord a, Coord b)
+{
+    return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+int
+quadrantOf(Coord c, Coord center)
+{
+    const int dx = c.x - center.x;
+    const int dy = c.y - center.y;
+    if (dx >= 0 && dy > 0)
+        return 0;
+    if (dx < 0 && dy >= 0)
+        return 1;
+    if (dx <= 0 && dy < 0)
+        return 2;
+    return 3; // dx > 0 && dy <= 0
+}
+
+double
+angleOf(Coord c, Coord center)
+{
+    const double dx = static_cast<double>(c.x - center.x);
+    const double dy = static_cast<double>(c.y - center.y);
+    double angle = std::atan2(dy, dx);
+    if (angle < 0.0)
+        angle += 2.0 * M_PI;
+    return angle;
+}
+
+} // namespace hdpat

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plane geometry helpers for the wafer mesh: coordinates, Manhattan /
+ * Chebyshev distance, ring membership and quadrant classification used
+ * by the concentric-layer structures (paper §IV-C/D/E).
+ */
+
+#ifndef HDPAT_NOC_GEOMETRY_HH
+#define HDPAT_NOC_GEOMETRY_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace hdpat
+{
+
+/** Integer tile coordinate on the wafer mesh. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &) const = default;
+};
+
+/** |dx| + |dy| — the mesh hop count under XY routing. */
+int manhattan(Coord a, Coord b);
+
+/** max(|dx|, |dy|) — ring index relative to a center. */
+int chebyshev(Coord a, Coord b);
+
+/**
+ * Quadrant of @p c relative to @p center: 0..3 counter-clockwise
+ * starting from the +x/+y quadrant. Tiles on an axis are assigned to
+ * the quadrant they border counter-clockwise (deterministic).
+ */
+int quadrantOf(Coord c, Coord center);
+
+/**
+ * Angle of @p c around @p center in [0, 2*pi), used to order ring
+ * tiles for cluster enumeration.
+ */
+double angleOf(Coord c, Coord center);
+
+} // namespace hdpat
+
+#endif // HDPAT_NOC_GEOMETRY_HH

@@ -1,0 +1,71 @@
+#include "noc/mesh_topology.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+MeshTopology::MeshTopology(int width, int height, TileId cpu,
+                           std::vector<bool> active)
+    : width_(width), height_(height), cpu_(cpu),
+      active_(std::move(active))
+{
+    hdpat_fatal_if(width_ <= 0 || height_ <= 0, "empty mesh");
+    hdpat_fatal_if(!isActive(cpu_), "CPU tile must be active");
+    for (TileId t = 0; t < numTiles(); ++t) {
+        if (active_[static_cast<std::size_t>(t)] && t != cpu_)
+            gpms_.push_back(t);
+    }
+    hdpat_fatal_if(gpms_.empty(), "topology has no GPMs");
+}
+
+MeshTopology
+MeshTopology::wafer(int width, int height)
+{
+    std::vector<bool> active(static_cast<std::size_t>(width * height),
+                             true);
+    const TileId cpu = (height / 2) * width + (width / 2);
+    return MeshTopology(width, height, cpu, std::move(active));
+}
+
+MeshTopology
+MeshTopology::mcm4()
+{
+    std::vector<bool> active(9, false);
+    const TileId cpu = 4; // center of the 3x3 grid
+    active[4] = true;
+    active[1] = true; // (1, 0)
+    active[3] = true; // (0, 1)
+    active[5] = true; // (2, 1)
+    active[7] = true; // (1, 2)
+    return MeshTopology(3, 3, cpu, std::move(active));
+}
+
+TileId
+MeshTopology::tileAt(Coord c) const
+{
+    if (c.x < 0 || c.x >= width_ || c.y < 0 || c.y >= height_)
+        return kInvalidTile;
+    const TileId tile = c.y * width_ + c.x;
+    return active_[static_cast<std::size_t>(tile)] ? tile : kInvalidTile;
+}
+
+bool
+MeshTopology::isActive(TileId tile) const
+{
+    return tile >= 0 && tile < numTiles() &&
+           active_[static_cast<std::size_t>(tile)];
+}
+
+int
+MeshTopology::maxRing() const
+{
+    int max_ring = 0;
+    for (TileId gpm : gpms_)
+        max_ring = std::max(max_ring, ringOf(gpm));
+    return max_ring;
+}
+
+} // namespace hdpat

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Topology of the wafer: a W x H mesh of tiles, one of which hosts the
+ * CPU (and its IOMMU) while the remaining active tiles are GPMs
+ * (Fig 1(a)). Also provides the small MCM-GPU topology used as the
+ * comparison point in Fig 4.
+ */
+
+#ifndef HDPAT_NOC_MESH_TOPOLOGY_HH
+#define HDPAT_NOC_MESH_TOPOLOGY_HH
+
+#include <vector>
+
+#include "noc/geometry.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * Rectangular mesh with an optional inactive-tile mask.
+ *
+ * Tile ids are y * width + x. Exactly one tile is the CPU; every other
+ * *active* tile is a GPM.
+ */
+class MeshTopology
+{
+  public:
+    /**
+     * Full wafer: all W x H tiles active, CPU at the central tile
+     * (floor(W/2), floor(H/2)), e.g. 7x7 -> 48 GPMs, 7x12 -> 83 GPMs.
+     */
+    static MeshTopology wafer(int width, int height);
+
+    /**
+     * MCM-GPU: a 3x3 grid where only the center (CPU) and its four
+     * orthogonal neighbours (4 GPMs) are active — matching the 4-GPM
+     * MCM baseline of Fig 4 with single-hop CPU access.
+     */
+    static MeshTopology mcm4();
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numTiles() const { return width_ * height_; }
+
+    TileId cpuTile() const { return cpu_; }
+    Coord cpuCoord() const { return coordOf(cpu_); }
+
+    /** Active GPM tiles in id order. */
+    const std::vector<TileId> &gpmTiles() const { return gpms_; }
+    std::size_t numGpms() const { return gpms_.size(); }
+
+    Coord coordOf(TileId tile) const
+    {
+        return Coord{tile % width_, tile / width_};
+    }
+
+    /** Tile at @p c; kInvalidTile when out of bounds or inactive. */
+    TileId tileAt(Coord c) const;
+
+    bool isActive(TileId tile) const;
+    bool isGpm(TileId tile) const
+    {
+        return isActive(tile) && tile != cpu_;
+    }
+
+    /** XY-routing hop count between two tiles. */
+    int hopDistance(TileId a, TileId b) const
+    {
+        return manhattan(coordOf(a), coordOf(b));
+    }
+
+    /** Ring (Chebyshev distance from the CPU) of a tile. */
+    int ringOf(TileId tile) const
+    {
+        return chebyshev(coordOf(tile), cpuCoord());
+    }
+
+    /** Largest ring index present on this topology. */
+    int maxRing() const;
+
+  private:
+    MeshTopology(int width, int height, TileId cpu,
+                 std::vector<bool> active);
+
+    int width_;
+    int height_;
+    TileId cpu_;
+    std::vector<bool> active_;
+    std::vector<TileId> gpms_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_NOC_MESH_TOPOLOGY_HH

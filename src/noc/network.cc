@@ -1,0 +1,100 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+Network::Network(Engine &engine, const MeshTopology &topo,
+                 NocParams params)
+    : engine_(engine), topo_(topo), params_(params)
+{
+    hdpat_fatal_if(params_.bytesPerTick <= 0.0,
+                   "NoC bandwidth must be positive");
+    linkFree_.assign(static_cast<std::size_t>(topo_.numTiles()) * 4, 0);
+}
+
+std::size_t
+Network::linkIndex(TileId tile, TileId next) const
+{
+    const Coord a = topo_.coordOf(tile);
+    const Coord b = topo_.coordOf(next);
+    unsigned dir;
+    if (b.x == a.x + 1 && b.y == a.y) {
+        dir = 0; // east
+    } else if (b.x == a.x - 1 && b.y == a.y) {
+        dir = 1; // west
+    } else if (b.y == a.y + 1 && b.x == a.x) {
+        dir = 2; // south
+    } else if (b.y == a.y - 1 && b.x == a.x) {
+        dir = 3; // north
+    } else {
+        hdpat_panic("non-adjacent link " << tile << " -> " << next);
+    }
+    return static_cast<std::size_t>(tile) * 4 + dir;
+}
+
+std::vector<TileId>
+Network::route(TileId src, TileId dst) const
+{
+    std::vector<TileId> path;
+    Coord cur = topo_.coordOf(src);
+    const Coord goal = topo_.coordOf(dst);
+    path.push_back(src);
+    // X first, then Y (dimension-ordered routing).
+    while (cur.x != goal.x) {
+        cur.x += (goal.x > cur.x) ? 1 : -1;
+        path.push_back(cur.y * topo_.width() + cur.x);
+    }
+    while (cur.y != goal.y) {
+        cur.y += (goal.y > cur.y) ? 1 : -1;
+        path.push_back(cur.y * topo_.width() + cur.x);
+    }
+    return path;
+}
+
+Tick
+Network::computeArrival(Tick now, TileId src, TileId dst,
+                        std::size_t bytes)
+{
+    ++stats_.packets;
+    stats_.totalBytes += bytes;
+
+    if (src == dst)
+        return now + params_.localLatency;
+
+    // Fractional serialization: Table I links are 768 bytes/cycle, so
+    // a small control packet occupies a link for well under a cycle.
+    const double serialize =
+        static_cast<double>(bytes) / params_.bytesPerTick;
+
+    const std::vector<TileId> path = route(src, dst);
+    double t = static_cast<double>(now);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const std::size_t link = linkIndex(path[i], path[i + 1]);
+        const double depart = std::max(t, linkFree_[link]);
+        stats_.linkWait.add(depart - t);
+        linkFree_[link] = depart + serialize;
+        t = depart + serialize + static_cast<double>(params_.linkLatency);
+    }
+
+    const std::uint64_t nhops = path.size() - 1;
+    stats_.byteHops += bytes * nhops;
+    stats_.totalHops += nhops;
+    const Tick arrival = static_cast<Tick>(std::ceil(t));
+    stats_.totalLatency += arrival - now;
+    return arrival;
+}
+
+void
+Network::send(TileId src, TileId dst, std::size_t bytes,
+              EventFn on_arrive)
+{
+    const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
+    engine_.scheduleAt(arrive, std::move(on_arrive));
+}
+
+} // namespace hdpat

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Analytical mesh network with XY (dimension-ordered) routing.
+ *
+ * Each directed link has a busy-until time: a packet traversing a link
+ * serializes (size / bandwidth) after the link frees, then pays the
+ * fixed per-link latency (Table I: 768 GB/s, 32 cycles per link). This
+ * captures geometry-dependent latency and link contention without
+ * per-flit events, and accounts traffic in byte-hops for the overhead
+ * numbers in §V-D.
+ */
+
+#ifndef HDPAT_NOC_NETWORK_HH
+#define HDPAT_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/mesh_topology.hh"
+#include "sim/engine.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/** Timing/bandwidth parameters of the interposer mesh. */
+struct NocParams
+{
+    /** Fixed traversal latency per link, in ticks. */
+    Tick linkLatency = 32;
+    /** Link bandwidth in bytes per tick (768 GB/s at 1 GHz). */
+    double bytesPerTick = 768.0;
+    /** Latency for a message whose source and destination coincide. */
+    Tick localLatency = 1;
+};
+
+/** Conventional message sizes on the translation plane, in bytes. */
+struct NocMessageBytes
+{
+    static constexpr std::size_t kTranslationRequest = 32;
+    static constexpr std::size_t kTranslationResponse = 32;
+    static constexpr std::size_t kProbeRequest = 32;
+    static constexpr std::size_t kProbeResponse = 32;
+    static constexpr std::size_t kPtePush = 32;
+    static constexpr std::size_t kDataHeader = 16;
+    static constexpr std::size_t kCacheLine = 64;
+};
+
+/**
+ * The mesh interconnect. All inter-tile communication goes through
+ * send(), which computes the arrival tick under current link occupancy
+ * and schedules the delivery callback.
+ */
+class Network
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t packets = 0;
+        std::uint64_t totalBytes = 0;
+        /** Sum over packets of bytes * links traversed. */
+        std::uint64_t byteHops = 0;
+        std::uint64_t totalHops = 0;
+        /** Accumulated per-packet in-network latency. */
+        Tick totalLatency = 0;
+        /** Per-link-traversal queueing delay (depart - ready). */
+        SummaryStat linkWait;
+    };
+
+    Network(Engine &engine, const MeshTopology &topo,
+            NocParams params = {});
+
+    /**
+     * Send @p bytes from @p src to @p dst; @p on_arrive runs at the
+     * computed arrival tick.
+     */
+    void send(TileId src, TileId dst, std::size_t bytes,
+              EventFn on_arrive);
+
+    /**
+     * Pure timing variant: advance link state and return the arrival
+     * tick without scheduling anything.
+     */
+    Tick computeArrival(Tick now, TileId src, TileId dst,
+                        std::size_t bytes);
+
+    /**
+     * Enumerate the XY route from @p src to @p dst as a tile sequence
+     * (inclusive of both endpoints). Exposed for the route-based
+     * caching policy (§IV-B), which probes intermediate GPMs.
+     */
+    std::vector<TileId> route(TileId src, TileId dst) const;
+
+    int hops(TileId src, TileId dst) const
+    {
+        return topo_.hopDistance(src, dst);
+    }
+
+    const MeshTopology &topology() const { return topo_; }
+    const NocParams &params() const { return params_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    /** Directed link leaving @p tile toward @p next. 4 per tile. */
+    std::size_t linkIndex(TileId tile, TileId next) const;
+
+    Engine &engine_;
+    const MeshTopology &topo_;
+    NocParams params_;
+    /** Busy-until time per directed link, in fractional ticks. */
+    std::vector<double> linkFree_;
+    Stats stats_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_NOC_NETWORK_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The simulation engine: owns the event queue and the current tick.
+ *
+ * Components hold a reference to the Engine, query now(), and schedule
+ * callbacks at relative or absolute times. One Engine corresponds to one
+ * simulated system run.
+ */
+
+#ifndef HDPAT_SIM_ENGINE_HH
+#define HDPAT_SIM_ENGINE_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * Discrete-event simulation driver.
+ *
+ * Typical use:
+ * @code
+ *   Engine engine;
+ *   engine.scheduleIn(10, [] { ... });
+ *   engine.run();
+ * @endcode
+ */
+class Engine
+{
+  public:
+    Engine() = default;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute tick @p when (>= now()). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    void scheduleIn(Tick delay, EventFn fn)
+    {
+        scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /**
+     * Execute the earliest event.
+     *
+     * @return false when the queue was empty (nothing ran).
+     */
+    bool step();
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or simulated time would pass @p limit.
+     * Events scheduled exactly at @p limit still execute.
+     */
+    void runUntil(Tick limit);
+
+    /** Pending event count. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events executed so far. */
+    std::uint64_t executedEvents() const { return executed_; }
+
+    /** Drop all pending events and rewind time to zero. */
+    void reset();
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_ENGINE_HH

@@ -1,0 +1,82 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+bool
+EventQueue::later(const Entry &a, const Entry &b)
+{
+    if (a.when != b.when)
+        return a.when > b.when;
+    return a.seq > b.seq;
+}
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    heap_.push_back(Entry{when, nextSeq_++, std::move(fn)});
+    siftUp(heap_.size() - 1);
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return heap_.empty() ? kTickNever : heap_.front().when;
+}
+
+EventFn
+EventQueue::pop(Tick &when)
+{
+    hdpat_panic_if(heap_.empty(), "pop() on an empty event queue");
+    when = heap_.front().when;
+    EventFn fn = std::move(heap_.front().fn);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    return fn;
+}
+
+void
+EventQueue::clear()
+{
+    heap_.clear();
+    nextSeq_ = 0;
+}
+
+void
+EventQueue::siftUp(std::size_t idx)
+{
+    while (idx > 0) {
+        std::size_t parent = (idx - 1) / 2;
+        if (!later(heap_[parent], heap_[idx]))
+            break;
+        std::swap(heap_[parent], heap_[idx]);
+        idx = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t idx)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        std::size_t left = 2 * idx + 1;
+        std::size_t right = left + 1;
+        std::size_t smallest = idx;
+        if (left < n && later(heap_[smallest], heap_[left]))
+            smallest = left;
+        if (right < n && later(heap_[smallest], heap_[right]))
+            smallest = right;
+        if (smallest == idx)
+            break;
+        std::swap(heap_[idx], heap_[smallest]);
+        idx = smallest;
+    }
+}
+
+} // namespace hdpat

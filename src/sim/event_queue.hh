@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Events are arbitrary callbacks scheduled at an absolute tick. Events
+ * scheduled for the same tick execute in scheduling order (FIFO), which
+ * keeps simulations deterministic for a fixed seed.
+ */
+
+#ifndef HDPAT_SIM_EVENT_QUEUE_HH
+#define HDPAT_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A binary min-heap of (tick, sequence) ordered events.
+ *
+ * The sequence number breaks ties so that same-tick events fire in the
+ * order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when must not be in the past relative to the event currently
+     *      executing; scheduling "now" is allowed.
+     */
+    void schedule(Tick when, EventFn fn);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; kTickNever when empty. */
+    Tick nextTick() const;
+
+    /**
+     * Pop and return the earliest event.
+     *
+     * @pre !empty()
+     * @param[out] when Receives the event's tick.
+     * @return The event callback, moved out of the queue.
+     */
+    EventFn pop(Tick &when);
+
+    /** Discard all pending events and reset the sequence counter. */
+    void clear();
+
+    /** Total number of events ever scheduled (statistics). */
+    std::uint64_t scheduledCount() const { return nextSeq_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    /** Heap ordering: earliest tick first, then scheduling order. */
+    static bool later(const Entry &a, const Entry &b);
+
+    void siftUp(std::size_t idx);
+    void siftDown(std::size_t idx);
+
+    std::vector<Entry> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_EVENT_QUEUE_HH

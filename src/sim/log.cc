@@ -1,0 +1,75 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace hdpat
+{
+
+namespace
+{
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("HDPAT_LOG");
+    if (!env)
+        return LogLevel::Quiet;
+    std::string value(env);
+    if (value == "debug" || value == "2")
+        return LogLevel::Debug;
+    if (value == "info" || value == "1")
+        return LogLevel::Info;
+    return LogLevel::Quiet;
+}
+
+LogLevel &
+levelStorage()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return levelStorage();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    levelStorage() = level;
+}
+
+namespace detail
+{
+
+void
+emitLog(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[hdpat:%s] %s\n", tag, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[hdpat:panic] %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[hdpat:fatal] %s:%d: %s\n", file, line,
+                 msg.c_str());
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace hdpat

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, in the spirit of gem5's
+ * logging.hh: panic() for internal invariant violations, fatal() for
+ * user-caused misconfiguration.
+ */
+
+#ifndef HDPAT_SIM_LOG_HH
+#define HDPAT_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace hdpat
+{
+
+/** Verbosity levels for runtime diagnostics. */
+enum class LogLevel { Quiet = 0, Info = 1, Debug = 2 };
+
+/** Get the process-wide log level (default Quiet; env HDPAT_LOG). */
+LogLevel logLevel();
+
+/** Override the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+/** Emit one formatted log line to stderr. */
+void emitLog(const char *tag, const std::string &msg);
+
+/** Print message and abort; used for simulator bugs. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print message and exit(1); used for user/config errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+} // namespace detail
+
+} // namespace hdpat
+
+/**
+ * Abort on a condition that indicates a simulator bug.
+ * Usage: panic_if(x < 0, "x went negative: " << x);
+ */
+#define hdpat_panic(msg_expr)                                                \
+    do {                                                                     \
+        std::ostringstream hdpat_oss_;                                       \
+        hdpat_oss_ << msg_expr;                                              \
+        ::hdpat::detail::panicImpl(__FILE__, __LINE__, hdpat_oss_.str());    \
+    } while (0)
+
+#define hdpat_panic_if(cond, msg_expr)                                       \
+    do {                                                                     \
+        if (cond) [[unlikely]] {                                             \
+            hdpat_panic(msg_expr);                                           \
+        }                                                                    \
+    } while (0)
+
+/** Exit on a condition caused by invalid user configuration. */
+#define hdpat_fatal(msg_expr)                                                \
+    do {                                                                     \
+        std::ostringstream hdpat_oss_;                                       \
+        hdpat_oss_ << msg_expr;                                              \
+        ::hdpat::detail::fatalImpl(__FILE__, __LINE__, hdpat_oss_.str());    \
+    } while (0)
+
+#define hdpat_fatal_if(cond, msg_expr)                                       \
+    do {                                                                     \
+        if (cond) [[unlikely]] {                                             \
+            hdpat_fatal(msg_expr);                                           \
+        }                                                                    \
+    } while (0)
+
+/** Informational message, shown at LogLevel::Info and above. */
+#define hdpat_inform(msg_expr)                                               \
+    do {                                                                     \
+        if (::hdpat::logLevel() >= ::hdpat::LogLevel::Info) {                \
+            std::ostringstream hdpat_oss_;                                   \
+            hdpat_oss_ << msg_expr;                                          \
+            ::hdpat::detail::emitLog("info", hdpat_oss_.str());              \
+        }                                                                    \
+    } while (0)
+
+/** Debug trace, shown only at LogLevel::Debug. */
+#define hdpat_debug(msg_expr)                                                \
+    do {                                                                     \
+        if (::hdpat::logLevel() >= ::hdpat::LogLevel::Debug) {               \
+            std::ostringstream hdpat_oss_;                                   \
+            hdpat_oss_ << msg_expr;                                          \
+            ::hdpat::detail::emitLog("debug", hdpat_oss_.str());             \
+        }                                                                    \
+    } while (0)
+
+#endif // HDPAT_SIM_LOG_HH

@@ -1,0 +1,119 @@
+#include "sim/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+namespace
+{
+
+/** splitmix64 step, used to expand a single seed into generator state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitmix64(sm);
+    // Guard against the all-zero state, which xoshiro cannot escape.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    hdpat_panic_if(bound == 0, "uniformInt with bound 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    while (true) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::uniformRange(std::uint64_t lo, std::uint64_t hi)
+{
+    hdpat_panic_if(lo > hi, "uniformRange with lo > hi");
+    return lo + uniformInt(hi - lo + 1);
+}
+
+double
+Rng::uniformDouble()
+{
+    // 53 high bits -> [0, 1) with full double precision.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent)
+{
+    hdpat_panic_if(n == 0, "ZipfSampler over an empty domain");
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+        cdf_[i] = acc;
+    }
+    const double total = acc;
+    for (auto &v : cdf_)
+        v /= total;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniformDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace hdpat

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Uses xoshiro256** — fast, high quality, and trivially seedable — so
+ * every simulation run is reproducible from a single 64-bit seed.
+ * Includes a Zipf sampler used by the graph-like workloads (PageRank,
+ * SPMV) to produce power-law page popularity.
+ */
+
+#ifndef HDPAT_SIM_RNG_HH
+#define HDPAT_SIM_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hdpat
+{
+
+/** xoshiro256** pseudo-random generator. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::uint64_t uniformRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniformDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf-distributed sampler over {0, ..., n-1}.
+ *
+ * Rank 0 is the most popular element. Uses the precomputed-CDF method
+ * with binary search, so sampling is O(log n) and exact.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of elements (> 0).
+     * @param exponent Skew parameter s (>= 0); s=0 degenerates to
+     *                 uniform, s~1 matches web/graph popularity.
+     */
+    ZipfSampler(std::size_t n, double exponent);
+
+    /** Draw one rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_RNG_HH

@@ -1,0 +1,197 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+void
+SummaryStat::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+void
+SummaryStat::merge(const SummaryStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+SummaryStat::reset()
+{
+    *this = SummaryStat();
+}
+
+namespace
+{
+
+std::size_t
+bucketIndexOf(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+} // namespace
+
+void
+Log2Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    const std::size_t idx = bucketIndexOf(value);
+    if (idx >= buckets_.size())
+        buckets_.resize(idx + 1, 0);
+    buckets_[idx] += weight;
+    total_ += weight;
+}
+
+void
+Log2Histogram::merge(const Log2Histogram &other)
+{
+    if (other.buckets_.size() > buckets_.size())
+        buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+}
+
+std::uint64_t
+Log2Histogram::bucket(std::size_t idx) const
+{
+    return idx < buckets_.size() ? buckets_[idx] : 0;
+}
+
+std::uint64_t
+Log2Histogram::bucketLow(std::size_t idx)
+{
+    if (idx == 0)
+        return 0;
+    return std::uint64_t(1) << (idx - 1);
+}
+
+std::uint64_t
+Log2Histogram::bucketHigh(std::size_t idx)
+{
+    if (idx == 0)
+        return 0;
+    return (std::uint64_t(1) << idx) - 1;
+}
+
+double
+Log2Histogram::fractionAtOrBelow(std::uint64_t value) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (bucketHigh(i) <= value) {
+            acc += buckets_[i];
+        } else if (bucketLow(i) <= value) {
+            // Partial bucket: assume a uniform spread inside the bucket.
+            const double span = static_cast<double>(bucketHigh(i) -
+                                                    bucketLow(i) + 1);
+            const double covered =
+                static_cast<double>(value - bucketLow(i) + 1);
+            acc += static_cast<std::uint64_t>(
+                std::llround(buckets_[i] * covered / span));
+        }
+    }
+    return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::uint64_t
+Log2Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total_);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        acc += static_cast<double>(buckets_[i]);
+        if (acc >= target)
+            return bucketHigh(i);
+    }
+    return bucketHigh(buckets_.size() - 1);
+}
+
+TimeSeries::TimeSeries(Tick window_ticks) : window_(window_ticks)
+{
+    hdpat_panic_if(window_ == 0, "TimeSeries window must be > 0");
+}
+
+void
+TimeSeries::add(Tick when, double value)
+{
+    const std::size_t idx = static_cast<std::size_t>(when / window_);
+    if (idx >= sums_.size()) {
+        sums_.resize(idx + 1, 0.0);
+        maxima_.resize(idx + 1, 0.0);
+        counts_.resize(idx + 1, 0);
+    }
+    sums_[idx] += value;
+    maxima_[idx] = counts_[idx] ? std::max(maxima_[idx], value) : value;
+    ++counts_[idx];
+}
+
+double
+TimeSeries::windowSum(std::size_t idx) const
+{
+    return idx < sums_.size() ? sums_[idx] : 0.0;
+}
+
+double
+TimeSeries::windowMax(std::size_t idx) const
+{
+    return idx < maxima_.size() ? maxima_[idx] : 0.0;
+}
+
+std::uint64_t
+TimeSeries::windowCount(std::size_t idx) const
+{
+    return idx < counts_.size() ? counts_[idx] : 0;
+}
+
+double
+TimeSeries::windowMean(std::size_t idx) const
+{
+    const std::uint64_t n = windowCount(idx);
+    return n ? windowSum(idx) / static_cast<double>(n) : 0.0;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        hdpat_panic_if(v <= 0.0, "geomean over non-positive value " << v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace hdpat

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by every simulated component:
+ * scalar summaries, power-of-two histograms, and windowed time series.
+ *
+ * These deliberately avoid any global registry; each component owns its
+ * stats struct and the driver aggregates them into a RunResult.
+ */
+
+#ifndef HDPAT_SIM_STATS_HH
+#define HDPAT_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * Running summary of a stream of samples: count, sum, min, max, mean.
+ */
+class SummaryStat
+{
+  public:
+    void add(double value);
+    void merge(const SummaryStat &other);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Histogram with power-of-two buckets.
+ *
+ * Bucket 0 counts value 0; bucket i (i >= 1) counts values in
+ * [2^(i-1), 2^i). This is a good fit for reuse distances and latency
+ * distributions that span many orders of magnitude.
+ */
+class Log2Histogram
+{
+  public:
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+    void merge(const Log2Histogram &other);
+
+    std::uint64_t totalCount() const { return total_; }
+
+    /** Number of populated buckets (highest bucket index + 1). */
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+    /** Count in bucket @p idx (0 beyond the populated range). */
+    std::uint64_t bucket(std::size_t idx) const;
+
+    /** Lower bound of bucket @p idx (0, 1, 2, 4, 8, ...). */
+    static std::uint64_t bucketLow(std::size_t idx);
+
+    /** Inclusive upper bound of bucket @p idx. */
+    static std::uint64_t bucketHigh(std::size_t idx);
+
+    /** Fraction of samples with value <= @p value (bucket resolution). */
+    double fractionAtOrBelow(std::uint64_t value) const;
+
+    /** Approximate quantile (bucket upper bound), q in [0, 1]. */
+    std::uint64_t quantile(double q) const;
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Time series with fixed-width windows over simulated time.
+ *
+ * Each window records the sum, sample count, and max of values added
+ * within it — enough to plot "requests served per window" (Fig 13) and
+ * "peak queue depth per window" (Fig 4).
+ */
+class TimeSeries
+{
+  public:
+    /** @param window_ticks Width of one aggregation window (> 0). */
+    explicit TimeSeries(Tick window_ticks = 100000);
+
+    void add(Tick when, double value);
+
+    Tick windowTicks() const { return window_; }
+    std::size_t windows() const { return sums_.size(); }
+
+    double windowSum(std::size_t idx) const;
+    double windowMax(std::size_t idx) const;
+    std::uint64_t windowCount(std::size_t idx) const;
+    double windowMean(std::size_t idx) const;
+
+  private:
+    Tick window_;
+    std::vector<double> sums_;
+    std::vector<double> maxima_;
+    std::vector<std::uint64_t> counts_;
+};
+
+/** Geometric mean of a vector of positive values (1.0 when empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_STATS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef HDPAT_SIM_TYPES_HH
+#define HDPAT_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace hdpat
+{
+
+/** Simulation time, measured in GPU core cycles (1 GHz in Table I). */
+using Tick = std::uint64_t;
+
+/** A virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Virtual page number (virtual address >> page shift). */
+using Vpn = std::uint64_t;
+
+/** Physical frame number. */
+using Pfn = std::uint64_t;
+
+/** Identifier of a tile (GPM or CPU) on the wafer. */
+using TileId = int;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** Sentinel for an invalid tile. */
+constexpr TileId kInvalidTile = -1;
+
+/** Sentinel for an invalid PFN (page not mapped). */
+constexpr Pfn kInvalidPfn = std::numeric_limits<Pfn>::max();
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_TYPES_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The interface between workloads and the GPM engine: a lazy stream of
+ * virtual byte addresses, one per memory operation. Streams are
+ * deterministic for a fixed seed and finite (next() eventually returns
+ * nullopt, at which point the GPM drains and finishes).
+ */
+
+#ifndef HDPAT_WORKLOADS_ADDRESS_STREAM_HH
+#define HDPAT_WORKLOADS_ADDRESS_STREAM_HH
+
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class AddressStream
+{
+  public:
+    virtual ~AddressStream() = default;
+
+    /** The next address to access, or nullopt when the work is done. */
+    virtual std::optional<Addr> next() = 0;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_WORKLOADS_ADDRESS_STREAM_HH

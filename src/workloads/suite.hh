@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The 14-benchmark suite of Table II: factory and metadata. Each
+ * generator is a synthetic address-stream model of the corresponding
+ * kernel, constructed to match the paper's published translation-level
+ * characteristics (see DESIGN.md §5 for the per-benchmark mapping).
+ */
+
+#ifndef HDPAT_WORKLOADS_SUITE_HH
+#define HDPAT_WORKLOADS_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hdpat
+{
+
+/** Table II rows, in paper order. */
+const std::vector<WorkloadInfo> &workloadTable();
+
+/** Benchmark abbreviations, in paper order. */
+std::vector<std::string> workloadAbbrs();
+
+/**
+ * Instantiate a benchmark generator.
+ *
+ * @param abbr Table II abbreviation (e.g. "SPMV").
+ * @param footprint_scale Multiplier on the Table II memory footprint
+ *                        (Fig 13 size sweep; default 1.0).
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &abbr,
+                                       double footprint_scale = 1.0);
+
+/**
+ * The slice of @p handle assigned to GPM @p gpm under the contiguous
+ * block partitioning of GlobalPageTable::allocate().
+ */
+struct SliceView
+{
+    Addr base = 0;
+    std::size_t bytes = 0;
+};
+SliceView sliceOf(const BufferHandle &handle, std::size_t gpm,
+                  std::size_t num_gpms);
+
+} // namespace hdpat
+
+#endif // HDPAT_WORKLOADS_SUITE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for the §V-F area/power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/area_model.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(AreaModelTest, RedirectionTableMatchesPaper)
+{
+    // Calibration point: 1024-entry RT = 0.034 mm^2, 0.16 W.
+    const SramEstimate rt =
+        estimateSram(1024, kRedirectionEntryBits);
+    EXPECT_NEAR(rt.areaMm2, 0.034, 1e-6);
+    EXPECT_NEAR(rt.powerW, 0.16, 1e-6);
+}
+
+TEST(AreaModelTest, CpuDieOverheadPercentages)
+{
+    const SramEstimate rt =
+        estimateSram(1024, kRedirectionEntryBits);
+    // Paper: 0.02% area and 0.09% power of an AMD Ryzen 9 die.
+    EXPECT_NEAR(rt.areaMm2 / kCpuDieAreaMm2, 0.0002, 0.0001);
+    EXPECT_NEAR(rt.powerW / kCpuTdpW, 0.0009, 0.0003);
+}
+
+TEST(AreaModelTest, EqualAreaTlbHoldsHalfTheEntries)
+{
+    // Fig 19's premise: a TLB entry is twice the RT entry, so equal
+    // area gives 512 TLB entries vs 1024 RT entries.
+    const SramEstimate rt = estimateSram(1024, kRedirectionEntryBits);
+    const SramEstimate tlb = estimateSram(512, kTlbEntryBits);
+    EXPECT_NEAR(tlb.areaMm2, rt.areaMm2, rt.areaMm2 * 0.01);
+    EXPECT_EQ(kTlbEntryBits, 2 * kRedirectionEntryBits);
+}
+
+TEST(AreaModelTest, ScalesLinearly)
+{
+    const SramEstimate one = estimateSram(100, 60);
+    const SramEstimate two = estimateSram(200, 60);
+    EXPECT_NEAR(two.areaMm2, 2 * one.areaMm2, 1e-12);
+    EXPECT_NEAR(two.powerW, 2 * one.powerW, 1e-12);
+}
+
+} // namespace
+} // namespace hdpat

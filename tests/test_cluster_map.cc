@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit tests for the clustering + rotation map (Eq. 1-2, §IV-D/E) and
+ * the distributed-caching group split (§V-A).
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hdpat/cluster_map.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+class ClusterMapTest : public testing::Test
+{
+  protected:
+    ClusterMapTest()
+        : topo_(MeshTopology::wafer(7, 7)), layers_(topo_, 2),
+          map_(layers_, 4, true)
+    {
+    }
+
+    MeshTopology topo_;
+    ConcentricLayers layers_;
+    ClusterMap map_;
+};
+
+TEST_F(ClusterMapTest, ExactlyOneTilePerLayer)
+{
+    for (Vpn vpn = 0; vpn < 10000; ++vpn) {
+        const auto tiles = map_.auxTilesFor(vpn);
+        ASSERT_EQ(tiles.size(), 2u);
+        EXPECT_EQ(layers_.layerOf(tiles[0]), 0);
+        EXPECT_EQ(layers_.layerOf(tiles[1]), 1);
+    }
+}
+
+TEST_F(ClusterMapTest, MappingIsDeterministic)
+{
+    const ClusterMap other(layers_, 4, true);
+    for (Vpn vpn = 0; vpn < 1000; ++vpn) {
+        EXPECT_EQ(map_.auxTileFor(vpn, 0), other.auxTileFor(vpn, 0));
+        EXPECT_EQ(map_.auxTileFor(vpn, 1), other.auxTileFor(vpn, 1));
+    }
+}
+
+TEST_F(ClusterMapTest, ConsecutiveVpnsSpreadAcrossClusters)
+{
+    // Eq. 1: VPN mod N_c picks the cluster, so four consecutive VPNs
+    // land in four different clusters (different ring quarters).
+    std::set<TileId> tiles;
+    for (Vpn vpn = 100; vpn < 104; ++vpn)
+        tiles.insert(map_.auxTileFor(vpn, 1));
+    EXPECT_EQ(tiles.size(), 4u);
+}
+
+TEST_F(ClusterMapTest, LoadIsBalancedWithinALayer)
+{
+    std::map<TileId, int> counts;
+    const int n = 16000;
+    for (Vpn vpn = 0; vpn < static_cast<Vpn>(n); ++vpn)
+        ++counts[map_.auxTileFor(vpn, 1)];
+    ASSERT_EQ(counts.size(), 16u); // Every ring-2 tile is used.
+    for (const auto &[tile, count] : counts)
+        EXPECT_EQ(count, n / 16) << "tile " << tile;
+}
+
+TEST_F(ClusterMapTest, RotationSeparatesLayerCopies)
+{
+    // With rotation, a VPN's layer-0 and layer-1 holders should sit on
+    // roughly opposite sides for many VPNs; without rotation they sit
+    // in the same quadrant. Compare aggregate angular separation.
+    const ClusterMap unrotated(layers_, 4, false);
+    const Coord center = topo_.cpuCoord();
+
+    auto mean_separation = [&](const ClusterMap &m) {
+        double total = 0.0;
+        const int n = 4096;
+        for (Vpn vpn = 0; vpn < static_cast<Vpn>(n); ++vpn) {
+            const double a0 =
+                angleOf(topo_.coordOf(m.auxTileFor(vpn, 0)), center);
+            const double a1 =
+                angleOf(topo_.coordOf(m.auxTileFor(vpn, 1)), center);
+            double d = std::abs(a0 - a1);
+            if (d > M_PI)
+                d = 2 * M_PI - d;
+            total += d;
+        }
+        return total / n;
+    };
+
+    EXPECT_GT(mean_separation(map_), mean_separation(unrotated) + 0.5);
+}
+
+TEST_F(ClusterMapTest, RotationFlagChangesOuterLayerOnly)
+{
+    const ClusterMap unrotated(layers_, 4, false);
+    int same_inner = 0, same_outer = 0;
+    const int n = 1024;
+    for (Vpn vpn = 0; vpn < static_cast<Vpn>(n); ++vpn) {
+        same_inner += map_.auxTileFor(vpn, 0) ==
+                      unrotated.auxTileFor(vpn, 0);
+        same_outer += map_.auxTileFor(vpn, 1) ==
+                      unrotated.auxTileFor(vpn, 1);
+    }
+    EXPECT_EQ(same_inner, n);  // Layer 0 enumeration unchanged.
+    EXPECT_LT(same_outer, n / 4); // Layer 1 rotated 180 degrees.
+}
+
+TEST_F(ClusterMapTest, WorksOnRectangularWafer)
+{
+    const MeshTopology rect = MeshTopology::wafer(12, 7);
+    const ConcentricLayers rect_layers(rect, 2);
+    const ClusterMap rect_map(rect_layers, 4, true);
+    for (Vpn vpn = 0; vpn < 5000; ++vpn) {
+        for (int layer = 0; layer < rect_map.numLayers(); ++layer) {
+            const TileId aux = rect_map.auxTileFor(vpn, layer);
+            EXPECT_TRUE(rect.isGpm(aux));
+            EXPECT_EQ(rect_layers.layerOf(aux), layer);
+        }
+    }
+}
+
+TEST_F(ClusterMapTest, SingleLayerMcm)
+{
+    const MeshTopology mcm = MeshTopology::mcm4();
+    const ConcentricLayers mcm_layers(mcm, 2);
+    const ClusterMap mcm_map(mcm_layers, 4, true);
+    ASSERT_EQ(mcm_map.numLayers(), 1);
+    std::set<TileId> used;
+    for (Vpn vpn = 0; vpn < 100; ++vpn)
+        used.insert(mcm_map.auxTileFor(vpn, 0));
+    EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(DistributedGroupsTest, SymmetricSplit)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    const DistributedGroups groups(layers);
+    // 24 caching tiles split 12/12 across the two sides of the CPU.
+    EXPECT_EQ(groups.groupTiles(0).size(), 12u);
+    EXPECT_EQ(groups.groupTiles(1).size(), 12u);
+}
+
+TEST(DistributedGroupsTest, NearestPeerIsInOwnGroupAndNotSelf)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    const DistributedGroups groups(layers);
+    for (TileId gpm : topo.gpmTiles()) {
+        const TileId peer = groups.nearestGroupPeer(gpm);
+        ASSERT_NE(peer, kInvalidTile);
+        EXPECT_NE(peer, gpm);
+        EXPECT_EQ(groups.groupOf(peer), groups.groupOf(gpm));
+    }
+}
+
+TEST(DistributedGroupsTest, GroupsSplitByCpuColumn)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    const DistributedGroups groups(layers);
+    EXPECT_EQ(groups.groupOf(topo.tileAt({0, 3})), 0);
+    EXPECT_EQ(groups.groupOf(topo.tileAt({6, 3})), 1);
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the concentric-layer structure (§IV-C).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hdpat/concentric_layers.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(ConcentricLayersTest, DefaultCTwoOn7x7)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    ASSERT_EQ(layers.numLayers(), 2);
+    EXPECT_EQ(layers.layerTiles(0).size(), 8u);  // Ring 1.
+    EXPECT_EQ(layers.layerTiles(1).size(), 16u); // Ring 2.
+}
+
+TEST(ConcentricLayersTest, CThreeReachesTheBorder)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 3);
+    ASSERT_EQ(layers.numLayers(), 3);
+    EXPECT_EQ(layers.layerTiles(2).size(), 24u); // Border ring.
+}
+
+TEST(ConcentricLayersTest, LayerOfClassifiesTiles)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    for (TileId gpm : topo.gpmTiles()) {
+        const int ring = topo.ringOf(gpm);
+        if (ring <= 2) {
+            EXPECT_EQ(layers.layerOf(gpm), ring - 1);
+            EXPECT_TRUE(layers.isCachingTile(gpm));
+        } else {
+            EXPECT_EQ(layers.layerOf(gpm), -1);
+            EXPECT_FALSE(layers.isCachingTile(gpm));
+        }
+    }
+    EXPECT_EQ(layers.layerOf(topo.cpuTile()), -1);
+    EXPECT_EQ(layers.layerOf(kInvalidTile), -1);
+}
+
+TEST(ConcentricLayersTest, LayersAreDisjointAndComplete)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 3);
+    std::set<TileId> seen;
+    for (int layer = 0; layer < layers.numLayers(); ++layer) {
+        for (TileId t : layers.layerTiles(layer)) {
+            EXPECT_TRUE(seen.insert(t).second)
+                << "tile " << t << " in two layers";
+        }
+    }
+    EXPECT_EQ(seen.size(), topo.numGpms()); // C=3 covers every GPM.
+}
+
+TEST(ConcentricLayersTest, TilesOrderedByAngle)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    const Coord center = topo.cpuCoord();
+    for (int layer = 0; layer < 2; ++layer) {
+        const auto &tiles = layers.layerTiles(layer);
+        for (std::size_t i = 1; i < tiles.size(); ++i) {
+            EXPECT_LE(angleOf(topo.coordOf(tiles[i - 1]), center),
+                      angleOf(topo.coordOf(tiles[i]), center));
+        }
+    }
+}
+
+TEST(ConcentricLayersTest, NearestInLayer)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 2);
+    // From the north-west corner, the nearest ring-2 tile is (1,1).
+    const TileId corner = topo.tileAt({0, 0});
+    EXPECT_EQ(layers.nearestInLayer(1, corner), topo.tileAt({1, 1}));
+    // From a ring-1 tile, its own layer's nearest tile is itself.
+    const TileId inner = topo.tileAt({3, 2});
+    EXPECT_EQ(layers.nearestInLayer(0, inner), inner);
+}
+
+TEST(ConcentricLayersTest, ClippedRingsAreSkipped)
+{
+    // The MCM star has only ring-1 GPMs; requesting C=3 builds one
+    // layer instead of three.
+    const MeshTopology topo = MeshTopology::mcm4();
+    const ConcentricLayers layers(topo, 3);
+    EXPECT_EQ(layers.numLayers(), 1);
+    EXPECT_EQ(layers.layerTiles(0).size(), 4u);
+}
+
+TEST(ConcentricLayersTest, ZeroLayersIsValid)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const ConcentricLayers layers(topo, 0);
+    EXPECT_EQ(layers.numLayers(), 0);
+    EXPECT_FALSE(layers.isCachingTile(topo.gpmTiles().front()));
+}
+
+/** Rectangular wafers (7x12) still produce sane layers. */
+TEST(ConcentricLayersTest, RectangularWafer)
+{
+    const MeshTopology topo = MeshTopology::wafer(12, 7);
+    const ConcentricLayers layers(topo, 2);
+    ASSERT_EQ(layers.numLayers(), 2);
+    EXPECT_EQ(layers.layerTiles(0).size(), 8u);
+    EXPECT_EQ(layers.layerTiles(1).size(), 16u);
+    for (int layer = 0; layer < 2; ++layer) {
+        for (TileId t : layers.layerTiles(layer))
+            EXPECT_EQ(topo.ringOf(t), layer + 1);
+    }
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for SystemConfig (Table I), the policy presets, and the
+ * sensitivity-sweep registries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "config/gpu_presets.hh"
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(SystemConfigTest, TableOneDefaults)
+{
+    const SystemConfig cfg = SystemConfig::mi100();
+    EXPECT_EQ(cfg.cusPerGpm, 32);
+    EXPECT_EQ(cfg.l1Tlb.sets, 1u);
+    EXPECT_EQ(cfg.l1Tlb.ways, 32u);
+    EXPECT_EQ(cfg.l1Tlb.latency, 4u);
+    EXPECT_EQ(cfg.l2Tlb.sets, 64u);
+    EXPECT_EQ(cfg.l2Tlb.ways, 32u);
+    EXPECT_EQ(cfg.l2Tlb.mshrs, 32u);
+    EXPECT_EQ(cfg.l2Tlb.latency, 32u);
+    EXPECT_EQ(cfg.lastLevelTlb.entries(), 1024u); // 64-set, 16-way.
+    EXPECT_EQ(cfg.gmmuWalkers, 8u);
+    EXPECT_EQ(cfg.gmmuWalkLatency, 500u); // 100 x 5 levels.
+    EXPECT_EQ(cfg.iommuWalkers, 16u);
+    EXPECT_EQ(cfg.iommuWalkLatency, 500u);
+    EXPECT_EQ(cfg.redirectionTableEntries, 1024u);
+    EXPECT_EQ(cfg.noc.linkLatency, 32u);
+    EXPECT_DOUBLE_EQ(cfg.noc.bytesPerTick, 768.0);
+    EXPECT_EQ(cfg.pageBytes(), 4096u);
+    EXPECT_EQ(cfg.numGpms(), 48u);
+}
+
+TEST(SystemConfigTest, PresetsDiffer)
+{
+    EXPECT_GT(SystemConfig::h100().l2CacheBytes,
+              SystemConfig::mi100().l2CacheBytes);
+    EXPECT_GT(SystemConfig::h200().hbmBytesPerTick,
+              SystemConfig::h100().hbmBytesPerTick);
+    EXPECT_GT(SystemConfig::mi300().cusPerGpm,
+              SystemConfig::mi100().cusPerGpm);
+}
+
+TEST(SystemConfigTest, Wafer7x12)
+{
+    const SystemConfig cfg = SystemConfig::mi100Wafer7x12();
+    EXPECT_EQ(cfg.numGpms(), 83u);
+}
+
+TEST(SystemConfigTest, Mcm4)
+{
+    const SystemConfig cfg = SystemConfig::mcm4();
+    EXPECT_EQ(cfg.numGpms(), 4u);
+}
+
+TEST(SystemConfigTest, ValidateRejectsBadConfigs)
+{
+    SystemConfig cfg;
+    cfg.iommuWalkers = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "walker");
+
+    SystemConfig cfg2;
+    cfg2.pageShift = 40;
+    EXPECT_EXIT(cfg2.validate(), testing::ExitedWithCode(1), "page");
+}
+
+TEST(GpuPresetsTest, GenerationSweepIsPaperOrder)
+{
+    const auto configs = gpuGenerationConfigs();
+    ASSERT_EQ(configs.size(), 5u);
+    EXPECT_EQ(configs[0].name, "MI100-7x7");
+    EXPECT_EQ(configs[4].name, "H200-7x7");
+}
+
+TEST(GpuPresetsTest, PageSizeSweep)
+{
+    const auto sweep = pageSizeSweep();
+    ASSERT_EQ(sweep.size(), 4u);
+    EXPECT_EQ(sweep[0].pageShift, 12u);
+    EXPECT_EQ(sweep[0].label, "4KB");
+}
+
+TEST(GpuPresetsTest, LookupByName)
+{
+    EXPECT_EQ(configByName("H100").name, "H100-7x7");
+    EXPECT_EXIT(configByName("bogus"), testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(TranslationPolicyTest, BaselineHasNothingEnabled)
+{
+    const TranslationPolicy p = TranslationPolicy::baseline();
+    EXPECT_EQ(p.peerMode, PeerCachingMode::None);
+    EXPECT_FALSE(p.redirectionTable);
+    EXPECT_FALSE(p.prefetch);
+    EXPECT_FALSE(p.pwQueueRevisit);
+    EXPECT_FALSE(p.usesPeerCaching());
+}
+
+TEST(TranslationPolicyTest, HdpatEnablesAllMechanisms)
+{
+    const TranslationPolicy p = TranslationPolicy::hdpat();
+    EXPECT_EQ(p.peerMode, PeerCachingMode::ClusterRotation);
+    EXPECT_TRUE(p.redirectionTable);
+    EXPECT_TRUE(p.prefetch);
+    EXPECT_EQ(p.prefetchDegree, 4); // Paper's chosen granularity.
+    EXPECT_TRUE(p.pwQueueRevisit);
+    EXPECT_EQ(p.concentricLayers, 2); // Paper's default C.
+}
+
+TEST(TranslationPolicyTest, AblationPresetsAreIncremental)
+{
+    EXPECT_EQ(TranslationPolicy::clusterRotation().peerMode,
+              PeerCachingMode::ClusterRotation);
+    EXPECT_FALSE(TranslationPolicy::clusterRotation().redirectionTable);
+    EXPECT_TRUE(TranslationPolicy::withRedirection().redirectionTable);
+    EXPECT_FALSE(TranslationPolicy::withRedirection().prefetch);
+    EXPECT_TRUE(TranslationPolicy::withPrefetch().prefetch);
+    EXPECT_FALSE(TranslationPolicy::withPrefetch().redirectionTable);
+}
+
+TEST(TranslationPolicyTest, ComparisonBaselines)
+{
+    EXPECT_EQ(TranslationPolicy::transFw().walkMode,
+              IommuWalkMode::ForwardToHome);
+    EXPECT_TRUE(TranslationPolicy::valkyrie().neighborTlbProbe);
+    EXPECT_TRUE(TranslationPolicy::barre().pwQueueRevisit);
+    EXPECT_FALSE(TranslationPolicy::barre().usesPeerCaching());
+}
+
+TEST(TranslationPolicyTest, IommuTlbVariant)
+{
+    const TranslationPolicy p = TranslationPolicy::hdpatWithIommuTlb();
+    EXPECT_TRUE(p.iommuTlbInsteadOfRt);
+    EXPECT_FALSE(p.redirectionTable);
+    EXPECT_TRUE(p.prefetch); // Everything else stays HDPAT.
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit + property tests for the cuckoo filter: the no-false-negative
+ * guarantee HDPAT's translation path depends on (§II-B), deletion
+ * support, and bounded false-positive rates.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mem/cuckoo_filter.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(CuckooFilterTest, InsertedItemsAreFound)
+{
+    CuckooFilter filter(1024);
+    for (Vpn v = 100; v < 600; ++v)
+        ASSERT_TRUE(filter.insert(v));
+    for (Vpn v = 100; v < 600; ++v)
+        EXPECT_TRUE(filter.contains(v)) << "vpn " << v;
+    EXPECT_EQ(filter.size(), 500u);
+}
+
+TEST(CuckooFilterTest, EraseRemovesExactlyOneCopy)
+{
+    CuckooFilter filter(256);
+    ASSERT_TRUE(filter.insert(42));
+    ASSERT_TRUE(filter.insert(42));
+    EXPECT_EQ(filter.size(), 2u);
+
+    EXPECT_TRUE(filter.erase(42));
+    EXPECT_TRUE(filter.contains(42)); // One copy remains.
+    EXPECT_TRUE(filter.erase(42));
+    EXPECT_EQ(filter.size(), 0u);
+}
+
+TEST(CuckooFilterTest, EraseMissingReturnsFalse)
+{
+    CuckooFilter filter(256);
+    filter.insert(1);
+    EXPECT_FALSE(filter.erase(999999));
+    EXPECT_EQ(filter.size(), 1u);
+}
+
+TEST(CuckooFilterTest, FalsePositiveRateIsSmall)
+{
+    CuckooFilter filter(4096, 12);
+    for (Vpn v = 0; v < 4000; ++v)
+        ASSERT_TRUE(filter.insert(v));
+
+    int false_positives = 0;
+    const int probes = 100000;
+    for (int i = 0; i < probes; ++i) {
+        const Vpn v = 1000000 + static_cast<Vpn>(i);
+        false_positives += filter.contains(v);
+    }
+    // 12-bit fingerprints, 4-slot buckets: expected rate ~2*4/2^12 < 1%.
+    EXPECT_LT(static_cast<double>(false_positives) / probes, 0.01);
+}
+
+TEST(CuckooFilterTest, NoFalseNegativesUnderChurn)
+{
+    CuckooFilter filter(2048);
+    Rng rng(55);
+    std::vector<Vpn> present;
+    for (int round = 0; round < 5000; ++round) {
+        if (present.size() < 1500 && rng.chance(0.6)) {
+            const Vpn v = rng.uniformInt(1u << 20);
+            if (filter.insert(v))
+                present.push_back(v);
+        } else if (!present.empty()) {
+            const std::size_t idx = rng.uniformInt(present.size());
+            ASSERT_TRUE(filter.erase(present[idx]));
+            present[idx] = present.back();
+            present.pop_back();
+        }
+    }
+    for (Vpn v : present)
+        EXPECT_TRUE(filter.contains(v));
+}
+
+TEST(CuckooFilterTest, OverloadEventuallyFails)
+{
+    CuckooFilter filter(64);
+    std::size_t inserted = 0;
+    bool failed = false;
+    for (Vpn v = 0; v < 100000 && !failed; ++v) {
+        if (filter.insert(v))
+            ++inserted;
+        else
+            failed = true;
+    }
+    EXPECT_TRUE(failed);
+    EXPECT_GT(filter.stats().insertFailures, 0u);
+    // Must still have achieved a healthy load before failing.
+    EXPECT_GT(filter.loadFactor(), 0.7);
+}
+
+TEST(CuckooFilterTest, StatsAreTracked)
+{
+    CuckooFilter filter(128);
+    filter.insert(5);
+    filter.contains(5);
+    filter.contains(6);
+    filter.erase(5);
+    EXPECT_EQ(filter.stats().inserts, 1u);
+    EXPECT_EQ(filter.stats().lookups, 2u);
+    EXPECT_GE(filter.stats().positives, 1u);
+    EXPECT_EQ(filter.stats().deletes, 1u);
+}
+
+TEST(CuckooFilterTest, DeterministicAcrossInstances)
+{
+    CuckooFilter a(512, 12, 99), b(512, 12, 99);
+    for (Vpn v = 0; v < 300; ++v) {
+        EXPECT_EQ(a.insert(v), b.insert(v));
+    }
+    for (Vpn v = 0; v < 1000; ++v)
+        EXPECT_EQ(a.contains(v), b.contains(v));
+}
+
+TEST(CuckooFilterTest, BadFingerprintWidthIsFatal)
+{
+    EXPECT_EXIT(CuckooFilter(64, 0), testing::ExitedWithCode(1),
+                "fingerprint");
+    EXPECT_EXIT(CuckooFilter(64, 17), testing::ExitedWithCode(1),
+                "fingerprint");
+}
+
+/** Parameterized: the no-false-negative property holds at any size. */
+class CuckooSizeTest : public testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(CuckooSizeTest, FillToEightyPercentNoFalseNegatives)
+{
+    const std::size_t capacity = GetParam();
+    CuckooFilter filter(capacity);
+    const std::size_t n = capacity * 8 / 10;
+    for (Vpn v = 0; v < n; ++v)
+        ASSERT_TRUE(filter.insert(v * 7919 + 13));
+    for (Vpn v = 0; v < n; ++v)
+        EXPECT_TRUE(filter.contains(v * 7919 + 13));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CuckooSizeTest,
+                         testing::Values(64, 256, 1024, 16384, 131072));
+
+/** Parameterized: false-positive rate shrinks with fingerprint width. */
+class CuckooFpBitsTest : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CuckooFpBitsTest, FalsePositiveRateBounded)
+{
+    const unsigned bits = GetParam();
+    CuckooFilter filter(4096, bits);
+    for (Vpn v = 0; v < 3000; ++v)
+        filter.insert(v);
+    int fp = 0;
+    const int probes = 50000;
+    for (int i = 0; i < probes; ++i)
+        fp += filter.contains(500000 + static_cast<Vpn>(i));
+    // Expected bound ~ 8 / 2^bits, with generous slack.
+    const double bound = 3.0 * 8.0 / static_cast<double>(1u << bits);
+    EXPECT_LT(static_cast<double>(fp) / probes, bound + 0.002)
+        << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(FingerprintBits, CuckooFpBitsTest,
+                         testing::Values(8u, 10u, 12u, 16u));
+
+} // namespace
+} // namespace hdpat

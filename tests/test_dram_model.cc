@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the analytical HBM model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_model.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(DramModelTest, IdleAccessPaysLatency)
+{
+    DramModel dram(120, 1230.0);
+    const Tick done = dram.access(1000, 64);
+    // 64 / 1230 B-per-cycle is a fraction of a cycle -> ceil adds <= 1.
+    EXPECT_GE(done, 1000u + 120u);
+    EXPECT_LE(done, 1000u + 121u);
+}
+
+TEST(DramModelTest, BandwidthSerializesBursts)
+{
+    DramModel dram(100, 1.0); // 1 byte per cycle: easy arithmetic.
+    const Tick first = dram.access(0, 64);
+    const Tick second = dram.access(0, 64);
+    EXPECT_EQ(first, 164u);  // 64 cycles serialize + 100 latency.
+    EXPECT_EQ(second, 228u); // Starts only after the first drains.
+}
+
+TEST(DramModelTest, IdleGapsDoNotAccumulateCredit)
+{
+    DramModel dram(10, 1.0);
+    dram.access(0, 100);
+    // Long idle period; the next access starts at its own time.
+    const Tick done = dram.access(100000, 10);
+    EXPECT_EQ(done, 100020u);
+}
+
+TEST(DramModelTest, HighBandwidthHandlesManyLinesPerCycle)
+{
+    DramModel dram(120, 1230.0);
+    // 19 lines fit into one cycle at 1.23 TB/s; completion times of a
+    // burst issued at the same tick must stay within a couple cycles.
+    Tick last = 0;
+    for (int i = 0; i < 19; ++i)
+        last = dram.access(0, 64);
+    EXPECT_LE(last, 122u);
+}
+
+TEST(DramModelTest, StatsAccumulate)
+{
+    DramModel dram(50, 10.0);
+    dram.access(0, 100);
+    dram.access(0, 200);
+    EXPECT_EQ(dram.stats().accesses, 2u);
+    EXPECT_EQ(dram.stats().bytes, 300u);
+}
+
+TEST(DramModelTest, ZeroBandwidthIsFatal)
+{
+    EXPECT_EXIT(DramModel(10, 0.0), testing::ExitedWithCode(1),
+                "bandwidth");
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, same-tick FIFO,
+ * and heap integrity under randomized load.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsEmpty)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.nextTick(), kTickNever);
+}
+
+TEST(EventQueueTest, PopsInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+
+    while (!q.empty()) {
+        Tick when = 0;
+        q.pop(when)();
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+
+    while (!q.empty()) {
+        Tick when = 0;
+        q.pop(when)();
+        EXPECT_EQ(when, 5u);
+    }
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTickTracksEarliest)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextTick(), 42u);
+    q.schedule(7, [] {});
+    EXPECT_EQ(q.nextTick(), 7u);
+
+    Tick when = 0;
+    q.pop(when);
+    EXPECT_EQ(when, 7u);
+    EXPECT_EQ(q.nextTick(), 42u);
+}
+
+TEST(EventQueueTest, ClearDiscardsEverything)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTick(), kTickNever);
+}
+
+TEST(EventQueueTest, ScheduledCountIsMonotonic)
+{
+    EventQueue q;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    EXPECT_EQ(q.scheduledCount(), 10u);
+    Tick when = 0;
+    q.pop(when);
+    EXPECT_EQ(q.scheduledCount(), 10u); // Pops do not decrement.
+}
+
+TEST(EventQueueTest, PopOnEmptyPanics)
+{
+    EventQueue q;
+    Tick when = 0;
+    EXPECT_DEATH({ q.pop(when); }, "empty event queue");
+}
+
+/** Property: random interleavings drain in nondecreasing tick order. */
+TEST(EventQueueTest, RandomizedDrainIsSorted)
+{
+    Rng rng(123);
+    EventQueue q;
+    std::vector<Tick> scheduled;
+    for (int i = 0; i < 5000; ++i) {
+        const Tick t = rng.uniformInt(1000);
+        scheduled.push_back(t);
+        q.schedule(t, [] {});
+    }
+
+    std::vector<Tick> drained;
+    while (!q.empty()) {
+        Tick when = 0;
+        q.pop(when);
+        drained.push_back(when);
+    }
+    ASSERT_EQ(drained.size(), scheduled.size());
+    EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end()));
+    std::sort(scheduled.begin(), scheduled.end());
+    EXPECT_EQ(drained, scheduled);
+}
+
+/** Interleaved push/pop keeps the heap invariant. */
+TEST(EventQueueTest, InterleavedPushPop)
+{
+    Rng rng(77);
+    EventQueue q;
+    Tick last_popped = 0;
+    Tick horizon = 0;
+    for (int round = 0; round < 2000; ++round) {
+        if (q.empty() || rng.chance(0.6)) {
+            // Never schedule before the last popped tick (engine rule).
+            const Tick t = last_popped + rng.uniformInt(50);
+            horizon = std::max(horizon, t);
+            q.schedule(t, [] {});
+        } else {
+            Tick when = 0;
+            q.pop(when);
+            EXPECT_GE(when, last_popped);
+            last_popped = when;
+        }
+    }
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the experiment helpers (runSuite / speedups / geomean) and
+ * the Runner's scaling knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/experiment.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg = SystemConfig::mi100();
+    cfg.meshWidth = 3;
+    cfg.meshHeight = 3;
+    cfg.name = "tiny-3x3";
+    return cfg;
+}
+
+TEST(ExperimentTest, RunSuiteDefaultsToAllWorkloads)
+{
+    const auto results = runSuite(tinyConfig(),
+                                  TranslationPolicy::baseline(), 200);
+    const auto abbrs = workloadAbbrs();
+    ASSERT_EQ(results.size(), abbrs.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].workload, abbrs[i]);
+        EXPECT_GT(results[i].totalTicks, 0u);
+    }
+}
+
+TEST(ExperimentTest, RunSuiteHonorsSubset)
+{
+    const std::vector<std::string> subset = {"AES", "PR"};
+    const auto results = runSuite(tinyConfig(),
+                                  TranslationPolicy::baseline(), 200,
+                                  subset);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].workload, "AES");
+    EXPECT_EQ(results[1].workload, "PR");
+}
+
+TEST(ExperimentTest, SpeedupsAlignByWorkload)
+{
+    const std::vector<std::string> subset = {"AES", "KM"};
+    const auto base = runSuite(tinyConfig(),
+                               TranslationPolicy::baseline(), 300,
+                               subset);
+    const auto hdpat = runSuite(tinyConfig(),
+                                TranslationPolicy::hdpat(), 300,
+                                subset);
+    const auto sp = speedups(base, hdpat);
+    ASSERT_EQ(sp.size(), 2u);
+    for (double s : sp)
+        EXPECT_GT(s, 0.0);
+    EXPECT_NEAR(geomeanSpeedup(base, hdpat),
+                geomean(sp), 1e-12);
+}
+
+TEST(ExperimentTest, MismatchedSweepsPanic)
+{
+    const std::vector<std::string> one = {"AES"};
+    const std::vector<std::string> two = {"AES", "KM"};
+    const auto a = runSuite(tinyConfig(),
+                            TranslationPolicy::baseline(), 200, one);
+    const auto b = runSuite(tinyConfig(),
+                            TranslationPolicy::baseline(), 200, two);
+    EXPECT_DEATH(speedups(a, b), "mismatched");
+}
+
+TEST(RunnerTest, DefaultOpsArePositiveAndScaled)
+{
+    EXPECT_GT(defaultOpsPerGpm(), 0u);
+    EXPECT_GT(benchScale(), 0.0);
+}
+
+TEST(RunnerTest, ZeroOpsSpecUsesDefault)
+{
+    RunSpec spec;
+    spec.config = tinyConfig();
+    spec.policy = TranslationPolicy::baseline();
+    spec.workload = "AES";
+    spec.opsPerGpm = 100; // explicit, keep the test fast
+    const RunResult r = runOnce(spec);
+    EXPECT_EQ(r.opsTotal, 100u * spec.config.numGpms());
+    EXPECT_EQ(r.config, "tiny-3x3");
+    EXPECT_EQ(r.policy, "baseline");
+}
+
+TEST(RunnerTest, FootprintScalePropagates)
+{
+    RunSpec spec;
+    spec.config = tinyConfig();
+    spec.policy = TranslationPolicy::baseline();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 400;
+
+    spec.footprintScale = 1.0;
+    const RunResult full = runOnce(spec);
+    spec.footprintScale = 0.125;
+    const RunResult small = runOnce(spec);
+    // Different footprints change the gather domain, so the runs must
+    // differ observably in timing or traffic.
+    const bool differs = full.totalTicks != small.totalTicks ||
+                         full.noc.packets != small.noc.packets ||
+                         full.iommu.requestsReceived !=
+                             small.iommu.requestsReceived;
+    EXPECT_TRUE(differs);
+}
+
+} // namespace
+} // namespace hdpat

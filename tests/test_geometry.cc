@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for mesh geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/geometry.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(GeometryTest, Manhattan)
+{
+    EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+    EXPECT_EQ(manhattan({-2, 1}, {2, -1}), 6);
+}
+
+TEST(GeometryTest, Chebyshev)
+{
+    EXPECT_EQ(chebyshev({0, 0}, {3, 4}), 4);
+    EXPECT_EQ(chebyshev({1, 1}, {2, 2}), 1);
+    EXPECT_EQ(chebyshev({5, 5}, {5, 5}), 0);
+}
+
+TEST(GeometryTest, QuadrantsCoverAllDirections)
+{
+    const Coord center{3, 3};
+    EXPECT_EQ(quadrantOf({4, 4}, center), 0);
+    EXPECT_EQ(quadrantOf({2, 4}, center), 1);
+    EXPECT_EQ(quadrantOf({2, 2}, center), 2);
+    EXPECT_EQ(quadrantOf({4, 2}, center), 3);
+}
+
+TEST(GeometryTest, AxisTilesGetDeterministicQuadrants)
+{
+    const Coord center{3, 3};
+    // Each axis tile belongs to exactly one quadrant, consistently.
+    EXPECT_EQ(quadrantOf({3, 4}, center), 0);  // +y axis
+    EXPECT_EQ(quadrantOf({2, 3}, center), 1);  // -x axis
+    EXPECT_EQ(quadrantOf({3, 2}, center), 2);  // -y axis
+    EXPECT_EQ(quadrantOf({4, 3}, center), 3);  // +x axis
+}
+
+TEST(GeometryTest, QuadrantsPartitionARing)
+{
+    const Coord center{3, 3};
+    int counts[4] = {0, 0, 0, 0};
+    for (int x = 0; x <= 6; ++x) {
+        for (int y = 0; y <= 6; ++y) {
+            const Coord c{x, y};
+            if (c == center)
+                continue;
+            if (chebyshev(c, center) == 2) {
+                const int q = quadrantOf(c, center);
+                ASSERT_GE(q, 0);
+                ASSERT_LE(q, 3);
+                ++counts[q];
+            }
+        }
+    }
+    // Ring 2 has 16 tiles; the quadrants split them 4/4/4/4.
+    EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 16);
+    for (int q = 0; q < 4; ++q)
+        EXPECT_EQ(counts[q], 4) << "quadrant " << q;
+}
+
+TEST(GeometryTest, AngleIncreasesCounterClockwise)
+{
+    const Coord center{0, 0};
+    const double east = angleOf({1, 0}, center);
+    const double north = angleOf({0, 1}, center);
+    const double west = angleOf({-1, 0}, center);
+    const double south = angleOf({0, -1}, center);
+    EXPECT_LT(east, north);
+    EXPECT_LT(north, west);
+    EXPECT_LT(west, south);
+    EXPECT_GE(east, 0.0);
+    EXPECT_LT(south, 2.0 * M_PI);
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the per-GPM GMMU walker pool.
+ */
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpm/gmmu.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+class GmmuTest : public testing::Test
+{
+  protected:
+    GmmuTest() : pt_(12)
+    {
+        const std::array<TileId, 2> homes = {kSelf, kOther};
+        buffer_ = pt_.allocate(64 * pt_.pageBytes(), homes);
+    }
+
+    Vpn localVpn() const { return pt_.vpnOf(buffer_.baseVa); }
+    Vpn remoteVpn() const { return pt_.vpnOf(buffer_.baseVa) + 63; }
+
+    static constexpr TileId kSelf = 1;
+    static constexpr TileId kOther = 2;
+
+    Engine engine_;
+    GlobalPageTable pt_;
+    BufferHandle buffer_;
+};
+
+TEST_F(GmmuTest, LocalWalkResolvesAfterLatency)
+{
+    Gmmu gmmu(engine_, pt_, kSelf, 8, 500);
+    bool done = false;
+    gmmu.requestWalk(localVpn(), [&](Vpn, std::optional<Pfn> pfn) {
+        ASSERT_TRUE(pfn.has_value());
+        EXPECT_EQ(*pfn, pt_.translate(localVpn())->pfn);
+        EXPECT_EQ(engine_.now(), 500u);
+        done = true;
+    });
+    engine_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(gmmu.stats().localHits, 1u);
+}
+
+TEST_F(GmmuTest, RemotePageMisses)
+{
+    Gmmu gmmu(engine_, pt_, kSelf, 8, 500);
+    bool done = false;
+    gmmu.requestWalk(remoteVpn(), [&](Vpn, std::optional<Pfn> pfn) {
+        EXPECT_FALSE(pfn.has_value());
+        done = true;
+    });
+    engine_.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(gmmu.stats().misses, 1u);
+}
+
+TEST_F(GmmuTest, UnmappedVpnMisses)
+{
+    Gmmu gmmu(engine_, pt_, kSelf, 8, 500);
+    bool done = false;
+    gmmu.requestWalk(0xdeadbeef, [&](Vpn, std::optional<Pfn> pfn) {
+        EXPECT_FALSE(pfn.has_value());
+        done = true;
+    });
+    engine_.run();
+    EXPECT_TRUE(done);
+}
+
+TEST_F(GmmuTest, WalkerPoolLimitsParallelism)
+{
+    Gmmu gmmu(engine_, pt_, kSelf, 2, 100);
+    std::vector<Tick> completions;
+    for (int i = 0; i < 6; ++i) {
+        gmmu.requestWalk(localVpn(), [&](Vpn, std::optional<Pfn>) {
+            completions.push_back(engine_.now());
+        });
+    }
+    EXPECT_EQ(gmmu.queueDepth(), 4u); // 2 started, 4 queued.
+    engine_.run();
+    ASSERT_EQ(completions.size(), 6u);
+    // 2 walkers, 100 cycles: waves at 100, 200, 300.
+    EXPECT_EQ(completions[0], 100u);
+    EXPECT_EQ(completions[1], 100u);
+    EXPECT_EQ(completions[2], 200u);
+    EXPECT_EQ(completions[3], 200u);
+    EXPECT_EQ(completions[4], 300u);
+    EXPECT_EQ(completions[5], 300u);
+    EXPECT_GT(gmmu.stats().queueWait.max(), 0.0);
+}
+
+TEST_F(GmmuTest, StatsCountWalks)
+{
+    Gmmu gmmu(engine_, pt_, kSelf, 4, 10);
+    gmmu.requestWalk(localVpn(), [](Vpn, std::optional<Pfn>) {});
+    gmmu.requestWalk(remoteVpn(), [](Vpn, std::optional<Pfn>) {});
+    engine_.run();
+    EXPECT_EQ(gmmu.stats().walksRequested, 2u);
+    EXPECT_EQ(gmmu.stats().walksCompleted, 2u);
+}
+
+TEST_F(GmmuTest, ZeroWalkersIsFatal)
+{
+    EXPECT_EXIT(Gmmu(engine_, pt_, kSelf, 0, 10),
+                testing::ExitedWithCode(1), "walker");
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Component tests for the IOMMU pipeline, driven with fake peer
+ * endpoints: walk latency, queue backpressure, PW-queue revisit,
+ * redirection, proactive delivery pushes, and the Fig 19 TLB mode.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hdpat/cluster_map.hh"
+#include "iommu/iommu.hh"
+#include "mem/page_table.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+/** Records everything the IOMMU delivers to a tile. */
+class FakePeer : public PeerEndpoint
+{
+  public:
+    struct Response
+    {
+        Vpn vpn;
+        Pfn pfn;
+        TranslationSource source;
+        Tick when;
+    };
+    struct Push
+    {
+        Vpn vpn;
+        Pfn pfn;
+        bool prefetched;
+    };
+
+    explicit FakePeer(Engine &engine) : engine_(engine) {}
+
+    void
+    receivePtePush(Vpn vpn, Pfn pfn, bool prefetched) override
+    {
+        pushes.push_back({vpn, pfn, prefetched});
+    }
+
+    void
+    receiveRedirectedRequest(const RemoteRequest &req) override
+    {
+        redirected.push_back(req);
+    }
+
+    void
+    receiveTranslationResponse(Vpn vpn, Pfn pfn,
+                               TranslationSource source) override
+    {
+        responses.push_back({vpn, pfn, source, engine_.now()});
+    }
+
+    void
+    receiveDelegatedWalk(const RemoteRequest &req) override
+    {
+        delegated.push_back(req);
+    }
+
+    std::vector<Response> responses;
+    std::vector<Push> pushes;
+    std::vector<RemoteRequest> redirected;
+    std::vector<RemoteRequest> delegated;
+
+  private:
+    Engine &engine_;
+};
+
+class IommuTestBench
+{
+  public:
+    IommuTestBench(TranslationPolicy pol,
+                   SystemConfig cfg = SystemConfig::mi100())
+        : cfg_(std::move(cfg)), pol_(std::move(pol)),
+          topo_(MeshTopology::wafer(cfg_.meshWidth, cfg_.meshHeight)),
+          net_(engine_, topo_, cfg_.noc), pt_(cfg_.pageShift),
+          layers_(topo_, pol_.concentricLayers),
+          clusterMap_(layers_, 4, true)
+    {
+        buffer_ = pt_.allocate(4096 * pt_.pageBytes(), topo_.gpmTiles());
+
+        iommu_ = std::make_unique<Iommu>(engine_, net_, pt_, cfg_, pol_,
+                                         topo_.cpuTile());
+        peers_.resize(static_cast<std::size_t>(topo_.numTiles()));
+        std::vector<PeerEndpoint *> raw(peers_.size(), nullptr);
+        for (TileId t : topo_.gpmTiles()) {
+            peers_[static_cast<std::size_t>(t)] =
+                std::make_unique<FakePeer>(engine_);
+            raw[static_cast<std::size_t>(t)] =
+                peers_[static_cast<std::size_t>(t)].get();
+        }
+        iommu_->setPeers(std::move(raw));
+        if (pol_.usesPeerCaching())
+            iommu_->setClusterMap(&clusterMap_);
+    }
+
+    FakePeer &peer(TileId tile)
+    {
+        return *peers_[static_cast<std::size_t>(tile)];
+    }
+
+    /** First mapped VPN of the test buffer. */
+    Vpn vpn(std::size_t index = 0) const
+    {
+        return pt_.vpnOf(buffer_.baseVa) + index;
+    }
+
+    void
+    request(Vpn vpn, TileId requester)
+    {
+        RemoteRequest req;
+        req.vpn = vpn;
+        req.requester = requester;
+        req.issuedAt = engine_.now();
+        iommu_->receiveRequest(req);
+    }
+
+    SystemConfig cfg_;
+    TranslationPolicy pol_;
+    Engine engine_;
+    MeshTopology topo_;
+    Network net_;
+    GlobalPageTable pt_;
+    ConcentricLayers layers_;
+    ClusterMap clusterMap_;
+    std::unique_ptr<Iommu> iommu_;
+    std::vector<std::unique_ptr<FakePeer>> peers_;
+    BufferHandle buffer_;
+};
+
+TEST(IommuTest, SingleRequestWalksAndResponds)
+{
+    IommuTestBench bench(TranslationPolicy::baseline());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    bench.request(bench.vpn(), requester);
+    bench.engine_.run();
+
+    const auto &responses = bench.peer(requester).responses;
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].vpn, bench.vpn());
+    EXPECT_EQ(responses[0].source, TranslationSource::IommuWalk);
+    EXPECT_EQ(responses[0].pfn,
+              bench.pt_.translate(bench.vpn())->pfn);
+    // Walk latency plus the response's mesh traversal.
+    EXPECT_GE(responses[0].when, bench.cfg_.iommuWalkLatency);
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted, 1u);
+}
+
+TEST(IommuTest, WalkBumpsAccessCount)
+{
+    IommuTestBench bench(TranslationPolicy::baseline());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    bench.request(bench.vpn(), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.pt_.translate(bench.vpn())->accessCount, 1u);
+}
+
+TEST(IommuTest, QueueBackpressureGrowsLatency)
+{
+    IommuTestBench bench(TranslationPolicy::baseline());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    // 10x the walker count of distinct VPNs at once.
+    const std::size_t n = bench.cfg_.iommuWalkers * 10;
+    for (std::size_t i = 0; i < n; ++i)
+        bench.request(bench.vpn(i), requester);
+    bench.engine_.run();
+
+    ASSERT_EQ(bench.peer(requester).responses.size(), n);
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted, n);
+    // Later requests wait multiple walk rounds.
+    const auto &s = bench.iommu_->stats();
+    EXPECT_GT(s.preQueueLatency.max() + s.pwQueueLatency.max(),
+              static_cast<double>(3 * bench.cfg_.iommuWalkLatency));
+    EXPECT_GT(s.maxBufferDepth, bench.cfg_.iommuWalkers);
+}
+
+TEST(IommuTest, RevisitCompletesIdenticalPending)
+{
+    IommuTestBench bench(TranslationPolicy::barre());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    // Saturate the walkers with distinct VPNs, then enqueue more
+    // duplicates of one VPN than there are walkers: when the first
+    // duplicate's walk completes, the remaining queued duplicates are
+    // finished by the revisit instead of walking again.
+    const std::size_t walkers = bench.cfg_.iommuWalkers;
+    const std::size_t dups = walkers + 4;
+    for (std::size_t i = 0; i < walkers; ++i)
+        bench.request(bench.vpn(100 + i), requester);
+    for (std::size_t i = 0; i < dups; ++i)
+        bench.request(bench.vpn(7), requester);
+    bench.engine_.run();
+
+    EXPECT_GT(bench.iommu_->stats().revisitCompletions, 0u);
+    // Fewer walks spent than one per duplicate.
+    EXPECT_LT(bench.iommu_->stats().walksCompleted, walkers + dups);
+    std::size_t dup_responses = 0;
+    for (const auto &r : bench.peer(requester).responses)
+        dup_responses += (r.vpn == bench.vpn(7));
+    EXPECT_EQ(dup_responses, dups);
+}
+
+TEST(IommuTest, BaselineNeverRevisits)
+{
+    IommuTestBench bench(TranslationPolicy::baseline());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    for (std::size_t i = 0; i < bench.cfg_.iommuWalkers; ++i)
+        bench.request(bench.vpn(100 + i), requester);
+    for (int i = 0; i < 8; ++i)
+        bench.request(bench.vpn(7), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().revisitCompletions, 0u);
+    // Every duplicate pays its own walk.
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted,
+              bench.cfg_.iommuWalkers + 8);
+}
+
+TEST(IommuTest, SelectivePushAfterThreshold)
+{
+    TranslationPolicy pol = TranslationPolicy::withRedirection();
+    pol.auxPushThreshold = 2;
+    IommuTestBench bench(pol);
+    const TileId requester = bench.topo_.gpmTiles().front();
+
+    // First walk: below threshold, no push, no RT entry.
+    bench.request(bench.vpn(), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().pushesSent, 0u);
+
+    // Second walk of the same VPN: pushes to one tile per layer and
+    // installs the redirection entry.
+    bench.request(bench.vpn(), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().pushesSent, 2u);
+
+    const TileId aux0 = bench.clusterMap_.auxTileFor(bench.vpn(), 0);
+    const TileId aux1 = bench.clusterMap_.auxTileFor(bench.vpn(), 1);
+    ASSERT_EQ(bench.peer(aux0).pushes.size(), 1u);
+    ASSERT_EQ(bench.peer(aux1).pushes.size(), 1u);
+    EXPECT_FALSE(bench.peer(aux0).pushes[0].prefetched);
+
+    // Third request from a different GPM: redirected to the inner aux.
+    const TileId other = bench.topo_.gpmTiles().back();
+    bench.request(bench.vpn(), other);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().redirectsSent, 1u);
+    ASSERT_EQ(bench.peer(aux0).redirected.size(), 1u);
+    EXPECT_EQ(bench.peer(aux0).redirected[0].requester, other);
+}
+
+TEST(IommuTest, RedirectToRequesterFallsBackToWalk)
+{
+    TranslationPolicy pol = TranslationPolicy::withRedirection();
+    pol.auxPushThreshold = 1;
+    IommuTestBench bench(pol);
+    const TileId aux0 = bench.clusterMap_.auxTileFor(bench.vpn(), 0);
+
+    // Prime the RT (one walk from some other tile).
+    bench.request(bench.vpn(), bench.topo_.gpmTiles().back());
+    bench.engine_.run();
+
+    // The registered holder itself asks: it must NOT be redirected to
+    // itself; the stale entry is dropped and a walk happens.
+    bench.request(bench.vpn(), aux0);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().staleRedirectsSkipped, 1u);
+    EXPECT_EQ(bench.peer(aux0).redirected.size(), 0u);
+    ASSERT_FALSE(bench.peer(aux0).responses.empty());
+}
+
+TEST(IommuTest, PrefetchPushesNeighbours)
+{
+    TranslationPolicy pol = TranslationPolicy::hdpat();
+    pol.auxPushThreshold = 100; // Isolate prefetch pushes.
+    IommuTestBench bench(pol);
+    const TileId requester = bench.topo_.gpmTiles().front();
+
+    bench.request(bench.vpn(10), requester);
+    bench.engine_.run();
+
+    // Degree 4: VPN+1..+3 prefetched, each pushed to both layers.
+    EXPECT_EQ(bench.iommu_->stats().prefetchedPtes, 3u);
+    EXPECT_EQ(bench.iommu_->stats().pushesSent, 6u);
+    for (int d = 1; d < 4; ++d) {
+        const Vpn pv = bench.vpn(10) + static_cast<Vpn>(d);
+        const TileId aux = bench.clusterMap_.auxTileFor(pv, 0);
+        bool found = false;
+        for (const auto &push : bench.peer(aux).pushes)
+            found |= (push.vpn == pv && push.prefetched);
+        EXPECT_TRUE(found) << "prefetched vpn " << pv;
+    }
+}
+
+TEST(IommuTest, PrefetchSkipsUnmappedPages)
+{
+    TranslationPolicy pol = TranslationPolicy::hdpat();
+    pol.auxPushThreshold = 100;
+    IommuTestBench bench(pol);
+    const TileId requester = bench.topo_.gpmTiles().front();
+    // Last mapped page: its +1..+3 neighbours do not exist.
+    bench.request(bench.vpn(4095), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().prefetchedPtes, 0u);
+}
+
+TEST(IommuTest, TlbModeHitsAfterFill)
+{
+    IommuTestBench bench(TranslationPolicy::hdpatWithIommuTlb());
+    const TileId requester = bench.topo_.gpmTiles().front();
+
+    bench.request(bench.vpn(), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted, 1u);
+
+    bench.request(bench.vpn(), requester);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().tlbHits, 1u);
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted, 1u); // No 2nd walk.
+
+    const auto &responses = bench.peer(requester).responses;
+    ASSERT_EQ(responses.size(), 2u);
+    EXPECT_EQ(responses[1].source, TranslationSource::IommuTlb);
+}
+
+TEST(IommuTest, TlbModeMergesConcurrentMisses)
+{
+    IommuTestBench bench(TranslationPolicy::hdpatWithIommuTlb());
+    const TileId a = bench.topo_.gpmTiles().front();
+    const TileId b = bench.topo_.gpmTiles().back();
+    bench.request(bench.vpn(3), a);
+    bench.request(bench.vpn(3), b);
+    bench.engine_.run();
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted, 1u);
+    EXPECT_EQ(bench.iommu_->stats().mshrMerges, 1u);
+    EXPECT_EQ(bench.peer(a).responses.size(), 1u);
+    EXPECT_EQ(bench.peer(b).responses.size(), 1u);
+}
+
+TEST(IommuTest, TransFwDelegatesToHome)
+{
+    IommuTestBench bench(TranslationPolicy::transFw());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    const Vpn v = bench.vpn(2000);
+    const TileId home = bench.pt_.homeOf(v);
+    ASSERT_NE(home, kInvalidTile);
+
+    bench.request(v, requester);
+    bench.engine_.run();
+
+    EXPECT_EQ(bench.iommu_->stats().walksCompleted, 0u);
+    EXPECT_EQ(bench.iommu_->stats().delegationsSent, 1u);
+    ASSERT_EQ(bench.peer(home).delegated.size(), 1u);
+    EXPECT_EQ(bench.peer(home).delegated[0].vpn, v);
+}
+
+TEST(IommuTest, TraceCaptureRecordsArrivals)
+{
+    IommuTestBench bench(TranslationPolicy::baseline());
+    bench.iommu_->setCaptureTrace(true);
+    const TileId requester = bench.topo_.gpmTiles().front();
+    bench.request(bench.vpn(1), requester);
+    bench.request(bench.vpn(2), requester);
+    bench.engine_.run();
+    ASSERT_EQ(bench.iommu_->stats().trace.size(), 2u);
+    EXPECT_EQ(bench.iommu_->stats().trace[0].second, bench.vpn(1));
+    EXPECT_EQ(bench.iommu_->stats().trace[1].second, bench.vpn(2));
+}
+
+TEST(IommuTest, ServedPerWindowCountsRequests)
+{
+    IommuTestBench bench(TranslationPolicy::baseline());
+    const TileId requester = bench.topo_.gpmTiles().front();
+    for (int i = 0; i < 5; ++i)
+        bench.request(bench.vpn(static_cast<std::size_t>(i)),
+                      requester);
+    bench.engine_.run();
+    double total = 0;
+    const auto &series = bench.iommu_->stats().servedPerWindow;
+    for (std::size_t w = 0; w < series.windows(); ++w)
+        total += series.windowSum(w);
+    EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the wafer and MCM topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/mesh_topology.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(MeshTopologyTest, Wafer7x7HasPaperGeometry)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    EXPECT_EQ(topo.numTiles(), 49);
+    EXPECT_EQ(topo.numGpms(), 48u); // Paper: 48-GPM wafer-scale GPU.
+    EXPECT_EQ(topo.cpuCoord(), (Coord{3, 3}));
+    EXPECT_FALSE(topo.isGpm(topo.cpuTile()));
+    EXPECT_EQ(topo.maxRing(), 3);
+}
+
+TEST(MeshTopologyTest, Wafer7x12HasPaperGeometry)
+{
+    const MeshTopology topo = MeshTopology::wafer(12, 7);
+    EXPECT_EQ(topo.numGpms(), 83u); // 84 tiles minus the CPU.
+    EXPECT_TRUE(topo.isActive(topo.cpuTile()));
+}
+
+TEST(MeshTopologyTest, TileCoordRoundTrip)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    for (TileId t = 0; t < topo.numTiles(); ++t) {
+        const Coord c = topo.coordOf(t);
+        EXPECT_EQ(topo.tileAt(c), t);
+    }
+}
+
+TEST(MeshTopologyTest, TileAtOutOfBounds)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    EXPECT_EQ(topo.tileAt({-1, 0}), kInvalidTile);
+    EXPECT_EQ(topo.tileAt({7, 0}), kInvalidTile);
+    EXPECT_EQ(topo.tileAt({0, 7}), kInvalidTile);
+}
+
+TEST(MeshTopologyTest, HopDistanceIsManhattan)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const TileId corner = topo.tileAt({0, 0});
+    const TileId opposite = topo.tileAt({6, 6});
+    EXPECT_EQ(topo.hopDistance(corner, opposite), 12);
+    EXPECT_EQ(topo.hopDistance(corner, topo.cpuTile()), 6);
+    EXPECT_EQ(topo.hopDistance(corner, corner), 0);
+}
+
+TEST(MeshTopologyTest, RingsPartitionTheWafer)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    int ring_counts[4] = {0, 0, 0, 0};
+    for (TileId gpm : topo.gpmTiles()) {
+        const int ring = topo.ringOf(gpm);
+        ASSERT_GE(ring, 1);
+        ASSERT_LE(ring, 3);
+        ++ring_counts[ring];
+    }
+    EXPECT_EQ(ring_counts[1], 8);
+    EXPECT_EQ(ring_counts[2], 16);
+    EXPECT_EQ(ring_counts[3], 24);
+}
+
+TEST(MeshTopologyTest, Mcm4MatchesFig4Baseline)
+{
+    const MeshTopology topo = MeshTopology::mcm4();
+    EXPECT_EQ(topo.numGpms(), 4u);
+    // Every GPM is one hop from the CPU (single-package MCM).
+    for (TileId gpm : topo.gpmTiles())
+        EXPECT_EQ(topo.hopDistance(gpm, topo.cpuTile()), 1);
+    // Corner tiles are inactive.
+    EXPECT_EQ(topo.tileAt({0, 0}), kInvalidTile);
+    EXPECT_EQ(topo.tileAt({2, 2}), kInvalidTile);
+}
+
+TEST(MeshTopologyTest, GpmTilesAreSortedAndUnique)
+{
+    const MeshTopology topo = MeshTopology::wafer(5, 5);
+    const auto &gpms = topo.gpmTiles();
+    for (std::size_t i = 1; i < gpms.size(); ++i)
+        EXPECT_LT(gpms[i - 1], gpms[i]);
+}
+
+/** Any odd mesh keeps the CPU exactly at the centre. */
+class WaferSizeTest
+    : public testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(WaferSizeTest, CenterCpuAndFullGpmCount)
+{
+    const auto [w, h] = GetParam();
+    const MeshTopology topo = MeshTopology::wafer(w, h);
+    EXPECT_EQ(topo.cpuCoord(), (Coord{w / 2, h / 2}));
+    EXPECT_EQ(topo.numGpms(), static_cast<std::size_t>(w * h - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WaferSizeTest,
+    testing::Values(std::pair<int, int>{3, 3}, std::pair<int, int>{5, 5},
+                    std::pair<int, int>{7, 7}, std::pair<int, int>{9, 7},
+                    std::pair<int, int>{12, 7}));
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the MSHR file: coalescing, capacity blocking, and
+ * resolution semantics.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(MshrTest, FirstMissAllocates)
+{
+    MshrFile mshr(4);
+    const auto outcome = mshr.registerMiss(1, [](Vpn, Pfn) {});
+    EXPECT_EQ(outcome, MshrFile::Outcome::Allocated);
+    EXPECT_TRUE(mshr.inFlight(1));
+    EXPECT_EQ(mshr.occupancy(), 1u);
+}
+
+TEST(MshrTest, SecondMissMerges)
+{
+    MshrFile mshr(4);
+    mshr.registerMiss(1, [](Vpn, Pfn) {});
+    const auto outcome = mshr.registerMiss(1, [](Vpn, Pfn) {});
+    EXPECT_EQ(outcome, MshrFile::Outcome::Merged);
+    EXPECT_EQ(mshr.occupancy(), 1u);
+    EXPECT_EQ(mshr.stats().merges, 1u);
+}
+
+TEST(MshrTest, FullRejects)
+{
+    MshrFile mshr(2);
+    mshr.registerMiss(1, [](Vpn, Pfn) {});
+    mshr.registerMiss(2, [](Vpn, Pfn) {});
+    EXPECT_TRUE(mshr.full());
+    const auto outcome = mshr.registerMiss(3, [](Vpn, Pfn) {});
+    EXPECT_EQ(outcome, MshrFile::Outcome::Full);
+    EXPECT_EQ(mshr.stats().fullRejections, 1u);
+    // A merged miss is still accepted when full.
+    EXPECT_EQ(mshr.registerMiss(1, [](Vpn, Pfn) {}),
+              MshrFile::Outcome::Merged);
+}
+
+TEST(MshrTest, ResolveFiresAllWaitersInOrder)
+{
+    MshrFile mshr(4);
+    std::vector<int> order;
+    mshr.registerMiss(7, [&](Vpn v, Pfn p) {
+        EXPECT_EQ(v, 7u);
+        EXPECT_EQ(p, 70u);
+        order.push_back(1);
+    });
+    mshr.registerMiss(7, [&](Vpn, Pfn) { order.push_back(2); });
+    mshr.registerMiss(7, [&](Vpn, Pfn) { order.push_back(3); });
+
+    mshr.resolve(7, 70);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_FALSE(mshr.inFlight(7));
+    EXPECT_EQ(mshr.occupancy(), 0u);
+}
+
+TEST(MshrTest, ResolveUnknownIsNoOp)
+{
+    MshrFile mshr(4);
+    mshr.resolve(99, 1); // Must not crash or change state.
+    EXPECT_EQ(mshr.occupancy(), 0u);
+}
+
+TEST(MshrTest, ZeroCapacityIsUnlimited)
+{
+    MshrFile mshr(0);
+    for (Vpn v = 0; v < 10000; ++v) {
+        EXPECT_EQ(mshr.registerMiss(v, [](Vpn, Pfn) {}),
+                  MshrFile::Outcome::Allocated);
+    }
+    EXPECT_FALSE(mshr.full());
+}
+
+TEST(MshrTest, CallbackMayReenter)
+{
+    // A resolution callback registering a new miss for the same VPN
+    // must allocate a fresh entry (the old one is already gone).
+    MshrFile mshr(4);
+    bool reentered = false;
+    mshr.registerMiss(5, [&](Vpn, Pfn) {
+        const auto outcome =
+            mshr.registerMiss(5, [&](Vpn, Pfn) { reentered = true; });
+        EXPECT_EQ(outcome, MshrFile::Outcome::Allocated);
+    });
+    mshr.resolve(5, 50);
+    EXPECT_TRUE(mshr.inFlight(5));
+    mshr.resolve(5, 50);
+    EXPECT_TRUE(reentered);
+}
+
+TEST(MshrTest, FreeingMakesRoom)
+{
+    MshrFile mshr(1);
+    mshr.registerMiss(1, [](Vpn, Pfn) {});
+    EXPECT_EQ(mshr.registerMiss(2, [](Vpn, Pfn) {}),
+              MshrFile::Outcome::Full);
+    mshr.resolve(1, 10);
+    EXPECT_EQ(mshr.registerMiss(2, [](Vpn, Pfn) {}),
+              MshrFile::Outcome::Allocated);
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the analytical mesh network: XY routing, latency
+ * arithmetic, link contention, and traffic accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/network.hh"
+#include "sim/engine.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+class NetworkTest : public testing::Test
+{
+  protected:
+    NetworkTest() : topo_(MeshTopology::wafer(7, 7)), net_(makeNet()) {}
+
+    Network makeNet()
+    {
+        NocParams params;
+        params.linkLatency = 32;
+        params.bytesPerTick = 768.0;
+        params.localLatency = 1;
+        return Network(engine_, topo_, params);
+    }
+
+    Engine engine_;
+    MeshTopology topo_;
+    Network net_;
+};
+
+TEST_F(NetworkTest, RouteIsDimensionOrdered)
+{
+    const TileId src = topo_.tileAt({0, 0});
+    const TileId dst = topo_.tileAt({2, 2});
+    const auto path = net_.route(src, dst);
+    // X first, then Y: (0,0) (1,0) (2,0) (2,1) (2,2).
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path[0], topo_.tileAt({0, 0}));
+    EXPECT_EQ(path[1], topo_.tileAt({1, 0}));
+    EXPECT_EQ(path[2], topo_.tileAt({2, 0}));
+    EXPECT_EQ(path[3], topo_.tileAt({2, 1}));
+    EXPECT_EQ(path[4], topo_.tileAt({2, 2}));
+}
+
+TEST_F(NetworkTest, RouteLengthMatchesManhattan)
+{
+    for (TileId a : topo_.gpmTiles()) {
+        for (TileId b : {topo_.cpuTile(), topo_.gpmTiles().front(),
+                         topo_.gpmTiles().back()}) {
+            const auto path = net_.route(a, b);
+            EXPECT_EQ(static_cast<int>(path.size()) - 1,
+                      topo_.hopDistance(a, b));
+        }
+    }
+}
+
+TEST_F(NetworkTest, UncontendedLatencyIsHopsTimesLinkLatency)
+{
+    const TileId src = topo_.tileAt({0, 3});
+    const TileId dst = topo_.tileAt({3, 3}); // 3 hops.
+    const Tick arrive = net_.computeArrival(0, src, dst, 32);
+    // 3 links x (32 + 32/768) cycles, rounded up.
+    EXPECT_GE(arrive, 96u);
+    EXPECT_LE(arrive, 98u);
+}
+
+TEST_F(NetworkTest, LocalDeliveryUsesLocalLatency)
+{
+    const TileId t = topo_.gpmTiles().front();
+    EXPECT_EQ(net_.computeArrival(10, t, t, 64), 11u);
+}
+
+TEST_F(NetworkTest, SendSchedulesCallbackAtArrival)
+{
+    const TileId src = topo_.tileAt({3, 0});
+    const TileId dst = topo_.tileAt({3, 3});
+    Tick delivered = 0;
+    net_.send(src, dst, 32, [&] { delivered = engine_.now(); });
+    engine_.run();
+    EXPECT_GE(delivered, 96u);
+    EXPECT_LE(delivered, 98u);
+}
+
+TEST_F(NetworkTest, ContentionSerializesLargePackets)
+{
+    // Two full-cycle-size packets on the same first link: the second
+    // departs only after the first's serialization slot.
+    const TileId src = topo_.tileAt({0, 0});
+    const TileId dst = topo_.tileAt({1, 0});
+    const std::size_t big = 768 * 4; // 4 cycles of link time.
+    const Tick first = net_.computeArrival(0, src, dst, big);
+    const Tick second = net_.computeArrival(0, src, dst, big);
+    EXPECT_EQ(first, 36u);  // 4 serialize + 32 latency.
+    EXPECT_EQ(second, 40u); // Waits 4 cycles behind the first.
+}
+
+TEST_F(NetworkTest, SmallPacketsShareACycle)
+{
+    const TileId src = topo_.tileAt({0, 0});
+    const TileId dst = topo_.tileAt({1, 0});
+    // 768 B/cycle: 24 32-byte packets fit into one cycle.
+    Tick last = 0;
+    for (int i = 0; i < 24; ++i)
+        last = net_.computeArrival(0, src, dst, 32);
+    EXPECT_LE(last, 34u);
+}
+
+TEST_F(NetworkTest, OppositeDirectionsDoNotContend)
+{
+    const TileId a = topo_.tileAt({0, 0});
+    const TileId b = topo_.tileAt({1, 0});
+    const std::size_t big = 768 * 8;
+    const Tick ab = net_.computeArrival(0, a, b, big);
+    const Tick ba = net_.computeArrival(0, b, a, big);
+    EXPECT_EQ(ab, ba); // Separate directed links.
+}
+
+TEST_F(NetworkTest, TrafficAccounting)
+{
+    const TileId src = topo_.tileAt({0, 3});
+    const TileId dst = topo_.tileAt({3, 3});
+    net_.computeArrival(0, src, dst, 100);
+    EXPECT_EQ(net_.stats().packets, 1u);
+    EXPECT_EQ(net_.stats().totalBytes, 100u);
+    EXPECT_EQ(net_.stats().totalHops, 3u);
+    EXPECT_EQ(net_.stats().byteHops, 300u);
+}
+
+TEST_F(NetworkTest, McmRoutesThroughCenter)
+{
+    Engine engine;
+    const MeshTopology mcm = MeshTopology::mcm4();
+    Network net(engine, mcm, NocParams{});
+    const auto gpms = mcm.gpmTiles();
+    // GPM-to-GPM traffic crosses the CPU tile (2 hops).
+    const auto path = net.route(gpms[0], gpms[3]);
+    EXPECT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[1], mcm.cpuTile());
+}
+
+} // namespace
+} // namespace hdpat

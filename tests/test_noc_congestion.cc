@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Property tests for NoC congestion behaviour: hot-spot serialization,
+ * conservation of delivered packets, and geometry-dependent latency —
+ * the characteristics §III says dominate wafer-scale communication.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(NocCongestionTest, HotSpotSerializesByBandwidth)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    Network net(engine, topo, NocParams{});
+
+    // Every GPM fires a large packet at the CPU at t=0. The CPU has
+    // only 4 inbound links, so the last arrival must reflect the
+    // serialization of all that traffic through them.
+    const std::size_t bytes = 768 * 2; // 2 cycles per link traversal.
+    Tick last = 0;
+    for (TileId gpm : topo.gpmTiles())
+        last = std::max(last, net.computeArrival(0, gpm, topo.cpuTile(),
+                                                 bytes));
+    // 48 packets x 2 cycles over 4 links = >= 24 cycles of pure
+    // serialization at the hot spot, beyond the base hop latency.
+    const Tick base = 6 * 32 + 12; // Farthest corner, uncontended.
+    EXPECT_GT(last, base + 10);
+    EXPECT_EQ(net.stats().packets, topo.numGpms());
+}
+
+TEST(NocCongestionTest, DisjointPathsDoNotInterfere)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    Network net(engine, topo, NocParams{});
+
+    // Two flows in opposite corners share no links under XY routing.
+    const Tick a1 = net.computeArrival(0, topo.tileAt({0, 0}),
+                                       topo.tileAt({1, 0}), 768 * 8);
+    const Tick b1 = net.computeArrival(0, topo.tileAt({6, 6}),
+                                       topo.tileAt({5, 6}), 768 * 8);
+    EXPECT_EQ(a1, b1); // Identical, independent timing.
+}
+
+TEST(NocCongestionTest, LatencyGrowsWithDistance)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    Network net(engine, topo, NocParams{});
+
+    const TileId cpu = topo.cpuTile();
+    Tick prev = 0;
+    for (int d = 1; d <= 3; ++d) {
+        const TileId src = topo.tileAt({3 - d, 3});
+        const Tick arrive = net.computeArrival(0, src, cpu, 32);
+        EXPECT_GT(arrive, prev);
+        prev = arrive;
+    }
+}
+
+TEST(NocCongestionTest, BacklogDrainsAtLinkRate)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    NocParams params;
+    params.bytesPerTick = 64.0; // Slow link: 1 line per cycle.
+    Network net(engine, topo, params);
+
+    const TileId a = topo.tileAt({0, 3});
+    const TileId b = topo.tileAt({1, 3});
+    std::vector<Tick> arrivals;
+    for (int i = 0; i < 16; ++i)
+        arrivals.push_back(net.computeArrival(0, a, b, 64));
+    // Each 64-byte packet holds the link for exactly 1 cycle.
+    for (std::size_t i = 1; i < arrivals.size(); ++i)
+        EXPECT_EQ(arrivals[i], arrivals[i - 1] + 1);
+}
+
+TEST(NocCongestionTest, LinkWaitStatCapturesQueueing)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    Network net(engine, topo, NocParams{});
+
+    const TileId a = topo.tileAt({2, 2});
+    const TileId b = topo.tileAt({3, 2});
+    net.computeArrival(0, a, b, 768 * 4);
+    EXPECT_EQ(net.stats().linkWait.max(), 0.0);
+    net.computeArrival(0, a, b, 768 * 4);
+    EXPECT_GT(net.stats().linkWait.max(), 0.0);
+}
+
+/** Randomized conservation: every sent packet arrives exactly once. */
+TEST(NocCongestionTest, AllPacketsDeliverUnderRandomTraffic)
+{
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(5, 5);
+    Network net(engine, topo, NocParams{});
+    Rng rng(99);
+
+    int delivered = 0;
+    const int total = 500;
+    const auto &gpms = topo.gpmTiles();
+    for (int i = 0; i < total; ++i) {
+        const TileId src = gpms[rng.uniformInt(gpms.size())];
+        const TileId dst = gpms[rng.uniformInt(gpms.size())];
+        net.send(src, dst, 32 + rng.uniformInt(128),
+                 [&delivered] { ++delivered; });
+    }
+    engine.run();
+    EXPECT_EQ(delivered, total);
+    EXPECT_EQ(net.stats().packets, static_cast<std::uint64_t>(total));
+}
+
+} // namespace
+} // namespace hdpat

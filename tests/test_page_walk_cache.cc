@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the page-walk cache extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_walk_cache.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(PageWalkCacheTest, DisabledPaysFullLatency)
+{
+    PageWalkCache pwc(0, 5, 100);
+    EXPECT_FALSE(pwc.enabled());
+    EXPECT_EQ(pwc.walkLatency(0x12345), 500u);
+    pwc.fill(0x12345); // No-op.
+    EXPECT_EQ(pwc.walkLatency(0x12345), 500u);
+}
+
+TEST(PageWalkCacheTest, ColdWalkPaysFullLatency)
+{
+    PageWalkCache pwc(64, 5, 100);
+    ASSERT_TRUE(pwc.enabled());
+    EXPECT_EQ(pwc.walkLatency(0x12345), 500u);
+}
+
+TEST(PageWalkCacheTest, RepeatWalkSkipsAllButLeaf)
+{
+    PageWalkCache pwc(64, 5, 100);
+    pwc.fill(0x12345);
+    // Levels 1..4 cached; only the leaf level walks.
+    EXPECT_EQ(pwc.walkLatency(0x12345), 100u);
+}
+
+TEST(PageWalkCacheTest, NeighbourSharesUpperLevels)
+{
+    PageWalkCache pwc(64, 5, 100, 9);
+    pwc.fill(0x12345);
+    // Same 512-page leaf region: all upper levels shared.
+    EXPECT_EQ(pwc.walkLatency(0x12346), 100u);
+    // Same level-3 region but different leaf table (bit 9 flipped):
+    // one extra level must walk.
+    EXPECT_EQ(pwc.walkLatency(0x12345 ^ (1u << 9)), 200u);
+}
+
+TEST(PageWalkCacheTest, DistantVpnMissesEverything)
+{
+    PageWalkCache pwc(64, 5, 100, 9);
+    pwc.fill(0x12345);
+    EXPECT_EQ(pwc.walkLatency(Vpn(1) << 40), 500u);
+}
+
+TEST(PageWalkCacheTest, StatsTrackSkippedLevels)
+{
+    PageWalkCache pwc(64, 5, 100);
+    pwc.walkLatency(7);
+    pwc.fill(7);
+    pwc.walkLatency(7);
+    EXPECT_EQ(pwc.stats().walksServed, 2u);
+    EXPECT_EQ(pwc.stats().levelsSkipped, 4u);
+}
+
+TEST(PageWalkCacheTest, CapacityEvictionRestoresFullWalks)
+{
+    PageWalkCache pwc(8, 5, 100, 9);
+    pwc.fill(1);
+    // Flood the level-4 cache with distant leaf regions.
+    for (Vpn v = 0; v < 64; ++v)
+        pwc.fill((v + 2) << 20);
+    // VPN 1's deepest levels were evicted; some latency returns.
+    EXPECT_GT(pwc.walkLatency(1), 100u);
+}
+
+TEST(PageWalkCacheTest, TooFewLevelsIsFatal)
+{
+    EXPECT_EXIT(PageWalkCache(64, 1, 100), testing::ExitedWithCode(1),
+                "levels");
+}
+
+} // namespace
+} // namespace hdpat

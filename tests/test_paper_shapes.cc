@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Paper-shape regression tests: small, fast runs asserting the
+ * qualitative results EXPERIMENTS.md reports, so recalibration work
+ * cannot silently break a reproduced figure's direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+SystemConfig
+mesh5(const char *name = "shape-5x5")
+{
+    SystemConfig cfg = SystemConfig::mi100();
+    cfg.meshWidth = 5;
+    cfg.meshHeight = 5;
+    cfg.name = name;
+    return cfg;
+}
+
+RunResult
+runShape(const SystemConfig &cfg, const TranslationPolicy &pol,
+         const std::string &wl, std::size_t ops = 1500)
+{
+    RunSpec spec;
+    spec.config = cfg;
+    spec.policy = pol;
+    spec.workload = wl;
+    spec.opsPerGpm = ops;
+    return runOnce(spec);
+}
+
+/** Fig 2 shape: both idealizations help, and land close together. */
+TEST(PaperShapeTest, IdealIommuHeadroom)
+{
+    const RunResult base =
+        runShape(mesh5(), TranslationPolicy::baseline(), "SPMV");
+
+    SystemConfig fast = mesh5("ideal-lat");
+    fast.iommuWalkLatency = 1;
+    const RunResult low_lat =
+        runShape(fast, TranslationPolicy::baseline(), "SPMV");
+
+    SystemConfig wide = mesh5("ideal-walkers");
+    wide.iommuWalkers = 4096;
+    wide.iommuPwQueueCapacity = 8192;
+    const RunResult many =
+        runShape(wide, TranslationPolicy::baseline(), "SPMV");
+
+    EXPECT_GT(speedupOver(base, low_lat), 2.0);
+    EXPECT_GT(speedupOver(base, many), 2.0);
+}
+
+/** Fig 4 shape: the wafer's IOMMU backlog dwarfs the MCM's. */
+TEST(PaperShapeTest, WaferBacklogDwarfsMcm)
+{
+    const RunResult mcm = runShape(
+        SystemConfig::mcm4(), TranslationPolicy::baseline(), "SPMV");
+    const RunResult wafer = runShape(
+        SystemConfig::mi100(), TranslationPolicy::baseline(), "SPMV");
+    EXPECT_GT(wafer.iommu.maxBufferDepth,
+              4 * mcm.iommu.maxBufferDepth);
+}
+
+/** Fig 15 shape: the full combination beats cluster+rotation alone. */
+TEST(PaperShapeTest, FullHdpatBeatsClusterRotationAlone)
+{
+    const RunResult base =
+        runShape(mesh5(), TranslationPolicy::baseline(), "PR");
+    const RunResult cluster =
+        runShape(mesh5(), TranslationPolicy::clusterRotation(), "PR");
+    const RunResult full =
+        runShape(mesh5(), TranslationPolicy::hdpat(), "PR");
+    EXPECT_GT(speedupOver(base, full), speedupOver(base, cluster));
+}
+
+/** Fig 18 shape: prefetch degree 4 beats degree 1 on FIR. */
+TEST(PaperShapeTest, PrefetchDegreeFourBeatsOneOnFir)
+{
+    const RunResult base =
+        runShape(mesh5(), TranslationPolicy::baseline(), "FIR");
+
+    TranslationPolicy deg1 = TranslationPolicy::hdpat();
+    deg1.prefetch = false;
+    deg1.prefetchDegree = 1;
+    TranslationPolicy deg4 = TranslationPolicy::hdpat();
+
+    const RunResult r1 = runShape(mesh5(), deg1, "FIR");
+    const RunResult r4 = runShape(mesh5(), deg4, "FIR");
+    EXPECT_GT(speedupOver(base, r4), speedupOver(base, r1));
+}
+
+/** Fig 19 shape: the redirection table beats the equal-area TLB. */
+TEST(PaperShapeTest, RedirectionTableBeatsEqualAreaTlb)
+{
+    const SystemConfig cfg = SystemConfig::mi100();
+    const RunResult base =
+        runShape(cfg, TranslationPolicy::baseline(), "SPMV", 2500);
+    const RunResult rt =
+        runShape(cfg, TranslationPolicy::hdpat(), "SPMV", 2500);
+    const RunResult tlb = runShape(
+        cfg, TranslationPolicy::hdpatWithIommuTlb(), "SPMV", 2500);
+    EXPECT_GT(speedupOver(base, rt), speedupOver(base, tlb));
+}
+
+/** Fig 20 shape: larger pages cut the baseline's IOMMU traffic. */
+TEST(PaperShapeTest, LargerPagesReduceBaselineWalks)
+{
+    SystemConfig small_pages = mesh5("4k");
+    SystemConfig large_pages = mesh5("64k");
+    large_pages.pageShift = 16;
+    const RunResult small =
+        runShape(small_pages, TranslationPolicy::baseline(), "SPMV");
+    const RunResult large =
+        runShape(large_pages, TranslationPolicy::baseline(), "SPMV");
+    EXPECT_LT(large.iommu.walksCompleted, small.iommu.walksCompleted);
+    EXPECT_LT(large.totalTicks, small.totalTicks);
+}
+
+/** Fig 22 shape: HDPAT still wins on a larger wafer. */
+TEST(PaperShapeTest, HdpatWinsOnLargerWafer)
+{
+    const SystemConfig cfg = SystemConfig::mi100Wafer7x12();
+    const RunResult base =
+        runShape(cfg, TranslationPolicy::baseline(), "KM", 800);
+    const RunResult hdpat =
+        runShape(cfg, TranslationPolicy::hdpat(), "KM", 800);
+    EXPECT_GT(speedupOver(base, hdpat), 1.1);
+}
+
+/** Fig 17 shape: HDPAT shortens the remote round trip. */
+TEST(PaperShapeTest, HdpatCutsRemoteRtt)
+{
+    const RunResult base =
+        runShape(mesh5(), TranslationPolicy::baseline(), "KM");
+    const RunResult hdpat =
+        runShape(mesh5(), TranslationPolicy::hdpat(), "KM");
+    EXPECT_LT(hdpat.remoteRtt.mean(), base.remoteRtt.mean());
+}
+
+/** O1 shape: HDPAT cuts the IOMMU's served-walk count roughly in half
+ *  or better on reuse-heavy work. */
+TEST(PaperShapeTest, HdpatOffloadsWalks)
+{
+    const RunResult base =
+        runShape(mesh5(), TranslationPolicy::baseline(), "PR");
+    const RunResult hdpat =
+        runShape(mesh5(), TranslationPolicy::hdpat(), "PR");
+    EXPECT_LT(2 * hdpat.iommu.walksCompleted,
+              base.iommu.walksCompleted + 1);
+}
+
+/** PWC extension shape: walk caches compose with HDPAT. */
+TEST(PaperShapeTest, PageWalkCacheComposesWithHdpat)
+{
+    SystemConfig pwc_cfg = mesh5("pwc");
+    pwc_cfg.iommuPwcEntriesPerLevel = 256;
+
+    const RunResult base =
+        runShape(mesh5(), TranslationPolicy::baseline(), "SPMV");
+    const RunResult hdpat =
+        runShape(mesh5(), TranslationPolicy::hdpat(), "SPMV");
+    const RunResult both =
+        runShape(pwc_cfg, TranslationPolicy::hdpat(), "SPMV");
+    EXPECT_GT(speedupOver(base, both), speedupOver(base, hdpat));
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parameterized integration tests: every translation policy runs every
+ * check, so no scheme can silently deadlock or violate accounting.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TranslationPolicy
+policyByName(const std::string &name)
+{
+    if (name == "baseline")
+        return TranslationPolicy::baseline();
+    if (name == "route-based")
+        return TranslationPolicy::routeCaching();
+    if (name == "concentric")
+        return TranslationPolicy::concentricCaching();
+    if (name == "distributed")
+        return TranslationPolicy::distributedCaching();
+    if (name == "cluster+rotation")
+        return TranslationPolicy::clusterRotation();
+    if (name == "redirection")
+        return TranslationPolicy::withRedirection();
+    if (name == "prefetch")
+        return TranslationPolicy::withPrefetch();
+    if (name == "hdpat")
+        return TranslationPolicy::hdpat();
+    if (name == "hdpat-iommu-tlb")
+        return TranslationPolicy::hdpatWithIommuTlb();
+    if (name == "trans-fw")
+        return TranslationPolicy::transFw();
+    if (name == "valkyrie")
+        return TranslationPolicy::valkyrie();
+    return TranslationPolicy::barre();
+}
+
+class PolicyIntegrationTest : public testing::TestWithParam<std::string>
+{
+  protected:
+    RunResult
+    runSmall(const std::string &workload) const
+    {
+        RunSpec spec;
+        spec.config = SystemConfig::mi100();
+        spec.config.meshWidth = 5;
+        spec.config.meshHeight = 5;
+        spec.config.name = "ptest-5x5";
+        spec.policy = policyByName(GetParam());
+        spec.workload = workload;
+        spec.opsPerGpm = 1000;
+        return runOnce(spec);
+    }
+};
+
+TEST_P(PolicyIntegrationTest, CompletesAllOps)
+{
+    const RunResult r = runSmall("SPMV");
+    EXPECT_EQ(r.opsTotal, 1000u * 24u);
+    EXPECT_GT(r.totalTicks, 0u);
+    for (const auto &[tile, tick] : r.gpmFinish)
+        EXPECT_LE(tick, r.totalTicks);
+}
+
+TEST_P(PolicyIntegrationTest, AccountingInvariantsHold)
+{
+    const RunResult r = runSmall("SPMV");
+    // Every unique remote resolution got exactly one classification.
+    std::uint64_t classified = 0;
+    for (std::uint64_t c : r.sourceCounts)
+        classified += c;
+    EXPECT_EQ(classified, r.remoteResolutions);
+    // Resolutions never exceed remote ops (MSHR coalescing only
+    // merges).
+    EXPECT_LE(r.remoteResolutions, r.remoteOps);
+    // Offload fraction is a fraction.
+    EXPECT_GE(r.offloadedFraction(), 0.0);
+    EXPECT_LE(r.offloadedFraction(), 1.0);
+    // RTT stats exist whenever remote work happened.
+    if (r.remoteResolutions > 0) {
+        EXPECT_GT(r.remoteRtt.mean(), 0.0);
+    }
+}
+
+TEST_P(PolicyIntegrationTest, NoPolicyLosesToBaselineBadly)
+{
+    // Sanity: no scheme should be catastrophically slower than the
+    // naive baseline on a mixed workload.
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.policy = TranslationPolicy::baseline();
+    spec.workload = "FWT";
+    spec.opsPerGpm = 1000;
+    const RunResult base = runOnce(spec);
+
+    spec.policy = policyByName(GetParam());
+    const RunResult variant = runOnce(spec);
+    EXPECT_GT(speedupOver(base, variant), 0.7) << GetParam();
+}
+
+TEST_P(PolicyIntegrationTest, DeterministicAcrossRepeats)
+{
+    const RunResult a = runSmall("KM");
+    const RunResult b = runSmall("KM");
+    EXPECT_EQ(a.totalTicks, b.totalTicks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyIntegrationTest,
+    testing::Values("baseline", "route-based", "concentric",
+                    "distributed", "cluster+rotation", "redirection",
+                    "prefetch", "hdpat", "hdpat-iommu-tlb", "trans-fw",
+                    "valkyrie", "barre"),
+    [](const testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name) {
+            if (c == '-' || c == '+')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace hdpat

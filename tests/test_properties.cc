@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Property-based tests on cross-module invariants, using TEST_P
+ * sweeps: routing geometry, cluster-map totality, page-table
+ * partitioning, and engine causality under random event storms.
+ */
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "hdpat/cluster_map.hh"
+#include "mem/page_table.hh"
+#include "noc/network.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Routing properties across mesh shapes
+// ---------------------------------------------------------------------
+
+class MeshPropertyTest
+    : public testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshPropertyTest, RoutesAreMinimalAndConnected)
+{
+    const auto [w, h] = GetParam();
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(w, h);
+    Network net(engine, topo, NocParams{});
+    Rng rng(2024);
+
+    for (int trial = 0; trial < 300; ++trial) {
+        const TileId a = static_cast<TileId>(
+            rng.uniformInt(static_cast<std::uint64_t>(topo.numTiles())));
+        const TileId b = static_cast<TileId>(
+            rng.uniformInt(static_cast<std::uint64_t>(topo.numTiles())));
+        const auto path = net.route(a, b);
+        // Minimal length.
+        ASSERT_EQ(static_cast<int>(path.size()) - 1,
+                  topo.hopDistance(a, b));
+        // Each step is one mesh hop.
+        for (std::size_t i = 1; i < path.size(); ++i) {
+            EXPECT_EQ(manhattan(topo.coordOf(path[i - 1]),
+                                topo.coordOf(path[i])),
+                      1);
+        }
+        EXPECT_EQ(path.front(), a);
+        EXPECT_EQ(path.back(), b);
+    }
+}
+
+TEST_P(MeshPropertyTest, ArrivalNeverBeforeMinimumLatency)
+{
+    const auto [w, h] = GetParam();
+    Engine engine;
+    const MeshTopology topo = MeshTopology::wafer(w, h);
+    NocParams params;
+    Network net(engine, topo, params);
+    Rng rng(7);
+
+    for (int trial = 0; trial < 300; ++trial) {
+        const TileId a = static_cast<TileId>(rng.uniformInt(
+            static_cast<std::uint64_t>(topo.numTiles())));
+        const TileId b = static_cast<TileId>(rng.uniformInt(
+            static_cast<std::uint64_t>(topo.numTiles())));
+        if (a == b)
+            continue;
+        const Tick now = rng.uniformInt(10000);
+        const Tick arrive = net.computeArrival(now, a, b, 64);
+        const Tick min_latency =
+            static_cast<Tick>(topo.hopDistance(a, b)) *
+            params.linkLatency;
+        EXPECT_GE(arrive, now + min_latency);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MeshPropertyTest,
+    testing::Values(std::pair<int, int>{3, 3}, std::pair<int, int>{5, 5},
+                    std::pair<int, int>{7, 7}, std::pair<int, int>{12, 7},
+                    std::pair<int, int>{9, 9}));
+
+// ---------------------------------------------------------------------
+// Cluster-map totality across mesh shapes and layer counts
+// ---------------------------------------------------------------------
+
+struct ClusterParam
+{
+    int width;
+    int height;
+    int layers;
+};
+
+class ClusterPropertyTest : public testing::TestWithParam<ClusterParam>
+{
+};
+
+TEST_P(ClusterPropertyTest, EveryVpnHasOneValidTilePerLayer)
+{
+    const ClusterParam p = GetParam();
+    const MeshTopology topo = MeshTopology::wafer(p.width, p.height);
+    const ConcentricLayers layers(topo, p.layers);
+    const ClusterMap map(layers, 4, true);
+
+    for (Vpn vpn = 0; vpn < 5000; ++vpn) {
+        std::set<TileId> assigned;
+        for (int layer = 0; layer < map.numLayers(); ++layer) {
+            const TileId aux = map.auxTileFor(vpn, layer);
+            ASSERT_TRUE(topo.isGpm(aux));
+            ASSERT_EQ(layers.layerOf(aux), layer);
+            EXPECT_TRUE(assigned.insert(aux).second)
+                << "same tile used for two layers";
+        }
+    }
+}
+
+TEST_P(ClusterPropertyTest, LayerLoadIsNearUniform)
+{
+    const ClusterParam p = GetParam();
+    const MeshTopology topo = MeshTopology::wafer(p.width, p.height);
+    const ConcentricLayers layers(topo, p.layers);
+    const ClusterMap map(layers, 4, true);
+
+    for (int layer = 0; layer < map.numLayers(); ++layer) {
+        std::map<TileId, int> counts;
+        const int n = 20000;
+        for (Vpn vpn = 0; vpn < static_cast<Vpn>(n); ++vpn)
+            ++counts[map.auxTileFor(vpn, layer)];
+        const std::size_t tiles = layers.layerTiles(layer).size();
+        EXPECT_EQ(counts.size(), tiles);
+        const double expected = static_cast<double>(n) / tiles;
+        for (const auto &[tile, count] : counts) {
+            EXPECT_GT(count, expected * 0.5);
+            EXPECT_LT(count, expected * 2.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterPropertyTest,
+    testing::Values(ClusterParam{7, 7, 2}, ClusterParam{7, 7, 3},
+                    ClusterParam{12, 7, 2}, ClusterParam{9, 9, 3},
+                    ClusterParam{5, 5, 1}));
+
+// ---------------------------------------------------------------------
+// Page-table partitioning across GPM counts
+// ---------------------------------------------------------------------
+
+class PartitionPropertyTest : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionPropertyTest, BlocksAreContiguousAndBalanced)
+{
+    const int num_gpms = GetParam();
+    GlobalPageTable pt(12);
+    std::vector<TileId> homes;
+    for (int i = 0; i < num_gpms; ++i)
+        homes.push_back(i + 1);
+
+    const std::size_t pages = 997; // Prime: exercises remainders.
+    const BufferHandle buf = pt.allocate(pages * pt.pageBytes(), homes);
+
+    // Homes appear in contiguous runs, in GPM order.
+    const Vpn base = pt.vpnOf(buf.baseVa);
+    TileId prev = pt.homeOf(base);
+    int transitions = 0;
+    for (std::size_t i = 1; i < pages; ++i) {
+        const TileId home = pt.homeOf(base + i);
+        if (home != prev) {
+            EXPECT_GT(home, prev) << "homes out of order";
+            ++transitions;
+            prev = home;
+        }
+    }
+    EXPECT_EQ(transitions, num_gpms - 1);
+
+    // Balance within one page.
+    std::size_t min_pages = pages, max_pages = 0;
+    for (TileId h : homes) {
+        min_pages = std::min(min_pages, pt.pagesHomedOn(h));
+        max_pages = std::max(max_pages, pt.pagesHomedOn(h));
+    }
+    EXPECT_LE(max_pages - min_pages, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GpmCounts, PartitionPropertyTest,
+                         testing::Values(1, 4, 24, 48, 83));
+
+// ---------------------------------------------------------------------
+// Engine causality under random event storms
+// ---------------------------------------------------------------------
+
+class EngineStormTest : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EngineStormTest, EventsObserveMonotonicTime)
+{
+    Engine engine;
+    Rng rng(GetParam());
+    Tick last = 0;
+    int executed = 0;
+
+    std::function<void(int)> spawn = [&](int depth) {
+        EXPECT_GE(engine.now(), last);
+        last = engine.now();
+        ++executed;
+        if (depth <= 0)
+            return;
+        const int children = 1 + static_cast<int>(rng.uniformInt(2));
+        for (int c = 0; c < children; ++c) {
+            engine.scheduleIn(rng.uniformInt(100),
+                              [&spawn, depth] { spawn(depth - 1); });
+        }
+    };
+
+    for (int root = 0; root < 20; ++root) {
+        engine.scheduleAt(rng.uniformInt(50),
+                          [&spawn] { spawn(6); });
+    }
+    engine.run();
+    EXPECT_GT(executed, 20);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStormTest,
+                         testing::Values(1u, 42u, 0xdeadu, 77777u));
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the redirection table (§IV-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "iommu/redirection_table.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(RedirectionTableTest, MissThenHit)
+{
+    RedirectionTable rt(8);
+    EXPECT_FALSE(rt.lookup(1).has_value());
+    rt.insert(1, 42);
+    const auto aux = rt.lookup(1);
+    ASSERT_TRUE(aux.has_value());
+    EXPECT_EQ(*aux, 42);
+}
+
+TEST(RedirectionTableTest, InsertUpdatesExisting)
+{
+    RedirectionTable rt(8);
+    rt.insert(1, 10);
+    rt.insert(1, 20);
+    EXPECT_EQ(rt.size(), 1u);
+    EXPECT_EQ(*rt.lookup(1), 20);
+}
+
+TEST(RedirectionTableTest, LruEvictionAtCapacity)
+{
+    RedirectionTable rt(3);
+    rt.insert(1, 10);
+    rt.insert(2, 20);
+    rt.insert(3, 30);
+    rt.lookup(1); // 1 becomes MRU; 2 is now LRU.
+    rt.insert(4, 40);
+    EXPECT_EQ(rt.size(), 3u);
+    EXPECT_TRUE(rt.lookup(1).has_value());
+    EXPECT_FALSE(rt.lookup(2).has_value());
+    EXPECT_TRUE(rt.lookup(3).has_value());
+    EXPECT_TRUE(rt.lookup(4).has_value());
+    EXPECT_EQ(rt.stats().evictions, 1u);
+}
+
+TEST(RedirectionTableTest, InvalidateRemoves)
+{
+    RedirectionTable rt(8);
+    rt.insert(5, 50);
+    rt.invalidate(5);
+    EXPECT_FALSE(rt.lookup(5).has_value());
+    EXPECT_EQ(rt.size(), 0u);
+    rt.invalidate(5); // Idempotent.
+    EXPECT_EQ(rt.stats().invalidations, 1u);
+}
+
+TEST(RedirectionTableTest, HitRate)
+{
+    RedirectionTable rt(8);
+    rt.insert(1, 1);
+    rt.lookup(1);
+    rt.lookup(2);
+    EXPECT_DOUBLE_EQ(rt.hitRate(), 0.5);
+}
+
+TEST(RedirectionTableTest, CapacityIsExact)
+{
+    RedirectionTable rt(1024); // Table I size.
+    for (Vpn v = 0; v < 2048; ++v)
+        rt.insert(v, static_cast<TileId>(v % 48));
+    EXPECT_EQ(rt.size(), 1024u);
+    // The most recent 1024 survive.
+    for (Vpn v = 1024; v < 2048; ++v)
+        EXPECT_TRUE(rt.lookup(v).has_value()) << "vpn " << v;
+}
+
+TEST(RedirectionTableTest, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT(RedirectionTable(0), testing::ExitedWithCode(1),
+                "capacity");
+}
+
+} // namespace
+} // namespace hdpat

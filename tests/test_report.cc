@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the CSV export module.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "driver/report.hh"
+#include "driver/runner.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+RunResult
+smallRun()
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 3;
+    spec.config.meshHeight = 3;
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 300;
+    spec.captureIommuTrace = true;
+    return runOnce(spec);
+}
+
+TEST(ReportTest, RunCsvHasHeaderAndRows)
+{
+    const RunResult r = smallRun();
+    std::ostringstream os;
+    writeRunCsv(os, {r, r});
+    const std::string out = os.str();
+
+    // Header plus two data rows.
+    int lines = 0;
+    for (char c : out)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 3);
+    EXPECT_EQ(out.find("workload,policy,config,cycles"), 0u);
+    EXPECT_NE(out.find("SPMV,hdpat,"), std::string::npos);
+    EXPECT_NE(out.find(std::to_string(r.totalTicks)),
+              std::string::npos);
+}
+
+TEST(ReportTest, RunCsvColumnCountMatchesHeader)
+{
+    const RunResult r = smallRun();
+    std::ostringstream os;
+    writeRunCsv(os, {r});
+    std::istringstream lines(os.str());
+    std::string header, row;
+    std::getline(lines, header);
+    std::getline(lines, row);
+
+    auto commas = [](const std::string &s) {
+        int n = 0;
+        for (char c : s)
+            n += (c == ',');
+        return n;
+    };
+    EXPECT_EQ(commas(header), commas(row));
+}
+
+TEST(ReportTest, TraceCsvRoundTrips)
+{
+    const RunResult r = smallRun();
+    ASSERT_FALSE(r.iommu.trace.empty());
+
+    std::ostringstream os;
+    writeTraceCsv(os, r.iommu.trace);
+    std::istringstream lines(os.str());
+    std::string header;
+    std::getline(lines, header);
+    EXPECT_EQ(header, "tick,vpn");
+
+    std::size_t rows = 0;
+    std::string row;
+    while (std::getline(lines, row))
+        ++rows;
+    EXPECT_EQ(rows, r.iommu.trace.size());
+}
+
+TEST(ReportTest, EmptyInputsProduceHeadersOnly)
+{
+    std::ostringstream os;
+    writeRunCsv(os, {});
+    EXPECT_EQ(os.str().find('\n'), os.str().size() - 1);
+
+    std::ostringstream os2;
+    writeTraceCsv(os2, {});
+    EXPECT_EQ(os2.str(), "tick,vpn\n");
+}
+
+} // namespace
+} // namespace hdpat

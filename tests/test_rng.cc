@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG and the Zipf sampler.
+ */
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(RngTest, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(RngTest, UniformIntCoversDomain)
+{
+    Rng rng(11);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.uniformInt(8)];
+    ASSERT_EQ(seen.size(), 8u);
+    // Coarse uniformity: each value within 3x of the expectation.
+    for (const auto &[value, count] : seen) {
+        EXPECT_GT(count, 10000 / 8 / 3) << "value " << value;
+        EXPECT_LT(count, 3 * 10000 / 8) << "value " << value;
+    }
+}
+
+TEST(RngTest, UniformRangeIsInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.uniformRange(5, 8);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 8u);
+        saw_lo |= (v == 5);
+        saw_hi |= (v == 8);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(RngTest, ChanceMatchesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular)
+{
+    Rng rng(31);
+    ZipfSampler zipf(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform)
+{
+    Rng rng(37);
+    ZipfSampler zipf(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(ZipfTest, SamplesStayInDomain)
+{
+    Rng rng(41);
+    ZipfSampler zipf(17, 0.8);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.sample(rng), 17u);
+}
+
+TEST(ZipfTest, SkewFollowsPowerLaw)
+{
+    Rng rng(43);
+    ZipfSampler zipf(1000, 1.0);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[zipf.sample(rng)];
+    // P(rank 0) / P(rank 9) should be roughly 10 under s = 1.
+    ASSERT_GT(counts[9], 0);
+    const double ratio =
+        static_cast<double>(counts[0]) / counts[9];
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 20.0);
+}
+
+} // namespace
+} // namespace hdpat

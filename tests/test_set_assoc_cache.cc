@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the data-cache tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/set_assoc_cache.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(SetAssocCacheTest, MissThenHit)
+{
+    SetAssocCache cache(4096, 4, 64);
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_DOUBLE_EQ(cache.hitRate(), 0.5);
+}
+
+TEST(SetAssocCacheTest, SameLineDifferentOffsetHits)
+{
+    SetAssocCache cache(4096, 4, 64);
+    cache.access(0x2000);
+    EXPECT_TRUE(cache.access(0x2000 + 63));
+    EXPECT_FALSE(cache.access(0x2000 + 64)); // Next line.
+}
+
+TEST(SetAssocCacheTest, ContainsDoesNotFill)
+{
+    SetAssocCache cache(4096, 4, 64);
+    EXPECT_FALSE(cache.contains(0x3000));
+    EXPECT_FALSE(cache.access(0x3000)); // Still a miss: no side fill.
+    EXPECT_TRUE(cache.contains(0x3000));
+}
+
+TEST(SetAssocCacheTest, GeometryDerivation)
+{
+    SetAssocCache cache(1u << 20, 16, 64); // 1 MiB, 16-way.
+    EXPECT_EQ(cache.numWays(), 16u);
+    EXPECT_EQ(cache.numSets(), (1u << 20) / 64 / 16);
+    EXPECT_EQ(cache.lineBytes(), 64u);
+}
+
+TEST(SetAssocCacheTest, LruEvictsOldest)
+{
+    // Tiny direct-set cache to force conflicts deterministically:
+    // 2 lines total, 2-way, 1 set.
+    SetAssocCache cache(128, 2, 64);
+    ASSERT_EQ(cache.numSets(), 1u);
+    cache.access(0 * 64);
+    cache.access(1 * 64);
+    cache.access(0 * 64);     // Refresh line 0; line 1 is LRU.
+    cache.access(2 * 64);     // Evicts line 1.
+    EXPECT_TRUE(cache.contains(0 * 64));
+    EXPECT_FALSE(cache.contains(1 * 64));
+    EXPECT_TRUE(cache.contains(2 * 64));
+}
+
+TEST(SetAssocCacheTest, FlushEmptiesCache)
+{
+    SetAssocCache cache(4096, 4, 64);
+    cache.access(0x100);
+    cache.flush();
+    EXPECT_FALSE(cache.contains(0x100));
+}
+
+TEST(SetAssocCacheTest, StreamingHasNoReuseHits)
+{
+    SetAssocCache cache(8192, 4, 64);
+    int hits = 0;
+    for (Addr a = 0; a < 1u << 20; a += 64)
+        hits += cache.access(a);
+    EXPECT_EQ(hits, 0);
+}
+
+TEST(SetAssocCacheTest, WorkingSetWithinCapacityAllHits)
+{
+    SetAssocCache cache(1u << 16, 16, 64); // 64 KiB.
+    // A 16 KiB working set fits comfortably.
+    for (int pass = 0; pass < 3; ++pass) {
+        int misses = 0;
+        for (Addr a = 0; a < 1u << 14; a += 64)
+            misses += !cache.access(a);
+        if (pass > 0) {
+            EXPECT_EQ(misses, 0) << "pass " << pass;
+        }
+    }
+}
+
+TEST(SetAssocCacheTest, BadGeometryIsFatal)
+{
+    EXPECT_EXIT(SetAssocCache(4096, 4, 60), testing::ExitedWithCode(1),
+                "power of two");
+    EXPECT_EXIT(SetAssocCache(64, 4, 64), testing::ExitedWithCode(1),
+                "too small");
+    EXPECT_EXIT(SetAssocCache(4096, 0, 64), testing::ExitedWithCode(1),
+                "way");
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(SummaryStatTest, EmptyIsZero)
+{
+    SummaryStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryStatTest, TracksMoments)
+{
+    SummaryStat s;
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SummaryStatTest, MergeCombines)
+{
+    SummaryStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    b.add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+
+    SummaryStat empty;
+    a.merge(empty); // No-op.
+    EXPECT_EQ(a.count(), 3u);
+    empty.merge(a); // Adopts.
+    EXPECT_EQ(empty.count(), 3u);
+}
+
+TEST(SummaryStatTest, ResetClears)
+{
+    SummaryStat s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Log2HistogramTest, BucketBoundaries)
+{
+    // Bucket 0 holds value 0; bucket i holds [2^(i-1), 2^i).
+    EXPECT_EQ(Log2Histogram::bucketLow(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketHigh(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketLow(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketHigh(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketLow(3), 4u);
+    EXPECT_EQ(Log2Histogram::bucketHigh(3), 7u);
+}
+
+TEST(Log2HistogramTest, AddRoutesToRightBucket)
+{
+    Log2Histogram h;
+    h.add(0);
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(4);
+    h.add(7);
+    h.add(8);
+    EXPECT_EQ(h.bucket(0), 1u); // {0}
+    EXPECT_EQ(h.bucket(1), 1u); // {1}
+    EXPECT_EQ(h.bucket(2), 2u); // {2, 3}
+    EXPECT_EQ(h.bucket(3), 2u); // {4, 7}
+    EXPECT_EQ(h.bucket(4), 1u); // {8}
+    EXPECT_EQ(h.totalCount(), 7u);
+}
+
+TEST(Log2HistogramTest, WeightedAdd)
+{
+    Log2Histogram h;
+    h.add(5, 10);
+    EXPECT_EQ(h.bucket(3), 10u);
+    EXPECT_EQ(h.totalCount(), 10u);
+}
+
+TEST(Log2HistogramTest, MergeSumsBuckets)
+{
+    Log2Histogram a, b;
+    a.add(1);
+    b.add(1);
+    b.add(1024);
+    a.merge(b);
+    EXPECT_EQ(a.bucket(1), 2u);
+    EXPECT_EQ(a.bucket(11), 1u);
+    EXPECT_EQ(a.totalCount(), 3u);
+}
+
+TEST(Log2HistogramTest, FractionAtOrBelow)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 50; ++i)
+        h.add(1);
+    for (int i = 0; i < 50; ++i)
+        h.add(1000);
+    EXPECT_NEAR(h.fractionAtOrBelow(1), 0.5, 0.01);
+    EXPECT_NEAR(h.fractionAtOrBelow(1023), 1.0, 0.01);
+    EXPECT_EQ(h.fractionAtOrBelow(0), 0.0);
+}
+
+TEST(Log2HistogramTest, Quantile)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.quantile(0.5), 0u); // Empty histogram.
+    for (int i = 0; i < 90; ++i)
+        h.add(2);
+    for (int i = 0; i < 10; ++i)
+        h.add(100000);
+    EXPECT_LE(h.quantile(0.5), 3u);
+    EXPECT_GT(h.quantile(0.99), 1000u);
+}
+
+TEST(TimeSeriesTest, WindowsAggregate)
+{
+    TimeSeries ts(100);
+    ts.add(10, 1.0);
+    ts.add(20, 2.0);
+    ts.add(150, 5.0);
+    ts.add(199, 3.0);
+
+    ASSERT_EQ(ts.windows(), 2u);
+    EXPECT_DOUBLE_EQ(ts.windowSum(0), 3.0);
+    EXPECT_EQ(ts.windowCount(0), 2u);
+    EXPECT_DOUBLE_EQ(ts.windowMax(0), 2.0);
+    EXPECT_DOUBLE_EQ(ts.windowSum(1), 8.0);
+    EXPECT_DOUBLE_EQ(ts.windowMax(1), 5.0);
+    EXPECT_DOUBLE_EQ(ts.windowMean(1), 4.0);
+}
+
+TEST(TimeSeriesTest, OutOfRangeWindowsAreZero)
+{
+    TimeSeries ts(100);
+    ts.add(5, 1.0);
+    EXPECT_DOUBLE_EQ(ts.windowSum(7), 0.0);
+    EXPECT_EQ(ts.windowCount(7), 0u);
+    EXPECT_DOUBLE_EQ(ts.windowMean(7), 0.0);
+}
+
+TEST(TimeSeriesTest, MaxTracksFirstSample)
+{
+    TimeSeries ts(10);
+    ts.add(0, -5.0);
+    EXPECT_DOUBLE_EQ(ts.windowMax(0), -5.0);
+    ts.add(1, -7.0);
+    EXPECT_DOUBLE_EQ(ts.windowMax(0), -5.0);
+}
+
+TEST(GeomeanTest, Basics)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 1.0, 8.0}), 2.0, 1e-9);
+}
+
+TEST(GeomeanTest, NonPositivePanics)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "non-positive");
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the bench-output table printer.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "driver/table_printer.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(TablePrinterTest, AlignsColumns)
+{
+    TablePrinter table({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"long-name", "123456"});
+
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+
+    // Header present, separator present, both rows present.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+
+    // Values of the second column start at the same offset.
+    std::istringstream lines(out);
+    std::string header, sep, row1, row2;
+    std::getline(lines, header);
+    std::getline(lines, sep);
+    std::getline(lines, row1);
+    std::getline(lines, row2);
+    EXPECT_EQ(header.find("value"), row1.find("1"));
+    EXPECT_EQ(header.find("value"), row2.find("123456"));
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded)
+{
+    TablePrinter table({"a", "b", "c"});
+    table.addRow({"only-one"});
+    std::ostringstream os;
+    table.print(os); // Must not crash; missing cells are empty.
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FmtFormatsDecimals)
+{
+    EXPECT_EQ(fmt(1.5732), "1.57");
+    EXPECT_EQ(fmt(1.5732, 1), "1.6");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(TablePrinterTest, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.421), "42.1%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace hdpat

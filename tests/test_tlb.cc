@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the set-associative TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(TlbTest, MissThenHit)
+{
+    Tlb tlb(4, 2);
+    EXPECT_FALSE(tlb.lookup(10).has_value());
+    tlb.insert(10, 99);
+    const auto pfn = tlb.lookup(10);
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(*pfn, 99u);
+    EXPECT_EQ(tlb.stats().lookups, 2u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(TlbTest, InsertRefreshesExisting)
+{
+    Tlb tlb(1, 4);
+    tlb.insert(5, 100);
+    const auto evicted = tlb.insert(5, 200);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_EQ(*tlb.lookup(5), 200u);
+    EXPECT_EQ(tlb.occupancy(), 1u);
+}
+
+TEST(TlbTest, LruEvictionInFullSet)
+{
+    Tlb tlb(1, 2); // One set, two ways.
+    tlb.insert(1, 11);
+    tlb.insert(2, 22);
+    tlb.lookup(1); // 1 becomes MRU; 2 is LRU.
+    const auto evicted = tlb.insert(3, 33);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->vpn, 2u);
+    EXPECT_TRUE(tlb.lookup(1).has_value());
+    EXPECT_TRUE(tlb.lookup(3).has_value());
+    EXPECT_FALSE(tlb.lookup(2).has_value());
+}
+
+TEST(TlbTest, PeekDoesNotDisturbLru)
+{
+    Tlb tlb(1, 2);
+    tlb.insert(1, 11);
+    tlb.insert(2, 22);
+    // Peek at 1; 1 must remain LRU (insert order decides).
+    EXPECT_TRUE(tlb.peek(1).has_value());
+    const auto evicted = tlb.insert(3, 33);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->vpn, 1u);
+}
+
+TEST(TlbTest, EvictionReportsFlags)
+{
+    Tlb tlb(1, 1);
+    tlb.insert(7, 70, /*remote=*/true, /*prefetched=*/true);
+    const auto evicted = tlb.insert(8, 80);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_TRUE(evicted->remote);
+    EXPECT_TRUE(evicted->prefetched);
+    EXPECT_EQ(evicted->pfn, 70u);
+}
+
+TEST(TlbTest, LookupEntryExposesFlags)
+{
+    Tlb tlb(2, 2);
+    tlb.insert(9, 90, true, false);
+    const TlbEntry *entry = tlb.lookupEntry(9);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->remote);
+    EXPECT_FALSE(entry->prefetched);
+    EXPECT_EQ(tlb.lookupEntry(1234), nullptr);
+}
+
+TEST(TlbTest, InvalidateRemovesEntry)
+{
+    Tlb tlb(2, 2);
+    tlb.insert(4, 40);
+    const auto removed = tlb.invalidate(4);
+    ASSERT_TRUE(removed.has_value());
+    EXPECT_EQ(removed->pfn, 40u);
+    EXPECT_FALSE(tlb.lookup(4).has_value());
+    EXPECT_EQ(tlb.occupancy(), 0u);
+    EXPECT_FALSE(tlb.invalidate(4).has_value());
+}
+
+TEST(TlbTest, FlushClearsEverything)
+{
+    Tlb tlb(4, 4);
+    for (Vpn v = 0; v < 10; ++v)
+        tlb.insert(v, v * 10);
+    tlb.flush();
+    EXPECT_EQ(tlb.occupancy(), 0u);
+    for (Vpn v = 0; v < 10; ++v)
+        EXPECT_FALSE(tlb.peek(v).has_value());
+}
+
+TEST(TlbTest, OccupancyNeverExceedsCapacity)
+{
+    Tlb tlb(8, 4);
+    for (Vpn v = 0; v < 1000; ++v) {
+        tlb.insert(v, v);
+        EXPECT_LE(tlb.occupancy(), tlb.capacity());
+    }
+    EXPECT_EQ(tlb.occupancy(), tlb.capacity());
+}
+
+TEST(TlbTest, HitRate)
+{
+    Tlb tlb(1, 8);
+    tlb.insert(1, 1);
+    tlb.lookup(1);
+    tlb.lookup(2);
+    EXPECT_DOUBLE_EQ(tlb.hitRate(), 0.5);
+}
+
+TEST(TlbTest, ZeroGeometryIsFatal)
+{
+    EXPECT_EXIT(Tlb(0, 4), testing::ExitedWithCode(1), "at least");
+    EXPECT_EXIT(Tlb(4, 0), testing::ExitedWithCode(1), "at least");
+}
+
+/** Table I geometries must hold their advertised capacity exactly. */
+class TlbGeometryTest
+    : public testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(TlbGeometryTest, FillsToExactCapacity)
+{
+    const auto [sets, ways] = GetParam();
+    Tlb tlb(sets, ways);
+    // Insert far more than capacity; occupancy must settle at capacity.
+    for (Vpn v = 0; v < sets * ways * 4; ++v)
+        tlb.insert(v, v);
+    EXPECT_EQ(tlb.occupancy(), sets * ways);
+    EXPECT_EQ(tlb.stats().evictions, sets * ways * 4 - sets * ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOneGeometries, TlbGeometryTest,
+    testing::Values(std::pair<std::size_t, std::size_t>{1, 32},
+                    std::pair<std::size_t, std::size_t>{64, 32},
+                    std::pair<std::size_t, std::size_t>{64, 16},
+                    std::pair<std::size_t, std::size_t>{32, 16}));
+
+} // namespace
+} // namespace hdpat

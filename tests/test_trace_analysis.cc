@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the trace-analysis routines behind Figs 6/7/8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/trace_analysis.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+IommuTrace
+traceOf(std::initializer_list<Vpn> vpns)
+{
+    IommuTrace trace;
+    Tick t = 0;
+    for (Vpn v : vpns)
+        trace.emplace_back(t += 10, v);
+    return trace;
+}
+
+TEST(TraceAnalysisTest, TranslationCountBuckets)
+{
+    // Page 1: 1x, page 2: 2x, page 3: 5x, page 4: 12x.
+    IommuTrace trace;
+    Tick t = 0;
+    auto add = [&](Vpn v, int times) {
+        for (int i = 0; i < times; ++i)
+            trace.emplace_back(++t, v);
+    };
+    add(1, 1);
+    add(2, 2);
+    add(3, 5);
+    add(4, 12);
+
+    const TranslationCountBuckets buckets =
+        analyzeTranslationCounts(trace);
+    EXPECT_EQ(buckets.once, 1u);
+    EXPECT_EQ(buckets.twice, 1u);
+    EXPECT_EQ(buckets.threeToTen, 1u);
+    EXPECT_EQ(buckets.elevenToHundred, 1u);
+    EXPECT_EQ(buckets.moreThanHundred, 0u);
+    EXPECT_EQ(buckets.totalPages(), 4u);
+    EXPECT_DOUBLE_EQ(buckets.fraction(buckets.once), 0.25);
+}
+
+TEST(TraceAnalysisTest, EmptyTrace)
+{
+    const IommuTrace trace;
+    EXPECT_EQ(analyzeTranslationCounts(trace).totalPages(), 0u);
+    EXPECT_EQ(analyzeReuseDistance(trace).totalCount(), 0u);
+    const auto fractions = spatialLocalityFractions(trace, {1, 2});
+    EXPECT_DOUBLE_EQ(fractions[0], 0.0);
+}
+
+TEST(TraceAnalysisTest, ReuseDistanceCountsInterveningRequests)
+{
+    // A . . A  -> reuse distance 3 (three requests later).
+    const IommuTrace trace = traceOf({5, 6, 7, 5});
+    const Log2Histogram hist = analyzeReuseDistance(trace);
+    EXPECT_EQ(hist.totalCount(), 1u);
+    EXPECT_EQ(hist.bucket(2), 1u); // Distance 3 -> bucket [2, 3].
+}
+
+TEST(TraceAnalysisTest, ReuseDistanceBackToBack)
+{
+    const IommuTrace trace = traceOf({9, 9, 9});
+    const Log2Histogram hist = analyzeReuseDistance(trace);
+    EXPECT_EQ(hist.totalCount(), 2u);
+    EXPECT_EQ(hist.bucket(1), 2u); // Distance 1 both times.
+}
+
+TEST(TraceAnalysisTest, SinglesHaveNoReuse)
+{
+    const IommuTrace trace = traceOf({1, 2, 3, 4});
+    EXPECT_EQ(analyzeReuseDistance(trace).totalCount(), 0u);
+}
+
+TEST(TraceAnalysisTest, SpatialFractionsAreCumulative)
+{
+    // Distances between consecutive: 1, 2, 4, 100.
+    const IommuTrace trace = traceOf({10, 11, 13, 17, 117});
+    const auto fractions =
+        spatialLocalityFractions(trace, {1, 2, 4, 128});
+    EXPECT_DOUBLE_EQ(fractions[0], 0.25); // <=1: one of four pairs.
+    EXPECT_DOUBLE_EQ(fractions[1], 0.50); // <=2.
+    EXPECT_DOUBLE_EQ(fractions[2], 0.75); // <=4.
+    EXPECT_DOUBLE_EQ(fractions[3], 1.00); // <=128.
+}
+
+TEST(TraceAnalysisTest, SpatialDistanceIsAbsolute)
+{
+    const IommuTrace trace = traceOf({20, 19, 21});
+    const auto fractions = spatialLocalityFractions(trace, {2});
+    EXPECT_DOUBLE_EQ(fractions[0], 1.0); // |−1| and |+2| both <= 2.
+}
+
+} // namespace
+} // namespace hdpat
