@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_capacity.dir/abl_capacity.cc.o"
+  "CMakeFiles/abl_capacity.dir/abl_capacity.cc.o.d"
+  "CMakeFiles/abl_capacity.dir/bench_common.cc.o"
+  "CMakeFiles/abl_capacity.dir/bench_common.cc.o.d"
+  "abl_capacity"
+  "abl_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_probe_dispatch.dir/abl_probe_dispatch.cc.o"
+  "CMakeFiles/abl_probe_dispatch.dir/abl_probe_dispatch.cc.o.d"
+  "CMakeFiles/abl_probe_dispatch.dir/bench_common.cc.o"
+  "CMakeFiles/abl_probe_dispatch.dir/bench_common.cc.o.d"
+  "abl_probe_dispatch"
+  "abl_probe_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_probe_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

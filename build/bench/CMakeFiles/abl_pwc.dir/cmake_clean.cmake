@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pwc.dir/abl_pwc.cc.o"
+  "CMakeFiles/abl_pwc.dir/abl_pwc.cc.o.d"
+  "CMakeFiles/abl_pwc.dir/bench_common.cc.o"
+  "CMakeFiles/abl_pwc.dir/bench_common.cc.o.d"
+  "abl_pwc"
+  "abl_pwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

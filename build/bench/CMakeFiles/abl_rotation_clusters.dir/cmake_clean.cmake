@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rotation_clusters.dir/abl_rotation_clusters.cc.o"
+  "CMakeFiles/abl_rotation_clusters.dir/abl_rotation_clusters.cc.o.d"
+  "CMakeFiles/abl_rotation_clusters.dir/bench_common.cc.o"
+  "CMakeFiles/abl_rotation_clusters.dir/bench_common.cc.o.d"
+  "abl_rotation_clusters"
+  "abl_rotation_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rotation_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

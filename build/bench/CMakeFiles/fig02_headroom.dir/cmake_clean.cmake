@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_headroom.dir/bench_common.cc.o"
+  "CMakeFiles/fig02_headroom.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig02_headroom.dir/fig02_headroom.cc.o"
+  "CMakeFiles/fig02_headroom.dir/fig02_headroom.cc.o.d"
+  "fig02_headroom"
+  "fig02_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_buffer_pressure.dir/bench_common.cc.o"
+  "CMakeFiles/fig04_buffer_pressure.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig04_buffer_pressure.dir/fig04_buffer_pressure.cc.o"
+  "CMakeFiles/fig04_buffer_pressure.dir/fig04_buffer_pressure.cc.o.d"
+  "fig04_buffer_pressure"
+  "fig04_buffer_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_buffer_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_position_imbalance.dir/bench_common.cc.o"
+  "CMakeFiles/fig05_position_imbalance.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig05_position_imbalance.dir/fig05_position_imbalance.cc.o"
+  "CMakeFiles/fig05_position_imbalance.dir/fig05_position_imbalance.cc.o.d"
+  "fig05_position_imbalance"
+  "fig05_position_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_position_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

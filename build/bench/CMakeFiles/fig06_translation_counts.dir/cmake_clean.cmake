@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_translation_counts.dir/bench_common.cc.o"
+  "CMakeFiles/fig06_translation_counts.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig06_translation_counts.dir/fig06_translation_counts.cc.o"
+  "CMakeFiles/fig06_translation_counts.dir/fig06_translation_counts.cc.o.d"
+  "fig06_translation_counts"
+  "fig06_translation_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_translation_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

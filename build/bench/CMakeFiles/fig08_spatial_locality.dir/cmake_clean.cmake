@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_spatial_locality.dir/bench_common.cc.o"
+  "CMakeFiles/fig08_spatial_locality.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig08_spatial_locality.dir/fig08_spatial_locality.cc.o"
+  "CMakeFiles/fig08_spatial_locality.dir/fig08_spatial_locality.cc.o.d"
+  "fig08_spatial_locality"
+  "fig08_spatial_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_spatial_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

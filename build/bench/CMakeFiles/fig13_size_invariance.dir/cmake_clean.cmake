@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_size_invariance.dir/bench_common.cc.o"
+  "CMakeFiles/fig13_size_invariance.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig13_size_invariance.dir/fig13_size_invariance.cc.o"
+  "CMakeFiles/fig13_size_invariance.dir/fig13_size_invariance.cc.o.d"
+  "fig13_size_invariance"
+  "fig13_size_invariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_size_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/fig16_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig16_breakdown.dir/fig16_breakdown.cc.o"
+  "CMakeFiles/fig16_breakdown.dir/fig16_breakdown.cc.o.d"
+  "fig16_breakdown"
+  "fig16_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

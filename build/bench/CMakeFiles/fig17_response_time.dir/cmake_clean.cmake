@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_response_time.dir/bench_common.cc.o"
+  "CMakeFiles/fig17_response_time.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig17_response_time.dir/fig17_response_time.cc.o"
+  "CMakeFiles/fig17_response_time.dir/fig17_response_time.cc.o.d"
+  "fig17_response_time"
+  "fig17_response_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_prefetch_degree.dir/bench_common.cc.o"
+  "CMakeFiles/fig18_prefetch_degree.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig18_prefetch_degree.dir/fig18_prefetch_degree.cc.o"
+  "CMakeFiles/fig18_prefetch_degree.dir/fig18_prefetch_degree.cc.o.d"
+  "fig18_prefetch_degree"
+  "fig18_prefetch_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_prefetch_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_rt_vs_tlb.dir/bench_common.cc.o"
+  "CMakeFiles/fig19_rt_vs_tlb.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig19_rt_vs_tlb.dir/fig19_rt_vs_tlb.cc.o"
+  "CMakeFiles/fig19_rt_vs_tlb.dir/fig19_rt_vs_tlb.cc.o.d"
+  "fig19_rt_vs_tlb"
+  "fig19_rt_vs_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_rt_vs_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

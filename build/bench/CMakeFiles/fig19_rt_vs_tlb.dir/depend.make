@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_rt_vs_tlb.
+# This may be replaced when dependencies are built.

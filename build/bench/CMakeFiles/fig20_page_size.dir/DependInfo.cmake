@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/fig20_page_size.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/fig20_page_size.dir/bench_common.cc.o.d"
+  "/root/repo/bench/fig20_page_size.cc" "bench/CMakeFiles/fig20_page_size.dir/fig20_page_size.cc.o" "gcc" "bench/CMakeFiles/fig20_page_size.dir/fig20_page_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdpat_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_gpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

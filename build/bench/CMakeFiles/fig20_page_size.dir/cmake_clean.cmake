@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_page_size.dir/bench_common.cc.o"
+  "CMakeFiles/fig20_page_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig20_page_size.dir/fig20_page_size.cc.o"
+  "CMakeFiles/fig20_page_size.dir/fig20_page_size.cc.o.d"
+  "fig20_page_size"
+  "fig20_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

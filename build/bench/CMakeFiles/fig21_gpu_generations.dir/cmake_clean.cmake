@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_gpu_generations.dir/bench_common.cc.o"
+  "CMakeFiles/fig21_gpu_generations.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig21_gpu_generations.dir/fig21_gpu_generations.cc.o"
+  "CMakeFiles/fig21_gpu_generations.dir/fig21_gpu_generations.cc.o.d"
+  "fig21_gpu_generations"
+  "fig21_gpu_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_gpu_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_wafer_7x12.dir/bench_common.cc.o"
+  "CMakeFiles/fig22_wafer_7x12.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig22_wafer_7x12.dir/fig22_wafer_7x12.cc.o"
+  "CMakeFiles/fig22_wafer_7x12.dir/fig22_wafer_7x12.cc.o.d"
+  "fig22_wafer_7x12"
+  "fig22_wafer_7x12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_wafer_7x12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

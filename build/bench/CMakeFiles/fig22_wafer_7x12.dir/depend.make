@@ -1,0 +1,2 @@
+# Empty dependencies file for fig22_wafer_7x12.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_config.dir/bench_common.cc.o"
+  "CMakeFiles/tab1_config.dir/bench_common.cc.o.d"
+  "CMakeFiles/tab1_config.dir/tab1_config.cc.o"
+  "CMakeFiles/tab1_config.dir/tab1_config.cc.o.d"
+  "tab1_config"
+  "tab1_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

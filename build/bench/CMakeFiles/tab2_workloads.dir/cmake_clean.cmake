@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_workloads.dir/bench_common.cc.o"
+  "CMakeFiles/tab2_workloads.dir/bench_common.cc.o.d"
+  "CMakeFiles/tab2_workloads.dir/tab2_workloads.cc.o"
+  "CMakeFiles/tab2_workloads.dir/tab2_workloads.cc.o.d"
+  "tab2_workloads"
+  "tab2_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

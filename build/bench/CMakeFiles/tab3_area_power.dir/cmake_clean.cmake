@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_area_power.dir/bench_common.cc.o"
+  "CMakeFiles/tab3_area_power.dir/bench_common.cc.o.d"
+  "CMakeFiles/tab3_area_power.dir/tab3_area_power.cc.o"
+  "CMakeFiles/tab3_area_power.dir/tab3_area_power.cc.o.d"
+  "tab3_area_power"
+  "tab3_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

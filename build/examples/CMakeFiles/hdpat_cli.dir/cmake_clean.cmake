@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_cli.dir/hdpat_cli.cpp.o"
+  "CMakeFiles/hdpat_cli.dir/hdpat_cli.cpp.o.d"
+  "hdpat_cli"
+  "hdpat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

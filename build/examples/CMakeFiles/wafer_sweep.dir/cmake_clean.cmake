@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wafer_sweep.dir/wafer_sweep.cpp.o"
+  "CMakeFiles/wafer_sweep.dir/wafer_sweep.cpp.o.d"
+  "wafer_sweep"
+  "wafer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wafer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

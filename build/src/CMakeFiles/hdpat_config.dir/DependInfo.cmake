@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/gpu_presets.cc" "src/CMakeFiles/hdpat_config.dir/config/gpu_presets.cc.o" "gcc" "src/CMakeFiles/hdpat_config.dir/config/gpu_presets.cc.o.d"
+  "/root/repo/src/config/system_config.cc" "src/CMakeFiles/hdpat_config.dir/config/system_config.cc.o" "gcc" "src/CMakeFiles/hdpat_config.dir/config/system_config.cc.o.d"
+  "/root/repo/src/config/translation_policy.cc" "src/CMakeFiles/hdpat_config.dir/config/translation_policy.cc.o" "gcc" "src/CMakeFiles/hdpat_config.dir/config/translation_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdpat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_config.dir/config/gpu_presets.cc.o"
+  "CMakeFiles/hdpat_config.dir/config/gpu_presets.cc.o.d"
+  "CMakeFiles/hdpat_config.dir/config/system_config.cc.o"
+  "CMakeFiles/hdpat_config.dir/config/system_config.cc.o.d"
+  "CMakeFiles/hdpat_config.dir/config/translation_policy.cc.o"
+  "CMakeFiles/hdpat_config.dir/config/translation_policy.cc.o.d"
+  "libhdpat_config.a"
+  "libhdpat_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_core.dir/hdpat/cluster_map.cc.o"
+  "CMakeFiles/hdpat_core.dir/hdpat/cluster_map.cc.o.d"
+  "CMakeFiles/hdpat_core.dir/hdpat/concentric_layers.cc.o"
+  "CMakeFiles/hdpat_core.dir/hdpat/concentric_layers.cc.o.d"
+  "libhdpat_core.a"
+  "libhdpat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

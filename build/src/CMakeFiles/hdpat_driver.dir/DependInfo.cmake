@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/area_model.cc" "src/CMakeFiles/hdpat_driver.dir/driver/area_model.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/area_model.cc.o.d"
+  "/root/repo/src/driver/experiment.cc" "src/CMakeFiles/hdpat_driver.dir/driver/experiment.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/experiment.cc.o.d"
+  "/root/repo/src/driver/report.cc" "src/CMakeFiles/hdpat_driver.dir/driver/report.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/report.cc.o.d"
+  "/root/repo/src/driver/run_result.cc" "src/CMakeFiles/hdpat_driver.dir/driver/run_result.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/run_result.cc.o.d"
+  "/root/repo/src/driver/runner.cc" "src/CMakeFiles/hdpat_driver.dir/driver/runner.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/runner.cc.o.d"
+  "/root/repo/src/driver/system.cc" "src/CMakeFiles/hdpat_driver.dir/driver/system.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/system.cc.o.d"
+  "/root/repo/src/driver/table_printer.cc" "src/CMakeFiles/hdpat_driver.dir/driver/table_printer.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/table_printer.cc.o.d"
+  "/root/repo/src/driver/trace_analysis.cc" "src/CMakeFiles/hdpat_driver.dir/driver/trace_analysis.cc.o" "gcc" "src/CMakeFiles/hdpat_driver.dir/driver/trace_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdpat_gpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

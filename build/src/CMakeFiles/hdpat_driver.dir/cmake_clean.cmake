@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_driver.dir/driver/area_model.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/area_model.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/experiment.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/experiment.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/report.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/report.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/run_result.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/run_result.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/runner.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/runner.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/system.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/system.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/table_printer.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/table_printer.cc.o.d"
+  "CMakeFiles/hdpat_driver.dir/driver/trace_analysis.cc.o"
+  "CMakeFiles/hdpat_driver.dir/driver/trace_analysis.cc.o.d"
+  "libhdpat_driver.a"
+  "libhdpat_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_gpm.dir/gpm/gmmu.cc.o"
+  "CMakeFiles/hdpat_gpm.dir/gpm/gmmu.cc.o.d"
+  "CMakeFiles/hdpat_gpm.dir/gpm/gpm.cc.o"
+  "CMakeFiles/hdpat_gpm.dir/gpm/gpm.cc.o.d"
+  "CMakeFiles/hdpat_gpm.dir/gpm/translation_client.cc.o"
+  "CMakeFiles/hdpat_gpm.dir/gpm/translation_client.cc.o.d"
+  "libhdpat_gpm.a"
+  "libhdpat_gpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_gpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

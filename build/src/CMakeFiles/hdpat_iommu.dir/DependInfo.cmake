@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iommu/iommu.cc" "src/CMakeFiles/hdpat_iommu.dir/iommu/iommu.cc.o" "gcc" "src/CMakeFiles/hdpat_iommu.dir/iommu/iommu.cc.o.d"
+  "/root/repo/src/iommu/iommu_tlb.cc" "src/CMakeFiles/hdpat_iommu.dir/iommu/iommu_tlb.cc.o" "gcc" "src/CMakeFiles/hdpat_iommu.dir/iommu/iommu_tlb.cc.o.d"
+  "/root/repo/src/iommu/redirection_table.cc" "src/CMakeFiles/hdpat_iommu.dir/iommu/redirection_table.cc.o" "gcc" "src/CMakeFiles/hdpat_iommu.dir/iommu/redirection_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdpat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_iommu.dir/iommu/iommu.cc.o"
+  "CMakeFiles/hdpat_iommu.dir/iommu/iommu.cc.o.d"
+  "CMakeFiles/hdpat_iommu.dir/iommu/iommu_tlb.cc.o"
+  "CMakeFiles/hdpat_iommu.dir/iommu/iommu_tlb.cc.o.d"
+  "CMakeFiles/hdpat_iommu.dir/iommu/redirection_table.cc.o"
+  "CMakeFiles/hdpat_iommu.dir/iommu/redirection_table.cc.o.d"
+  "libhdpat_iommu.a"
+  "libhdpat_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

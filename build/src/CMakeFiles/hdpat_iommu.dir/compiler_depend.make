@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hdpat_iommu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cuckoo_filter.cc" "src/CMakeFiles/hdpat_mem.dir/mem/cuckoo_filter.cc.o" "gcc" "src/CMakeFiles/hdpat_mem.dir/mem/cuckoo_filter.cc.o.d"
+  "/root/repo/src/mem/dram_model.cc" "src/CMakeFiles/hdpat_mem.dir/mem/dram_model.cc.o" "gcc" "src/CMakeFiles/hdpat_mem.dir/mem/dram_model.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/hdpat_mem.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/hdpat_mem.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/mem/page_walk_cache.cc" "src/CMakeFiles/hdpat_mem.dir/mem/page_walk_cache.cc.o" "gcc" "src/CMakeFiles/hdpat_mem.dir/mem/page_walk_cache.cc.o.d"
+  "/root/repo/src/mem/set_assoc_cache.cc" "src/CMakeFiles/hdpat_mem.dir/mem/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/hdpat_mem.dir/mem/set_assoc_cache.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/CMakeFiles/hdpat_mem.dir/mem/tlb.cc.o" "gcc" "src/CMakeFiles/hdpat_mem.dir/mem/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdpat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

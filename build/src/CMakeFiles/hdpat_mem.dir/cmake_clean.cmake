@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_mem.dir/mem/cuckoo_filter.cc.o"
+  "CMakeFiles/hdpat_mem.dir/mem/cuckoo_filter.cc.o.d"
+  "CMakeFiles/hdpat_mem.dir/mem/dram_model.cc.o"
+  "CMakeFiles/hdpat_mem.dir/mem/dram_model.cc.o.d"
+  "CMakeFiles/hdpat_mem.dir/mem/page_table.cc.o"
+  "CMakeFiles/hdpat_mem.dir/mem/page_table.cc.o.d"
+  "CMakeFiles/hdpat_mem.dir/mem/page_walk_cache.cc.o"
+  "CMakeFiles/hdpat_mem.dir/mem/page_walk_cache.cc.o.d"
+  "CMakeFiles/hdpat_mem.dir/mem/set_assoc_cache.cc.o"
+  "CMakeFiles/hdpat_mem.dir/mem/set_assoc_cache.cc.o.d"
+  "CMakeFiles/hdpat_mem.dir/mem/tlb.cc.o"
+  "CMakeFiles/hdpat_mem.dir/mem/tlb.cc.o.d"
+  "libhdpat_mem.a"
+  "libhdpat_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_noc.dir/noc/geometry.cc.o"
+  "CMakeFiles/hdpat_noc.dir/noc/geometry.cc.o.d"
+  "CMakeFiles/hdpat_noc.dir/noc/mesh_topology.cc.o"
+  "CMakeFiles/hdpat_noc.dir/noc/mesh_topology.cc.o.d"
+  "CMakeFiles/hdpat_noc.dir/noc/network.cc.o"
+  "CMakeFiles/hdpat_noc.dir/noc/network.cc.o.d"
+  "libhdpat_noc.a"
+  "libhdpat_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhdpat_noc.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/hdpat_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/hdpat_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/hdpat_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/hdpat_sim.dir/sim/log.cc.o"
+  "CMakeFiles/hdpat_sim.dir/sim/log.cc.o.d"
+  "CMakeFiles/hdpat_sim.dir/sim/rng.cc.o"
+  "CMakeFiles/hdpat_sim.dir/sim/rng.cc.o.d"
+  "CMakeFiles/hdpat_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/hdpat_sim.dir/sim/stats.cc.o.d"
+  "libhdpat_sim.a"
+  "libhdpat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

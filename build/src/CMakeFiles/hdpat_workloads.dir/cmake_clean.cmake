@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdpat_workloads.dir/workloads/suite.cc.o"
+  "CMakeFiles/hdpat_workloads.dir/workloads/suite.cc.o.d"
+  "CMakeFiles/hdpat_workloads.dir/workloads/workload.cc.o"
+  "CMakeFiles/hdpat_workloads.dir/workloads/workload.cc.o.d"
+  "libhdpat_workloads.a"
+  "libhdpat_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdpat_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_area_model.cc" "tests/CMakeFiles/hdpat_tests.dir/test_area_model.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_area_model.cc.o.d"
+  "/root/repo/tests/test_channels.cc" "tests/CMakeFiles/hdpat_tests.dir/test_channels.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_channels.cc.o.d"
+  "/root/repo/tests/test_cluster_map.cc" "tests/CMakeFiles/hdpat_tests.dir/test_cluster_map.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_cluster_map.cc.o.d"
+  "/root/repo/tests/test_concentric_layers.cc" "tests/CMakeFiles/hdpat_tests.dir/test_concentric_layers.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_concentric_layers.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/hdpat_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_cuckoo_filter.cc" "tests/CMakeFiles/hdpat_tests.dir/test_cuckoo_filter.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_cuckoo_filter.cc.o.d"
+  "/root/repo/tests/test_dram_model.cc" "tests/CMakeFiles/hdpat_tests.dir/test_dram_model.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_dram_model.cc.o.d"
+  "/root/repo/tests/test_engine.cc" "tests/CMakeFiles/hdpat_tests.dir/test_engine.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_engine.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/hdpat_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_experiment.cc" "tests/CMakeFiles/hdpat_tests.dir/test_experiment.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_experiment.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/hdpat_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_gmmu.cc" "tests/CMakeFiles/hdpat_tests.dir/test_gmmu.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_gmmu.cc.o.d"
+  "/root/repo/tests/test_gpm.cc" "tests/CMakeFiles/hdpat_tests.dir/test_gpm.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_gpm.cc.o.d"
+  "/root/repo/tests/test_iommu.cc" "tests/CMakeFiles/hdpat_tests.dir/test_iommu.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_iommu.cc.o.d"
+  "/root/repo/tests/test_iommu_tlb.cc" "tests/CMakeFiles/hdpat_tests.dir/test_iommu_tlb.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_iommu_tlb.cc.o.d"
+  "/root/repo/tests/test_mesh_topology.cc" "tests/CMakeFiles/hdpat_tests.dir/test_mesh_topology.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_mesh_topology.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/hdpat_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_network.cc" "tests/CMakeFiles/hdpat_tests.dir/test_network.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_network.cc.o.d"
+  "/root/repo/tests/test_noc_congestion.cc" "tests/CMakeFiles/hdpat_tests.dir/test_noc_congestion.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_noc_congestion.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/hdpat_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_page_walk_cache.cc" "tests/CMakeFiles/hdpat_tests.dir/test_page_walk_cache.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_page_walk_cache.cc.o.d"
+  "/root/repo/tests/test_paper_shapes.cc" "tests/CMakeFiles/hdpat_tests.dir/test_paper_shapes.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_paper_shapes.cc.o.d"
+  "/root/repo/tests/test_policy_integration.cc" "tests/CMakeFiles/hdpat_tests.dir/test_policy_integration.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_policy_integration.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/hdpat_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_redirection_table.cc" "tests/CMakeFiles/hdpat_tests.dir/test_redirection_table.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_redirection_table.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/hdpat_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/hdpat_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_set_assoc_cache.cc" "tests/CMakeFiles/hdpat_tests.dir/test_set_assoc_cache.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_set_assoc_cache.cc.o.d"
+  "/root/repo/tests/test_shootdown.cc" "tests/CMakeFiles/hdpat_tests.dir/test_shootdown.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_shootdown.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/hdpat_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system_integration.cc" "tests/CMakeFiles/hdpat_tests.dir/test_system_integration.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_system_integration.cc.o.d"
+  "/root/repo/tests/test_table_printer.cc" "tests/CMakeFiles/hdpat_tests.dir/test_table_printer.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_table_printer.cc.o.d"
+  "/root/repo/tests/test_timing_details.cc" "tests/CMakeFiles/hdpat_tests.dir/test_timing_details.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_timing_details.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/hdpat_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_trace_analysis.cc" "tests/CMakeFiles/hdpat_tests.dir/test_trace_analysis.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_trace_analysis.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/hdpat_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/hdpat_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hdpat_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_gpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hdpat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
