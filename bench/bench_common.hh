@@ -3,6 +3,12 @@
  * Shared plumbing for the per-figure bench harnesses: banner printing
  * (with the paper's reported result for comparison), op-count
  * selection, and common sweep loops.
+ *
+ * Observability rides along for free: runs started through run() (and
+ * thus runOnce()) honour HDPAT_METRICS_JSON, HDPAT_TRACE_OUT,
+ * HDPAT_TRACE_SAMPLE, and HDPAT_HEARTBEAT, so any figure harness can
+ * emit a metrics dump or a Chrome trace without code changes. Note
+ * that multi-run harnesses overwrite the same output path per run.
  */
 
 #ifndef HDPAT_BENCH_BENCH_COMMON_HH

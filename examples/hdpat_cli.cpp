@@ -9,6 +9,14 @@
  *   hdpat_cli [--workload ABBR|all] [--policy NAME] [--config NAME]
  *             [--ops N] [--seed S] [--scale F]
  *             [--csv FILE] [--trace FILE]
+ *             [--metrics-json FILE] [--trace-out FILE]
+ *             [--trace-sample N|1/N] [--heartbeat TICKS]
+ *
+ * Flags accept both "--flag value" and "--flag=value". --metrics-json
+ * dumps every registered metric as JSON; --trace-out writes sampled
+ * per-translation spans in Chrome Trace Event Format (open in
+ * Perfetto); --heartbeat logs progress every TICKS simulated ticks
+ * (requires HDPAT_LOG=info).
  *
  * Policies: baseline, hdpat, route-based, concentric, distributed,
  *           cluster-rotation, redirection, prefetch, trans-fw,
@@ -76,20 +84,34 @@ struct Options
     double scale = 1.0;
     std::string csv_path;
     std::string trace_path;
+    ObsOptions obs = obsOptionsFromEnv();
 };
 
 Options
 parse(int argc, char **argv)
 {
     Options opt;
+    // Support "--flag=value" by splitting into "--flag" "value".
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        const std::string raw = argv[i];
+        const auto eq = raw.find('=');
+        if (raw.size() > 2 && raw.compare(0, 2, "--") == 0 &&
+            eq != std::string::npos) {
+            args.push_back(raw.substr(0, eq));
+            args.push_back(raw.substr(eq + 1));
+        } else {
+            args.push_back(raw);
+        }
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string arg = args[i];
         auto value = [&]() -> std::string {
-            if (i + 1 >= argc) {
+            if (i + 1 >= args.size()) {
                 std::cerr << arg << " needs a value\n";
                 std::exit(1);
             }
-            return argv[++i];
+            return args[++i];
         };
         if (arg == "--workload") {
             opt.workload = value();
@@ -109,12 +131,30 @@ parse(int argc, char **argv)
             opt.csv_path = value();
         } else if (arg == "--trace") {
             opt.trace_path = value();
+        } else if (arg == "--metrics-json") {
+            opt.obs.metricsJsonPath = value();
+        } else if (arg == "--trace-out") {
+            opt.obs.traceOutPath = value();
+        } else if (arg == "--trace-sample") {
+            // Accept "N" or "1/N".
+            std::string v = value();
+            const auto slash = v.find('/');
+            if (slash != std::string::npos)
+                v = v.substr(slash + 1);
+            const long long n = std::atoll(v.c_str());
+            if (n > 0)
+                opt.obs.traceSampleN =
+                    static_cast<std::uint64_t>(n);
+        } else if (arg == "--heartbeat") {
+            opt.obs.heartbeatInterval = std::atoll(value().c_str());
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: hdpat_cli [--workload ABBR|all] "
                    "[--policy NAME] [--config NAME] [--ops N] "
                    "[--seed S] [--scale F] [--csv FILE] "
-                   "[--trace FILE]\n";
+                   "[--trace FILE] [--metrics-json FILE] "
+                   "[--trace-out FILE] [--trace-sample N|1/N] "
+                   "[--heartbeat TICKS]\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -135,6 +175,7 @@ runOne(const Options &opt, const std::string &workload)
     spec.seed = opt.seed;
     spec.footprintScale = opt.scale;
     spec.captureIommuTrace = !opt.trace_path.empty();
+    spec.obs = opt.obs;
     return runOnce(spec);
 }
 

@@ -1,13 +1,53 @@
 #include "driver/runner.hh"
 
 #include <cstdlib>
+#include <fstream>
+#include <string>
 
 #include "driver/system.hh"
+#include "obs/exporters.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
 
 namespace hdpat
 {
+
+namespace
+{
+
+/** Heartbeat period when HDPAT_HEARTBEAT asks for "auto". */
+constexpr Tick kAutoHeartbeatInterval = 2'000'000;
+
+/** Accept "N" or "1/N"; anything unparsable keeps @p fallback. */
+std::uint64_t
+parseSampleSpec(const char *text, std::uint64_t fallback)
+{
+    if (!text || !*text)
+        return fallback;
+    std::string s(text);
+    const auto slash = s.find('/');
+    if (slash != std::string::npos)
+        s = s.substr(slash + 1);
+    const long long v = std::atoll(s.c_str());
+    return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+} // namespace
+
+ObsOptions
+obsOptionsFromEnv()
+{
+    ObsOptions obs;
+    if (const char *env = std::getenv("HDPAT_METRICS_JSON"))
+        obs.metricsJsonPath = env;
+    if (const char *env = std::getenv("HDPAT_TRACE_OUT"))
+        obs.traceOutPath = env;
+    obs.traceSampleN = parseSampleSpec(
+        std::getenv("HDPAT_TRACE_SAMPLE"), obs.traceSampleN);
+    if (const char *env = std::getenv("HDPAT_HEARTBEAT"))
+        obs.heartbeatInterval = std::atoll(env);
+    return obs;
+}
 
 double
 benchScale()
@@ -35,11 +75,47 @@ runOnce(const RunSpec &spec)
     if (spec.captureIommuTrace)
         system.setCaptureIommuTrace(true);
 
+    if (!spec.obs.traceOutPath.empty())
+        system.enableTracing(spec.obs.traceCapacity,
+                             spec.obs.traceSampleN);
+    if (spec.obs.heartbeatInterval > 0) {
+        system.enableHeartbeat(
+            static_cast<Tick>(spec.obs.heartbeatInterval));
+    } else if (spec.obs.heartbeatInterval < 0 &&
+               logLevel() >= LogLevel::Info) {
+        system.enableHeartbeat(kAutoHeartbeatInterval);
+    }
+
     auto workload = makeWorkload(spec.workload, spec.footprintScale);
     const std::size_t ops =
         spec.opsPerGpm ? spec.opsPerGpm : defaultOpsPerGpm();
     system.loadWorkload(*workload, ops, spec.seed);
-    return system.run();
+    RunResult result = system.run();
+
+    if (!spec.obs.metricsJsonPath.empty()) {
+        std::ofstream out(spec.obs.metricsJsonPath);
+        hdpat_fatal_if(!out, "cannot open metrics JSON path '"
+                                 << spec.obs.metricsJsonPath << "'");
+        RunMetadata meta;
+        meta.workload = result.workload;
+        meta.policy = result.policy;
+        meta.config = result.config;
+        meta.seed = spec.seed;
+        meta.totalTicks = result.totalTicks;
+        writeMetricsJson(out, system.metrics(), meta);
+        hdpat_inform("wrote metrics JSON to "
+                     << spec.obs.metricsJsonPath);
+    }
+    if (!spec.obs.traceOutPath.empty()) {
+        std::ofstream out(spec.obs.traceOutPath);
+        hdpat_fatal_if(!out, "cannot open trace path '"
+                                 << spec.obs.traceOutPath << "'");
+        writeChromeTrace(out, *system.tracer());
+        hdpat_inform("wrote Chrome trace ("
+                     << system.tracer()->spansCompleted()
+                     << " complete spans) to " << spec.obs.traceOutPath);
+    }
+    return result;
 }
 
 } // namespace hdpat

@@ -18,6 +18,37 @@
 namespace hdpat
 {
 
+/**
+ * Observability outputs for one run. Defaults come from the
+ * environment (see obsOptionsFromEnv), so every bench and example
+ * honours HDPAT_METRICS_JSON / HDPAT_TRACE_OUT / HDPAT_TRACE_SAMPLE /
+ * HDPAT_HEARTBEAT without per-harness wiring.
+ */
+struct ObsOptions
+{
+    /** Write the metrics-registry JSON dump here ("" = off). */
+    std::string metricsJsonPath;
+    /** Write the Chrome-trace span export here ("" = off). */
+    std::string traceOutPath;
+    /** Trace 1 in N issued ops (only used when tracing is on). */
+    std::uint64_t traceSampleN = 64;
+    /** Span ring-buffer capacity in records. */
+    std::size_t traceCapacity = 1u << 20;
+    /**
+     * Heartbeat period in ticks: -1 = auto (on at LogLevel::Info and
+     * above), 0 = off, >0 = explicit interval.
+     */
+    std::int64_t heartbeatInterval = -1;
+
+    bool any() const
+    {
+        return !metricsJsonPath.empty() || !traceOutPath.empty();
+    }
+};
+
+/** ObsOptions populated from HDPAT_* environment variables. */
+ObsOptions obsOptionsFromEnv();
+
 /** Complete description of one simulation run. */
 struct RunSpec
 {
@@ -30,6 +61,7 @@ struct RunSpec
     std::uint64_t seed = 0x5eed;
     double footprintScale = 1.0;
     bool captureIommuTrace = false;
+    ObsOptions obs = obsOptionsFromEnv();
 };
 
 /** Build the system, load the workload, run, return the result. */

@@ -69,6 +69,95 @@ System::System(const SystemConfig &cfg, const TranslationPolicy &pol)
             gpm->setNeighborTarget(best);
         }
     }
+
+    registerMetrics();
+}
+
+void
+System::registerMetrics()
+{
+    // Per-component metrics under stable hierarchical prefixes.
+    for (auto &gpm : gpms_) {
+        gpm->registerMetrics(registry_,
+                             "gpm.t" + std::to_string(gpm->tile()) +
+                                 ".");
+    }
+    iommu_->registerMetrics(registry_, "iommu.");
+    net_.registerMetrics(registry_, "noc.");
+
+    // Wafer-wide aggregates over all GPMs; these are what RunResult
+    // and the reports consume.
+    const auto sum = [this](std::uint64_t Gpm::Stats::*field) {
+        return MetricRegistry::CounterFn([this, field] {
+            std::uint64_t total = 0;
+            for (const auto &g : gpms_)
+                total += g->stats().*field;
+            return total;
+        });
+    };
+    registry_.addCounter("gpm.ops_issued", sum(&Gpm::Stats::opsIssued));
+    registry_.addCounter("gpm.ops_completed",
+                         sum(&Gpm::Stats::opsCompleted));
+    registry_.addCounter("gpm.l1_tlb_hits", sum(&Gpm::Stats::l1TlbHits));
+    registry_.addCounter("gpm.l2_tlb_hits", sum(&Gpm::Stats::l2TlbHits));
+    registry_.addCounter("gpm.ll_tlb_hits", sum(&Gpm::Stats::llTlbHits));
+    registry_.addCounter("gpm.local_walks", sum(&Gpm::Stats::localWalks));
+    registry_.addCounter("gpm.cuckoo_negatives",
+                         sum(&Gpm::Stats::cuckooNegatives));
+    registry_.addCounter("gpm.cuckoo_false_positives",
+                         sum(&Gpm::Stats::cuckooFalsePositives));
+    registry_.addCounter("gpm.remote_ops", sum(&Gpm::Stats::remoteOps));
+    registry_.addCounter("gpm.remote_resolutions",
+                         sum(&Gpm::Stats::remoteResolutions));
+    registry_.addCounter("gpm.remote_stalls",
+                         sum(&Gpm::Stats::remoteStalls));
+    registry_.addCounter("gpm.probes_received",
+                         sum(&Gpm::Stats::probesReceived));
+    registry_.addCounter("gpm.probe_hits", sum(&Gpm::Stats::probeHits));
+    registry_.addCounter("gpm.pushes_received",
+                         sum(&Gpm::Stats::pushesReceived));
+    for (std::size_t i = 0; i < kNumTranslationSources; ++i) {
+        registry_.addCounter(
+            std::string("translation.source.") +
+                translationSourceName(static_cast<TranslationSource>(i)),
+            MetricRegistry::CounterFn([this, i] {
+                std::uint64_t total = 0;
+                for (const auto &g : gpms_)
+                    total += g->stats().sourceCounts[i];
+                return total;
+            }));
+    }
+    registry_.addSummary(
+        "gpm.remote_rtt", MetricRegistry::SummaryFn([this] {
+            SummaryStat merged;
+            for (const auto &g : gpms_)
+                merged.merge(g->stats().remoteRtt);
+            return merged;
+        }));
+}
+
+void
+System::enableTracing(std::size_t capacity, std::uint64_t sample_n)
+{
+    tracer_ = std::make_unique<Tracer>(capacity, sample_n);
+    net_.setTracer(tracer_.get());
+    iommu_->setTracer(tracer_.get());
+    for (auto &gpm : gpms_)
+        gpm->setTracer(tracer_.get());
+}
+
+void
+System::enableHeartbeat(Tick interval)
+{
+    heartbeat_ = std::make_unique<Heartbeat>(
+        engine_, interval, [this] {
+            int in_flight = 0;
+            for (const auto &g : gpms_)
+                in_flight += g->outstandingOps();
+            return "in-flight=" + std::to_string(in_flight) +
+                   " iommu-backlog=" +
+                   std::to_string(iommu_->backlog());
+        });
 }
 
 void
@@ -122,7 +211,11 @@ System::run()
 
     for (auto &gpm : gpms_)
         gpm->start();
+    if (heartbeat_)
+        heartbeat_->start();
     engine_.run();
+    if (heartbeat_)
+        heartbeat_->stop();
 
     RunResult result;
     result.workload = workloadName_;
@@ -136,22 +229,32 @@ System::run()
                               << " did not finish (deadlock?)");
         result.gpmFinish.emplace_back(gpm->tile(), s.finishTick);
         result.totalTicks = std::max(result.totalTicks, s.finishTick);
-
-        result.opsTotal += s.opsCompleted;
-        result.l1TlbHits += s.l1TlbHits;
-        result.l2TlbHits += s.l2TlbHits;
-        result.llTlbHits += s.llTlbHits;
-        result.localWalks += s.localWalks;
-        result.cuckooFalsePositives += s.cuckooFalsePositives;
-        result.remoteOps += s.remoteOps;
-        result.remoteResolutions += s.remoteResolutions;
-        for (std::size_t i = 0; i < kNumTranslationSources; ++i)
-            result.sourceCounts[i] += s.sourceCounts[i];
-        result.remoteRtt.merge(s.remoteRtt);
-        result.probesReceivedTotal += s.probesReceived;
-        result.probeHitsTotal += s.probeHits;
-        result.pushesReceivedTotal += s.pushesReceived;
     }
+
+    // Aggregated GPM-side statistics come from the metric registry's
+    // wafer-wide entries, so RunResult and every exporter read the
+    // same snapshot.
+    result.opsTotal = registry_.counterValue("gpm.ops_completed");
+    result.l1TlbHits = registry_.counterValue("gpm.l1_tlb_hits");
+    result.l2TlbHits = registry_.counterValue("gpm.l2_tlb_hits");
+    result.llTlbHits = registry_.counterValue("gpm.ll_tlb_hits");
+    result.localWalks = registry_.counterValue("gpm.local_walks");
+    result.cuckooFalsePositives =
+        registry_.counterValue("gpm.cuckoo_false_positives");
+    result.remoteOps = registry_.counterValue("gpm.remote_ops");
+    result.remoteResolutions =
+        registry_.counterValue("gpm.remote_resolutions");
+    for (std::size_t i = 0; i < kNumTranslationSources; ++i) {
+        result.sourceCounts[i] = registry_.counterValue(
+            std::string("translation.source.") +
+            translationSourceName(static_cast<TranslationSource>(i)));
+    }
+    result.remoteRtt = registry_.summaryValue("gpm.remote_rtt");
+    result.probesReceivedTotal =
+        registry_.counterValue("gpm.probes_received");
+    result.probeHitsTotal = registry_.counterValue("gpm.probe_hits");
+    result.pushesReceivedTotal =
+        registry_.counterValue("gpm.pushes_received");
 
     result.iommu = iommu_->stats();
     result.noc = net_.stats();

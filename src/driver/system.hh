@@ -34,6 +34,9 @@
 #include "mem/page_table.hh"
 #include "noc/mesh_topology.hh"
 #include "noc/network.hh"
+#include "obs/heartbeat.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "workloads/workload.hh"
 
@@ -59,6 +62,20 @@ class System
 
     /** Record the (tick, VPN) stream arriving at the IOMMU. */
     void setCaptureIommuTrace(bool on) { iommu_->setCaptureTrace(on); }
+
+    /**
+     * Enable end-to-end span tracing: 1 in @p sample_n issued ops is
+     * followed across the wafer; records land in a ring of
+     * @p capacity entries. Call before run().
+     */
+    void enableTracing(std::size_t capacity = 1u << 20,
+                       std::uint64_t sample_n = 1);
+
+    /**
+     * Log a progress heartbeat every @p interval simulated ticks while
+     * run() executes (at LogLevel::Info).
+     */
+    void enableHeartbeat(Tick interval);
 
     /** Run to completion and gather statistics. */
     RunResult run();
@@ -89,8 +106,16 @@ class System
     const SystemConfig &config() const { return cfg_; }
     const TranslationPolicy &policy() const { return pol_; }
 
+    /** Every metric this system can report, in registration order. */
+    const MetricRegistry &metrics() const { return registry_; }
+    /** The span tracer (null unless enableTracing was called). */
+    const Tracer *tracer() const { return tracer_.get(); }
+
   private:
     static MeshTopology buildTopology(const SystemConfig &cfg);
+
+    /** Register every component's metrics (called once from ctor). */
+    void registerMetrics();
 
     SystemConfig cfg_;
     TranslationPolicy pol_;
@@ -105,6 +130,9 @@ class System
     std::unique_ptr<Iommu> iommu_;
     std::vector<std::unique_ptr<Gpm>> gpms_;
     std::vector<Gpm *> gpmByTile_;
+    MetricRegistry registry_;
+    std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<Heartbeat> heartbeat_;
     std::string workloadName_ = "(none)";
     bool loaded_ = false;
 };

@@ -18,10 +18,11 @@ Gmmu::Gmmu(Engine &engine, const GlobalPageTable &pt, TileId self,
 }
 
 void
-Gmmu::requestWalk(Vpn vpn, WalkCallback cb)
+Gmmu::requestWalk(Vpn vpn, WalkCallback cb, TileId trace_owner)
 {
     ++stats_.walksRequested;
-    queue_.push_back(Pending{vpn, std::move(cb), engine_.now()});
+    queue_.push_back(
+        Pending{vpn, std::move(cb), engine_.now(), trace_owner});
     tryStart();
 }
 
@@ -34,6 +35,10 @@ Gmmu::tryStart()
         --freeWalkers_;
         stats_.queueWait.add(
             static_cast<double>(engine_.now() - p.enqueued));
+        if (tracer_ && p.traceOwner != kInvalidTile) {
+            tracer_->record(p.traceOwner, p.vpn, engine_.now(),
+                            SpanEvent::GmmuWalkStart, self_);
+        }
         const Tick latency = pwc_.enabled()
                                  ? pwc_.walkLatency(p.vpn)
                                  : walkLatency_;
@@ -52,10 +57,31 @@ Gmmu::tryStart()
                 // a page homed elsewhere).
                 ++stats_.misses;
             }
+            if (tracer_ && p.traceOwner != kInvalidTile) {
+                tracer_->record(p.traceOwner, p.vpn, engine_.now(),
+                                SpanEvent::GmmuWalkDone, self_,
+                                result ? 1 : 0);
+            }
             p.cb(p.vpn, result);
             tryStart();
         });
     }
+}
+
+void
+Gmmu::registerMetrics(MetricRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.addCounter(prefix + "walks_requested",
+                   &stats_.walksRequested);
+    reg.addCounter(prefix + "walks_completed",
+                   &stats_.walksCompleted);
+    reg.addCounter(prefix + "local_hits", &stats_.localHits);
+    reg.addCounter(prefix + "misses", &stats_.misses);
+    reg.addSummary(prefix + "queue_wait", &stats_.queueWait);
+    reg.addGauge(prefix + "queue_depth", [this] {
+        return static_cast<double>(queue_.size());
+    });
 }
 
 } // namespace hdpat

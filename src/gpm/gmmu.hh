@@ -16,6 +16,8 @@
 
 #include "mem/page_table.hh"
 #include "mem/page_walk_cache.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -47,8 +49,20 @@ class Gmmu
          std::size_t walkers, Tick walk_latency,
          std::size_t pwc_entries = 0);
 
-    /** Queue a walk of @p vpn; @p cb fires at completion. */
-    void requestWalk(Vpn vpn, WalkCallback cb);
+    /**
+     * Queue a walk of @p vpn; @p cb fires at completion. When a span
+     * is live for (@p trace_owner, vpn) the walk's start/done events
+     * are recorded against it.
+     */
+    void requestWalk(Vpn vpn, WalkCallback cb,
+                     TileId trace_owner = kInvalidTile);
+
+    /** Per-request span tracer (null = off). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Register GMMU metrics under @p prefix (e.g. "gpm.t3.gmmu."). */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
 
     std::size_t queueDepth() const { return queue_.size(); }
     const Stats &stats() const { return stats_; }
@@ -60,6 +74,7 @@ class Gmmu
         Vpn vpn;
         WalkCallback cb;
         Tick enqueued;
+        TileId traceOwner = kInvalidTile;
     };
 
     void tryStart();
@@ -70,6 +85,7 @@ class Gmmu
     std::size_t freeWalkers_;
     Tick walkLatency_;
     PageWalkCache pwc_;
+    Tracer *tracer_ = nullptr;
     std::deque<Pending> queue_;
     Stats stats_;
 };

@@ -48,6 +48,57 @@ Gpm::connect(Iommu *iommu, const ConcentricLayers *layers,
     gpms_ = gpms_by_tile;
 }
 
+void
+Gpm::setTracer(Tracer *tracer)
+{
+    tracer_ = tracer;
+    gmmu_.setTracer(tracer);
+}
+
+void
+Gpm::registerMetrics(MetricRegistry &reg,
+                     const std::string &prefix) const
+{
+    reg.addCounter(prefix + "ops_issued", &stats_.opsIssued);
+    reg.addCounter(prefix + "ops_completed", &stats_.opsCompleted);
+    reg.addCounter(prefix + "l1_tlb_hits", &stats_.l1TlbHits);
+    reg.addCounter(prefix + "l2_tlb_hits", &stats_.l2TlbHits);
+    reg.addCounter(prefix + "cuckoo_negatives",
+                   &stats_.cuckooNegatives);
+    reg.addCounter(prefix + "cuckoo_false_positives",
+                   &stats_.cuckooFalsePositives);
+    reg.addCounter(prefix + "ll_tlb_hits", &stats_.llTlbHits);
+    reg.addCounter(prefix + "local_walks", &stats_.localWalks);
+    reg.addCounter(prefix + "remote_ops", &stats_.remoteOps);
+    reg.addCounter(prefix + "remote_resolutions",
+                   &stats_.remoteResolutions);
+    reg.addCounter(prefix + "remote_stalls", &stats_.remoteStalls);
+    for (std::size_t i = 0; i < kNumTranslationSources; ++i) {
+        reg.addCounter(
+            prefix + "source." +
+                translationSourceName(static_cast<TranslationSource>(i)),
+            &stats_.sourceCounts[i]);
+    }
+    reg.addSummary(prefix + "remote_rtt", &stats_.remoteRtt);
+    reg.addCounter(prefix + "probes_received", &stats_.probesReceived);
+    reg.addCounter(prefix + "probe_hits", &stats_.probeHits);
+    reg.addCounter(prefix + "pushes_received", &stats_.pushesReceived);
+    reg.addCounter(prefix + "redirected_received",
+                   &stats_.redirectedReceived);
+    reg.addCounter(prefix + "redirected_hits", &stats_.redirectedHits);
+    reg.addCounter(prefix + "neighbor_probes_received",
+                   &stats_.neighborProbesReceived);
+    reg.addCounter(prefix + "neighbor_probe_hits",
+                   &stats_.neighborProbeHits);
+    reg.addCounter(prefix + "delegated_walks", &stats_.delegatedWalks);
+    reg.addCounter(prefix + "data_cache_hits", &stats_.dataCacheHits);
+    reg.addCounter(prefix + "data_local_accesses",
+                   &stats_.dataLocalAccesses);
+    reg.addCounter(prefix + "data_remote_accesses",
+                   &stats_.dataRemoteAccesses);
+    gmmu_.registerMetrics(reg, prefix + "gmmu.");
+}
+
 std::size_t
 Gpm::shootdown(Vpn vpn)
 {
@@ -151,16 +202,20 @@ Gpm::tryIssue()
 void
 Gpm::beginOp(Addr va)
 {
+    if (tracer_) [[unlikely]]
+        tracer_->begin(tile_, pt_.vpnOf(va), engine_.now());
     translate(va);
 }
 
 void
-Gpm::completeOpAt(Tick when)
+Gpm::completeOpAt(Tick when, Vpn vpn)
 {
-    engine_.scheduleAt(when, [this] {
+    engine_.scheduleAt(when, [this, vpn] {
         hdpat_panic_if(outstanding_ <= 0, "op completion underflow");
         --outstanding_;
         ++stats_.opsCompleted;
+        if (tracer_) [[unlikely]]
+            tracer_->end(tile_, vpn, engine_.now());
         tryIssue();
         checkFinished();
     });
@@ -189,6 +244,7 @@ Gpm::translate(Addr va)
 
     if (l1Tlb_.lookup(vpn)) {
         ++stats_.l1TlbHits;
+        trace(vpn, SpanEvent::L1TlbHit);
         dataAccess(va, t);
         return;
     }
@@ -196,6 +252,7 @@ Gpm::translate(Addr va)
     t += cfg_.l2Tlb.latency;
     if (auto pfn = l2Tlb_.lookup(vpn)) {
         ++stats_.l2TlbHits;
+        trace(vpn, SpanEvent::L2TlbHit);
         l1Tlb_.insert(vpn, *pfn);
         dataAccess(va, t);
         return;
@@ -206,6 +263,7 @@ Gpm::translate(Addr va)
         // Negative: guaranteed absent from the last-level TLB and the
         // local page table; go remote immediately.
         ++stats_.cuckooNegatives;
+        trace(vpn, SpanEvent::CuckooNegative);
         startRemote(va, t);
         return;
     }
@@ -213,6 +271,7 @@ Gpm::translate(Addr va)
     t += cfg_.lastLevelTlb.latency;
     if (const TlbEntry *entry = llTlb_.lookupEntry(vpn)) {
         ++stats_.llTlbHits;
+        trace(vpn, SpanEvent::LastLevelTlbHit);
         fillLocalHierarchy(vpn, entry->pfn, entry->remote);
         dataAccess(va, t);
         return;
@@ -223,6 +282,7 @@ Gpm::translate(Addr va)
     // (the "doubled latency" case of §II-B).
     engine_.scheduleAt(t, [this, va, vpn] {
         ++stats_.localWalks;
+        trace(vpn, SpanEvent::LocalWalkStart);
         const auto outcome = localWalkMshr_.registerMiss(
             vpn, [this, va](Vpn v, Pfn pfn) {
                 onLocalWalkDone(va, v,
@@ -231,9 +291,12 @@ Gpm::translate(Addr va)
                                     : std::optional<Pfn>(pfn));
             });
         if (outcome == MshrFile::Outcome::Allocated) {
-            gmmu_.requestWalk(vpn, [this](Vpn v, std::optional<Pfn> p) {
-                localWalkMshr_.resolve(v, p.value_or(kInvalidPfn));
-            });
+            gmmu_.requestWalk(
+                vpn,
+                [this](Vpn v, std::optional<Pfn> p) {
+                    localWalkMshr_.resolve(v, p.value_or(kInvalidPfn));
+                },
+                tile_);
         }
     });
 }
@@ -242,6 +305,7 @@ void
 Gpm::onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn)
 {
     if (pfn) {
+        trace(vpn, SpanEvent::LocalWalkHit);
         insertLastLevel(vpn, *pfn, /*remote=*/false,
                         /*prefetched=*/false);
         fillLocalHierarchy(vpn, *pfn, /*remote=*/false);
@@ -249,6 +313,7 @@ Gpm::onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn)
         return;
     }
     ++stats_.cuckooFalsePositives;
+    trace(vpn, SpanEvent::CuckooFalsePositive);
     startRemote(va, engine_.now());
 }
 
@@ -300,16 +365,19 @@ void
 Gpm::dataAccessNow(Addr va)
 {
     const Tick now = engine_.now();
+    const Vpn vpn = pt_.vpnOf(va);
     if (dataCache_.access(va)) {
         ++stats_.dataCacheHits;
-        completeOpAt(now + cfg_.dataHitLatency);
+        trace(vpn, SpanEvent::DataAccess, tile_);
+        completeOpAt(now + cfg_.dataHitLatency, vpn);
         return;
     }
 
-    const TileId home = pt_.homeOf(pt_.vpnOf(va));
+    const TileId home = pt_.homeOf(vpn);
     if (home == tile_ || home == kInvalidTile) {
         ++stats_.dataLocalAccesses;
-        completeOpAt(dram_.access(now, cfg_.cacheLineBytes));
+        trace(vpn, SpanEvent::DataAccess, tile_);
+        completeOpAt(dram_.access(now, cfg_.cacheLineBytes), vpn);
         return;
     }
 
@@ -318,18 +386,19 @@ Gpm::dataAccessNow(Addr va)
     // The return leg is computed in an event at the home side so link
     // state is never reserved at a future timestamp.
     ++stats_.dataRemoteAccesses;
+    trace(vpn, SpanEvent::DataAccess, home);
     const Tick t_req = net_.computeArrival(
         now, tile_, home, NocMessageBytes::kDataHeader);
     Gpm *home_gpm = (*gpms_)[static_cast<std::size_t>(home)];
-    engine_.scheduleAt(t_req, [this, home, home_gpm] {
+    engine_.scheduleAt(t_req, [this, home, home_gpm, vpn] {
         const Tick t_mem = home_gpm->dram().access(engine_.now(),
                                                    cfg_.cacheLineBytes);
-        engine_.scheduleAt(t_mem, [this, home] {
+        engine_.scheduleAt(t_mem, [this, home, vpn] {
             const Tick t_resp = net_.computeArrival(
                 engine_.now(), home, tile_,
                 NocMessageBytes::kCacheLine +
                     NocMessageBytes::kDataHeader);
-            completeOpAt(t_resp);
+            completeOpAt(t_resp, vpn);
         });
     });
 }

@@ -41,6 +41,8 @@
 #include "mem/set_assoc_cache.hh"
 #include "mem/tlb.hh"
 #include "noc/network.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "sim/stats.hh"
 #include "workloads/address_stream.hh"
@@ -163,9 +165,22 @@ class Gpm : public PeerEndpoint
      */
     std::size_t shootdown(Vpn vpn);
 
+    /**
+     * Per-request span tracer (null = off). Forwarded to the GMMU;
+     * sampled issue events open spans, every later stage records
+     * against them.
+     */
+    void setTracer(Tracer *tracer);
+
+    /** Register this GPM's metrics under @p prefix (e.g. "gpm.t3."). */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
+
     TileId tile() const { return tile_; }
     bool finished() const { return stats_.finished; }
     Tick finishTick() const { return stats_.finishTick; }
+    /** Memory ops currently in flight (issued, not yet completed). */
+    int outstandingOps() const { return outstanding_; }
     const Stats &stats() const { return stats_; }
 
     DramModel &dram() { return dram_; }
@@ -208,8 +223,15 @@ class Gpm : public PeerEndpoint
     // ---- Issue engine (gpm.cc) ---------------------------------------
     void tryIssue();
     void beginOp(Addr va);
-    void completeOpAt(Tick when);
+    void completeOpAt(Tick when, Vpn vpn);
     void checkFinished();
+
+    /** Record a span event against this GPM's own span for @p vpn. */
+    void trace(Vpn vpn, SpanEvent ev, std::uint64_t arg = 0)
+    {
+        if (tracer_) [[unlikely]]
+            tracer_->record(tile_, vpn, engine_.now(), ev, tile_, arg);
+    }
 
     // ---- Local translation path (gpm.cc) -----------------------------
     void translate(Addr va);
@@ -242,7 +264,8 @@ class Gpm : public PeerEndpoint
     void probeLookup(
         Vpn vpn,
         const std::function<void(Tick extra_latency, bool hit, Pfn pfn,
-                                 bool prefetched)> &done);
+                                 bool prefetched)> &done,
+        TileId trace_owner = kInvalidTile);
 
     void replyProbe(TileId to, const ProbeReply &reply,
                     Tick extra_latency);
@@ -256,6 +279,7 @@ class Gpm : public PeerEndpoint
     TranslationPolicy pol_;
 
     Iommu *iommu_ = nullptr;
+    Tracer *tracer_ = nullptr;
     const ConcentricLayers *layers_ = nullptr;
     const ClusterMap *clusterMap_ = nullptr;
     const DistributedGroups *groups_ = nullptr;

@@ -40,6 +40,7 @@ Gpm::startRemote(Addr va, Tick when)
             // The paper's MSHR concurrency limit: the op waits for a
             // free entry and retries on the next resolution.
             ++stats_.remoteStalls;
+            trace(vpn, SpanEvent::RemoteStalled);
             stalledRemote_.push_back(va);
             break;
         }
@@ -82,6 +83,7 @@ Gpm::retryStalledRemote()
 void
 Gpm::launchRemoteProtocol(Vpn vpn)
 {
+    trace(vpn, SpanEvent::RemoteStart);
     RemoteCtx ctx;
     ctx.startTick = engine_.now();
     ctx.epoch = ++epochCounter_;
@@ -180,10 +182,12 @@ Gpm::launchClusterProbes(Vpn vpn, RemoteCtx &ctx)
     for (TileId target : targets) {
         Gpm *peer = (*gpms_)[static_cast<std::size_t>(target)];
         const TileId requester = tile_;
-        net_.send(tile_, target, NocMessageBytes::kProbeRequest,
-                  [peer, vpn, requester, epoch] {
-                      peer->receiveProbe(vpn, requester, epoch);
-                  });
+        trace(vpn, SpanEvent::ProbeSent, target);
+        net_.sendTraced(tile_, target, NocMessageBytes::kProbeRequest,
+                        [peer, vpn, requester, epoch] {
+                            peer->receiveProbe(vpn, requester, epoch);
+                        },
+                        tile_, vpn);
     }
 }
 
@@ -214,10 +218,12 @@ Gpm::launchChain(Vpn vpn, RemoteCtx &ctx, std::vector<TileId> chain,
     probe.remaining.assign(chain.begin() + 1, chain.end());
 
     Gpm *peer = (*gpms_)[static_cast<std::size_t>(first)];
-    net_.send(tile_, first, NocMessageBytes::kProbeRequest,
-              [peer, probe = std::move(probe)] {
-                  peer->receiveChainProbe(probe);
-              });
+    trace(vpn, SpanEvent::ProbeSent, first);
+    net_.sendTraced(tile_, first, NocMessageBytes::kProbeRequest,
+                    [peer, probe = std::move(probe)] {
+                        peer->receiveChainProbe(probe);
+                    },
+                    tile_, vpn);
 }
 
 std::vector<TileId>
@@ -289,10 +295,13 @@ Gpm::launchNeighborProbe(Vpn vpn, RemoteCtx &ctx)
     Gpm *peer = (*gpms_)[static_cast<std::size_t>(neighborTile_)];
     const TileId requester = tile_;
     const std::uint64_t epoch = ctx.epoch;
-    net_.send(tile_, neighborTile_, NocMessageBytes::kProbeRequest,
-              [peer, vpn, requester, epoch] {
-                  peer->receiveNeighborProbe(vpn, requester, epoch);
-              });
+    trace(vpn, SpanEvent::ProbeSent, neighborTile_);
+    net_.sendTraced(tile_, neighborTile_,
+                    NocMessageBytes::kProbeRequest,
+                    [peer, vpn, requester, epoch] {
+                        peer->receiveNeighborProbe(vpn, requester, epoch);
+                    },
+                    tile_, vpn);
 }
 
 // ---------------------------------------------------------------------
@@ -307,15 +316,18 @@ Gpm::sendToIommu(Vpn vpn, Tick issued_at)
     req.requester = tile_;
     req.issuedAt = issued_at;
     Iommu *iommu = iommu_;
-    net_.send(tile_, net_.topology().cpuTile(),
-              NocMessageBytes::kTranslationRequest,
-              [iommu, req] { iommu->receiveRequest(req); });
+    net_.sendTraced(tile_, net_.topology().cpuTile(),
+                    NocMessageBytes::kTranslationRequest,
+                    [iommu, req] { iommu->receiveRequest(req); },
+                    tile_, vpn);
 }
 
 void
 Gpm::resolveRemote(Vpn vpn, Pfn pfn, TranslationSource source)
 {
     ++stats_.sourceCounts[static_cast<std::size_t>(source)];
+    trace(vpn, SpanEvent::Resolved,
+          static_cast<std::uint64_t>(source));
 
     auto it = remoteCtx_.find(vpn);
     if (it != remoteCtx_.end()) {
@@ -338,6 +350,9 @@ Gpm::receiveProbeReply(const ProbeReply &reply)
 
     RemoteCtx &ctx = it->second;
     --ctx.probesOutstanding;
+    trace(reply.vpn,
+          reply.hit ? SpanEvent::ProbeHit : SpanEvent::ProbeMiss,
+          reply.responder);
 
     if (reply.hit) {
         // Chain modes: push fills into the peers that missed before
@@ -399,7 +414,8 @@ Gpm::receiveTranslationResponse(Vpn vpn, Pfn pfn,
 void
 Gpm::probeLookup(
     Vpn vpn,
-    const std::function<void(Tick, bool, Pfn, bool)> &done)
+    const std::function<void(Tick, bool, Pfn, bool)> &done,
+    TileId trace_owner)
 {
     Tick latency = cfg_.cuckooLatency;
     if (!cuckoo_.contains(vpn)) {
@@ -415,16 +431,18 @@ Gpm::probeLookup(
 
     if (pt_.homeOf(vpn) == tile_) {
         // The probed page is homed here: the local page table has it.
-        engine_.scheduleIn(latency, [this, vpn, done] {
+        engine_.scheduleIn(latency, [this, vpn, done, trace_owner] {
             gmmu_.requestWalk(
-                vpn, [this, done](Vpn v, std::optional<Pfn> pfn) {
+                vpn,
+                [this, done](Vpn v, std::optional<Pfn> pfn) {
                     if (pfn) {
                         insertLastLevel(v, *pfn, false, false);
                         done(0, true, *pfn, false);
                     } else {
                         done(0, false, kInvalidPfn, false);
                     }
-                });
+                },
+                trace_owner);
         });
         return;
     }
@@ -438,8 +456,9 @@ Gpm::replyProbe(TileId to, const ProbeReply &reply, Tick extra_latency)
 {
     Gpm *peer = (*gpms_)[static_cast<std::size_t>(to)];
     auto do_send = [this, peer, to, reply] {
-        net_.send(tile_, to, NocMessageBytes::kProbeResponse,
-                  [peer, reply] { peer->receiveProbeReply(reply); });
+        net_.sendTraced(tile_, to, NocMessageBytes::kProbeResponse,
+                        [peer, reply] { peer->receiveProbeReply(reply); },
+                        to, reply.vpn);
     };
     if (extra_latency == 0) {
         do_send();
@@ -452,29 +471,36 @@ void
 Gpm::receiveProbe(Vpn vpn, TileId requester, std::uint64_t epoch)
 {
     ++stats_.probesReceived;
-    probeLookup(vpn, [this, vpn, requester, epoch](
-                         Tick lat, bool hit, Pfn pfn, bool prefetched) {
-        if (hit)
-            ++stats_.probeHits;
-        ProbeReply reply;
-        reply.vpn = vpn;
-        reply.epoch = epoch;
-        reply.hit = hit;
-        reply.pfn = pfn;
-        reply.source = prefetched ? TranslationSource::ProactiveDelivery
-                                  : TranslationSource::PeerCache;
-        reply.responder = tile_;
-        replyProbe(requester, reply, lat);
-    });
+    probeLookup(
+        vpn,
+        [this, vpn, requester, epoch](Tick lat, bool hit, Pfn pfn,
+                                      bool prefetched) {
+            if (hit)
+                ++stats_.probeHits;
+            ProbeReply reply;
+            reply.vpn = vpn;
+            reply.epoch = epoch;
+            reply.hit = hit;
+            reply.pfn = pfn;
+            reply.source = prefetched
+                               ? TranslationSource::ProactiveDelivery
+                               : TranslationSource::PeerCache;
+            reply.responder = tile_;
+            replyProbe(requester, reply, lat);
+        },
+        requester);
 }
 
 void
 Gpm::receiveChainProbe(ChainProbe probe)
 {
     ++stats_.probesReceived;
-    probeLookup(probe.vpn, [this, probe = std::move(probe)](
-                               Tick lat, bool hit, Pfn pfn,
-                               bool prefetched) mutable {
+    const Vpn probe_vpn = probe.vpn;
+    const TileId probe_owner = probe.requester;
+    probeLookup(
+        probe_vpn,
+        [this, probe = std::move(probe)](Tick lat, bool hit, Pfn pfn,
+                                         bool prefetched) mutable {
         // Sequential schemes stop the request at every attempt:
         // store-and-forward plus shared-port arbitration (§IV-B).
         lat += cfg_.chainAttemptOverhead;
@@ -501,10 +527,14 @@ Gpm::receiveChainProbe(ChainProbe probe)
             Gpm *peer = (*gpms_)[static_cast<std::size_t>(next)];
             engine_.scheduleIn(lat, [this, next, peer,
                                      probe = std::move(probe)] {
-                net_.send(tile_, next, NocMessageBytes::kProbeRequest,
-                          [peer, probe = std::move(probe)] {
-                              peer->receiveChainProbe(probe);
-                          });
+                const TileId owner = probe.requester;
+                const Vpn vpn = probe.vpn;
+                net_.sendTraced(tile_, next,
+                                NocMessageBytes::kProbeRequest,
+                                [peer, probe = std::move(probe)] {
+                                    peer->receiveChainProbe(probe);
+                                },
+                                owner, vpn);
             });
             return;
         }
@@ -517,11 +547,13 @@ Gpm::receiveChainProbe(ChainProbe probe)
         req.issuedAt = probe.issuedAt;
         Iommu *iommu = iommu_;
         engine_.scheduleIn(lat, [this, iommu, req] {
-            net_.send(tile_, net_.topology().cpuTile(),
-                      NocMessageBytes::kTranslationRequest,
-                      [iommu, req] { iommu->receiveRequest(req); });
+            net_.sendTraced(tile_, net_.topology().cpuTile(),
+                            NocMessageBytes::kTranslationRequest,
+                            [iommu, req] { iommu->receiveRequest(req); },
+                            req.requester, req.vpn);
         });
-    });
+        },
+        probe_owner);
 }
 
 void
@@ -559,66 +591,92 @@ void
 Gpm::receiveRedirectedRequest(const RemoteRequest &req)
 {
     ++stats_.redirectedReceived;
-    probeLookup(req.vpn, [this, req](Tick lat, bool hit, Pfn pfn,
-                                     bool prefetched) {
+    if (tracer_) [[unlikely]]
+        tracer_->record(req.requester, req.vpn, engine_.now(),
+                        SpanEvent::RedirectArrive, tile_);
+    probeLookup(
+        req.vpn,
+        [this, req](Tick lat, bool hit, Pfn pfn, bool prefetched) {
         if (hit) {
             ++stats_.redirectedHits;
+            if (tracer_) [[unlikely]]
+                tracer_->record(req.requester, req.vpn, engine_.now(),
+                                SpanEvent::RedirectHit, tile_);
             Gpm *peer = (*gpms_)[static_cast<std::size_t>(req.requester)];
             const Vpn vpn = req.vpn;
             const TranslationSource source =
                 prefetched ? TranslationSource::ProactiveDelivery
                            : TranslationSource::Redirect;
             engine_.scheduleIn(lat, [this, peer, req, vpn, pfn, source] {
-                net_.send(tile_, req.requester,
-                          NocMessageBytes::kTranslationResponse,
-                          [peer, vpn, pfn, source] {
-                              peer->receiveTranslationResponse(vpn, pfn,
-                                                               source);
-                          });
+                net_.sendTraced(tile_, req.requester,
+                                NocMessageBytes::kTranslationResponse,
+                                [peer, vpn, pfn, source] {
+                                    peer->receiveTranslationResponse(
+                                        vpn, pfn, source);
+                                },
+                                req.requester, vpn);
             });
             return;
         }
 
         // The cached copy was evicted: bounce back to the IOMMU with
         // redirection disabled so it walks this time.
+        if (tracer_) [[unlikely]]
+            tracer_->record(req.requester, req.vpn, engine_.now(),
+                            SpanEvent::RedirectBounce, tile_);
         RemoteRequest bounce = req;
         bounce.allowRedirect = false;
         Iommu *iommu = iommu_;
         engine_.scheduleIn(lat, [this, iommu, bounce] {
-            net_.send(tile_, net_.topology().cpuTile(),
-                      NocMessageBytes::kTranslationRequest,
-                      [iommu, bounce] { iommu->receiveRequest(bounce); });
+            net_.sendTraced(tile_, net_.topology().cpuTile(),
+                            NocMessageBytes::kTranslationRequest,
+                            [iommu, bounce] {
+                                iommu->receiveRequest(bounce);
+                            },
+                            bounce.requester, bounce.vpn);
         });
-    });
+        },
+        req.requester);
 }
 
 void
 Gpm::receiveDelegatedWalk(const RemoteRequest &req)
 {
     ++stats_.delegatedWalks;
-    gmmu_.requestWalk(req.vpn, [this, req](Vpn vpn,
-                                           std::optional<Pfn> pfn) {
-        hdpat_panic_if(!pfn, "delegated walk missed at home GPM for VPN "
-                                 << vpn);
-        insertLastLevel(vpn, *pfn, /*remote=*/false,
-                        /*prefetched=*/false);
+    if (tracer_) [[unlikely]]
+        tracer_->record(req.requester, req.vpn, engine_.now(),
+                        SpanEvent::DelegatedWalk, tile_);
+    gmmu_.requestWalk(
+        req.vpn,
+        [this, req](Vpn vpn, std::optional<Pfn> pfn) {
+            hdpat_panic_if(!pfn,
+                           "delegated walk missed at home GPM for VPN "
+                               << vpn);
+            insertLastLevel(vpn, *pfn, /*remote=*/false,
+                            /*prefetched=*/false);
 
-        // Short-circuit: reply straight to the requester...
-        Gpm *peer = (*gpms_)[static_cast<std::size_t>(req.requester)];
-        const Pfn value = *pfn;
-        net_.send(tile_, req.requester,
-                  NocMessageBytes::kTranslationResponse,
-                  [peer, vpn, value] {
-                      peer->receiveTranslationResponse(
-                          vpn, value, TranslationSource::HomeGmmu);
-                  });
+            // Short-circuit: reply straight to the requester...
+            Gpm *peer =
+                (*gpms_)[static_cast<std::size_t>(req.requester)];
+            const Pfn value = *pfn;
+            net_.sendTraced(tile_, req.requester,
+                            NocMessageBytes::kTranslationResponse,
+                            [peer, vpn, value] {
+                                peer->receiveTranslationResponse(
+                                    vpn, value,
+                                    TranslationSource::HomeGmmu);
+                            },
+                            req.requester, vpn);
 
-        // ...and release the IOMMU's forwarding context.
-        Iommu *iommu = iommu_;
-        net_.send(tile_, net_.topology().cpuTile(),
-                  NocMessageBytes::kTranslationResponse,
-                  [iommu, vpn] { iommu->receiveDelegatedResult(vpn); });
-    });
+            // ...and release the IOMMU's forwarding context.
+            Iommu *iommu = iommu_;
+            net_.send(tile_, net_.topology().cpuTile(),
+                      NocMessageBytes::kTranslationResponse,
+                      [iommu, vpn] {
+                          iommu->receiveDelegatedResult(vpn);
+                      });
+        },
+        req.requester);
 }
 
 } // namespace hdpat

@@ -33,9 +33,10 @@ Iommu::Iommu(Engine &engine, Network &net, GlobalPageTable &pt,
              const SystemConfig &cfg, const TranslationPolicy &pol,
              TileId cpu_tile)
     : engine_(engine), net_(net), pt_(pt), cfg_(cfg), pol_(pol),
-      cpuTile_(cpu_tile), freeWalkers_(cfg.iommuWalkers),
-      freeForwardContexts_(cfg.iommuForwardContexts),
-      pwc_(cfg.iommuPwcEntriesPerLevel, 5, cfg.iommuWalkLatency / 5)
+      cpuTile_(cpu_tile),
+      pwc_(cfg.iommuPwcEntriesPerLevel, 5, cfg.iommuWalkLatency / 5),
+      freeWalkers_(cfg.iommuWalkers),
+      freeForwardContexts_(cfg.iommuForwardContexts)
 {
     if (pol_.redirectionTable && !pol_.iommuTlbInsteadOfRt)
         rt_.emplace(cfg_.redirectionTableEntries);
@@ -50,6 +51,54 @@ Iommu::setPeers(std::vector<PeerEndpoint *> peers)
 }
 
 void
+Iommu::registerMetrics(MetricRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.addCounter(prefix + "requests_received",
+                   &stats_.requestsReceived);
+    reg.addCounter(prefix + "redirects_sent", &stats_.redirectsSent);
+    reg.addCounter(prefix + "redirect_bounces",
+                   &stats_.redirectBounces);
+    reg.addCounter(prefix + "stale_redirects_skipped",
+                   &stats_.staleRedirectsSkipped);
+    reg.addCounter(prefix + "tlb_hits", &stats_.tlbHits);
+    reg.addCounter(prefix + "mshr_merges", &stats_.mshrMerges);
+    reg.addCounter(prefix + "ingress_stalls", &stats_.ingressStalls);
+    reg.addCounter(prefix + "walks_started", &stats_.walksStarted);
+    reg.addCounter(prefix + "walks_completed", &stats_.walksCompleted);
+    reg.addCounter(prefix + "revisit_completions",
+                   &stats_.revisitCompletions);
+    reg.addCounter(prefix + "prefetched_ptes", &stats_.prefetchedPtes);
+    reg.addCounter(prefix + "pushes_sent", &stats_.pushesSent);
+    reg.addCounter(prefix + "responses_sent", &stats_.responsesSent);
+    reg.addCounter(prefix + "delegations_sent",
+                   &stats_.delegationsSent);
+    reg.addCounter(prefix + "delegation_returns",
+                   &stats_.delegationReturns);
+    reg.addCounter(prefix + "max_buffer_depth",
+                   &stats_.maxBufferDepth);
+    reg.addSummary(prefix + "pre_queue_latency",
+                   &stats_.preQueueLatency);
+    reg.addSummary(prefix + "pw_queue_latency",
+                   &stats_.pwQueueLatency);
+    reg.addSummary(prefix + "walk_latency", &stats_.walkLatency);
+    reg.addTimeSeries(prefix + "buffer_depth", &stats_.bufferDepth);
+    reg.addTimeSeries(prefix + "served_per_window",
+                      &stats_.servedPerWindow);
+    reg.addGauge(prefix + "backlog", [this] {
+        return static_cast<double>(backlog());
+    });
+    if (rt_) {
+        const RedirectionTable::Stats &rt = rt_->stats();
+        reg.addCounter(prefix + "rt.lookups", &rt.lookups);
+        reg.addCounter(prefix + "rt.hits", &rt.hits);
+        reg.addCounter(prefix + "rt.inserts", &rt.inserts);
+        reg.addCounter(prefix + "rt.evictions", &rt.evictions);
+        reg.addCounter(prefix + "rt.invalidations", &rt.invalidations);
+    }
+}
+
+void
 Iommu::receiveRequest(const RemoteRequest &req)
 {
     ++stats_.requestsReceived;
@@ -57,6 +106,7 @@ Iommu::receiveRequest(const RemoteRequest &req)
         ++stats_.redirectBounces;
     if (stats_.captureTrace)
         stats_.trace.emplace_back(engine_.now(), req.vpn);
+    trace(req, SpanEvent::IommuArrive);
 
     Pending p;
     p.req = req;
@@ -111,17 +161,20 @@ Iommu::admitHead()
         if (auto aux = rt_->lookup(vpn)) {
             if (*aux != p.req.requester) {
                 ++stats_.redirectsSent;
+                trace(p.req, SpanEvent::IommuRedirect,
+                      static_cast<std::uint64_t>(*aux));
                 stats_.preQueueLatency.add(
                     static_cast<double>(now - p.arriveTick));
                 PeerEndpoint *peer =
                     peers_[static_cast<std::size_t>(*aux)];
                 hdpat_panic_if(!peer, "redirect to a non-GPM tile");
                 RemoteRequest fwd = p.req;
-                net_.send(cpuTile_, *aux,
-                          NocMessageBytes::kTranslationRequest,
-                          [peer, fwd] {
-                              peer->receiveRedirectedRequest(fwd);
-                          });
+                net_.sendTraced(cpuTile_, *aux,
+                                NocMessageBytes::kTranslationRequest,
+                                [peer, fwd] {
+                                    peer->receiveRedirectedRequest(fwd);
+                                },
+                                fwd.requester, fwd.vpn);
                 ingressQueue_.pop_front();
                 recordServed();
                 return Admit::Done;
@@ -138,6 +191,7 @@ Iommu::admitHead()
     if (tlb_) {
         if (auto pfn = tlb_->lookup(vpn)) {
             ++stats_.tlbHits;
+            trace(p.req, SpanEvent::IommuTlbHit);
             stats_.preQueueLatency.add(
                 static_cast<double>(now - p.arriveTick));
             respond(p.req, *pfn, TranslationSource::IommuTlb);
@@ -207,11 +261,16 @@ Iommu::tryStartWalks()
             hdpat_panic_if(home == kInvalidTile,
                            "delegated walk for unmapped VPN "
                                << p.req.vpn);
+            trace(p.req, SpanEvent::DelegatedWalk,
+                  static_cast<std::uint64_t>(home));
             PeerEndpoint *peer = peers_[static_cast<std::size_t>(home)];
             const RemoteRequest req = p.req;
-            net_.send(cpuTile_, home,
-                      NocMessageBytes::kTranslationRequest,
-                      [peer, req] { peer->receiveDelegatedWalk(req); });
+            net_.sendTraced(cpuTile_, home,
+                            NocMessageBytes::kTranslationRequest,
+                            [peer, req] {
+                                peer->receiveDelegatedWalk(req);
+                            },
+                            req.requester, req.vpn);
         }
         return;
     }
@@ -223,6 +282,7 @@ Iommu::tryStartWalks()
         stats_.pwQueueLatency.add(
             static_cast<double>(engine_.now() - p.pwEnqueueTick));
         ++stats_.walksStarted;
+        trace(p.req, SpanEvent::IommuWalkStart);
         const Tick start = engine_.now();
         const Tick latency = pwc_.enabled()
                                  ? pwc_.walkLatency(p.req.vpn)
@@ -241,6 +301,7 @@ Iommu::completeWalk(Pending p, Tick walk_start)
     ++stats_.walksCompleted;
     stats_.walkLatency.add(
         static_cast<double>(engine_.now() - walk_start));
+    trace(p.req, SpanEvent::IommuWalkDone);
 
     const Vpn vpn = p.req.vpn;
     Pte *pte = pt_.translateMutable(vpn);
@@ -316,14 +377,18 @@ Iommu::respond(const RemoteRequest &req, Pfn pfn,
                TranslationSource source)
 {
     ++stats_.responsesSent;
+    trace(req, SpanEvent::IommuRespond,
+          static_cast<std::uint64_t>(source));
     PeerEndpoint *peer = peers_[static_cast<std::size_t>(req.requester)];
     hdpat_panic_if(!peer, "response to a non-GPM tile");
     const Vpn vpn = req.vpn;
-    net_.send(cpuTile_, req.requester,
-              NocMessageBytes::kTranslationResponse,
-              [peer, vpn, pfn, source] {
-                  peer->receiveTranslationResponse(vpn, pfn, source);
-              });
+    net_.sendTraced(cpuTile_, req.requester,
+                    NocMessageBytes::kTranslationResponse,
+                    [peer, vpn, pfn, source] {
+                        peer->receiveTranslationResponse(vpn, pfn,
+                                                         source);
+                    },
+                    req.requester, vpn);
 }
 
 void

@@ -33,6 +33,8 @@
 #include "mem/page_table.hh"
 #include "mem/page_walk_cache.hh"
 #include "noc/network.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "sim/stats.hh"
 
@@ -92,6 +94,13 @@ class Iommu
     /** Enable capturing the (tick, VPN) arrival trace. */
     void setCaptureTrace(bool on) { stats_.captureTrace = on; }
 
+    /** Per-request span tracer (null = off). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Register IOMMU metrics under @p prefix (e.g. "iommu."). */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
+
     /** A translation request arrived at the CPU tile. */
     void receiveRequest(const RemoteRequest &req);
 
@@ -142,6 +151,15 @@ class Iommu
     void recordServed();
     void sampleDepth();
 
+    /** Record a span event for the request's owner (requester tile). */
+    void trace(const RemoteRequest &req, SpanEvent ev,
+               std::uint64_t arg = 0)
+    {
+        if (tracer_) [[unlikely]]
+            tracer_->record(req.requester, req.vpn, engine_.now(), ev,
+                            cpuTile_, arg);
+    }
+
     Engine &engine_;
     Network &net_;
     GlobalPageTable &pt_;
@@ -151,6 +169,7 @@ class Iommu
 
     std::vector<PeerEndpoint *> peers_;
     const ClusterMap *clusterMap_ = nullptr;
+    Tracer *tracer_ = nullptr;
     std::optional<RedirectionTable> rt_;
     std::optional<IommuTlb> tlb_;
 

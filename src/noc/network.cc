@@ -71,17 +71,36 @@ Network::computeArrival(Tick now, TileId src, TileId dst,
     const double serialize =
         static_cast<double>(bytes) / params_.bytesPerTick;
 
-    const std::vector<TileId> path = route(src, dst);
+    // Walk the XY route in place rather than materializing it: this
+    // runs once per packet, and the route() vector allocation shows up
+    // in whole-run profiles. Direction codes match linkIndex().
+    Coord cur = topo_.coordOf(src);
+    const Coord goal = topo_.coordOf(dst);
+    TileId tile = src;
+    std::uint64_t nhops = 0;
     double t = static_cast<double>(now);
-    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-        const std::size_t link = linkIndex(path[i], path[i + 1]);
+    const auto traverse = [&](unsigned dir, TileId next) {
+        const std::size_t link =
+            static_cast<std::size_t>(tile) * 4 + dir;
         const double depart = std::max(t, linkFree_[link]);
         stats_.linkWait.add(depart - t);
         linkFree_[link] = depart + serialize;
         t = depart + serialize + static_cast<double>(params_.linkLatency);
+        tile = next;
+        ++nhops;
+    };
+    // X first, then Y (dimension-ordered routing), as in route().
+    while (cur.x != goal.x) {
+        const bool east = goal.x > cur.x;
+        cur.x += east ? 1 : -1;
+        traverse(east ? 0u : 1u, cur.y * topo_.width() + cur.x);
+    }
+    while (cur.y != goal.y) {
+        const bool south = goal.y > cur.y;
+        cur.y += south ? 1 : -1;
+        traverse(south ? 2u : 3u, cur.y * topo_.width() + cur.x);
     }
 
-    const std::uint64_t nhops = path.size() - 1;
     stats_.byteHops += bytes * nhops;
     stats_.totalHops += nhops;
     const Tick arrival = static_cast<Tick>(std::ceil(t));
@@ -95,6 +114,42 @@ Network::send(TileId src, TileId dst, std::size_t bytes,
 {
     const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
     engine_.scheduleAt(arrive, std::move(on_arrive));
+}
+
+void
+Network::sendTracedSlow(TileId src, TileId dst, std::size_t bytes,
+                        EventFn on_arrive, TileId trace_owner,
+                        Vpn trace_vpn)
+{
+    if (!tracer_->active(trace_owner, trace_vpn)) {
+        send(src, dst, bytes, std::move(on_arrive));
+        return;
+    }
+    tracer_->record(trace_owner, trace_vpn, engine_.now(),
+                    SpanEvent::NetSend, src,
+                    static_cast<std::uint64_t>(dst));
+    const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
+    Tracer *tracer = tracer_;
+    engine_.scheduleAt(
+        arrive, [tracer, trace_owner, trace_vpn, dst, arrive,
+                 fn = std::move(on_arrive)] {
+            tracer->record(trace_owner, trace_vpn, arrive,
+                           SpanEvent::NetArrive, dst,
+                           static_cast<std::uint64_t>(dst));
+            fn();
+        });
+}
+
+void
+Network::registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.addCounter(prefix + "packets", &stats_.packets);
+    reg.addCounter(prefix + "total_bytes", &stats_.totalBytes);
+    reg.addCounter(prefix + "byte_hops", &stats_.byteHops);
+    reg.addCounter(prefix + "total_hops", &stats_.totalHops);
+    reg.addCounter(prefix + "total_latency", &stats_.totalLatency);
+    reg.addSummary(prefix + "link_wait", &stats_.linkWait);
 }
 
 } // namespace hdpat

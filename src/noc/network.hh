@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "noc/mesh_topology.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -79,6 +81,31 @@ class Network
               EventFn on_arrive);
 
     /**
+     * Traced variant: when a span is live for (@p trace_owner,
+     * @p trace_vpn), record NetSend at departure and NetArrive at
+     * delivery against it. Identical timing to send(); with tracing
+     * off the inline null test is the only extra cost.
+     */
+    void sendTraced(TileId src, TileId dst, std::size_t bytes,
+                    EventFn on_arrive, TileId trace_owner,
+                    Vpn trace_vpn)
+    {
+        if (!tracer_) [[likely]] {
+            send(src, dst, bytes, std::move(on_arrive));
+            return;
+        }
+        sendTracedSlow(src, dst, bytes, std::move(on_arrive),
+                       trace_owner, trace_vpn);
+    }
+
+    /** Tracer for translation-plane messages (null = off). */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    /** Register NoC metrics under @p prefix (e.g. "noc."). */
+    void registerMetrics(MetricRegistry &reg,
+                         const std::string &prefix) const;
+
+    /**
      * Pure timing variant: advance link state and return the arrival
      * tick without scheduling anything.
      */
@@ -105,9 +132,15 @@ class Network
     /** Directed link leaving @p tile toward @p next. 4 per tile. */
     std::size_t linkIndex(TileId tile, TileId next) const;
 
+    /** Out-of-line body of sendTraced for the tracing-on case. */
+    void sendTracedSlow(TileId src, TileId dst, std::size_t bytes,
+                        EventFn on_arrive, TileId trace_owner,
+                        Vpn trace_vpn);
+
     Engine &engine_;
     const MeshTopology &topo_;
     NocParams params_;
+    Tracer *tracer_ = nullptr;
     /** Busy-until time per directed link, in fractional ticks. */
     std::vector<double> linkFree_;
     Stats stats_;

@@ -1,0 +1,198 @@
+#include "obs/exporters.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <vector>
+
+#include "obs/json_writer.hh"
+
+namespace hdpat
+{
+
+namespace
+{
+
+void
+writeSummary(JsonWriter &w, const SummaryStat &s)
+{
+    w.beginObject()
+        .field("count", s.count())
+        .field("sum", s.sum())
+        .field("mean", s.mean())
+        .field("min", s.min())
+        .field("max", s.max())
+        .field("stddev", s.stddev())
+        .endObject();
+}
+
+void
+writeHistogram(JsonWriter &w, const Log2Histogram &h)
+{
+    w.beginObject().field("total", h.totalCount());
+    w.key("buckets").beginArray();
+    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+        if (h.bucket(i) == 0)
+            continue;
+        w.beginObject()
+            .field("low", Log2Histogram::bucketLow(i))
+            .field("high", Log2Histogram::bucketHigh(i))
+            .field("count", h.bucket(i))
+            .endObject();
+    }
+    w.endArray().endObject();
+}
+
+void
+writeTimeSeries(JsonWriter &w, const TimeSeries &ts)
+{
+    w.beginObject()
+        .field("window_ticks", static_cast<std::uint64_t>(
+                                   ts.windowTicks()))
+        .field("windows", static_cast<std::uint64_t>(ts.windows()));
+    w.key("sums").beginArray();
+    for (std::size_t i = 0; i < ts.windows(); ++i)
+        w.value(ts.windowSum(i));
+    w.endArray();
+    w.key("counts").beginArray();
+    for (std::size_t i = 0; i < ts.windows(); ++i)
+        w.value(ts.windowCount(i));
+    w.endArray();
+    w.key("maxima").beginArray();
+    for (std::size_t i = 0; i < ts.windows(); ++i)
+        w.value(ts.windowMax(i));
+    w.endArray().endObject();
+}
+
+} // namespace
+
+void
+writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
+                 const RunMetadata &meta)
+{
+    JsonWriter w(os);
+    w.beginObject().field("schema", "hdpat-metrics-v1");
+
+    w.key("run")
+        .beginObject()
+        .field("workload", meta.workload)
+        .field("policy", meta.policy)
+        .field("config", meta.config)
+        .field("seed", meta.seed)
+        .field("total_ticks", meta.totalTicks)
+        .endObject();
+
+    // One section per metric kind, each mapping name -> value. The
+    // two-pass-per-kind shape keeps the schema stable regardless of
+    // registration order.
+    w.key("counters").beginObject();
+    registry.forEach([&w](const std::string &name,
+                          const MetricRegistry::Value &v) {
+        if (v.index() == 0)
+            w.field(name, std::get<0>(v)());
+    });
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    registry.forEach([&w](const std::string &name,
+                          const MetricRegistry::Value &v) {
+        if (v.index() == 1)
+            w.field(name, std::get<1>(v)());
+    });
+    w.endObject();
+
+    w.key("summaries").beginObject();
+    registry.forEach([&w](const std::string &name,
+                          const MetricRegistry::Value &v) {
+        if (v.index() == 2) {
+            w.key(name);
+            writeSummary(w, std::get<2>(v)());
+        }
+    });
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    registry.forEach([&w](const std::string &name,
+                          const MetricRegistry::Value &v) {
+        if (v.index() == 3) {
+            w.key(name);
+            writeHistogram(w, std::get<3>(v)());
+        }
+    });
+    w.endObject();
+
+    w.key("timeseries").beginObject();
+    registry.forEach([&w](const std::string &name,
+                          const MetricRegistry::Value &v) {
+        if (v.index() == 4) {
+            w.key(name);
+            writeTimeSeries(w, *std::get<4>(v)());
+        }
+    });
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    // Group records per span; ring order is already tick order, so each
+    // span's vector comes out sorted.
+    std::map<std::uint64_t, std::vector<TraceRecord>> spans;
+    std::set<TileId> owners;
+    tracer.forEachRecord([&spans, &owners](const TraceRecord &rec) {
+        spans[rec.span].push_back(rec);
+        owners.insert(rec.owner);
+    });
+
+    JsonWriter w(os);
+    w.beginObject().field("displayTimeUnit", "ns");
+    w.key("traceEvents").beginArray();
+
+    // Name each track's process after the owning GPM.
+    for (const TileId owner : owners) {
+        w.beginObject()
+            .field("ph", "M")
+            .field("name", "process_name")
+            .field("pid", owner)
+            .key("args")
+            .beginObject()
+            .field("name", "GPM " + std::to_string(owner))
+            .endObject()
+            .endObject();
+    }
+
+    for (const auto &[span, records] : spans) {
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const TraceRecord &rec = records[i];
+            const bool last = i + 1 == records.size();
+            w.beginObject()
+                .field("name", spanEventName(rec.event))
+                .field("cat", "translation")
+                .field("ph", last ? "i" : "X")
+                .field("ts", rec.tick)
+                .field("pid", rec.owner)
+                .field("tid", span);
+            if (last) {
+                w.field("s", "t"); // Thread-scoped instant.
+            } else {
+                w.field("dur", records[i + 1].tick - rec.tick);
+            }
+            w.key("args")
+                .beginObject()
+                .field("vpn", rec.vpn)
+                .field("at_tile", rec.at)
+                .field("arg", rec.arg)
+                .endObject();
+            w.endObject();
+        }
+    }
+
+    w.endArray().endObject();
+    os << '\n';
+}
+
+} // namespace hdpat

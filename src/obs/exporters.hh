@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Observability exporters:
+ *
+ *  - writeMetricsJson: one stable-schema JSON document per run holding
+ *    every registered metric (counters, gauges, summaries, histograms,
+ *    time series) plus run metadata. Schema id: "hdpat-metrics-v1".
+ *
+ *  - writeChromeTrace: the span trace in Chrome Trace Event Format
+ *    (the JSON-array-of-events flavour), loadable in Perfetto or
+ *    chrome://tracing. Each sampled translation becomes one track
+ *    (pid = owner GPM tile, tid = span id) whose slices are the phases
+ *    between consecutive span events; simulated ticks are mapped 1:1
+ *    to microseconds.
+ */
+
+#ifndef HDPAT_OBS_EXPORTERS_HH
+#define HDPAT_OBS_EXPORTERS_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace hdpat
+{
+
+/** Run identification written into the metrics JSON header. */
+struct RunMetadata
+{
+    std::string workload;
+    std::string policy;
+    std::string config;
+    std::uint64_t seed = 0;
+    std::uint64_t totalTicks = 0;
+};
+
+/** Dump every metric in @p registry as one JSON document. */
+void writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
+                      const RunMetadata &meta);
+
+/** Dump @p tracer's span records in Chrome Trace Event Format. */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+} // namespace hdpat
+
+#endif // HDPAT_OBS_EXPORTERS_HH

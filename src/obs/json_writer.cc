@@ -1,0 +1,182 @@
+#include "obs/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os) {}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (scopes_.empty())
+        return;
+    if (pendingKey_)
+        return; // The key already emitted the separator.
+    if (hasElement_.back())
+        os_ << ',';
+    hasElement_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    pendingKey_ = false;
+    os_ << '{';
+    scopes_.push_back(Scope::Object);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    hdpat_panic_if(scopes_.empty() || scopes_.back() != Scope::Object,
+                   "JsonWriter: endObject outside an object");
+    os_ << '}';
+    scopes_.pop_back();
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    pendingKey_ = false;
+    os_ << '[';
+    scopes_.push_back(Scope::Array);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    hdpat_panic_if(scopes_.empty() || scopes_.back() != Scope::Array,
+                   "JsonWriter: endArray outside an array");
+    os_ << ']';
+    scopes_.pop_back();
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    hdpat_panic_if(scopes_.empty() || scopes_.back() != Scope::Object,
+                   "JsonWriter: key outside an object");
+    separate();
+    os_ << '"' << escape(k) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separate();
+    pendingKey_ = false;
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    pendingKey_ = false;
+    // JSON has no NaN/Inf; clamp to null so files stay parseable.
+    if (!std::isfinite(v)) {
+        os_ << "null";
+        return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separate();
+    pendingKey_ = false;
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separate();
+    pendingKey_ = false;
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    pendingKey_ = false;
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+} // namespace hdpat

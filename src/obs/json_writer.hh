@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A tiny streaming JSON writer: nesting-aware comma/brace management
+ * and string escaping, nothing more. Both observability exporters
+ * (metrics JSON, Chrome Trace Event Format) are built on it; there is
+ * deliberately no external JSON dependency.
+ */
+
+#ifndef HDPAT_OBS_JSON_WRITER_HH
+#define HDPAT_OBS_JSON_WRITER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hdpat
+{
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os);
+
+    /** Escape @p s per RFC 8259 (quotes not included). */
+    static std::string escape(const std::string &s);
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value call supplies its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+
+    // key/value in one call.
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    enum class Scope { Object, Array };
+
+    /** Comma before a new element when one already preceded it. */
+    void separate();
+
+    std::ostream &os_;
+    std::vector<Scope> scopes_;
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_OBS_JSON_WRITER_HH

@@ -1,0 +1,121 @@
+#include "obs/registry.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+void
+MetricRegistry::add(const std::string &name, Value value)
+{
+    hdpat_panic_if(name.empty(), "metric with empty name");
+    const auto [it, inserted] = index_.emplace(name, entries_.size());
+    hdpat_panic_if(!inserted, "duplicate metric '" << name << "'");
+    (void)it;
+    entries_.push_back(Entry{name, std::move(value)});
+}
+
+void
+MetricRegistry::addCounter(const std::string &name, CounterFn fn)
+{
+    add(name, Value{std::in_place_index<0>, std::move(fn)});
+}
+
+void
+MetricRegistry::addCounter(const std::string &name,
+                           const std::uint64_t *field)
+{
+    addCounter(name, [field] { return *field; });
+}
+
+void
+MetricRegistry::addGauge(const std::string &name, GaugeFn fn)
+{
+    add(name, Value{std::in_place_index<1>, std::move(fn)});
+}
+
+void
+MetricRegistry::addSummary(const std::string &name, SummaryFn fn)
+{
+    add(name, Value{std::in_place_index<2>, std::move(fn)});
+}
+
+void
+MetricRegistry::addSummary(const std::string &name,
+                           const SummaryStat *stat)
+{
+    addSummary(name, [stat] { return *stat; });
+}
+
+void
+MetricRegistry::addHistogram(const std::string &name, HistogramFn fn)
+{
+    add(name, Value{std::in_place_index<3>, std::move(fn)});
+}
+
+void
+MetricRegistry::addHistogram(const std::string &name,
+                             const Log2Histogram *h)
+{
+    addHistogram(name, [h] { return *h; });
+}
+
+void
+MetricRegistry::addTimeSeries(const std::string &name,
+                              const TimeSeries *ts)
+{
+    add(name, Value{std::in_place_index<4>, [ts] { return ts; }});
+}
+
+bool
+MetricRegistry::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+const MetricRegistry::Value &
+MetricRegistry::at(const std::string &name) const
+{
+    const auto it = index_.find(name);
+    hdpat_panic_if(it == index_.end(),
+                   "unknown metric '" << name << "'");
+    return entries_[it->second].value;
+}
+
+std::uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    const Value &v = at(name);
+    hdpat_panic_if(v.index() != 0,
+                   "metric '" << name << "' is not a counter");
+    return std::get<0>(v)();
+}
+
+double
+MetricRegistry::gaugeValue(const std::string &name) const
+{
+    const Value &v = at(name);
+    hdpat_panic_if(v.index() != 1,
+                   "metric '" << name << "' is not a gauge");
+    return std::get<1>(v)();
+}
+
+SummaryStat
+MetricRegistry::summaryValue(const std::string &name) const
+{
+    const Value &v = at(name);
+    hdpat_panic_if(v.index() != 2,
+                   "metric '" << name << "' is not a summary");
+    return std::get<2>(v)();
+}
+
+void
+MetricRegistry::forEach(
+    const std::function<void(const std::string &, const Value &)> &fn)
+    const
+{
+    for (const Entry &e : entries_)
+        fn(e.name, e.value);
+}
+
+} // namespace hdpat

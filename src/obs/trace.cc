@@ -1,0 +1,161 @@
+#include "obs/trace.hh"
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+const char *
+spanEventName(SpanEvent ev)
+{
+    switch (ev) {
+      case SpanEvent::Issue:
+        return "issue";
+      case SpanEvent::L1TlbHit:
+        return "l1-tlb-hit";
+      case SpanEvent::L2TlbHit:
+        return "l2-tlb-hit";
+      case SpanEvent::CuckooNegative:
+        return "cuckoo-negative";
+      case SpanEvent::LastLevelTlbHit:
+        return "ll-tlb-hit";
+      case SpanEvent::LocalWalkStart:
+        return "local-walk-start";
+      case SpanEvent::LocalWalkHit:
+        return "local-walk-hit";
+      case SpanEvent::CuckooFalsePositive:
+        return "cuckoo-false-positive";
+      case SpanEvent::RemoteStart:
+        return "remote-start";
+      case SpanEvent::RemoteStalled:
+        return "remote-stalled";
+      case SpanEvent::ProbeSent:
+        return "probe-sent";
+      case SpanEvent::ProbeHit:
+        return "probe-hit";
+      case SpanEvent::ProbeMiss:
+        return "probe-miss";
+      case SpanEvent::NetSend:
+        return "net-send";
+      case SpanEvent::NetArrive:
+        return "net-arrive";
+      case SpanEvent::IommuArrive:
+        return "iommu-arrive";
+      case SpanEvent::IommuRedirect:
+        return "iommu-redirect";
+      case SpanEvent::IommuTlbHit:
+        return "iommu-tlb-hit";
+      case SpanEvent::IommuWalkStart:
+        return "iommu-walk-start";
+      case SpanEvent::IommuWalkDone:
+        return "iommu-walk-done";
+      case SpanEvent::IommuRespond:
+        return "iommu-respond";
+      case SpanEvent::RedirectArrive:
+        return "redirect-arrive";
+      case SpanEvent::RedirectHit:
+        return "redirect-hit";
+      case SpanEvent::RedirectBounce:
+        return "redirect-bounce";
+      case SpanEvent::DelegatedWalk:
+        return "delegated-walk";
+      case SpanEvent::GmmuWalkStart:
+        return "gmmu-walk-start";
+      case SpanEvent::GmmuWalkDone:
+        return "gmmu-walk-done";
+      case SpanEvent::Resolved:
+        return "resolved";
+      case SpanEvent::DataAccess:
+        return "data-access";
+      case SpanEvent::Complete:
+        return "complete";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity, std::uint64_t sample_n)
+    : capacity_(capacity ? capacity : 1),
+      sampleN_(sample_n ? sample_n : 1)
+{
+    ring_.reserve(capacity_);
+}
+
+bool
+Tracer::begin(TileId owner, Vpn vpn, Tick now)
+{
+    const std::uint64_t seen = opsSeen_++;
+    if (seen % sampleN_ != 0)
+        return false;
+    const Key key{owner, vpn};
+    // A concurrent op on the same (tile, VPN) is already traced; its
+    // span absorbs this op's events rather than opening a second one.
+    if (live_.count(key))
+        return false;
+    live_.emplace(key, nextSpan_);
+    ++spansStarted_;
+    push({nextSpan_, now, vpn, 0, owner, owner, SpanEvent::Issue});
+    ++nextSpan_;
+    return true;
+}
+
+bool
+Tracer::active(TileId owner, Vpn vpn) const
+{
+    return live_.count(Key{owner, vpn}) != 0;
+}
+
+void
+Tracer::record(TileId owner, Vpn vpn, Tick now, SpanEvent ev, TileId at,
+               std::uint64_t arg)
+{
+    const auto it = live_.find(Key{owner, vpn});
+    if (it == live_.end())
+        return;
+    push({it->second, now, vpn, arg, owner, at, ev});
+}
+
+void
+Tracer::end(TileId owner, Vpn vpn, Tick now)
+{
+    const auto it = live_.find(Key{owner, vpn});
+    if (it == live_.end())
+        return;
+    push({it->second, now, vpn, 0, owner, owner, SpanEvent::Complete});
+    live_.erase(it);
+    ++spansCompleted_;
+}
+
+void
+Tracer::push(const TraceRecord &rec)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(rec);
+        return;
+    }
+    // Wrap: overwrite the oldest record.
+    ring_[head_] = rec;
+    head_ = (head_ + 1) % capacity_;
+    wrapped_ = true;
+    ++dropped_;
+}
+
+std::size_t
+Tracer::size() const
+{
+    return ring_.size();
+}
+
+void
+Tracer::forEachRecord(
+    const std::function<void(const TraceRecord &)> &fn) const
+{
+    if (!wrapped_) {
+        for (const TraceRecord &rec : ring_)
+            fn(rec);
+        return;
+    }
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        fn(ring_[(head_ + i) % ring_.size()]);
+}
+
+} // namespace hdpat

@@ -7,6 +7,18 @@
 namespace hdpat
 {
 
+Engine::Engine()
+{
+    // The most recently constructed engine stamps log lines; with one
+    // engine per simulated system this is "the" engine in practice.
+    setActiveLogEngine(this);
+}
+
+Engine::~Engine()
+{
+    clearActiveLogEngine(this);
+}
+
 void
 Engine::scheduleAt(Tick when, EventFn fn)
 {

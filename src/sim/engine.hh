@@ -31,7 +31,10 @@ namespace hdpat
 class Engine
 {
   public:
-    Engine() = default;
+    /** Registers this engine as the tick source for log lines. */
+    Engine();
+    /** Unregisters (only if still the active log-tick source). */
+    ~Engine();
 
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;

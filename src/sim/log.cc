@@ -4,11 +4,16 @@
 #include <cstdlib>
 #include <exception>
 
+#include "sim/engine.hh"
+
 namespace hdpat
 {
 
 namespace
 {
+
+/** Engine whose now() stamps log lines (null = no tick prefix). */
+const Engine *g_log_engine = nullptr;
 
 LogLevel
 initialLevel()
@@ -45,12 +50,32 @@ setLogLevel(LogLevel level)
     levelStorage() = level;
 }
 
+void
+setActiveLogEngine(const Engine *engine)
+{
+    g_log_engine = engine;
+}
+
+void
+clearActiveLogEngine(const Engine *engine)
+{
+    if (g_log_engine == engine)
+        g_log_engine = nullptr;
+}
+
 namespace detail
 {
 
 void
 emitLog(const char *tag, const std::string &msg)
 {
+    if (g_log_engine) {
+        std::fprintf(stderr, "[hdpat:%s @%llu] %s\n", tag,
+                     static_cast<unsigned long long>(
+                         g_log_engine->now()),
+                     msg.c_str());
+        return;
+    }
     std::fprintf(stderr, "[hdpat:%s] %s\n", tag, msg.c_str());
 }
 

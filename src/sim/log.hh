@@ -14,6 +14,8 @@
 namespace hdpat
 {
 
+class Engine;
+
 /** Verbosity levels for runtime diagnostics. */
 enum class LogLevel { Quiet = 0, Info = 1, Debug = 2 };
 
@@ -22,6 +24,15 @@ LogLevel logLevel();
 
 /** Override the process-wide log level. */
 void setLogLevel(LogLevel level);
+
+/**
+ * Register the engine whose now() stamps log lines with the simulated
+ * tick ("[hdpat:info @1234] ..."). Engine registers itself on
+ * construction; pass the same pointer to clear on destruction. Lines
+ * logged with no active engine carry no tick.
+ */
+void setActiveLogEngine(const Engine *engine);
+void clearActiveLogEngine(const Engine *engine);
 
 namespace detail
 {

@@ -21,6 +21,7 @@ SummaryStat::add(double value)
     }
     ++count_;
     sum_ += value;
+    sumSquares_ += value * value;
 }
 
 void
@@ -34,8 +35,26 @@ SummaryStat::merge(const SummaryStat &other)
     }
     count_ += other.count_;
     sum_ += other.sum_;
+    sumSquares_ += other.sumSquares_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+}
+
+double
+SummaryStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double m = sum_ / n;
+    // Rounding can push E[x^2] - E[x]^2 fractionally negative.
+    return std::max(0.0, sumSquares_ / n - m * m);
+}
+
+double
+SummaryStat::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 void
@@ -131,7 +150,9 @@ Log2Histogram::quantile(double q) const
     double acc = 0.0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         acc += static_cast<double>(buckets_[i]);
-        if (acc >= target)
+        // Only stop at populated buckets so q=0 reports the first
+        // bucket that actually holds samples.
+        if (buckets_[i] > 0 && acc >= target)
             return bucketHigh(i);
     }
     return bucketHigh(buckets_.size() - 1);

@@ -20,7 +20,15 @@ namespace hdpat
 {
 
 /**
- * Running summary of a stream of samples: count, sum, min, max, mean.
+ * Running summary of a stream of samples: count, sum, min, max, mean,
+ * and standard deviation.
+ *
+ * Variance comes from the sum of squares (E[x^2] - E[x]^2) rather than
+ * Welford's recurrence: add() runs on hot paths (one call per link
+ * traversal), and the fused multiply-add is far cheaper than Welford's
+ * per-sample division. The simulator's sample magnitudes (ticks, queue
+ * depths) are far from the cancellation regime where Welford's extra
+ * stability would matter, and merge() stays exact (sums just add).
  */
 class SummaryStat
 {
@@ -35,11 +43,17 @@ class SummaryStat
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Population variance (0 with fewer than two samples). */
+    double variance() const;
+    /** Population standard deviation (0 with fewer than two samples). */
+    double stddev() const;
+
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    double sumSquares_ = 0.0;
 };
 
 /**

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the run heartbeat: periodic firing while work remains,
+ * self-termination when the queue drains, and parameter validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/heartbeat.hh"
+#include "sim/engine.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(HeartbeatTest, BeatsWhileEventsArePending)
+{
+    Engine engine;
+    // A workload that stays busy until tick 1000.
+    for (Tick t = 50; t <= 1000; t += 50)
+        engine.scheduleAt(t, [] {});
+
+    Heartbeat hb(engine, 100);
+    hb.start();
+    EXPECT_TRUE(hb.running());
+    engine.run();
+
+    // Beats at 100, 200, ..., 900 see pending work; the beat at 1000
+    // runs after the tick-1000 workload event and finds an empty
+    // queue, so it stops without counting.
+    EXPECT_EQ(hb.beats(), 9u);
+    EXPECT_FALSE(hb.running());
+}
+
+TEST(HeartbeatTest, NeverKeepsTheRunAliveAlone)
+{
+    Engine engine;
+    engine.scheduleAt(10, [] {});
+
+    Heartbeat hb(engine, 5);
+    hb.start();
+    engine.run();
+
+    // The run ends shortly after the real workload drains instead of
+    // re-arming forever.
+    EXPECT_FALSE(hb.running());
+    EXPECT_LE(engine.now(), 20u);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+}
+
+TEST(HeartbeatTest, StopIsHonoured)
+{
+    Engine engine;
+    for (Tick t = 10; t <= 100; t += 10)
+        engine.scheduleAt(t, [] {});
+
+    Heartbeat hb(engine, 25);
+    hb.start();
+    hb.stop();
+    engine.run();
+    EXPECT_EQ(hb.beats(), 0u);
+}
+
+TEST(HeartbeatTest, StartIsIdempotentWhileRunning)
+{
+    Engine engine;
+    for (Tick t = 10; t <= 100; t += 10)
+        engine.scheduleAt(t, [] {});
+
+    Heartbeat hb(engine, 30);
+    hb.start();
+    hb.start(); // Must not double-schedule.
+    engine.run();
+    // Beats at 30, 60, 90 only -- one chain, not two.
+    EXPECT_EQ(hb.beats(), 3u);
+}
+
+TEST(HeartbeatTest, ZeroIntervalPanics)
+{
+    Engine engine;
+    EXPECT_DEATH(Heartbeat(engine, 0), "interval");
+}
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the JSON metrics exporter and the Chrome-trace exporter:
+ * schema markers, registered names, and span slice structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/exporters.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(MetricsJsonTest, EmitsSchemaAndRunMetadata)
+{
+    MetricRegistry reg;
+    RunMetadata meta;
+    meta.workload = "SPMV";
+    meta.policy = "hdpat";
+    meta.config = "MI100";
+    meta.seed = 77;
+    meta.totalTicks = 1234;
+
+    std::ostringstream os;
+    writeMetricsJson(os, reg, meta);
+    const std::string out = os.str();
+
+    EXPECT_TRUE(contains(out, "\"schema\":\"hdpat-metrics-v1\""));
+    EXPECT_TRUE(contains(out, "\"workload\":\"SPMV\""));
+    EXPECT_TRUE(contains(out, "\"policy\":\"hdpat\""));
+    EXPECT_TRUE(contains(out, "\"seed\":77"));
+    EXPECT_TRUE(contains(out, "\"total_ticks\":1234"));
+    // All five kind sections appear even when empty.
+    for (const char *section : {"\"counters\"", "\"gauges\"",
+                                "\"summaries\"", "\"histograms\"",
+                                "\"timeseries\""})
+        EXPECT_TRUE(contains(out, section)) << section;
+}
+
+TEST(MetricsJsonTest, EmitsEveryRegisteredMetric)
+{
+    MetricRegistry reg;
+    std::uint64_t hits = 12;
+    reg.addCounter("gpm.t0.l1_tlb_hits", &hits);
+    reg.addGauge("iommu.backlog", [] { return 3.0; });
+    SummaryStat rtt;
+    rtt.add(100.0);
+    rtt.add(300.0);
+    reg.addSummary("gpm.remote_rtt", &rtt);
+    Log2Histogram lat;
+    lat.add(6, 4);
+    reg.addHistogram("iommu.walk_latency_hist", &lat);
+    TimeSeries depth(100);
+    depth.add(150, 2.0);
+    reg.addTimeSeries("iommu.buffer_depth", &depth);
+
+    std::ostringstream os;
+    writeMetricsJson(os, reg, RunMetadata{});
+    const std::string out = os.str();
+
+    EXPECT_TRUE(contains(out, "\"gpm.t0.l1_tlb_hits\":12"));
+    EXPECT_TRUE(contains(out, "\"iommu.backlog\":3"));
+    EXPECT_TRUE(contains(out, "\"gpm.remote_rtt\""));
+    EXPECT_TRUE(contains(out, "\"mean\":200"));
+    EXPECT_TRUE(contains(out, "\"iommu.walk_latency_hist\""));
+    // Bucket 3 ([4,7]) with weight 4.
+    EXPECT_TRUE(contains(out, "\"low\":4"));
+    EXPECT_TRUE(contains(out, "\"high\":7"));
+    EXPECT_TRUE(contains(out, "\"iommu.buffer_depth\""));
+    EXPECT_TRUE(contains(out, "\"window_ticks\":100"));
+}
+
+TEST(MetricsJsonTest, BalancedBracesAndQuotes)
+{
+    MetricRegistry reg;
+    reg.addCounter("a", [] { return std::uint64_t{1}; });
+    std::ostringstream os;
+    writeMetricsJson(os, reg, RunMetadata{});
+    const std::string out = os.str();
+
+    int depth = 0;
+    std::size_t quotes = 0;
+    for (char c : out) {
+        if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']')
+            --depth;
+        else if (c == '"')
+            ++quotes;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(ChromeTraceTest, EmitsSlicesAndFinalInstant)
+{
+    Tracer t(64, 1);
+    ASSERT_TRUE(t.begin(5, 42, 100));
+    t.record(5, 42, 104, SpanEvent::L1TlbHit, 5);
+    t.record(5, 42, 120, SpanEvent::DataAccess, 5);
+    t.end(5, 42, 150);
+
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    const std::string out = os.str();
+
+    EXPECT_TRUE(contains(out, "\"traceEvents\""));
+    // Process-name metadata for the owning GPM.
+    EXPECT_TRUE(contains(out, "\"process_name\""));
+    EXPECT_TRUE(contains(out, "\"GPM 5\""));
+    // Stable event names from the span schema.
+    EXPECT_TRUE(contains(out, "\"issue\""));
+    EXPECT_TRUE(contains(out, "\"l1-tlb-hit\""));
+    EXPECT_TRUE(contains(out, "\"data-access\""));
+    EXPECT_TRUE(contains(out, "\"complete\""));
+    // Slice duration = gap to the next event (issue@100 -> hit@104).
+    EXPECT_TRUE(contains(out, "\"ts\":100"));
+    EXPECT_TRUE(contains(out, "\"dur\":4"));
+    // The closing event is a thread-scoped instant, not a slice.
+    EXPECT_TRUE(contains(out, "\"ph\":\"i\""));
+    EXPECT_TRUE(contains(out, "\"vpn\":42"));
+}
+
+TEST(ChromeTraceTest, EmptyTracerStillWellFormed)
+{
+    Tracer t(16, 1);
+    std::ostringstream os;
+    writeChromeTrace(os, t);
+    const std::string out = os.str();
+    EXPECT_TRUE(contains(out, "\"traceEvents\":[]"));
+}
+
+} // namespace
+} // namespace hdpat

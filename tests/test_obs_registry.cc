@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the metric registry: registration forms, typed
+ * reads, live-field semantics, iteration order, and misuse panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(MetricRegistryTest, CounterViaFunction)
+{
+    MetricRegistry reg;
+    reg.addCounter("a.count", [] { return std::uint64_t{42}; });
+    EXPECT_TRUE(reg.has("a.count"));
+    EXPECT_FALSE(reg.has("a.other"));
+    EXPECT_EQ(reg.counterValue("a.count"), 42u);
+}
+
+TEST(MetricRegistryTest, CounterViaFieldReadsLiveValue)
+{
+    MetricRegistry reg;
+    std::uint64_t field = 1;
+    reg.addCounter("live", &field);
+    EXPECT_EQ(reg.counterValue("live"), 1u);
+    field = 99; // Registration stores a getter, not a copy.
+    EXPECT_EQ(reg.counterValue("live"), 99u);
+}
+
+TEST(MetricRegistryTest, GaugeAndSummary)
+{
+    MetricRegistry reg;
+    double depth = 2.5;
+    reg.addGauge("depth", [&depth] { return depth; });
+    SummaryStat stat;
+    stat.add(10.0);
+    stat.add(20.0);
+    reg.addSummary("latency", &stat);
+
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("depth"), 2.5);
+    depth = 7.0;
+    EXPECT_DOUBLE_EQ(reg.gaugeValue("depth"), 7.0);
+
+    const SummaryStat snap = reg.summaryValue("latency");
+    EXPECT_EQ(snap.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.mean(), 15.0);
+}
+
+TEST(MetricRegistryTest, HistogramAndTimeSeries)
+{
+    MetricRegistry reg;
+    Log2Histogram h;
+    h.add(5);
+    reg.addHistogram("hist", &h);
+    TimeSeries ts(100);
+    ts.add(10, 1.0);
+    reg.addTimeSeries("series", &ts);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_TRUE(reg.has("hist"));
+    EXPECT_TRUE(reg.has("series"));
+}
+
+TEST(MetricRegistryTest, ForEachVisitsInRegistrationOrder)
+{
+    MetricRegistry reg;
+    reg.addCounter("zebra", [] { return std::uint64_t{1}; });
+    reg.addGauge("apple", [] { return 2.0; });
+    reg.addCounter("mango", [] { return std::uint64_t{3}; });
+
+    std::vector<std::string> names;
+    reg.forEach([&](const std::string &name,
+                    const MetricRegistry::Value &) {
+        names.push_back(name);
+    });
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"zebra", "apple", "mango"}));
+}
+
+TEST(MetricRegistryTest, DuplicateNamePanics)
+{
+    MetricRegistry reg;
+    reg.addCounter("x", [] { return std::uint64_t{0}; });
+    EXPECT_DEATH(reg.addCounter("x", [] { return std::uint64_t{1}; }),
+                 "duplicate metric");
+}
+
+TEST(MetricRegistryTest, EmptyNamePanics)
+{
+    MetricRegistry reg;
+    EXPECT_DEATH(reg.addCounter("", [] { return std::uint64_t{0}; }),
+                 "empty name");
+}
+
+TEST(MetricRegistryTest, UnknownOrMistypedReadPanics)
+{
+    MetricRegistry reg;
+    reg.addGauge("g", [] { return 1.0; });
+    EXPECT_DEATH((void)reg.counterValue("missing"), "unknown metric");
+    EXPECT_DEATH((void)reg.counterValue("g"), "not a counter");
+    EXPECT_DEATH((void)reg.summaryValue("g"), "not a summary");
+}
+
+} // namespace
+} // namespace hdpat

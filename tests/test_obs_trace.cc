@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the translation span tracer: sampling, span
+ * lifecycle, key liveness, and ring-buffer wrap-around.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TEST(TracerTest, SamplesOneInN)
+{
+    Tracer t(1024, 3);
+    std::uint64_t opened = 0;
+    for (Vpn vpn = 0; vpn < 9; ++vpn)
+        opened += t.begin(0, vpn, 10) ? 1 : 0;
+    EXPECT_EQ(t.opsSeen(), 9u);
+    EXPECT_EQ(opened, 3u); // Ops 0, 3, 6.
+    EXPECT_EQ(t.spansStarted(), 3u);
+}
+
+TEST(TracerTest, SampleEveryOpByDefault)
+{
+    Tracer t;
+    EXPECT_EQ(t.sampleN(), 1u);
+    EXPECT_TRUE(t.begin(2, 100, 0));
+    EXPECT_TRUE(t.begin(2, 101, 0));
+    EXPECT_EQ(t.spansStarted(), 2u);
+}
+
+TEST(TracerTest, DegenerateParamsClamped)
+{
+    Tracer t(0, 0); // capacity 0 -> 1, sample 0 -> 1.
+    EXPECT_EQ(t.capacity(), 1u);
+    EXPECT_EQ(t.sampleN(), 1u);
+}
+
+TEST(TracerTest, SpanLifecycle)
+{
+    Tracer t(64, 1);
+    ASSERT_TRUE(t.begin(5, 42, 100));
+    EXPECT_TRUE(t.active(5, 42));
+    t.record(5, 42, 104, SpanEvent::L1TlbHit, 5);
+    t.record(5, 42, 120, SpanEvent::DataAccess, 5, 7);
+    t.end(5, 42, 150);
+    EXPECT_FALSE(t.active(5, 42));
+    EXPECT_EQ(t.spansCompleted(), 1u);
+
+    // Issue + 2 records + Complete.
+    ASSERT_EQ(t.size(), 4u);
+    std::vector<TraceRecord> recs;
+    t.forEachRecord([&](const TraceRecord &r) { recs.push_back(r); });
+    ASSERT_EQ(recs.size(), 4u);
+    EXPECT_EQ(recs[0].event, SpanEvent::Issue);
+    EXPECT_EQ(recs[0].tick, 100u);
+    EXPECT_EQ(recs[1].event, SpanEvent::L1TlbHit);
+    EXPECT_EQ(recs[2].arg, 7u);
+    EXPECT_EQ(recs[3].event, SpanEvent::Complete);
+    EXPECT_EQ(recs[3].tick, 150u);
+    for (const TraceRecord &r : recs) {
+        EXPECT_EQ(r.span, 1u);
+        EXPECT_EQ(r.owner, 5);
+        EXPECT_EQ(r.vpn, 42u);
+    }
+}
+
+TEST(TracerTest, RecordAgainstDeadKeyIsNoOp)
+{
+    Tracer t(64, 1);
+    t.record(3, 9, 10, SpanEvent::NetSend, 3);
+    t.end(3, 9, 20);
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.spansCompleted(), 0u);
+}
+
+TEST(TracerTest, DuplicateKeyDoesNotOpenSecondSpan)
+{
+    Tracer t(64, 1);
+    ASSERT_TRUE(t.begin(1, 7, 0));
+    // Same (owner, VPN) while the first span is live: absorbed.
+    EXPECT_FALSE(t.begin(1, 7, 5));
+    EXPECT_EQ(t.spansStarted(), 1u);
+    t.end(1, 7, 10);
+    // After the span closes the key can be traced again.
+    EXPECT_TRUE(t.begin(1, 7, 20));
+    EXPECT_EQ(t.spansStarted(), 2u);
+}
+
+TEST(TracerTest, DistinctOwnersAreDistinctSpans)
+{
+    Tracer t(64, 1);
+    EXPECT_TRUE(t.begin(1, 7, 0));
+    EXPECT_TRUE(t.begin(2, 7, 0)); // Same VPN, different owner.
+    EXPECT_EQ(t.spansStarted(), 2u);
+}
+
+TEST(TracerTest, RingWrapDropsOldestRecords)
+{
+    Tracer t(4, 1);
+    ASSERT_TRUE(t.begin(0, 1, 0)); // Record 1: issue.
+    for (Tick tick = 1; tick <= 5; ++tick)
+        t.record(0, 1, tick, SpanEvent::NetSend, 0, tick);
+
+    // 6 pushes into a 4-slot ring: 2 dropped, newest 4 kept.
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.recordsDropped(), 2u);
+    std::vector<Tick> ticks;
+    t.forEachRecord(
+        [&](const TraceRecord &r) { ticks.push_back(r.tick); });
+    EXPECT_EQ(ticks, (std::vector<Tick>{2, 3, 4, 5}));
+}
+
+} // namespace
+} // namespace hdpat

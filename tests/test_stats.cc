@@ -58,6 +58,60 @@ TEST(SummaryStatTest, ResetClears)
     s.add(5.0);
     s.reset();
     EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStatTest, StddevKnownValues)
+{
+    // Classic example: {2,4,4,4,5,5,7,9} has population stddev 2.
+    SummaryStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(SummaryStatTest, StddevDegenerateCases)
+{
+    SummaryStat empty;
+    EXPECT_EQ(empty.variance(), 0.0);
+    EXPECT_EQ(empty.stddev(), 0.0);
+
+    SummaryStat one;
+    one.add(42.0);
+    EXPECT_EQ(one.stddev(), 0.0);
+
+    SummaryStat constant;
+    for (int i = 0; i < 100; ++i)
+        constant.add(3.5);
+    EXPECT_NEAR(constant.stddev(), 0.0, 1e-12);
+}
+
+TEST(SummaryStatTest, MergeMatchesSingleStream)
+{
+    // Merging partial summaries must give the same moments as feeding
+    // every sample into one summary.
+    const std::vector<double> samples = {1.0,  5.0,  2.5, 100.0, 7.0,
+                                         -3.0, 12.0, 0.5, 81.0,  4.0};
+    SummaryStat whole;
+    for (double v : samples)
+        whole.add(v);
+
+    SummaryStat left, right;
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        (i < 4 ? left : right).add(samples[i]);
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+
+    // Merging into an empty summary adopts the other side's moments.
+    SummaryStat adopted;
+    adopted.merge(whole);
+    EXPECT_NEAR(adopted.stddev(), whole.stddev(), 1e-12);
 }
 
 TEST(Log2HistogramTest, BucketBoundaries)
@@ -133,6 +187,39 @@ TEST(Log2HistogramTest, Quantile)
     EXPECT_GT(h.quantile(0.99), 1000u);
 }
 
+TEST(Log2HistogramTest, QuantileExtremes)
+{
+    Log2Histogram h;
+    // Empty: every quantile is 0.
+    EXPECT_EQ(h.quantile(0.0), 0u);
+    EXPECT_EQ(h.quantile(1.0), 0u);
+
+    h.add(0);
+    h.add(6);
+    h.add(1000);
+    // q=0 lands in the first populated bucket, q=1 in the last.
+    EXPECT_EQ(h.quantile(0.0), Log2Histogram::bucketHigh(0));
+    EXPECT_EQ(h.quantile(1.0), Log2Histogram::bucketHigh(10));
+}
+
+TEST(Log2HistogramTest, QuantileSingleBucket)
+{
+    Log2Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(5); // All samples in bucket 3 ([4, 7]).
+    const std::uint64_t high = Log2Histogram::bucketHigh(3);
+    EXPECT_EQ(h.quantile(0.0), high);
+    EXPECT_EQ(h.quantile(0.5), high);
+    EXPECT_EQ(h.quantile(1.0), high);
+}
+
+TEST(Log2HistogramTest, FractionAtOrBelowEmpty)
+{
+    Log2Histogram h;
+    EXPECT_EQ(h.fractionAtOrBelow(0), 0.0);
+    EXPECT_EQ(h.fractionAtOrBelow(1000000), 0.0);
+}
+
 TEST(TimeSeriesTest, WindowsAggregate)
 {
     TimeSeries ts(100);
@@ -157,6 +244,31 @@ TEST(TimeSeriesTest, OutOfRangeWindowsAreZero)
     EXPECT_DOUBLE_EQ(ts.windowSum(7), 0.0);
     EXPECT_EQ(ts.windowCount(7), 0u);
     EXPECT_DOUBLE_EQ(ts.windowMean(7), 0.0);
+}
+
+TEST(TimeSeriesTest, ExactWindowBoundaries)
+{
+    TimeSeries ts(100);
+    ts.add(99, 1.0);  // Last tick of window 0.
+    ts.add(100, 2.0); // First tick of window 1.
+    ts.add(200, 3.0); // First tick of window 2.
+
+    ASSERT_EQ(ts.windows(), 3u);
+    EXPECT_EQ(ts.windowCount(0), 1u);
+    EXPECT_DOUBLE_EQ(ts.windowSum(0), 1.0);
+    EXPECT_EQ(ts.windowCount(1), 1u);
+    EXPECT_DOUBLE_EQ(ts.windowSum(1), 2.0);
+    EXPECT_EQ(ts.windowCount(2), 1u);
+    EXPECT_DOUBLE_EQ(ts.windowSum(2), 3.0);
+}
+
+TEST(TimeSeriesTest, TickZeroLandsInWindowZero)
+{
+    TimeSeries ts(50);
+    ts.add(0, 7.0);
+    ASSERT_EQ(ts.windows(), 1u);
+    EXPECT_DOUBLE_EQ(ts.windowSum(0), 7.0);
+    EXPECT_DOUBLE_EQ(ts.windowMax(0), 7.0);
 }
 
 TEST(TimeSeriesTest, MaxTracksFirstSample)
