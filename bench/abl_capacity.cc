@@ -32,17 +32,24 @@ main(int argc, char **argv)
 
     // PW-queue sweep under Barre (queue revisit is what it bounds).
     {
-        TablePrinter table({"PW-queue capacity", "barre G-MEAN",
-                            "revisit completions (SPMV)"});
-        for (const std::size_t capacity : {16u, 64u, 256u, 1024u}) {
+        const std::vector<std::size_t> capacities = {16, 64, 256,
+                                                     1024};
+        std::vector<std::pair<SystemConfig, TranslationPolicy>> combos;
+        for (const std::size_t capacity : capacities) {
             SystemConfig cfg = SystemConfig::mi100();
             cfg.iommuPwQueueCapacity = capacity;
-            const auto base = runSuite(
-                cfg, TranslationPolicy::baseline(), ops, kWorkloads);
-            const auto barre = runSuite(
-                cfg, TranslationPolicy::barre(), ops, kWorkloads);
-            table.addRow({std::to_string(capacity),
-                          fmt(geomeanSpeedup(base, barre)) + "x",
+            combos.emplace_back(cfg, TranslationPolicy::baseline());
+            combos.emplace_back(cfg, TranslationPolicy::barre());
+        }
+        const auto grid = runSuiteGrid(combos, ops, kWorkloads);
+
+        TablePrinter table({"PW-queue capacity", "barre G-MEAN",
+                            "revisit completions (SPMV)"});
+        for (std::size_t c = 0; c < capacities.size(); ++c) {
+            const auto &barre = grid[2 * c + 1];
+            table.addRow({std::to_string(capacities[c]),
+                          fmt(geomeanSpeedup(grid[2 * c], barre)) +
+                              "x",
                           std::to_string(
                               barre[0].iommu.revisitCompletions)});
         }
@@ -52,17 +59,23 @@ main(int argc, char **argv)
 
     // Redirection-table size sweep under full HDPAT.
     {
-        TablePrinter table({"RT entries", "hdpat G-MEAN",
-                            "redirects sent (SPMV)"});
-        for (const std::size_t entries : {128u, 512u, 1024u, 4096u}) {
+        const std::vector<std::size_t> sizes = {128, 512, 1024, 4096};
+        std::vector<std::pair<SystemConfig, TranslationPolicy>> combos;
+        for (const std::size_t entries : sizes) {
             SystemConfig cfg = SystemConfig::mi100();
             cfg.redirectionTableEntries = entries;
-            const auto base = runSuite(
-                cfg, TranslationPolicy::baseline(), ops, kWorkloads);
-            const auto hdpat = runSuite(
-                cfg, TranslationPolicy::hdpat(), ops, kWorkloads);
-            table.addRow({std::to_string(entries),
-                          fmt(geomeanSpeedup(base, hdpat)) + "x",
+            combos.emplace_back(cfg, TranslationPolicy::baseline());
+            combos.emplace_back(cfg, TranslationPolicy::hdpat());
+        }
+        const auto grid = runSuiteGrid(combos, ops, kWorkloads);
+
+        TablePrinter table({"RT entries", "hdpat G-MEAN",
+                            "redirects sent (SPMV)"});
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            const auto &hdpat = grid[2 * s + 1];
+            table.addRow({std::to_string(sizes[s]),
+                          fmt(geomeanSpeedup(grid[2 * s], hdpat)) +
+                              "x",
                           std::to_string(
                               hdpat[0].iommu.redirectsSent)});
         }

@@ -30,21 +30,37 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
     const SystemConfig cfg = SystemConfig::mi100();
-    const auto base = runSuite(cfg, TranslationPolicy::baseline(), ops,
-                               kWorkloads);
+
+    // One grid for everything: baseline, 3 layer counts, 4 thresholds.
+    const int layer_counts[] = {1, 2, 3};
+    const unsigned thresholds[] = {1, 2, 4, 8};
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos = {
+        {cfg, TranslationPolicy::baseline()}};
+    for (const int layers : layer_counts) {
+        TranslationPolicy pol = TranslationPolicy::hdpat();
+        pol.concentricLayers = layers;
+        pol.name = "hdpat-C" + std::to_string(layers);
+        combos.emplace_back(cfg, pol);
+    }
+    for (const unsigned threshold : thresholds) {
+        TranslationPolicy pol = TranslationPolicy::hdpat();
+        pol.auxPushThreshold = threshold;
+        pol.name = "hdpat-t" + std::to_string(threshold);
+        combos.emplace_back(cfg, pol);
+    }
+    const auto grid = runSuiteGrid(combos, ops, kWorkloads);
+    const std::vector<RunResult> &base = grid[0];
 
     {
         TablePrinter table({"C (caching layers)", "caching GPMs",
                             "hdpat G-MEAN"});
         const int ring_sizes[] = {0, 8, 24, 48};
-        for (const int layers : {1, 2, 3}) {
-            TranslationPolicy pol = TranslationPolicy::hdpat();
-            pol.concentricLayers = layers;
-            pol.name = "hdpat-C" + std::to_string(layers);
-            const auto v = runSuite(cfg, pol, ops, kWorkloads);
+        for (std::size_t i = 0; i < 3; ++i) {
+            const int layers = layer_counts[i];
             table.addRow({std::to_string(layers),
                           std::to_string(ring_sizes[layers]),
-                          fmt(geomeanSpeedup(base, v)) + "x"});
+                          fmt(geomeanSpeedup(base, grid[1 + i])) +
+                              "x"});
         }
         table.print(std::cout);
         std::cout << '\n';
@@ -53,12 +69,9 @@ main(int argc, char **argv)
     {
         TablePrinter table({"push threshold", "hdpat G-MEAN",
                             "pushes sent (SPMV)"});
-        for (const unsigned threshold : {1u, 2u, 4u, 8u}) {
-            TranslationPolicy pol = TranslationPolicy::hdpat();
-            pol.auxPushThreshold = threshold;
-            pol.name = "hdpat-t" + std::to_string(threshold);
-            const auto v = runSuite(cfg, pol, ops, kWorkloads);
-            table.addRow({std::to_string(threshold),
+        for (std::size_t i = 0; i < 4; ++i) {
+            const auto &v = grid[4 + i];
+            table.addRow({std::to_string(thresholds[i]),
                           fmt(geomeanSpeedup(base, v)) + "x",
                           std::to_string(v[0].iommu.pushesSent)});
         }

@@ -31,16 +31,20 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
     const SystemConfig cfg = SystemConfig::mi100();
-    const auto base = runSuite(cfg, TranslationPolicy::baseline(), ops,
-                               kWorkloads);
 
     TranslationPolicy concurrent = TranslationPolicy::hdpat();
     TranslationPolicy sequential = TranslationPolicy::hdpat();
     sequential.concurrentProbes = false;
     sequential.name = "hdpat-sequential";
 
-    const auto conc = runSuite(cfg, concurrent, ops, kWorkloads);
-    const auto seq = runSuite(cfg, sequential, ops, kWorkloads);
+    const auto grid = runSuiteGrid(
+        {{cfg, TranslationPolicy::baseline()},
+         {cfg, concurrent},
+         {cfg, sequential}},
+        ops, kWorkloads);
+    const std::vector<RunResult> &base = grid[0];
+    const std::vector<RunResult> &conc = grid[1];
+    const std::vector<RunResult> &seq = grid[2];
 
     TablePrinter table({"workload", "concurrent", "sequential",
                         "concurrent RTT", "sequential RTT"});

@@ -38,14 +38,16 @@ main(int argc, char **argv)
     with_pwc.gmmuPwcEntriesPerLevel = 64;
     with_pwc.name = "MI100-7x7+PWC";
 
-    const auto base = runSuite(plain, TranslationPolicy::baseline(),
-                               ops, kWorkloads);
-    const auto base_pwc = runSuite(
-        with_pwc, TranslationPolicy::baseline(), ops, kWorkloads);
-    const auto hdpat =
-        runSuite(plain, TranslationPolicy::hdpat(), ops, kWorkloads);
-    const auto hdpat_pwc = runSuite(
-        with_pwc, TranslationPolicy::hdpat(), ops, kWorkloads);
+    const auto grid = runSuiteGrid(
+        {{plain, TranslationPolicy::baseline()},
+         {with_pwc, TranslationPolicy::baseline()},
+         {plain, TranslationPolicy::hdpat()},
+         {with_pwc, TranslationPolicy::hdpat()}},
+        ops, kWorkloads);
+    const std::vector<RunResult> &base = grid[0];
+    const std::vector<RunResult> &base_pwc = grid[1];
+    const std::vector<RunResult> &hdpat = grid[2];
+    const std::vector<RunResult> &hdpat_pwc = grid[3];
 
     TablePrinter table({"workload", "baseline+PWC", "hdpat",
                         "hdpat+PWC"});

@@ -30,21 +30,31 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
     const SystemConfig cfg = SystemConfig::mi100();
-    const auto base = runSuite(cfg, TranslationPolicy::baseline(), ops,
-                               kWorkloads);
 
-    TablePrinter table({"clusters", "rotation off", "rotation on"});
-    for (const int clusters : {2, 4, 8}) {
-        std::vector<std::string> row{std::to_string(clusters)};
+    const int cluster_counts[] = {2, 4, 8};
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos = {
+        {cfg, TranslationPolicy::baseline()}};
+    for (const int clusters : cluster_counts) {
         for (const bool rotate : {false, true}) {
             TranslationPolicy pol = TranslationPolicy::hdpat();
             pol.numClusters = clusters;
             pol.rotation = rotate;
             pol.name = "hdpat-c" + std::to_string(clusters) +
                        (rotate ? "-rot" : "-norot");
-            const auto v = runSuite(cfg, pol, ops, kWorkloads);
-            row.push_back(fmt(geomeanSpeedup(base, v)) + "x");
+            combos.emplace_back(cfg, pol);
         }
+    }
+    const auto grid = runSuiteGrid(combos, ops, kWorkloads);
+    const std::vector<RunResult> &base = grid[0];
+
+    TablePrinter table({"clusters", "rotation off", "rotation on"});
+    for (std::size_t c = 0; c < 3; ++c) {
+        std::vector<std::string> row{
+            std::to_string(cluster_counts[c])};
+        row.push_back(fmt(geomeanSpeedup(base, grid[1 + 2 * c])) +
+                      "x");
+        row.push_back(fmt(geomeanSpeedup(base, grid[2 + 2 * c])) +
+                      "x");
         table.addRow(std::move(row));
     }
     table.print(std::cout);

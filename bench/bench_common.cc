@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace hdpat::bench
 {
@@ -13,34 +14,56 @@ printBanner(const std::string &figure, const std::string &what,
     std::printf("==============================================================\n");
     std::printf("%s -- %s\n", figure.c_str(), what.c_str());
     std::printf("paper reports: %s\n", paper_result.c_str());
-    std::printf("(scale op counts with HDPAT_BENCH_SCALE or argv[1])\n");
+    std::printf("(scale op counts with HDPAT_BENCH_SCALE or argv[1]; "
+                "parallelize with --jobs N or HDPAT_JOBS)\n");
     std::printf("==============================================================\n\n");
 }
 
 std::size_t
 benchOps(int argc, char **argv, double fraction)
 {
-    if (argc > 1) {
-        const long long v = std::atoll(argv[1]);
-        if (v > 0)
-            return static_cast<std::size_t>(v);
+    long long ops_arg = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 < argc) {
+                const long long v = std::atoll(argv[++i]);
+                if (v > 0)
+                    setDefaultJobs(static_cast<unsigned>(v));
+            }
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            const long long v = std::atoll(arg + 7);
+            if (v > 0)
+                setDefaultJobs(static_cast<unsigned>(v));
+        } else if (ops_arg == 0) {
+            ops_arg = std::atoll(arg);
+        }
     }
+    if (ops_arg > 0)
+        return static_cast<std::size_t>(ops_arg);
     const double ops =
         static_cast<double>(defaultOpsPerGpm()) * fraction;
     return static_cast<std::size_t>(ops < 500.0 ? 500.0 : ops);
+}
+
+RunSpec
+spec(const SystemConfig &cfg, const TranslationPolicy &pol,
+     const std::string &workload, std::size_t ops, bool capture_trace)
+{
+    RunSpec s;
+    s.config = cfg;
+    s.policy = pol;
+    s.workload = workload;
+    s.opsPerGpm = ops;
+    s.captureIommuTrace = capture_trace;
+    return s;
 }
 
 RunResult
 run(const SystemConfig &cfg, const TranslationPolicy &pol,
     const std::string &workload, std::size_t ops, bool capture_trace)
 {
-    RunSpec spec;
-    spec.config = cfg;
-    spec.policy = pol;
-    spec.workload = workload;
-    spec.opsPerGpm = ops;
-    spec.captureIommuTrace = capture_trace;
-    return runOnce(spec);
+    return runOnce(spec(cfg, pol, workload, ops, capture_trace));
 }
 
 } // namespace hdpat::bench

@@ -1,14 +1,19 @@
 /**
  * @file
  * Shared plumbing for the per-figure bench harnesses: banner printing
- * (with the paper's reported result for comparison), op-count
- * selection, and common sweep loops.
+ * (with the paper's reported result for comparison), op-count and
+ * worker-count selection, and common sweep loops.
  *
- * Observability rides along for free: runs started through run() (and
- * thus runOnce()) honour HDPAT_METRICS_JSON, HDPAT_TRACE_OUT,
+ * Every harness runs its sweep grid through runMany()'s worker pool:
+ * `--jobs N` (or HDPAT_JOBS=N) runs N simulations concurrently with
+ * results identical to serial execution.
+ *
+ * Observability rides along for free: runs started through run() and
+ * runMany() honour HDPAT_METRICS_JSON, HDPAT_TRACE_OUT,
  * HDPAT_TRACE_SAMPLE, and HDPAT_HEARTBEAT, so any figure harness can
- * emit a metrics dump or a Chrome trace without code changes. Note
- * that multi-run harnesses overwrite the same output path per run.
+ * emit a metrics dump or a Chrome trace without code changes.
+ * Multi-run harnesses write one file per run: the shared output path
+ * gets a "-<run_index>" suffix (see driver/parallel.hh).
  */
 
 #ifndef HDPAT_BENCH_BENCH_COMMON_HH
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "driver/experiment.hh"
+#include "driver/parallel.hh"
 #include "driver/runner.hh"
 #include "driver/table_printer.hh"
 #include "workloads/suite.hh"
@@ -36,9 +42,17 @@ void printBanner(const std::string &figure, const std::string &what,
 
 /**
  * Ops per GPM for this harness: @p fraction of the global default
- * (HDPAT_BENCH_SCALE-scaled), overridable with argv[1].
+ * (HDPAT_BENCH_SCALE-scaled), overridable with the first positional
+ * argument. Also applies the `--jobs N` / `--jobs=N` flag
+ * (setDefaultJobs) so every harness gets the parallel runner without
+ * per-bench wiring.
  */
 std::size_t benchOps(int argc, char **argv, double fraction = 1.0);
+
+/** One RunSpec at the bench's op count (for runMany grids). */
+RunSpec spec(const SystemConfig &cfg, const TranslationPolicy &pol,
+             const std::string &workload, std::size_t ops,
+             bool capture_trace = false);
 
 /** Run one workload under one policy at the bench's op count. */
 RunResult run(const SystemConfig &cfg, const TranslationPolicy &pol,

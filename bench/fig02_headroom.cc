@@ -34,18 +34,22 @@ main(int argc, char **argv)
 
     const TranslationPolicy pol = TranslationPolicy::baseline();
 
+    const auto grid = runSuiteGrid(
+        {{base_cfg, pol}, {fast_cfg, pol}, {wide_cfg, pol}}, ops);
+    const std::vector<RunResult> &base_runs = grid[0];
+    const std::vector<RunResult> &fast_runs = grid[1];
+    const std::vector<RunResult> &wide_runs = grid[2];
+
     TablePrinter table({"workload", "baseline (cyc)",
                         "1cyc/16walkers", "500cyc/4096walkers"});
     std::vector<double> fast_speedups, wide_speedups;
-    for (const std::string &wl : workloadAbbrs()) {
-        const RunResult base = bench::run(base_cfg, pol, wl, ops);
-        const RunResult fast = bench::run(fast_cfg, pol, wl, ops);
-        const RunResult wide = bench::run(wide_cfg, pol, wl, ops);
-        const double fast_speedup = speedupOver(base, fast);
-        const double wide_speedup = speedupOver(base, wide);
+    for (std::size_t i = 0; i < base_runs.size(); ++i) {
+        const RunResult &base = base_runs[i];
+        const double fast_speedup = speedupOver(base, fast_runs[i]);
+        const double wide_speedup = speedupOver(base, wide_runs[i]);
         fast_speedups.push_back(fast_speedup);
         wide_speedups.push_back(wide_speedup);
-        table.addRow({wl, std::to_string(base.totalTicks),
+        table.addRow({base.workload, std::to_string(base.totalTicks),
                       fmt(fast_speedup) + "x",
                       fmt(wide_speedup) + "x"});
     }

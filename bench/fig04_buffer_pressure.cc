@@ -46,11 +46,15 @@ main(int argc, char **argv)
 
     SystemConfig mcm = SystemConfig::mcm4();
     mcm.iommuBufferCapacity = 4096;
-    const RunResult mcm_run = bench::run(mcm, pol, "SPMV", ops);
 
     SystemConfig wafer = SystemConfig::mi100();
     wafer.iommuBufferCapacity = 4096;
-    const RunResult wafer_run = bench::run(wafer, pol, "SPMV", ops);
+
+    const std::vector<RunResult> runs =
+        runMany({bench::spec(mcm, pol, "SPMV", ops),
+                 bench::spec(wafer, pol, "SPMV", ops)});
+    const RunResult &mcm_run = runs[0];
+    const RunResult &wafer_run = runs[1];
 
     printSeries("MCM-GPU (4 GPMs)", mcm_run, 24);
     printSeries("wafer-scale GPU (48 GPMs)", wafer_run, 24);

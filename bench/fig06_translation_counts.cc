@@ -22,13 +22,17 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
 
+    std::vector<RunSpec> specs;
+    for (const std::string &wl : workloadAbbrs())
+        specs.push_back(bench::spec(SystemConfig::mi100(),
+                                    TranslationPolicy::baseline(), wl,
+                                    ops, /*capture_trace=*/true));
+    const std::vector<RunResult> runs = runMany(std::move(specs));
+
     TablePrinter table({"workload", "pages", "1x", "2x", "3-10x",
                         "11-100x", ">100x"});
-    for (const std::string &wl : workloadAbbrs()) {
-        const RunResult r =
-            bench::run(SystemConfig::mi100(),
-                       TranslationPolicy::baseline(), wl, ops,
-                       /*capture_trace=*/true);
+    for (const RunResult &r : runs) {
+        const std::string &wl = r.workload;
         const TranslationCountBuckets b =
             analyzeTranslationCounts(r.iommu.trace);
         table.addRow({wl, std::to_string(b.totalPages()),

@@ -23,16 +23,20 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
 
-    TablePrinter table({"workload", "repeats", "<=16", "17-256",
-                        "257-4K", "4K-64K", ">64K", "median", "p90"});
+    std::vector<RunSpec> specs;
     for (const std::string &wl :
          {std::string("BT"), std::string("FWT"), std::string("MT"),
           std::string("PR"), std::string("SPMV"),
-          std::string("FWS")}) {
-        const RunResult r =
-            bench::run(SystemConfig::mi100(),
-                       TranslationPolicy::baseline(), wl, ops,
-                       /*capture_trace=*/true);
+          std::string("FWS")})
+        specs.push_back(bench::spec(SystemConfig::mi100(),
+                                    TranslationPolicy::baseline(), wl,
+                                    ops, /*capture_trace=*/true));
+    const std::vector<RunResult> runs = runMany(std::move(specs));
+
+    TablePrinter table({"workload", "repeats", "<=16", "17-256",
+                        "257-4K", "4K-64K", ">64K", "median", "p90"});
+    for (const RunResult &r : runs) {
+        const std::string &wl = r.workload;
         const Log2Histogram h = analyzeReuseDistance(r.iommu.trace);
         auto band = [&](std::uint64_t lo, std::uint64_t hi) {
             const double f =

@@ -22,16 +22,20 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
 
+    std::vector<RunSpec> specs;
+    for (const std::string &wl : workloadAbbrs())
+        specs.push_back(bench::spec(SystemConfig::mi100(),
+                                    TranslationPolicy::baseline(), wl,
+                                    ops, /*capture_trace=*/true));
+    const std::vector<RunResult> runs = runMany(std::move(specs));
+
     TablePrinter table({"workload", "<=1", "<=2", "<=4", "<=8",
                         "<=16"});
-    for (const std::string &wl : workloadAbbrs()) {
-        const RunResult r =
-            bench::run(SystemConfig::mi100(),
-                       TranslationPolicy::baseline(), wl, ops,
-                       /*capture_trace=*/true);
+    for (const RunResult &r : runs) {
         const auto fractions = spatialLocalityFractions(
             r.iommu.trace, {1, 2, 4, 8, 16});
-        table.addRow({wl, fmtPct(fractions[0]), fmtPct(fractions[1]),
+        table.addRow({r.workload, fmtPct(fractions[0]),
+                      fmtPct(fractions[1]),
                       fmtPct(fractions[2]), fmtPct(fractions[3]),
                       fmtPct(fractions[4])});
     }

@@ -22,18 +22,26 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv);
 
-    TablePrinter table({"footprint", "windows", "mean req/window",
-                        "peak req/window", "steady-state ratio"});
-    std::cout << "per-window IOMMU-served requests (100k-cycle "
-                 "windows):\n\n";
-    for (const double scale : {0.25, 0.5, 1.0}) {
+    const std::vector<double> scales = {0.25, 0.5, 1.0};
+    std::vector<RunSpec> specs;
+    for (const double scale : scales) {
         RunSpec spec;
         spec.config = SystemConfig::mi100();
         spec.policy = TranslationPolicy::baseline();
         spec.workload = "FIR";
         spec.opsPerGpm = ops;
         spec.footprintScale = scale;
-        const RunResult r = runOnce(spec);
+        specs.push_back(std::move(spec));
+    }
+    const std::vector<RunResult> runs = runMany(std::move(specs));
+
+    TablePrinter table({"footprint", "windows", "mean req/window",
+                        "peak req/window", "steady-state ratio"});
+    std::cout << "per-window IOMMU-served requests (100k-cycle "
+                 "windows):\n\n";
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+        const double scale = scales[i];
+        const RunResult &r = runs[i];
 
         const TimeSeries &served = r.iommu.servedPerWindow;
         double sum = 0.0, peak = 0.0;

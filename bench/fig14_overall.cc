@@ -5,6 +5,7 @@
  */
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.hh"
 
@@ -25,16 +26,20 @@ main(int argc, char **argv)
         TranslationPolicy::transFw(), TranslationPolicy::valkyrie(),
         TranslationPolicy::barre(), TranslationPolicy::hdpat()};
 
-    const auto base =
-        runSuite(cfg, TranslationPolicy::baseline(), ops);
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos = {
+        {cfg, TranslationPolicy::baseline()}};
+    for (const auto &pol : policies)
+        combos.emplace_back(cfg, pol);
+    auto grid = runSuiteGrid(combos, ops);
+
+    const std::vector<RunResult> base = std::move(grid[0]);
+    const std::vector<std::vector<RunResult>> results(
+        std::make_move_iterator(grid.begin() + 1),
+        std::make_move_iterator(grid.end()));
 
     TablePrinter table({"workload", "trans-fw", "valkyrie", "barre",
                         "hdpat"});
     std::vector<std::vector<double>> all_speedups(policies.size());
-    std::vector<std::vector<RunResult>> results;
-    results.reserve(policies.size());
-    for (const auto &pol : policies)
-        results.push_back(runSuite(cfg, pol, ops));
 
     for (std::size_t w = 0; w < base.size(); ++w) {
         std::vector<std::string> row{base[w].workload};

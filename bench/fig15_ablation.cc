@@ -32,8 +32,12 @@ main(int argc, char **argv)
         TranslationPolicy::withPrefetch(),
         TranslationPolicy::hdpat()};
 
-    const auto base =
-        runSuite(cfg, TranslationPolicy::baseline(), ops);
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos = {
+        {cfg, TranslationPolicy::baseline()}};
+    for (const auto &pol : policies)
+        combos.emplace_back(cfg, pol);
+    const auto grid = runSuiteGrid(combos, ops);
+    const std::vector<RunResult> &base = grid[0];
 
     std::vector<std::string> header{"workload"};
     for (const auto &pol : policies)
@@ -41,10 +45,8 @@ main(int argc, char **argv)
     TablePrinter table(std::move(header));
 
     std::vector<std::vector<double>> all_speedups(policies.size());
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        const auto results = runSuite(cfg, policies[p], ops);
-        all_speedups[p] = speedups(base, results);
-    }
+    for (std::size_t p = 0; p < policies.size(); ++p)
+        all_speedups[p] = speedups(base, grid[p + 1]);
 
     for (std::size_t w = 0; w < base.size(); ++w) {
         std::vector<std::string> row{base[w].workload};

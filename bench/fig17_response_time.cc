@@ -21,9 +21,12 @@ main(int argc, char **argv)
     const std::size_t ops = bench::benchOps(argc, argv);
     const SystemConfig cfg = SystemConfig::mi100();
 
-    const auto base =
-        runSuite(cfg, TranslationPolicy::baseline(), ops);
-    const auto hdpat = runSuite(cfg, TranslationPolicy::hdpat(), ops);
+    const auto grid = runSuiteGrid(
+        {{cfg, TranslationPolicy::baseline()},
+         {cfg, TranslationPolicy::hdpat()}},
+        ops);
+    const std::vector<RunResult> &base = grid[0];
+    const std::vector<RunResult> &hdpat = grid[1];
 
     TablePrinter table({"workload", "baseline RTT (cyc)",
                         "hdpat RTT (cyc)", "normalized",

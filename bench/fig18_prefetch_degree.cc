@@ -21,22 +21,24 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.67);
     const SystemConfig cfg = SystemConfig::mi100();
-    const auto base =
-        runSuite(cfg, TranslationPolicy::baseline(), ops);
 
     const int degrees[] = {1, 4, 8};
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos = {
+        {cfg, TranslationPolicy::baseline()}};
+    for (const int degree : degrees) {
+        TranslationPolicy pol = TranslationPolicy::hdpat();
+        pol.prefetchDegree = degree;
+        pol.prefetch = degree > 1;
+        pol.name = "hdpat-deg" + std::to_string(degree);
+        combos.emplace_back(cfg, pol);
+    }
+    const auto grid = runSuiteGrid(combos, ops);
+    const std::vector<RunResult> &base = grid[0];
+
     TablePrinter table({"workload", "1 PTE", "4 PTEs", "8 PTEs"});
     std::vector<std::vector<double>> all_speedups(3);
-    std::vector<std::vector<RunResult>> results;
-    for (int d = 0; d < 3; ++d) {
-        TranslationPolicy pol = TranslationPolicy::hdpat();
-        pol.prefetchDegree = degrees[d];
-        pol.prefetch = degrees[d] > 1;
-        pol.name = "hdpat-deg" + std::to_string(degrees[d]);
-        results.push_back(runSuite(cfg, pol, ops));
-        all_speedups[static_cast<std::size_t>(d)] =
-            speedups(base, results.back());
-    }
+    for (std::size_t d = 0; d < 3; ++d)
+        all_speedups[d] = speedups(base, grid[d + 1]);
 
     for (std::size_t w = 0; w < base.size(); ++w) {
         table.addRow({base[w].workload,

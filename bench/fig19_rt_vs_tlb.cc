@@ -22,12 +22,14 @@ main(int argc, char **argv)
     const std::size_t ops = bench::benchOps(argc, argv, 0.67);
     const SystemConfig cfg = SystemConfig::mi100();
 
-    const auto base =
-        runSuite(cfg, TranslationPolicy::baseline(), ops);
-    const auto with_rt =
-        runSuite(cfg, TranslationPolicy::hdpat(), ops);
-    const auto with_tlb =
-        runSuite(cfg, TranslationPolicy::hdpatWithIommuTlb(), ops);
+    const auto grid = runSuiteGrid(
+        {{cfg, TranslationPolicy::baseline()},
+         {cfg, TranslationPolicy::hdpat()},
+         {cfg, TranslationPolicy::hdpatWithIommuTlb()}},
+        ops);
+    const std::vector<RunResult> &base = grid[0];
+    const std::vector<RunResult> &with_rt = grid[1];
+    const std::vector<RunResult> &with_tlb = grid[2];
 
     TablePrinter table({"workload", "hdpat+RT", "hdpat+TLB",
                         "RT advantage"});

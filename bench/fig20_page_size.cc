@@ -23,26 +23,30 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
 
-    // The 4KB baseline anchors all normalizations.
-    SystemConfig cfg4k = SystemConfig::mi100();
-    const auto base4k =
-        runSuite(cfg4k, TranslationPolicy::baseline(), ops);
-
-    TablePrinter table({"page size", "baseline", "hdpat",
-                        "hdpat advantage"});
-    for (const PageSizePoint &point : pageSizeSweep()) {
+    // The 4KB baseline anchors all normalizations; it runs in the
+    // same grid as the per-page-size baseline/hdpat pairs.
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos = {
+        {SystemConfig::mi100(), TranslationPolicy::baseline()}};
+    const auto sweep = pageSizeSweep();
+    for (const PageSizePoint &point : sweep) {
         SystemConfig cfg = SystemConfig::mi100();
         cfg.pageShift = point.pageShift;
         cfg.name = "MI100-" + point.label;
+        combos.emplace_back(cfg, TranslationPolicy::baseline());
+        combos.emplace_back(cfg, TranslationPolicy::hdpat());
+    }
+    const auto grid = runSuiteGrid(combos, ops);
+    const std::vector<RunResult> &base4k = grid[0];
 
-        const auto base =
-            runSuite(cfg, TranslationPolicy::baseline(), ops);
-        const auto hdpat =
-            runSuite(cfg, TranslationPolicy::hdpat(), ops);
+    TablePrinter table({"page size", "baseline", "hdpat",
+                        "hdpat advantage"});
+    for (std::size_t p = 0; p < sweep.size(); ++p) {
+        const std::vector<RunResult> &base = grid[1 + 2 * p];
+        const std::vector<RunResult> &hdpat = grid[2 + 2 * p];
 
         const double base_norm = geomeanSpeedup(base4k, base);
         const double hdpat_norm = geomeanSpeedup(base4k, hdpat);
-        table.addRow({point.label, fmt(base_norm) + "x",
+        table.addRow({sweep[p].label, fmt(base_norm) + "x",
                       fmt(hdpat_norm) + "x",
                       fmt(hdpat_norm / base_norm) + "x"});
     }

@@ -21,14 +21,20 @@ main(int argc, char **argv)
 
     const std::size_t ops = bench::benchOps(argc, argv, 0.5);
 
+    const auto generations = gpuGenerationConfigs();
+    std::vector<std::pair<SystemConfig, TranslationPolicy>> combos;
+    for (const SystemConfig &cfg : generations) {
+        combos.emplace_back(cfg, TranslationPolicy::baseline());
+        combos.emplace_back(cfg, TranslationPolicy::hdpat());
+    }
+    const auto grid = runSuiteGrid(combos, ops);
+
     TablePrinter table({"configuration", "hdpat G-MEAN speedup"});
-    for (const SystemConfig &cfg : gpuGenerationConfigs()) {
-        const auto base =
-            runSuite(cfg, TranslationPolicy::baseline(), ops);
-        const auto hdpat =
-            runSuite(cfg, TranslationPolicy::hdpat(), ops);
-        table.addRow({cfg.name,
-                      fmt(geomeanSpeedup(base, hdpat)) + "x"});
+    for (std::size_t g = 0; g < generations.size(); ++g) {
+        table.addRow({generations[g].name,
+                      fmt(geomeanSpeedup(grid[2 * g],
+                                         grid[2 * g + 1])) +
+                          "x"});
     }
     table.print(std::cout);
     return 0;

@@ -20,9 +20,12 @@ main(int argc, char **argv)
     const std::size_t ops = bench::benchOps(argc, argv, 0.67);
     const SystemConfig cfg = SystemConfig::mi100Wafer7x12();
 
-    const auto base =
-        runSuite(cfg, TranslationPolicy::baseline(), ops);
-    const auto hdpat = runSuite(cfg, TranslationPolicy::hdpat(), ops);
+    const auto grid = runSuiteGrid(
+        {{cfg, TranslationPolicy::baseline()},
+         {cfg, TranslationPolicy::hdpat()}},
+        ops);
+    const std::vector<RunResult> &base = grid[0];
+    const std::vector<RunResult> &hdpat = grid[1];
 
     TablePrinter table({"workload", "speedup", "offloaded"});
     const auto sp = speedups(base, hdpat);

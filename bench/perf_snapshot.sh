@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Wall-clock snapshot of the parallel sweep runner: times fig14_overall
+# (5 policies x 14 workloads = 70 simulations) serially and with one
+# job per core, and emits a JSON record on stdout.
+#
+# Usage: bench/perf_snapshot.sh [BUILD_DIR] [OPS_PER_GPM] > BENCH_fig14.json
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OPS="${2:-300}"
+BIN="$BUILD_DIR/bench/fig14_overall"
+CORES="$(nproc)"
+
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not found (build first: cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+fi
+
+run_timed() {
+    local jobs="$1" start end
+    start="$(date +%s.%N)"
+    HDPAT_JOBS="$jobs" "$BIN" "$OPS" > /dev/null
+    end="$(date +%s.%N)"
+    awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", e - s }'
+}
+
+# Warm-up run so first-touch costs (page cache, allocator) don't skew
+# the serial number.
+"$BIN" 50 > /dev/null
+
+SERIAL="$(run_timed 1)"
+PARALLEL="$(run_timed "$CORES")"
+SPEEDUP="$(awk -v s="$SERIAL" -v p="$PARALLEL" \
+    'BEGIN { printf "%.2f", (p > 0 ? s / p : 0) }')"
+
+cat <<EOF
+{
+  "bench": "fig14_overall",
+  "ops_per_gpm": $OPS,
+  "cores": $CORES,
+  "serial_seconds": $SERIAL,
+  "parallel_jobs": $CORES,
+  "parallel_seconds": $PARALLEL,
+  "speedup": $SPEEDUP,
+  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "host": "$(uname -sm)"
+}
+EOF

@@ -7,7 +7,7 @@
  *
  * Usage:
  *   hdpat_cli [--workload ABBR|all] [--policy NAME] [--config NAME]
- *             [--ops N] [--seed S] [--scale F]
+ *             [--ops N] [--seed S] [--scale F] [--jobs N]
  *             [--csv FILE] [--trace FILE]
  *             [--metrics-json FILE] [--trace-out FILE]
  *             [--trace-sample N|1/N] [--heartbeat TICKS]
@@ -16,7 +16,10 @@
  * dumps every registered metric as JSON; --trace-out writes sampled
  * per-translation spans in Chrome Trace Event Format (open in
  * Perfetto); --heartbeat logs progress every TICKS simulated ticks
- * (requires HDPAT_LOG=info).
+ * (requires HDPAT_LOG=info). --jobs N (or HDPAT_JOBS=N) runs
+ * "--workload all" sweeps N simulations at a time with results
+ * identical to serial; multi-run --metrics-json/--trace-out paths get
+ * a per-run "-<index>" suffix.
  *
  * Policies: baseline, hdpat, route-based, concentric, distributed,
  *           cluster-rotation, redirection, prefetch, trans-fw,
@@ -32,6 +35,7 @@
 #include <vector>
 
 #include "config/gpu_presets.hh"
+#include "driver/parallel.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
 #include "driver/system.hh"
@@ -147,14 +151,21 @@ parse(int argc, char **argv)
                     static_cast<std::uint64_t>(n);
         } else if (arg == "--heartbeat") {
             opt.obs.heartbeatInterval = std::atoll(value().c_str());
+        } else if (arg == "--jobs") {
+            const long long n = std::atoll(value().c_str());
+            if (n > 0)
+                setDefaultJobs(static_cast<unsigned>(n));
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: hdpat_cli [--workload ABBR|all] "
                    "[--policy NAME] [--config NAME] [--ops N] "
-                   "[--seed S] [--scale F] [--csv FILE] "
+                   "[--seed S] [--scale F] [--jobs N] [--csv FILE] "
                    "[--trace FILE] [--metrics-json FILE] "
                    "[--trace-out FILE] [--trace-sample N|1/N] "
-                   "[--heartbeat TICKS]\n";
+                   "[--heartbeat TICKS]\n"
+                   "  --jobs N  run multi-workload sweeps N "
+                   "simulations at a time (default: HDPAT_JOBS or "
+                   "all cores); results are identical to serial\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -164,8 +175,8 @@ parse(int argc, char **argv)
     return opt;
 }
 
-RunResult
-runOne(const Options &opt, const std::string &workload)
+RunSpec
+specFor(const Options &opt, const std::string &workload)
 {
     RunSpec spec;
     spec.config = configByName(opt.config);
@@ -176,7 +187,7 @@ runOne(const Options &opt, const std::string &workload)
     spec.footprintScale = opt.scale;
     spec.captureIommuTrace = !opt.trace_path.empty();
     spec.obs = opt.obs;
-    return runOnce(spec);
+    return spec;
 }
 
 } // namespace
@@ -193,17 +204,19 @@ main(int argc, char **argv)
         workloads.push_back(opt.workload);
     }
 
-    std::vector<RunResult> results;
+    std::vector<RunSpec> specs;
+    for (const std::string &wl : workloads)
+        specs.push_back(specFor(opt, wl));
+    const std::vector<RunResult> results = runMany(std::move(specs));
+
     TablePrinter table({"workload", "cycles", "remote", "offloaded",
                         "RTT mean", "IOMMU walks"});
-    for (const std::string &wl : workloads) {
-        const RunResult r = runOne(opt, wl);
+    for (const RunResult &r : results) {
         table.addRow({r.workload, std::to_string(r.totalTicks),
                       std::to_string(r.remoteResolutions),
                       fmtPct(r.offloadedFraction()),
                       fmt(r.remoteRtt.mean(), 0),
                       std::to_string(r.iommu.walksCompleted)});
-        results.push_back(r);
     }
 
     std::cout << "policy " << opt.policy << " on " << opt.config

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/parallel.hh"
 #include "driver/runner.hh"
 #include "driver/table_printer.hh"
 
@@ -30,16 +31,18 @@ main(int argc, char **argv)
     spec.workload = workload;
     spec.opsPerGpm = ops;
 
+    // Baseline first, then the full 3x3x3 tunable grid -- one batch
+    // for the worker pool.
+    struct Point
+    {
+        int layers;
+        int degree;
+        unsigned threshold;
+    };
+    std::vector<Point> points;
+    std::vector<RunSpec> specs;
     spec.policy = TranslationPolicy::baseline();
-    const RunResult base = runOnce(spec);
-
-    std::cout << "HDPAT policy tuning for " << workload << " (baseline "
-              << base.totalTicks << " cycles)\n\n";
-
-    TablePrinter table({"C", "prefetch", "threshold", "cycles",
-                        "speedup", "offload"});
-    double best = 0.0;
-    std::string best_desc;
+    specs.push_back(spec);
     for (int layers : {1, 2, 3}) {
         for (int degree : {1, 4, 8}) {
             for (unsigned threshold : {1u, 2u, 4u}) {
@@ -49,21 +52,36 @@ main(int argc, char **argv)
                 pol.prefetch = degree > 1;
                 pol.auxPushThreshold = threshold;
                 spec.policy = pol;
-                const RunResult r = runOnce(spec);
-                const double speedup = speedupOver(base, r);
-                table.addRow({std::to_string(layers),
-                              std::to_string(degree),
-                              std::to_string(threshold),
-                              std::to_string(r.totalTicks),
-                              fmt(speedup) + "x",
-                              fmtPct(r.offloadedFraction())});
-                if (speedup > best) {
-                    best = speedup;
-                    best_desc = "C=" + std::to_string(layers) +
-                                " prefetch=" + std::to_string(degree) +
-                                " threshold=" + std::to_string(threshold);
-                }
+                points.push_back({layers, degree, threshold});
+                specs.push_back(spec);
             }
+        }
+    }
+    const std::vector<RunResult> runs = runMany(std::move(specs));
+    const RunResult &base = runs[0];
+
+    std::cout << "HDPAT policy tuning for " << workload << " (baseline "
+              << base.totalTicks << " cycles)\n\n";
+
+    TablePrinter table({"C", "prefetch", "threshold", "cycles",
+                        "speedup", "offload"});
+    double best = 0.0;
+    std::string best_desc;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        const Point &pt = points[p];
+        const RunResult &r = runs[p + 1];
+        const double speedup = speedupOver(base, r);
+        table.addRow({std::to_string(pt.layers),
+                      std::to_string(pt.degree),
+                      std::to_string(pt.threshold),
+                      std::to_string(r.totalTicks),
+                      fmt(speedup) + "x",
+                      fmtPct(r.offloadedFraction())});
+        if (speedup > best) {
+            best = speedup;
+            best_desc = "C=" + std::to_string(pt.layers) +
+                        " prefetch=" + std::to_string(pt.degree) +
+                        " threshold=" + std::to_string(pt.threshold);
         }
     }
     table.print(std::cout);

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "driver/parallel.hh"
 #include "driver/runner.hh"
 #include "driver/table_printer.hh"
 
@@ -33,10 +34,12 @@ main(int argc, char **argv)
     spec.opsPerGpm = ops;
 
     spec.policy = TranslationPolicy::baseline();
-    const RunResult base = runOnce(spec);
-
-    spec.policy = TranslationPolicy::hdpat();
-    const RunResult hdpat = runOnce(spec);
+    RunSpec hdpat_spec = spec;
+    hdpat_spec.policy = TranslationPolicy::hdpat();
+    const std::vector<RunResult> runs =
+        runMany({spec, hdpat_spec});
+    const RunResult &base = runs[0];
+    const RunResult &hdpat = runs[1];
 
     TablePrinter table({"metric", "baseline", "hdpat"});
     table.addRow({"cycles", std::to_string(base.totalTicks),

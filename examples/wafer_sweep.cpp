@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "driver/parallel.hh"
 #include "driver/runner.hh"
 #include "driver/table_printer.hh"
 
@@ -36,8 +37,9 @@ main(int argc, char **argv)
     std::cout << "HDPAT wafer-size sweep: " << workload << ", " << ops
               << " ops per GPM\n\n";
 
-    TablePrinter table({"mesh", "GPMs", "baseline cyc", "hdpat cyc",
-                        "speedup", "IOMMU offload"});
+    // One baseline + one HDPAT run per mesh, all on the worker pool.
+    std::vector<SystemConfig> configs;
+    std::vector<RunSpec> specs;
     for (const Mesh &mesh : meshes) {
         RunSpec spec;
         spec.config = SystemConfig::mi100();
@@ -47,14 +49,22 @@ main(int argc, char **argv)
                            std::to_string(mesh.h);
         spec.workload = workload;
         spec.opsPerGpm = ops;
+        configs.push_back(spec.config);
 
         spec.policy = TranslationPolicy::baseline();
-        const RunResult base = runOnce(spec);
+        specs.push_back(spec);
         spec.policy = TranslationPolicy::hdpat();
-        const RunResult hdpat = runOnce(spec);
+        specs.push_back(spec);
+    }
+    const std::vector<RunResult> runs = runMany(std::move(specs));
 
-        table.addRow({spec.config.name,
-                      std::to_string(spec.config.numGpms()),
+    TablePrinter table({"mesh", "GPMs", "baseline cyc", "hdpat cyc",
+                        "speedup", "IOMMU offload"});
+    for (std::size_t m = 0; m < meshes.size(); ++m) {
+        const RunResult &base = runs[2 * m];
+        const RunResult &hdpat = runs[2 * m + 1];
+        table.addRow({configs[m].name,
+                      std::to_string(configs[m].numGpms()),
                       std::to_string(base.totalTicks),
                       std::to_string(hdpat.totalTicks),
                       fmt(speedupOver(base, hdpat)) + "x",

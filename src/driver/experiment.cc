@@ -1,21 +1,24 @@
 #include "driver/experiment.hh"
 
+#include <iterator>
+
 #include "sim/log.hh"
 #include "workloads/suite.hh"
 
 namespace hdpat
 {
 
-std::vector<RunResult>
-runSuite(const SystemConfig &cfg, const TranslationPolicy &pol,
-         std::size_t ops_per_gpm,
-         const std::vector<std::string> &workloads, std::uint64_t seed)
+std::vector<RunSpec>
+suiteSpecs(const SystemConfig &cfg, const TranslationPolicy &pol,
+           std::size_t ops_per_gpm,
+           const std::vector<std::string> &workloads,
+           std::uint64_t seed)
 {
     const std::vector<std::string> &names =
         workloads.empty() ? workloadAbbrs() : workloads;
 
-    std::vector<RunResult> results;
-    results.reserve(names.size());
+    std::vector<RunSpec> specs;
+    specs.reserve(names.size());
     for (const std::string &name : names) {
         RunSpec spec;
         spec.config = cfg;
@@ -23,7 +26,47 @@ runSuite(const SystemConfig &cfg, const TranslationPolicy &pol,
         spec.workload = name;
         spec.opsPerGpm = ops_per_gpm;
         spec.seed = seed;
-        results.push_back(runOnce(spec));
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+std::vector<RunResult>
+runSuite(const SystemConfig &cfg, const TranslationPolicy &pol,
+         std::size_t ops_per_gpm,
+         const std::vector<std::string> &workloads, std::uint64_t seed)
+{
+    return runMany(suiteSpecs(cfg, pol, ops_per_gpm, workloads, seed));
+}
+
+std::vector<std::vector<RunResult>>
+runSuiteGrid(
+    const std::vector<std::pair<SystemConfig, TranslationPolicy>>
+        &combos,
+    std::size_t ops_per_gpm, const std::vector<std::string> &workloads,
+    std::uint64_t seed)
+{
+    std::vector<RunSpec> grid;
+    for (const auto &[cfg, pol] : combos) {
+        auto specs = suiteSpecs(cfg, pol, ops_per_gpm, workloads, seed);
+        grid.insert(grid.end(), std::make_move_iterator(specs.begin()),
+                    std::make_move_iterator(specs.end()));
+    }
+    std::vector<RunResult> flat = runMany(std::move(grid));
+
+    const std::size_t per_combo = combos.empty()
+                                      ? 0
+                                      : flat.size() / combos.size();
+    std::vector<std::vector<RunResult>> results;
+    results.reserve(combos.size());
+    for (std::size_t c = 0; c < combos.size(); ++c) {
+        results.emplace_back(
+            std::make_move_iterator(flat.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        c * per_combo)),
+            std::make_move_iterator(flat.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        (c + 1) * per_combo)));
     }
     return results;
 }

@@ -9,10 +9,12 @@
 #define HDPAT_DRIVER_EXPERIMENT_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "config/system_config.hh"
 #include "config/translation_policy.hh"
+#include "driver/parallel.hh"
 #include "driver/run_result.hh"
 #include "driver/runner.hh"
 
@@ -20,14 +22,41 @@ namespace hdpat
 {
 
 /**
+ * The RunSpecs runSuite would execute, in workload order (default:
+ * the full Table II suite). Exposed so harnesses can concatenate
+ * several suites into one runMany() grid.
+ */
+std::vector<RunSpec>
+suiteSpecs(const SystemConfig &cfg, const TranslationPolicy &pol,
+           std::size_t ops_per_gpm = 0,
+           const std::vector<std::string> &workloads = {},
+           std::uint64_t seed = 0x5eed);
+
+/**
  * Run every workload in @p workloads (default: the full Table II
  * suite) under one config/policy. Results are in workload order.
+ * Runs on the worker pool (HDPAT_JOBS / --jobs); results are
+ * identical to serial execution.
  */
 std::vector<RunResult>
 runSuite(const SystemConfig &cfg, const TranslationPolicy &pol,
          std::size_t ops_per_gpm = 0,
          const std::vector<std::string> &workloads = {},
          std::uint64_t seed = 0x5eed);
+
+/**
+ * Run one suite per (config, policy) combination as a single parallel
+ * grid: all combos' workloads execute on the worker pool together, so
+ * an entire figure sweep saturates the cores instead of one suite at
+ * a time. Result [c][w] is combo c's workload w.
+ */
+std::vector<std::vector<RunResult>>
+runSuiteGrid(
+    const std::vector<std::pair<SystemConfig, TranslationPolicy>>
+        &combos,
+    std::size_t ops_per_gpm = 0,
+    const std::vector<std::string> &workloads = {},
+    std::uint64_t seed = 0x5eed);
 
 /**
  * Per-workload speedups of @p variant over @p base (same workload

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Parallel experiment execution: run a batch of independent RunSpecs
+ * on a persistent worker-thread pool.
+ *
+ * Every figure/table sweep is a grid of isolated simulations (configs
+ * x policies x workloads), so the whole grid runs embarrassingly
+ * parallel. Each run owns its engine, RNG, metric registry, and
+ * tracer; the only process-wide state a run touches is the log sink
+ * (mutex-serialized) and the per-thread log-tick registration, so
+ * parallel results are bitwise-identical to serial execution and are
+ * returned in spec order.
+ *
+ * Parallelism resolution, strongest first:
+ *   1. the explicit `jobs` argument to runMany(),
+ *   2. setDefaultJobs() (the --jobs CLI flag in benches and hdpat_cli),
+ *   3. the HDPAT_JOBS environment variable,
+ *   4. std::thread::hardware_concurrency().
+ *
+ * When a batch has more than one spec, each run's metrics-JSON and
+ * Chrome-trace output paths get a "-<run_index>" suffix before the
+ * extension ("m.json" -> "m-3.json"), so sweeps never clobber a shared
+ * HDPAT_METRICS_JSON / HDPAT_TRACE_OUT destination. The suffix is
+ * applied in serial mode too, so jobs=1 and jobs=N produce identical
+ * file sets. Single-spec batches keep their paths untouched.
+ */
+
+#ifndef HDPAT_DRIVER_PARALLEL_HH
+#define HDPAT_DRIVER_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "driver/run_result.hh"
+#include "driver/runner.hh"
+
+namespace hdpat
+{
+
+/**
+ * Worker threads used when runMany() is called with jobs == 0: the
+ * setDefaultJobs() override if set, else HDPAT_JOBS, else
+ * hardware_concurrency() (minimum 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Process-wide override of defaultJobs(); 0 clears the override and
+ * returns to HDPAT_JOBS / hardware_concurrency resolution.
+ */
+void setDefaultJobs(unsigned jobs);
+
+/**
+ * "path" with "-<index>" spliced in before the extension of the last
+ * path component: ("out.json", 2) -> "out-2.json"; ("dir/out", 2) ->
+ * "dir/out-2".
+ */
+std::string withRunIndexSuffix(const std::string &path,
+                               std::size_t index);
+
+/**
+ * A persistent pool of worker threads. Threads are spawned on first
+ * use and reused across parallelFor calls, so a bench issuing dozens
+ * of sweeps pays thread-creation cost once.
+ */
+class WorkerPool
+{
+  public:
+    /** The process-wide pool (grows on demand, never shrinks). */
+    static WorkerPool &shared();
+
+    WorkerPool();
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Run body(0) ... body(n - 1) with at most @p max_parallel calls
+     * in flight, blocking until all complete. Indices are claimed from
+     * an atomic counter, so assignment order is nondeterministic --
+     * the body must write results by index, never append.
+     *
+     * Not reentrant: a body must not call parallelFor on the same
+     * pool.
+     */
+    void parallelFor(std::size_t n, unsigned max_parallel,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Threads currently alive (for introspection/tests). */
+    unsigned threadCount() const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/**
+ * Run every spec and return the results in spec order, bitwise
+ * identical to calling runOnce(spec) in a serial loop.
+ *
+ * @param jobs Worker threads to use; 0 = defaultJobs(). Clamped to
+ *             the batch size; 1 runs inline with no threads.
+ */
+std::vector<RunResult> runMany(std::vector<RunSpec> specs,
+                               unsigned jobs = 0);
+
+} // namespace hdpat
+
+#endif // HDPAT_DRIVER_PARALLEL_HH

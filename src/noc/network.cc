@@ -129,15 +129,19 @@ Network::sendTracedSlow(TileId src, TileId dst, std::size_t bytes,
                     SpanEvent::NetSend, src,
                     static_cast<std::uint64_t>(dst));
     const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
+    // Two same-tick events instead of one wrapping lambda: wrapping
+    // would nest an EventFn inside another's inline storage. Same-tick
+    // FIFO order guarantees the NetArrive record lands before the
+    // delivery callback runs, exactly as the wrapped form did.
     Tracer *tracer = tracer_;
-    engine_.scheduleAt(
-        arrive, [tracer, trace_owner, trace_vpn, dst, arrive,
-                 fn = std::move(on_arrive)] {
-            tracer->record(trace_owner, trace_vpn, arrive,
-                           SpanEvent::NetArrive, dst,
-                           static_cast<std::uint64_t>(dst));
-            fn();
-        });
+    engine_.scheduleAt(arrive,
+                       [tracer, trace_owner, trace_vpn, dst, arrive] {
+                           tracer->record(
+                               trace_owner, trace_vpn, arrive,
+                               SpanEvent::NetArrive, dst,
+                               static_cast<std::uint64_t>(dst));
+                       });
+    engine_.scheduleAt(arrive, std::move(on_arrive));
 }
 
 void

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * EventFn: the callback type stored in the event queue.
+ *
+ * A move-only callable with fixed inline storage and *no heap
+ * fallback*: constructing an EventFn from a lambda placement-news the
+ * capture into the object itself, so scheduling an event never
+ * allocates. std::function (the previous storage type) spills any
+ * capture larger than its small-buffer (16 bytes on libstdc++) to the
+ * heap, which put a malloc/free pair on the hot path of nearly every
+ * scheduled event.
+ *
+ * Oversized captures are a compile error (static_assert in the
+ * converting constructor), not a silent heap spill: the capacity is
+ * sized for the largest lambda the simulator schedules, and anything
+ * bigger should move its payload behind a pointer or shrink.
+ */
+
+#ifndef HDPAT_SIM_EVENT_FN_HH
+#define HDPAT_SIM_EVENT_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hdpat
+{
+
+class EventFn
+{
+  public:
+    /**
+     * Inline capture storage in bytes. The largest scheduled capture
+     * today is the chain-probe forwarding lambda in
+     * translation_client.cc (~112 bytes: this + tile ids + a ChainProbe
+     * with two inline std::vectors); 120 leaves a little headroom while
+     * keeping sizeof(EventFn) at two cache lines.
+     */
+    static constexpr std::size_t kCapacity = 120;
+
+    EventFn() = default;
+    EventFn(std::nullptr_t) {}
+
+    /** Store @p fn inline. Fails to compile if the capture is too big. */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventFn(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kCapacity,
+                      "event callback capture exceeds EventFn::kCapacity; "
+                      "shrink the capture (move bulky state behind a "
+                      "pointer) or raise the capacity");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned event callback");
+        // Relocation happens inside noexcept move operations, so a
+        // throwing callback move would terminate. That is acceptable:
+        // every scheduled capture is pointers, PODs, std::function, or
+        // std::vector, whose moves never actually throw. (GCC 12
+        // reports closures that capture a std::function by copy as not
+        // nothrow-movable, so the strict trait cannot be asserted.)
+        static_assert(std::is_move_constructible_v<Fn>,
+                      "event callbacks must be movable (the event heap "
+                      "relocates them)");
+        ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+        ops_ = &kOps<Fn>;
+    }
+
+    EventFn(EventFn &&other) noexcept : ops_(other.ops_)
+    {
+        if (ops_) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    EventFn &operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            if (ops_)
+                ops_->destroy(storage_);
+            ops_ = other.ops_;
+            if (ops_) {
+                ops_->relocate(storage_, other.storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn()
+    {
+        if (ops_)
+            ops_->destroy(storage_);
+    }
+
+    void operator()() { ops_->invoke(storage_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct *dst from *src, then destroy *src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static constexpr Ops kOps{
+        [](void *self) { (*static_cast<Fn *>(self))(); },
+        [](void *dst, void *src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+    };
+
+    alignas(std::max_align_t) unsigned char storage_[kCapacity];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_EVENT_FN_HH

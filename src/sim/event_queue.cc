@@ -19,6 +19,7 @@ void
 EventQueue::schedule(Tick when, EventFn fn)
 {
     heap_.push_back(Entry{when, nextSeq_++, std::move(fn)});
+    ++lifetimeScheduled_;
     siftUp(heap_.size() - 1);
 }
 

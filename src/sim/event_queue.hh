@@ -12,16 +12,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/event_fn.hh"
 #include "sim/types.hh"
 
 namespace hdpat
 {
-
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
 
 /**
  * A binary min-heap of (tick, sequence) ordered events.
@@ -63,11 +60,18 @@ class EventQueue
      */
     EventFn pop(Tick &when);
 
-    /** Discard all pending events and reset the sequence counter. */
+    /**
+     * Discard all pending events. The same-tick tie-break sequence
+     * restarts, but scheduledCount() keeps counting: it reports the
+     * lifetime total, which a reset must not rewind.
+     */
     void clear();
 
+    /** Grow the heap's backing storage ahead of a known burst. */
+    void reserve(std::size_t n) { heap_.reserve(n); }
+
     /** Total number of events ever scheduled (statistics). */
-    std::uint64_t scheduledCount() const { return nextSeq_; }
+    std::uint64_t scheduledCount() const { return lifetimeScheduled_; }
 
   private:
     struct Entry
@@ -84,7 +88,10 @@ class EventQueue
     void siftDown(std::size_t idx);
 
     std::vector<Entry> heap_;
+    /** Tie-break for same-tick FIFO order; restarts on clear(). */
     std::uint64_t nextSeq_ = 0;
+    /** Lifetime schedule count; survives clear(). */
+    std::uint64_t lifetimeScheduled_ = 0;
 };
 
 } // namespace hdpat

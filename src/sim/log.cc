@@ -1,8 +1,10 @@
 #include "sim/log.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 
 #include "sim/engine.hh"
 
@@ -12,8 +14,17 @@ namespace hdpat
 namespace
 {
 
-/** Engine whose now() stamps log lines (null = no tick prefix). */
-const Engine *g_log_engine = nullptr;
+/**
+ * Engine whose now() stamps log lines (null = no tick prefix).
+ * thread_local so that each worker thread running its own simulation
+ * (driver/parallel.hh) stamps its lines with *its* engine's tick: a
+ * process-wide pointer would race and stamp lines with whichever
+ * engine registered last on any thread.
+ */
+thread_local const Engine *t_log_engine = nullptr;
+
+/** Serializes emitLog so concurrent runs' lines never interleave. */
+std::mutex g_log_mutex;
 
 LogLevel
 initialLevel()
@@ -29,10 +40,10 @@ initialLevel()
     return LogLevel::Quiet;
 }
 
-LogLevel &
+std::atomic<LogLevel> &
 levelStorage()
 {
-    static LogLevel level = initialLevel();
+    static std::atomic<LogLevel> level{initialLevel()};
     return level;
 }
 
@@ -41,26 +52,26 @@ levelStorage()
 LogLevel
 logLevel()
 {
-    return levelStorage();
+    return levelStorage().load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    levelStorage() = level;
+    levelStorage().store(level, std::memory_order_relaxed);
 }
 
 void
 setActiveLogEngine(const Engine *engine)
 {
-    g_log_engine = engine;
+    t_log_engine = engine;
 }
 
 void
 clearActiveLogEngine(const Engine *engine)
 {
-    if (g_log_engine == engine)
-        g_log_engine = nullptr;
+    if (t_log_engine == engine)
+        t_log_engine = nullptr;
 }
 
 namespace detail
@@ -69,10 +80,11 @@ namespace detail
 void
 emitLog(const char *tag, const std::string &msg)
 {
-    if (g_log_engine) {
+    const std::lock_guard<std::mutex> lock(g_log_mutex);
+    if (t_log_engine) {
         std::fprintf(stderr, "[hdpat:%s @%llu] %s\n", tag,
                      static_cast<unsigned long long>(
-                         g_log_engine->now()),
+                         t_log_engine->now()),
                      msg.c_str());
         return;
     }

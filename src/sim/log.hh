@@ -30,6 +30,11 @@ void setLogLevel(LogLevel level);
  * tick ("[hdpat:info @1234] ..."). Engine registers itself on
  * construction; pass the same pointer to clear on destruction. Lines
  * logged with no active engine carry no tick.
+ *
+ * The registration is per *thread*: each worker thread running a
+ * simulation (see driver/parallel.hh) stamps its log lines with its
+ * own engine's tick. The log sink itself is serialized behind a mutex,
+ * so concurrent runs' lines never interleave mid-line.
  */
 void setActiveLogEngine(const Engine *engine);
 void clearActiveLogEngine(const Engine *engine);

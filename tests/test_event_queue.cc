@@ -1,16 +1,81 @@
 /**
  * @file
  * Unit tests for the discrete-event queue: ordering, same-tick FIFO,
- * and heap integrity under randomized load.
+ * heap integrity under randomized load, and the no-allocation
+ * guarantee of the small-buffer callback on the schedule/pop hot path.
  */
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+
+namespace
+{
+
+/**
+ * Program-wide allocation counter. Replacing the global allocation
+ * functions is safe in this shared test binary: behaviour is
+ * unchanged, every new is just counted. Tests snapshot the counter
+ * around a region that must not allocate.
+ */
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void *
+countedAlloc(std::size_t count)
+{
+    ++g_heap_allocations;
+    if (void *p = std::malloc(count ? count : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *
+operator new(std::size_t count)
+{
+    return countedAlloc(count);
+}
+
+void *
+operator new[](std::size_t count)
+{
+    return countedAlloc(count);
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
 
 namespace hdpat
 {
@@ -89,6 +154,70 @@ TEST(EventQueueTest, ScheduledCountIsMonotonic)
     Tick when = 0;
     q.pop(when);
     EXPECT_EQ(q.scheduledCount(), 10u); // Pops do not decrement.
+}
+
+TEST(EventQueueTest, ClearKeepsLifetimeScheduledCount)
+{
+    EventQueue q;
+    for (int i = 0; i < 3; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    EXPECT_EQ(q.scheduledCount(), 3u);
+
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.scheduledCount(), 3u); // Lifetime total, not queue depth.
+
+    q.schedule(9, [] {});
+    EXPECT_EQ(q.scheduledCount(), 4u);
+}
+
+TEST(EventQueueTest, SameTickFifoHoldsAcrossClear)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.clear();
+
+    // A fresh epoch after clear() must still drain same-tick events in
+    // schedule order.
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    while (!q.empty()) {
+        Tick when = 0;
+        q.pop(when)();
+    }
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+/**
+ * The hot path must be allocation-free: with the heap vector
+ * pre-reserved, scheduling, popping, and invoking events -- including
+ * ones with captures far beyond std::function's inline buffer -- may
+ * not touch the heap.
+ */
+TEST(EventQueueTest, ScheduleAndPopDoNotAllocate)
+{
+    EventQueue q;
+    q.reserve(256);
+    int sink = 0;
+    std::array<std::uint8_t, 96> payload{};
+    payload[0] = 1;
+
+    const std::uint64_t before = g_heap_allocations.load();
+    for (int i = 0; i < 200; ++i) {
+        q.schedule(static_cast<Tick>(i % 7), [&sink, payload] {
+            sink += payload[0];
+        });
+    }
+    while (!q.empty()) {
+        Tick when = 0;
+        q.pop(when)();
+    }
+    const std::uint64_t after = g_heap_allocations.load();
+
+    EXPECT_EQ(after, before);
+    EXPECT_EQ(sink, 200);
 }
 
 TEST(EventQueueTest, PopOnEmptyPanics)
