@@ -1,0 +1,163 @@
+/**
+ * @file
+ * perf_report: work with the "profile" section of hdpat-metrics-v1
+ * JSON dumps (the host self-profiler's output).
+ *
+ *   perf_report --extract METRICS.json
+ *       Print the embedded profile object alone, for splicing into a
+ *       committed BENCH_*.json baseline (perf_snapshot.sh does this).
+ *
+ *   perf_report --baseline BENCH_fig14.json METRICS.json
+ *       Per-subsystem host-time table of the fresh run against the
+ *       committed baseline's profile: total milliseconds, ns/call,
+ *       and the delta in percent. Exits 0 regardless of the deltas --
+ *       the tool reports, a human (or CI annotation) judges.
+ *
+ * Both inputs go through the strict JSON reader, so a malformed or
+ * truncated dump fails loudly rather than diffing garbage.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "driver/table_printer.hh"
+#include "obs/json_reader.hh"
+#include "obs/profiler.hh"
+
+using namespace hdpat;
+
+namespace
+{
+
+/** The "profile" object of @p doc; fatal when absent. */
+const JsonValue &
+profileOf(const JsonValue &doc, const std::string &what)
+{
+    const JsonValue *profile = doc.find("profile");
+    if (!profile) {
+        std::cerr << "error: " << what
+                  << " has no \"profile\" section (run with "
+                     "--profile / HDPAT_PROFILE=1)\n";
+        std::exit(1);
+    }
+    return *profile;
+}
+
+struct SectionTotals
+{
+    std::uint64_t calls = 0;
+    std::uint64_t nanos = 0;
+};
+
+SectionTotals
+sectionOf(const JsonValue &profile, const char *name)
+{
+    SectionTotals totals;
+    const JsonValue *section = profile.at("sections").find(name);
+    if (section) {
+        totals.calls = section->at("calls").asUint();
+        totals.nanos = section->at("nanos").asUint();
+    }
+    return totals;
+}
+
+int
+extract(const std::string &path)
+{
+    const JsonValue doc = parseJsonFileOrDie(path);
+    const JsonValue &profile = profileOf(doc, path);
+
+    // Re-emit compactly (one object, stable key order) rather than
+    // echoing file bytes, so the output is valid regardless of the
+    // source formatting.
+    std::cout << "{\"runs\": " << profile.at("runs").asUint()
+              << ", \"wall_nanos\": "
+              << profile.at("wall_nanos").asUint()
+              << ", \"sections\": {";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+        const char *name =
+            profSectionName(static_cast<ProfSection>(i));
+        const SectionTotals totals = sectionOf(profile, name);
+        std::cout << (first ? "" : ", ") << '"' << name
+                  << "\": {\"calls\": " << totals.calls
+                  << ", \"nanos\": " << totals.nanos << '}';
+        first = false;
+    }
+    std::cout << "}}\n";
+    return 0;
+}
+
+int
+diff(const std::string &baseline_path, const std::string &fresh_path)
+{
+    const JsonValue baseline_doc = parseJsonFileOrDie(baseline_path);
+    const JsonValue fresh_doc = parseJsonFileOrDie(fresh_path);
+    const JsonValue &base = profileOf(baseline_doc, baseline_path);
+    const JsonValue &fresh = profileOf(fresh_doc, fresh_path);
+
+    std::cout << "host self-profile: " << fresh_path << " vs baseline "
+              << baseline_path << "\n";
+    std::cout << "  baseline: " << base.at("runs").asUint()
+              << " run(s), "
+              << fmt(static_cast<double>(
+                         base.at("wall_nanos").asUint()) /
+                         1e6,
+                     1)
+              << " ms wall; fresh: " << fresh.at("runs").asUint()
+              << " run(s), "
+              << fmt(static_cast<double>(
+                         fresh.at("wall_nanos").asUint()) /
+                         1e6,
+                     1)
+              << " ms wall\n\n";
+
+    TablePrinter table({"section", "baseline ms", "fresh ms", "delta",
+                        "baseline ns/call", "fresh ns/call"});
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+        const char *name =
+            profSectionName(static_cast<ProfSection>(i));
+        const SectionTotals b = sectionOf(base, name);
+        const SectionTotals f = sectionOf(fresh, name);
+        const double bms = static_cast<double>(b.nanos) / 1e6;
+        const double fms = static_cast<double>(f.nanos) / 1e6;
+        std::string delta = "-";
+        if (b.nanos > 0)
+            delta = fmtPct(fms / bms - 1.0);
+        const auto per_call = [](const SectionTotals &s) {
+            return s.calls ? fmt(static_cast<double>(s.nanos) /
+                                     static_cast<double>(s.calls),
+                                 0)
+                           : std::string("-");
+        };
+        table.addRow({name, fmt(bms, 1), fmt(fms, 1), delta,
+                      per_call(b), per_call(f)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cerr
+        << "usage: perf_report --extract METRICS.json\n"
+           "       perf_report --baseline BENCH.json METRICS.json\n"
+           "Reads the \"profile\" section the host self-profiler "
+           "exports (--profile / HDPAT_PROFILE=1).\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 3 && std::strcmp(argv[1], "--extract") == 0)
+        return extract(argv[2]);
+    if (argc == 4 && std::strcmp(argv[1], "--baseline") == 0)
+        return diff(argv[2], argv[3]);
+    usage();
+    return 1;
+}

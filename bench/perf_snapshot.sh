@@ -1,25 +1,40 @@
 #!/usr/bin/env bash
-# Wall-clock snapshot of the parallel sweep runner: times fig14_overall
-# (5 policies x 14 workloads = 70 simulations) serially and with one
-# job per core, and emits a JSON record on stdout.
+# Wall-clock snapshot of the simulator's host-side performance:
+#
+#   1. times fig14_overall (5 policies x 14 workloads = 70 simulations)
+#      serially and with one job per core,
+#   2. times the same sweep with the host self-profiler on, so the
+#      profiler's overhead is measured and recorded,
+#   3. captures a per-subsystem host self-profile (via hdpat_cli
+#      --profile and perf_report --extract) and embeds it in the
+#      emitted record for perf_report --baseline diffs,
+#   4. records the micro_substrates google-benchmark suite as
+#      BENCH_micro.json (next to the fig14 record).
 #
 # Usage: bench/perf_snapshot.sh [BUILD_DIR] [OPS_PER_GPM] > BENCH_fig14.json
+#        MICRO_OUT=path.json overrides the micro-benchmark output path.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OPS="${2:-300}"
 BIN="$BUILD_DIR/bench/fig14_overall"
+CLI="$BUILD_DIR/examples/hdpat_cli"
+REPORT="$BUILD_DIR/bench/perf_report"
+MICRO="$BUILD_DIR/bench/micro_substrates"
+MICRO_OUT="${MICRO_OUT:-BENCH_micro.json}"
 CORES="$(nproc)"
 
-if [ ! -x "$BIN" ]; then
-    echo "error: $BIN not found (build first: cmake --build $BUILD_DIR -j)" >&2
-    exit 1
-fi
+for tool in "$BIN" "$CLI" "$REPORT" "$MICRO"; do
+    if [ ! -x "$tool" ]; then
+        echo "error: $tool not found (build first: cmake --build $BUILD_DIR -j)" >&2
+        exit 1
+    fi
+done
 
 run_timed() {
-    local jobs="$1" start end
+    local jobs="$1" profile="$2" start end
     start="$(date +%s.%N)"
-    HDPAT_JOBS="$jobs" "$BIN" "$OPS" > /dev/null
+    HDPAT_JOBS="$jobs" HDPAT_PROFILE="$profile" "$BIN" "$OPS" > /dev/null
     end="$(date +%s.%N)"
     awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", e - s }'
 }
@@ -28,10 +43,31 @@ run_timed() {
 # the serial number.
 "$BIN" 50 > /dev/null
 
-SERIAL="$(run_timed 1)"
-PARALLEL="$(run_timed "$CORES")"
+SERIAL="$(run_timed 1 "")"
+PARALLEL="$(run_timed "$CORES" "")"
 SPEEDUP="$(awk -v s="$SERIAL" -v p="$PARALLEL" \
     'BEGIN { printf "%.2f", (p > 0 ? s / p : 0) }')"
+
+# The same serial sweep with the self-profiler on: the delta is the
+# profiler's own overhead, recorded so regressions in the "zero-cost
+# when disabled" promise show up in review.
+PROFILED="$(run_timed 1 1)"
+OVERHEAD_PCT="$(awk -v s="$SERIAL" -v p="$PROFILED" \
+    'BEGIN { printf "%.1f", (s > 0 ? (p / s - 1) * 100 : 0) }')"
+
+# Per-subsystem profile of one representative profiled run, embedded
+# for perf_report --baseline.
+PROFILE_TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "$PROFILE_TMP"' EXIT
+HDPAT_PROFILE=1 HDPAT_METRICS_JSON="$PROFILE_TMP" \
+    "$CLI" --workload SPMV --policy hdpat --ops "$OPS" --profile \
+    > /dev/null
+PROFILE_JSON="$("$REPORT" --extract "$PROFILE_TMP")"
+
+# Substrate micro-benchmarks (TLB, cuckoo filter, event queue, ...).
+"$MICRO" --benchmark_format=json --benchmark_out="$MICRO_OUT" \
+    --benchmark_out_format=json > /dev/null
+echo "wrote micro-benchmark record to $MICRO_OUT" >&2
 
 cat <<EOF
 {
@@ -42,6 +78,9 @@ cat <<EOF
   "parallel_jobs": $CORES,
   "parallel_seconds": $PARALLEL,
   "speedup": $SPEEDUP,
+  "profiled_serial_seconds": $PROFILED,
+  "profiler_overhead_pct": $OVERHEAD_PCT,
+  "profile": $PROFILE_JSON,
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host": "$(uname -sm)"
 }

@@ -11,6 +11,8 @@
  *             [--csv FILE] [--trace FILE]
  *             [--metrics-json FILE] [--trace-out FILE]
  *             [--trace-sample N|1/N] [--heartbeat TICKS]
+ *             [--audit] [--watchdog TICKS] [--profile]
+ *             [--spatial TICKS] [--spatial-csv FILE]
  *
  * Flags accept both "--flag value" and "--flag=value". --metrics-json
  * dumps every registered metric as JSON; --trace-out writes sampled
@@ -18,8 +20,15 @@
  * Perfetto); --heartbeat logs progress every TICKS simulated ticks
  * (requires HDPAT_LOG=info). --jobs N (or HDPAT_JOBS=N) runs
  * "--workload all" sweeps N simulations at a time with results
- * identical to serial; multi-run --metrics-json/--trace-out paths get
- * a per-run "-<index>" suffix.
+ * identical to serial; multi-run --metrics-json/--trace-out/
+ * --spatial-csv paths get a per-run "-<index>" suffix.
+ *
+ * Introspection: --audit verifies conservation invariants at run end
+ * (issue/retire, NoC send/deliver, MSHR and TLB balance); --watchdog
+ * aborts with a diagnostic if no op retires for TICKS simulated ticks;
+ * --spatial collects per-link/per-tile heatmaps into the metrics JSON
+ * "spatial" section (and --spatial-csv as CSV); --profile reports
+ * where host wall-clock goes, per subsystem.
  *
  * Policies: baseline, hdpat, route-based, concentric, distributed,
  *           cluster-rotation, redirection, prefetch, trans-fw,
@@ -151,6 +160,16 @@ parse(int argc, char **argv)
                     static_cast<std::uint64_t>(n);
         } else if (arg == "--heartbeat") {
             opt.obs.heartbeatInterval = std::atoll(value().c_str());
+        } else if (arg == "--audit") {
+            opt.obs.audit = true;
+        } else if (arg == "--watchdog") {
+            opt.obs.watchdogInterval = std::atoll(value().c_str());
+        } else if (arg == "--spatial") {
+            opt.obs.spatialWindow = std::atoll(value().c_str());
+        } else if (arg == "--spatial-csv") {
+            opt.obs.spatialCsvPath = value();
+        } else if (arg == "--profile") {
+            opt.obs.profile = true;
         } else if (arg == "--jobs") {
             const long long n = std::atoll(value().c_str());
             if (n > 0)
@@ -162,10 +181,51 @@ parse(int argc, char **argv)
                    "[--seed S] [--scale F] [--jobs N] [--csv FILE] "
                    "[--trace FILE] [--metrics-json FILE] "
                    "[--trace-out FILE] [--trace-sample N|1/N] "
-                   "[--heartbeat TICKS]\n"
+                   "[--heartbeat TICKS] [--audit] [--watchdog TICKS] "
+                   "[--spatial TICKS] [--spatial-csv FILE] "
+                   "[--profile]\n"
                    "  --jobs N  run multi-workload sweeps N "
                    "simulations at a time (default: HDPAT_JOBS or "
-                   "all cores); results are identical to serial\n";
+                   "all cores); results are identical to serial\n"
+                   "  --audit          verify conservation invariants "
+                   "at run end (issue/retire, send/deliver,\n"
+                   "                   MSHR and LL-TLB balance, queue "
+                   "drains); abort with a diagnostic on violation\n"
+                   "  --watchdog N     abort with the same diagnostic "
+                   "if no op retires for N simulated ticks\n"
+                   "  --spatial N      collect per-link and per-tile "
+                   "heatmaps in N-tick windows\n"
+                   "                   (exported as the metrics-JSON "
+                   "\"spatial\" section)\n"
+                   "  --spatial-csv F  also write the heatmaps as CSV "
+                   "to F (implies --spatial)\n"
+                   "  --profile        time the host's own hot paths; "
+                   "print a per-subsystem table and export\n"
+                   "                   the metrics-JSON \"profile\" "
+                   "section\n"
+                   "\n"
+                   "environment variables (flags take precedence):\n"
+                   "  HDPAT_METRICS_JSON=FILE  default for "
+                   "--metrics-json\n"
+                   "  HDPAT_TRACE_OUT=FILE     default for "
+                   "--trace-out (Chrome Trace Event Format)\n"
+                   "  HDPAT_TRACE_SAMPLE=N     default for "
+                   "--trace-sample (trace 1 in N ops; accepts 1/N)\n"
+                   "  HDPAT_HEARTBEAT=TICKS    default for "
+                   "--heartbeat (-1 auto, 0 off)\n"
+                   "  HDPAT_AUDIT=1            default for --audit\n"
+                   "  HDPAT_WATCHDOG=TICKS     default for "
+                   "--watchdog (0 off)\n"
+                   "  HDPAT_SPATIAL=TICKS      default for "
+                   "--spatial (0 off)\n"
+                   "  HDPAT_SPATIAL_CSV=FILE   default for "
+                   "--spatial-csv\n"
+                   "  HDPAT_PROFILE=1          default for --profile\n"
+                   "  HDPAT_JOBS=N             default for --jobs\n"
+                   "  HDPAT_BENCH_SCALE=F      multiply bench op "
+                   "counts by F\n"
+                   "  HDPAT_LOG=LEVEL          log level: error, "
+                   "warn, info, debug\n";
             std::exit(0);
         } else {
             std::cerr << "unknown option: " << arg << "\n";
@@ -234,6 +294,29 @@ main(int argc, char **argv)
         writeTraceCsv(trace, results.back().iommu.trace);
         std::cout << "wrote " << results.back().iommu.trace.size()
                   << " trace rows to " << opt.trace_path << "\n";
+    }
+
+    if (opt.obs.profile) {
+        const ProfileSnapshot merged = mergedProfile(results);
+        std::cout << "\nhost self-profile (" << merged.runs
+                  << " run" << (merged.runs == 1 ? "" : "s") << ", "
+                  << fmt(static_cast<double>(merged.wallNanos) / 1e6,
+                         1)
+                  << " ms simulated wall-clock)\n";
+        TablePrinter prof_table(
+            {"section", "calls", "total ms", "ns/call"});
+        for (std::size_t i = 0; i < kNumProfSections; ++i) {
+            const auto &s = merged.sections[i];
+            prof_table.addRow(
+                {profSectionName(static_cast<ProfSection>(i)),
+                 std::to_string(s.calls),
+                 fmt(static_cast<double>(s.nanos) / 1e6, 1),
+                 fmt(s.calls ? static_cast<double>(s.nanos) /
+                                   static_cast<double>(s.calls)
+                             : 0.0,
+                     0)});
+        }
+        prof_table.print(std::cout);
     }
     return 0;
 }

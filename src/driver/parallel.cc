@@ -214,6 +214,9 @@ suffixObsPaths(std::vector<RunSpec> &specs)
                 withRunIndexSuffix(obs.metricsJsonPath, i);
         if (!obs.traceOutPath.empty())
             obs.traceOutPath = withRunIndexSuffix(obs.traceOutPath, i);
+        if (!obs.spatialCsvPath.empty())
+            obs.spatialCsvPath =
+                withRunIndexSuffix(obs.spatialCsvPath, i);
     }
 }
 
@@ -240,6 +243,15 @@ runMany(std::vector<RunSpec> specs, unsigned jobs)
         specs.size(), effective,
         [&](std::size_t i) { results[i] = runOnce(specs[i]); });
     return results;
+}
+
+ProfileSnapshot
+mergedProfile(const std::vector<RunResult> &results)
+{
+    ProfileSnapshot merged;
+    for (const RunResult &r : results)
+        merged.merge(r.profile);
+    return merged;
 }
 
 } // namespace hdpat

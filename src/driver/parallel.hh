@@ -107,6 +107,13 @@ class WorkerPool
 std::vector<RunResult> runMany(std::vector<RunSpec> specs,
                                unsigned jobs = 0);
 
+/**
+ * The batch's host self-profiles merged into one snapshot (empty when
+ * no run was profiled). Worker assignment does not matter: per-section
+ * totals are sums over runs.
+ */
+ProfileSnapshot mergedProfile(const std::vector<RunResult> &results);
+
 } // namespace hdpat
 
 #endif // HDPAT_DRIVER_PARALLEL_HH

@@ -16,6 +16,7 @@
 
 #include "iommu/iommu.hh"
 #include "noc/network.hh"
+#include "obs/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -53,6 +54,9 @@ struct RunResult
     // ---- Component snapshots -------------------------------------------
     Iommu::Stats iommu;
     Network::Stats noc;
+
+    /** Host self-profile (empty unless profiling was enabled). */
+    ProfileSnapshot profile;
 
     // ---- Helpers ---------------------------------------------------------
     /** Total remote translations resolved (sum of sourceCounts). */

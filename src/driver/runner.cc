@@ -18,6 +18,9 @@ namespace
 /** Heartbeat period when HDPAT_HEARTBEAT asks for "auto". */
 constexpr Tick kAutoHeartbeatInterval = 2'000'000;
 
+/** Spatial window when HDPAT_SPATIAL_CSV implies collection. */
+constexpr std::int64_t kDefaultSpatialWindow = 100'000;
+
 /** Accept "N" or "1/N"; anything unparsable keeps @p fallback. */
 std::uint64_t
 parseSampleSpec(const char *text, std::uint64_t fallback)
@@ -30,6 +33,14 @@ parseSampleSpec(const char *text, std::uint64_t fallback)
         s = s.substr(slash + 1);
     const long long v = std::atoll(s.c_str());
     return v > 0 ? static_cast<std::uint64_t>(v) : fallback;
+}
+
+/** Boolean env flag: set and not "" / "0" means on. */
+bool
+envFlag(const char *name)
+{
+    const char *env = std::getenv(name);
+    return env && *env && std::string(env) != "0";
 }
 
 } // namespace
@@ -46,7 +57,23 @@ obsOptionsFromEnv()
         std::getenv("HDPAT_TRACE_SAMPLE"), obs.traceSampleN);
     if (const char *env = std::getenv("HDPAT_HEARTBEAT"))
         obs.heartbeatInterval = std::atoll(env);
+    obs.audit = envFlag("HDPAT_AUDIT");
+    if (const char *env = std::getenv("HDPAT_WATCHDOG"))
+        obs.watchdogInterval = std::atoll(env);
+    if (const char *env = std::getenv("HDPAT_SPATIAL"))
+        obs.spatialWindow = std::atoll(env);
+    if (const char *env = std::getenv("HDPAT_SPATIAL_CSV"))
+        obs.spatialCsvPath = env;
+    obs.profile = envFlag("HDPAT_PROFILE");
     return obs;
+}
+
+std::int64_t
+ObsOptions::effectiveSpatialWindow() const
+{
+    if (spatialWindow > 0)
+        return spatialWindow;
+    return spatialCsvPath.empty() ? 0 : kDefaultSpatialWindow;
 }
 
 double
@@ -85,6 +112,21 @@ runOnce(const RunSpec &spec)
                logLevel() >= LogLevel::Info) {
         system.enableHeartbeat(kAutoHeartbeatInterval);
     }
+    if (spec.obs.audit)
+        system.enableAudit();
+    if (spec.obs.watchdogInterval > 0)
+        system.enableWatchdog(
+            static_cast<Tick>(spec.obs.watchdogInterval));
+    if (const std::int64_t window = spec.obs.effectiveSpatialWindow();
+        window > 0) {
+        // Four samples per window keep the windowed means meaningful
+        // without making the sampler a hot event.
+        system.enableSpatial(static_cast<Tick>(window),
+                             std::max<Tick>(1, window / 4));
+    }
+    // Before loadWorkload so the workload_gen section is captured.
+    if (spec.obs.profile)
+        system.enableProfiler();
 
     auto workload = makeWorkload(spec.workload, spec.footprintScale);
     const std::size_t ops =
@@ -92,7 +134,32 @@ runOnce(const RunSpec &spec)
     system.loadWorkload(*workload, ops, spec.seed);
     RunResult result = system.run();
 
+    if (!spec.obs.spatialCsvPath.empty()) {
+        const ProfScope prof(system.profiler(), ProfSection::Export);
+        std::ofstream out(spec.obs.spatialCsvPath);
+        hdpat_fatal_if(!out, "cannot open spatial CSV path '"
+                                 << spec.obs.spatialCsvPath << "'");
+        writeSpatialCsv(out, *system.spatial());
+        hdpat_inform("wrote spatial CSV to "
+                     << spec.obs.spatialCsvPath);
+    }
+    if (!spec.obs.traceOutPath.empty()) {
+        const ProfScope prof(system.profiler(), ProfSection::Export);
+        std::ofstream out(spec.obs.traceOutPath);
+        hdpat_fatal_if(!out, "cannot open trace path '"
+                                 << spec.obs.traceOutPath << "'");
+        writeChromeTrace(out, *system.tracer());
+        hdpat_inform("wrote Chrome trace ("
+                     << system.tracer()->spansCompleted()
+                     << " complete spans) to " << spec.obs.traceOutPath);
+    }
+    // The metrics JSON goes last so its "profile" section includes the
+    // other exports' wall-clock in the export section.
     if (!spec.obs.metricsJsonPath.empty()) {
+        ProfileSnapshot prof_snap;
+        if (system.profiler())
+            prof_snap = system.profiler()->snapshot();
+        const ProfScope prof(system.profiler(), ProfSection::Export);
         std::ofstream out(spec.obs.metricsJsonPath);
         hdpat_fatal_if(!out, "cannot open metrics JSON path '"
                                  << spec.obs.metricsJsonPath << "'");
@@ -102,19 +169,15 @@ runOnce(const RunSpec &spec)
         meta.config = result.config;
         meta.seed = spec.seed;
         meta.totalTicks = result.totalTicks;
-        writeMetricsJson(out, system.metrics(), meta);
+        writeMetricsJson(out, system.metrics(), meta, system.spatial(),
+                         prof_snap.empty() ? nullptr : &prof_snap);
         hdpat_inform("wrote metrics JSON to "
                      << spec.obs.metricsJsonPath);
     }
-    if (!spec.obs.traceOutPath.empty()) {
-        std::ofstream out(spec.obs.traceOutPath);
-        hdpat_fatal_if(!out, "cannot open trace path '"
-                                 << spec.obs.traceOutPath << "'");
-        writeChromeTrace(out, *system.tracer());
-        hdpat_inform("wrote Chrome trace ("
-                     << system.tracer()->spansCompleted()
-                     << " complete spans) to " << spec.obs.traceOutPath);
-    }
+    // Re-snapshot so callers (and BENCH_*.json baselines) see the
+    // export section too.
+    if (system.profiler())
+        result.profile = system.profiler()->snapshot();
     return result;
 }
 

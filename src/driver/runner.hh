@@ -39,11 +39,28 @@ struct ObsOptions
      * above), 0 = off, >0 = explicit interval.
      */
     std::int64_t heartbeatInterval = -1;
+    /** Run the conservation auditor (HDPAT_AUDIT). */
+    bool audit = false;
+    /** Stall-watchdog interval in ticks, 0 = off (HDPAT_WATCHDOG). */
+    std::int64_t watchdogInterval = 0;
+    /**
+     * Spatial heatmap window in ticks, 0 = off (HDPAT_SPATIAL).
+     * Implied at the default window when spatialCsvPath is set.
+     */
+    std::int64_t spatialWindow = 0;
+    /** Write the spatial heatmap CSV here ("" = off). */
+    std::string spatialCsvPath;
+    /** Run the host self-profiler (HDPAT_PROFILE). */
+    bool profile = false;
 
     bool any() const
     {
-        return !metricsJsonPath.empty() || !traceOutPath.empty();
+        return !metricsJsonPath.empty() || !traceOutPath.empty() ||
+               !spatialCsvPath.empty();
     }
+
+    /** Spatial collection window, applying the CSV-implies default. */
+    std::int64_t effectiveSpatialWindow() const;
 };
 
 /** ObsOptions populated from HDPAT_* environment variables. */

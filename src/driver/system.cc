@@ -1,5 +1,6 @@
 #include "driver/system.hh"
 
+#include <chrono>
 #include <unordered_map>
 
 #include "sim/log.hh"
@@ -161,9 +162,76 @@ System::enableHeartbeat(Tick interval)
 }
 
 void
+System::enableAudit()
+{
+    auditor_ = std::make_unique<Auditor>();
+    net_.setAuditor(auditor_.get());
+    iommu_->setAuditor(auditor_.get());
+    for (auto &gpm : gpms_)
+        gpm->setAuditor(auditor_.get());
+}
+
+void
+System::enableWatchdog(Tick interval)
+{
+    watchdog_ = std::make_unique<Watchdog>(
+        engine_, interval,
+        [this] {
+            std::uint64_t retired = 0;
+            for (const auto &g : gpms_)
+                retired += g->stats().opsCompleted;
+            return retired;
+        },
+        [this]() -> std::string {
+            if (auditor_)
+                return auditor_->diagnostic();
+            // No auditor attached: fall back to live queue depths.
+            std::string dump = "in-flight per tile:";
+            for (const auto &g : gpms_)
+                dump += " t" + std::to_string(g->tile()) + "=" +
+                        std::to_string(g->outstandingOps());
+            dump += "\niommu backlog: " +
+                    std::to_string(iommu_->backlog());
+            return dump;
+        });
+}
+
+void
+System::enableSpatial(Tick window, Tick sample_interval)
+{
+    spatial_ = std::make_unique<SpatialCollector>(
+        static_cast<std::size_t>(topo_.numTiles()), window);
+    spatial_->setMesh(topo_.width(), topo_.height(), topo_.cpuTile());
+    net_.setSpatial(spatial_.get());
+    spatialSampler_ = std::make_unique<SpatialSampler>(
+        engine_, sample_interval, [this](Tick now) {
+            for (const auto &g : gpms_) {
+                spatial_->sampleTile(
+                    g->tile(), now,
+                    static_cast<double>(g->outstandingOps()),
+                    static_cast<double>(g->gmmu().queueDepth()));
+            }
+            spatial_->sampleIommu(
+                now, static_cast<double>(iommu_->backlog()));
+        });
+}
+
+void
+System::enableProfiler()
+{
+    profiler_ = std::make_unique<Profiler>();
+    engine_.setProfiler(profiler_.get());
+    net_.setProfiler(profiler_.get());
+    iommu_->setProfiler(profiler_.get());
+    for (auto &gpm : gpms_)
+        gpm->setProfiler(profiler_.get());
+}
+
+void
 System::loadWorkload(Workload &workload, std::size_t ops_per_gpm,
                      std::uint64_t seed)
 {
+    const ProfScope prof(profiler_.get(), ProfSection::WorkloadGen);
     hdpat_fatal_if(loaded_, "System::loadWorkload called twice");
     loaded_ = true;
     workloadName_ = workload.info().abbr;
@@ -213,9 +281,26 @@ System::run()
         gpm->start();
     if (heartbeat_)
         heartbeat_->start();
+    if (watchdog_)
+        watchdog_->start();
+    if (spatialSampler_)
+        spatialSampler_->start();
+
+    const auto wall_start = std::chrono::steady_clock::now();
     engine_.run();
+    if (profiler_) {
+        profiler_->addWall(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count()));
+    }
+
     if (heartbeat_)
         heartbeat_->stop();
+    if (watchdog_)
+        watchdog_->stop();
+    if (spatialSampler_)
+        spatialSampler_->stop();
 
     RunResult result;
     result.workload = workloadName_;
@@ -230,6 +315,44 @@ System::run()
         result.gpmFinish.emplace_back(gpm->tile(), s.finishTick);
         result.totalTicks = std::max(result.totalTicks, s.finishTick);
     }
+
+    if (auditor_) {
+        const Auditor::Report report = auditor_->finalize();
+        if (!report.ok) {
+            std::string msg = "conservation audit failed:";
+            for (const std::string &v : report.violations)
+                msg += "\n  " + v;
+            msg += "\n" + report.diagnostic;
+            hdpat_panic(msg);
+        }
+    }
+
+    if (spatial_) {
+        // Per-tile summary so Fig 5 regenerates from the export alone.
+        for (const auto &gpm : gpms_) {
+            const Coord c = topo_.coordOf(gpm->tile());
+            SpatialCollector::TileSummary summary;
+            summary.x = c.x;
+            summary.y = c.y;
+            summary.ring = topo_.ringOf(gpm->tile());
+            summary.isGpm = true;
+            summary.finishTick = gpm->stats().finishTick;
+            const SummaryStat &rtt = gpm->stats().remoteRtt;
+            summary.rttCount = rtt.count();
+            summary.rttMean = rtt.count() ? rtt.mean() : 0.0;
+            spatial_->setTileSummary(gpm->tile(), summary);
+        }
+        const Coord cpu = topo_.coordOf(topo_.cpuTile());
+        SpatialCollector::TileSummary summary;
+        summary.x = cpu.x;
+        summary.y = cpu.y;
+        summary.ring = 0;
+        summary.isCpu = true;
+        spatial_->setTileSummary(topo_.cpuTile(), summary);
+    }
+
+    if (profiler_)
+        result.profile = profiler_->snapshot();
 
     // Aggregated GPM-side statistics come from the metric registry's
     // wafer-wide entries, so RunResult and every exporter read the

@@ -34,9 +34,13 @@
 #include "mem/page_table.hh"
 #include "noc/mesh_topology.hh"
 #include "noc/network.hh"
+#include "obs/audit.hh"
 #include "obs/heartbeat.hh"
+#include "obs/profiler.hh"
 #include "obs/registry.hh"
+#include "obs/spatial.hh"
 #include "obs/trace.hh"
+#include "obs/watchdog.hh"
 #include "sim/engine.hh"
 #include "workloads/workload.hh"
 
@@ -77,6 +81,38 @@ class System
      */
     void enableHeartbeat(Tick interval);
 
+    /**
+     * Enable the conservation auditor: every issued translation must
+     * retire exactly once, NoC sends must balance deliveries, MSHR
+     * allocations must balance frees, and LL-TLB fills must balance
+     * evictions plus residency. run() finalizes the audit and panics
+     * with a structured diagnostic on any violation. Call before run().
+     */
+    void enableAudit();
+
+    /**
+     * Enable the stall watchdog: if the engine keeps executing events
+     * for @p interval simulated ticks without a single memop retiring,
+     * abort with the auditor-style diagnostic (stuck spans, per-tile
+     * in-flight counts, deepest queues). Call before run().
+     */
+    void enableWatchdog(Tick interval);
+
+    /**
+     * Enable spatial heatmap collection: per-link NoC traffic totals
+     * plus per-tile outstanding-op / GMMU-queue time series sampled
+     * every @p sample_interval ticks into @p window -tick buckets.
+     * Call before run().
+     */
+    void enableSpatial(Tick window, Tick sample_interval);
+
+    /**
+     * Enable the host self-profiler: wall-clock totals per host-side
+     * subsystem (event dispatch, translation, NoC routing, IOMMU
+     * pipeline, workload generation, export). Call before run().
+     */
+    void enableProfiler();
+
     /** Run to completion and gather statistics. */
     RunResult run();
 
@@ -110,6 +146,16 @@ class System
     const MetricRegistry &metrics() const { return registry_; }
     /** The span tracer (null unless enableTracing was called). */
     const Tracer *tracer() const { return tracer_.get(); }
+    /** The conservation auditor (null unless enableAudit was called). */
+    const Auditor *auditor() const { return auditor_.get(); }
+    /** The stall watchdog (null unless enableWatchdog was called). */
+    const Watchdog *watchdog() const { return watchdog_.get(); }
+    /** Spatial collector (null unless enableSpatial was called). */
+    const SpatialCollector *spatial() const { return spatial_.get(); }
+    /** Host self-profiler (null unless enableProfiler was called). */
+    const Profiler *profiler() const { return profiler_.get(); }
+    /** Mutable form: callers time their own sections (e.g. export). */
+    Profiler *profiler() { return profiler_.get(); }
 
   private:
     static MeshTopology buildTopology(const SystemConfig &cfg);
@@ -133,6 +179,11 @@ class System
     MetricRegistry registry_;
     std::unique_ptr<Tracer> tracer_;
     std::unique_ptr<Heartbeat> heartbeat_;
+    std::unique_ptr<Auditor> auditor_;
+    std::unique_ptr<Watchdog> watchdog_;
+    std::unique_ptr<SpatialCollector> spatial_;
+    std::unique_ptr<SpatialSampler> spatialSampler_;
+    std::unique_ptr<Profiler> profiler_;
     std::string workloadName_ = "(none)";
     bool loaded_ = false;
 };

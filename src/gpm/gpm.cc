@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/audit.hh"
+#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace hdpat
@@ -53,6 +55,35 @@ Gpm::setTracer(Tracer *tracer)
 {
     tracer_ = tracer;
     gmmu_.setTracer(tracer);
+}
+
+void
+Gpm::setAuditor(Auditor *auditor)
+{
+    auditor_ = auditor;
+    const std::string prefix = "gpm.t" + std::to_string(tile_) + ".";
+    const TileId tile = tile_;
+    const auto mshr_hook = [auditor, tile](bool allocated) {
+        if (allocated)
+            auditor->mshrAllocated(tile);
+        else
+            auditor->mshrFreed(tile);
+    };
+    remoteMshr_.setAuditHook(mshr_hook);
+    localWalkMshr_.setAuditHook(mshr_hook);
+    auditor->setTlbOccupancyProbe(
+        tile_, [this] { return llTlb_.occupancy(); });
+    auditor->addQueueProbe(prefix + "remote_mshr",
+                           [this] { return remoteMshr_.occupancy(); });
+    auditor->addQueueProbe(
+        prefix + "local_walk_mshr",
+        [this] { return localWalkMshr_.occupancy(); });
+    auditor->addQueueProbe(prefix + "stalled_remote",
+                           [this] { return stalledRemote_.size(); });
+    auditor->addQueueProbe(prefix + "remote_ctx",
+                           [this] { return remoteCtx_.size(); });
+    auditor->addQueueProbe(prefix + "gmmu_queue",
+                           [this] { return gmmu_.queueDepth(); });
 }
 
 void
@@ -108,6 +139,8 @@ Gpm::shootdown(Vpn vpn)
     const auto ll_entry = llTlb_.invalidate(vpn);
     if (ll_entry) {
         ++invalidated;
+        if (auditor_) [[unlikely]]
+            auditor_->tlbEvicted(tile_);
         if (ll_entry->remote)
             cuckoo_.erase(vpn);
     }
@@ -204,6 +237,8 @@ Gpm::beginOp(Addr va)
 {
     if (tracer_) [[unlikely]]
         tracer_->begin(tile_, pt_.vpnOf(va), engine_.now());
+    if (auditor_) [[unlikely]]
+        auditor_->opIssued(tile_, pt_.vpnOf(va), engine_.now());
     translate(va);
 }
 
@@ -216,6 +251,8 @@ Gpm::completeOpAt(Tick when, Vpn vpn)
         ++stats_.opsCompleted;
         if (tracer_) [[unlikely]]
             tracer_->end(tile_, vpn, engine_.now());
+        if (auditor_) [[unlikely]]
+            auditor_->opRetired(tile_, vpn, engine_.now());
         tryIssue();
         checkFinished();
     });
@@ -239,6 +276,7 @@ Gpm::checkFinished()
 void
 Gpm::translate(Addr va)
 {
+    const ProfScope prof(profiler_, ProfSection::Translate);
     const Vpn vpn = pt_.vpnOf(va);
     Tick t = engine_.now() + cfg_.l1Tlb.latency;
 
@@ -334,13 +372,27 @@ Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
             return;
         }
         const auto evicted = llTlb_.insert(vpn, pfn, true, prefetched);
+        if (auditor_) [[unlikely]] {
+            auditor_->tlbFilled(tile_);
+            if (evicted)
+                auditor_->tlbEvicted(tile_);
+        }
         cuckoo_.insert(vpn);
         if (evicted && evicted->remote)
             cuckoo_.erase(evicted->vpn);
         return;
     }
 
+    // A refresh of a resident entry neither fills nor evicts; the
+    // audited fill count must only grow when a new entry appears.
+    const bool fresh = auditor_ && !llTlb_.peek(vpn);
     const auto evicted = llTlb_.insert(vpn, pfn, false, false);
+    if (auditor_) [[unlikely]] {
+        if (fresh)
+            auditor_->tlbFilled(tile_);
+        if (evicted)
+            auditor_->tlbEvicted(tile_);
+    }
     // Locally homed pages stay in the cuckoo filter permanently (the
     // local page table still maps them); only cached remote PTEs are
     // removed on eviction.

@@ -172,6 +172,16 @@ class Gpm : public PeerEndpoint
      */
     void setTracer(Tracer *tracer);
 
+    /**
+     * Conservation auditor (null = off): audits op issue/retire, MSHR
+     * alloc/free, and last-level TLB fill/evict balance, and registers
+     * this GPM's queues as end-of-run drain probes.
+     */
+    void setAuditor(Auditor *auditor);
+
+    /** Host self-profiler for the translation path (null = off). */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Register this GPM's metrics under @p prefix (e.g. "gpm.t3."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -280,6 +290,8 @@ class Gpm : public PeerEndpoint
 
     Iommu *iommu_ = nullptr;
     Tracer *tracer_ = nullptr;
+    Auditor *auditor_ = nullptr;
+    Profiler *profiler_ = nullptr;
     const ConcentricLayers *layers_ = nullptr;
     const ClusterMap *clusterMap_ = nullptr;
     const DistributedGroups *groups_ = nullptr;

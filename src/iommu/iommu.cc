@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/audit.hh"
+#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace hdpat
@@ -48,6 +50,15 @@ void
 Iommu::setPeers(std::vector<PeerEndpoint *> peers)
 {
     peers_ = std::move(peers);
+}
+
+void
+Iommu::setAuditor(Auditor *auditor)
+{
+    auditor->addQueueProbe("iommu.ingress_queue",
+                           [this] { return ingressQueue_.size(); });
+    auditor->addQueueProbe("iommu.pw_queue",
+                           [this] { return pwQueue_.size(); });
 }
 
 void
@@ -131,6 +142,7 @@ Iommu::scheduleIngress(Tick when)
 void
 Iommu::processIngress()
 {
+    const ProfScope prof(profiler_, ProfSection::IommuPipeline);
     int budget = cfg_.iommuIngressPerCycle;
     while (budget > 0 && !ingressQueue_.empty()) {
         const Tick ready =
@@ -297,6 +309,7 @@ Iommu::tryStartWalks()
 void
 Iommu::completeWalk(Pending p, Tick walk_start)
 {
+    const ProfScope prof(profiler_, ProfSection::IommuPipeline);
     ++freeWalkers_;
     ++stats_.walksCompleted;
     stats_.walkLatency.add(

@@ -97,6 +97,15 @@ class Iommu
     /** Per-request span tracer (null = off). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Conservation auditor (null = off): registers the ingress and
+     * PW-queue depths as drain probes checked at finalize().
+     */
+    void setAuditor(Auditor *auditor);
+
+    /** Host self-profiler for the IOMMU pipeline (null = off). */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Register IOMMU metrics under @p prefix (e.g. "iommu."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -170,6 +179,7 @@ class Iommu
     std::vector<PeerEndpoint *> peers_;
     const ClusterMap *clusterMap_ = nullptr;
     Tracer *tracer_ = nullptr;
+    Profiler *profiler_ = nullptr;
     std::optional<RedirectionTable> rt_;
     std::optional<IommuTlb> tlb_;
 

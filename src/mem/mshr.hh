@@ -43,8 +43,19 @@ class MshrFile
         std::uint64_t fullRejections = 0;
     };
 
+    /**
+     * Conservation-audit hook: called with true on every entry
+     * allocation and false on every entry free. Null (the default)
+     * costs one pointer test per transition; the Gpm/IOMMU bind their
+     * tile into it so the Auditor can balance alloc/free per tile
+     * without this header depending on obs/.
+     */
+    using AuditHook = std::function<void(bool allocated)>;
+
     /** @param capacity 0 means unlimited. */
     explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
+
+    void setAuditHook(AuditHook hook) { auditHook_ = std::move(hook); }
 
     /** Register a miss for @p vpn; @p cb fires when it resolves. */
     Outcome registerMiss(Vpn vpn, MshrCallback cb)
@@ -61,6 +72,8 @@ class MshrFile
         }
         entries_[vpn].push_back(std::move(cb));
         ++stats_.allocations;
+        if (auditHook_) [[unlikely]]
+            auditHook_(true);
         return Outcome::Allocated;
     }
 
@@ -79,6 +92,8 @@ class MshrFile
         // Move out first: callbacks may re-enter the MSHR file.
         std::vector<MshrCallback> waiters = std::move(it->second);
         entries_.erase(it);
+        if (auditHook_) [[unlikely]]
+            auditHook_(false);
         for (auto &cb : waiters)
             cb(vpn, pfn);
     }
@@ -96,6 +111,7 @@ class MshrFile
     std::size_t capacity_;
     std::unordered_map<Vpn, std::vector<MshrCallback>> entries_;
     Stats stats_;
+    AuditHook auditHook_;
 };
 
 } // namespace hdpat

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/audit.hh"
+#include "obs/profiler.hh"
+#include "obs/spatial.hh"
 #include "sim/log.hh"
 
 namespace hdpat
@@ -60,6 +63,7 @@ Tick
 Network::computeArrival(Tick now, TileId src, TileId dst,
                         std::size_t bytes)
 {
+    const ProfScope prof(profiler_, ProfSection::NocRouting);
     ++stats_.packets;
     stats_.totalBytes += bytes;
 
@@ -84,6 +88,8 @@ Network::computeArrival(Tick now, TileId src, TileId dst,
             static_cast<std::size_t>(tile) * 4 + dir;
         const double depart = std::max(t, linkFree_[link]);
         stats_.linkWait.add(depart - t);
+        if (spatial_) [[unlikely]]
+            spatial_->linkTraversed(link, bytes, serialize, depart - t);
         linkFree_[link] = depart + serialize;
         t = depart + serialize + static_cast<double>(params_.linkLatency);
         tile = next;
@@ -113,6 +119,17 @@ Network::send(TileId src, TileId dst, std::size_t bytes,
               EventFn on_arrive)
 {
     const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
+    if (auditor_) [[unlikely]] {
+        auditor_->packetSent(bytes);
+        // The delivery count is its own event, scheduled before the
+        // arrival callback: same-tick FIFO runs it first, and a
+        // dropped or never-scheduled delivery shows up as a sent !=
+        // delivered imbalance at finalize().
+        Auditor *auditor = auditor_;
+        engine_.scheduleAt(arrive, [auditor, bytes] {
+            auditor->packetDelivered(bytes);
+        });
+    }
     engine_.scheduleAt(arrive, std::move(on_arrive));
 }
 
@@ -129,6 +146,13 @@ Network::sendTracedSlow(TileId src, TileId dst, std::size_t bytes,
                     SpanEvent::NetSend, src,
                     static_cast<std::uint64_t>(dst));
     const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
+    if (auditor_) [[unlikely]] {
+        auditor_->packetSent(bytes);
+        Auditor *auditor = auditor_;
+        engine_.scheduleAt(arrive, [auditor, bytes] {
+            auditor->packetDelivered(bytes);
+        });
+    }
     // Two same-tick events instead of one wrapping lambda: wrapping
     // would nest an EventFn inside another's inline storage. Same-tick
     // FIFO order guarantees the NetArrive record lands before the

@@ -26,6 +26,10 @@
 namespace hdpat
 {
 
+class Auditor;
+class Profiler;
+class SpatialCollector;
+
 /** Timing/bandwidth parameters of the interposer mesh. */
 struct NocParams
 {
@@ -101,6 +105,20 @@ class Network
     /** Tracer for translation-plane messages (null = off). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Conservation auditor (null = off). With one attached, send()
+     * counts the packet at departure and schedules a same-tick
+     * delivery count right before the arrival callback, so lost or
+     * duplicated deliveries surface at finalize().
+     */
+    void setAuditor(Auditor *auditor) { auditor_ = auditor; }
+
+    /** Per-link heatmap collector (null = off). */
+    void setSpatial(SpatialCollector *spatial) { spatial_ = spatial; }
+
+    /** Host self-profiler for the routing path (null = off). */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Register NoC metrics under @p prefix (e.g. "noc."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -141,6 +159,9 @@ class Network
     const MeshTopology &topo_;
     NocParams params_;
     Tracer *tracer_ = nullptr;
+    Auditor *auditor_ = nullptr;
+    SpatialCollector *spatial_ = nullptr;
+    Profiler *profiler_ = nullptr;
     /** Busy-until time per directed link, in fractional ticks. */
     std::vector<double> linkFree_;
     Stats stats_;

@@ -1,0 +1,178 @@
+#include "obs/audit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hdpat
+{
+
+void
+Auditor::opIssued(TileId tile, Vpn vpn, Tick now)
+{
+    ++issued_;
+    ++inFlightTotal_;
+    Flight &f = inFlight_[Key{tile, vpn}];
+    if (f.count == 0)
+        f.earliestIssue = now;
+    ++f.count;
+}
+
+void
+Auditor::opRetired(TileId tile, Vpn vpn, Tick now)
+{
+    ++retired_;
+    const auto it = inFlight_.find(Key{tile, vpn});
+    if (it == inFlight_.end()) {
+        // A retire with no matching issue is either a double retire or
+        // a phantom completion; both are recorded the moment they
+        // happen so the diagnostic carries the offending tick.
+        std::ostringstream os;
+        os << "retire without matching issue: tile " << tile
+           << " vpn 0x" << std::hex << vpn << std::dec << " at tick "
+           << now;
+        liveViolations_.push_back(os.str());
+        return;
+    }
+    --inFlightTotal_;
+    if (--it->second.count == 0)
+        inFlight_.erase(it);
+}
+
+void
+Auditor::addQueueProbe(std::string name,
+                       std::function<std::size_t()> depth)
+{
+    queues_.push_back({std::move(name), std::move(depth)});
+}
+
+void
+Auditor::setTlbOccupancyProbe(TileId tile,
+                              std::function<std::size_t()> occupancy)
+{
+    tlbOccupancy_[tile] = std::move(occupancy);
+}
+
+std::string
+Auditor::diagnostic() const
+{
+    std::ostringstream os;
+
+    // Stuck spans: every (tile, VPN) issued but not yet retired, in
+    // deterministic (tile, vpn) order.
+    std::vector<std::pair<Key, Flight>> stuck(inFlight_.begin(),
+                                              inFlight_.end());
+    std::sort(stuck.begin(), stuck.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first.tile != b.first.tile
+                             ? a.first.tile < b.first.tile
+                             : a.first.vpn < b.first.vpn;
+              });
+    os << "stuck spans: " << stuck.size() << "\n";
+    constexpr std::size_t kMaxListed = 16;
+    for (std::size_t i = 0; i < stuck.size() && i < kMaxListed; ++i) {
+        const auto &[key, flight] = stuck[i];
+        os << "  tile " << key.tile << " vpn 0x" << std::hex << key.vpn
+           << std::dec << " in-flight " << flight.count
+           << " since tick " << flight.earliestIssue << "\n";
+    }
+    if (stuck.size() > kMaxListed)
+        os << "  ... " << (stuck.size() - kMaxListed) << " more\n";
+
+    std::map<TileId, std::uint64_t> per_tile;
+    for (const auto &[key, flight] : inFlight_)
+        per_tile[key.tile] += flight.count;
+    os << "in-flight per tile:";
+    if (per_tile.empty())
+        os << " (none)";
+    for (const auto &[tile, count] : per_tile)
+        os << " t" << tile << "=" << count;
+    os << "\n";
+
+    // Deepest queues first; empty ones are noise.
+    std::vector<std::pair<std::size_t, const QueueProbe *>> depths;
+    for (const QueueProbe &q : queues_) {
+        const std::size_t d = q.depth();
+        if (d > 0)
+            depths.emplace_back(d, &q);
+    }
+    std::sort(depths.begin(), depths.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first
+                             ? a.first > b.first
+                             : a.second->name < b.second->name;
+              });
+    os << "deepest queues:";
+    if (depths.empty())
+        os << " (all empty)";
+    for (std::size_t i = 0; i < depths.size() && i < kMaxListed; ++i)
+        os << " " << depths[i].second->name << "=" << depths[i].first;
+    os << "\n";
+    return os.str();
+}
+
+Auditor::Report
+Auditor::finalize() const
+{
+    Report report;
+    report.violations = liveViolations_;
+
+    if (!inFlight_.empty()) {
+        std::ostringstream os;
+        os << inFlight_.size() << " (tile, VPN) spans issued but never "
+           << "retired (" << inFlightTotal_ << " ops in flight)";
+        report.violations.push_back(os.str());
+    }
+    if (issued_ != retired_) {
+        std::ostringstream os;
+        os << "issued " << issued_ << " ops but retired " << retired_;
+        report.violations.push_back(os.str());
+    }
+
+    for (std::size_t p = 0; p < kNumPlanes; ++p) {
+        if (sent_[p] == delivered_[p])
+            continue;
+        std::ostringstream os;
+        os << planeName(static_cast<Plane>(p)) << "-plane packets: "
+           << sent_[p] << " sent but " << delivered_[p] << " delivered";
+        report.violations.push_back(os.str());
+    }
+
+    for (const auto &[tile, balance] : mshr_) {
+        if (balance.allocated == balance.freed)
+            continue;
+        std::ostringstream os;
+        os << "tile " << tile << " MSHR: " << balance.allocated
+           << " allocations but " << balance.freed << " frees";
+        report.violations.push_back(os.str());
+    }
+
+    for (const auto &[tile, balance] : tlb_) {
+        const auto probe = tlbOccupancy_.find(tile);
+        const std::uint64_t occupancy =
+            probe != tlbOccupancy_.end() ? probe->second() : 0;
+        if (balance.filled == balance.evicted + occupancy)
+            continue;
+        std::ostringstream os;
+        os << "tile " << tile << " last-level TLB: " << balance.filled
+           << " fills != " << balance.evicted << " evictions + "
+           << occupancy << " resident";
+        report.violations.push_back(os.str());
+    }
+
+    for (const QueueProbe &q : queues_) {
+        const std::size_t depth = q.depth();
+        if (depth == 0)
+            continue;
+        std::ostringstream os;
+        os << "queue " << q.name << " still holds " << depth
+           << " entries after the run drained";
+        report.violations.push_back(os.str());
+    }
+
+    report.ok = report.violations.empty();
+    if (!report.ok)
+        report.diagnostic = diagnostic();
+    return report;
+}
+
+} // namespace hdpat

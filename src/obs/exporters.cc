@@ -65,11 +65,90 @@ writeTimeSeries(JsonWriter &w, const TimeSeries &ts)
     w.endArray().endObject();
 }
 
+void
+writeSpatialSection(JsonWriter &w, const SpatialCollector &spatial)
+{
+    w.key("spatial").beginObject();
+    w.key("mesh")
+        .beginObject()
+        .field("width", spatial.meshWidth())
+        .field("height", spatial.meshHeight())
+        .field("cpu_tile", spatial.cpuTile())
+        .field("window_ticks",
+               static_cast<std::uint64_t>(spatial.window()))
+        .endObject();
+
+    w.key("tiles").beginArray();
+    for (const auto &[tile, summary] : spatial.tileSummaries()) {
+        w.beginObject()
+            .field("tile", tile)
+            .field("x", summary.x)
+            .field("y", summary.y)
+            .field("ring", summary.ring)
+            .field("is_gpm", summary.isGpm)
+            .field("is_cpu", summary.isCpu)
+            .field("finish_tick", summary.finishTick)
+            .field("rtt_mean", summary.rttMean)
+            .field("rtt_count", summary.rttCount);
+        const auto series = spatial.tileSeries().find(tile);
+        if (series != spatial.tileSeries().end()) {
+            w.key("occupancy");
+            writeTimeSeries(w, series->second.outstanding);
+            w.key("gmmu_queue");
+            writeTimeSeries(w, series->second.gmmuQueue);
+        }
+        w.endObject();
+    }
+    w.endArray();
+
+    // Only links traffic actually crossed; an idle mesh exports [].
+    w.key("links").beginArray();
+    const auto &links = spatial.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        const SpatialCollector::Link &link = links[i];
+        if (link.packets == 0)
+            continue;
+        w.beginObject()
+            .field("tile", static_cast<std::uint64_t>(i / 4))
+            .field("dir", SpatialCollector::dirName(
+                              static_cast<unsigned>(i % 4)))
+            .field("packets", link.packets)
+            .field("bytes", link.bytes)
+            .field("busy_ticks", link.busyTicks)
+            .field("wait_ticks", link.waitTicks)
+            .endObject();
+    }
+    w.endArray();
+
+    w.key("iommu_backlog");
+    writeTimeSeries(w, spatial.iommuBacklog());
+    w.endObject();
+}
+
+void
+writeProfileSection(JsonWriter &w, const ProfileSnapshot &profile)
+{
+    w.key("profile").beginObject();
+    w.field("runs", profile.runs);
+    w.field("wall_nanos", profile.wallNanos);
+    w.key("sections").beginObject();
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+        w.key(profSectionName(static_cast<ProfSection>(i)))
+            .beginObject()
+            .field("calls", profile.sections[i].calls)
+            .field("nanos", profile.sections[i].nanos)
+            .endObject();
+    }
+    w.endObject().endObject();
+}
+
 } // namespace
 
 void
 writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
-                 const RunMetadata &meta)
+                 const RunMetadata &meta,
+                 const SpatialCollector *spatial,
+                 const ProfileSnapshot *profile)
 {
     JsonWriter w(os);
     w.beginObject().field("schema", "hdpat-metrics-v1");
@@ -132,8 +211,55 @@ writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
     });
     w.endObject();
 
+    if (spatial)
+        writeSpatialSection(w, *spatial);
+    if (profile && !profile->empty())
+        writeProfileSection(w, *profile);
+
     w.endObject();
     os << '\n';
+}
+
+void
+writeSpatialCsv(std::ostream &os, const SpatialCollector &spatial)
+{
+    os << "kind,tile,x,y,ring,dir,packets,bytes,busy_ticks,wait_ticks,"
+          "finish_tick,rtt_mean,occupancy_mean\n";
+    const auto &links = spatial.links();
+    for (std::size_t i = 0; i < links.size(); ++i) {
+        const SpatialCollector::Link &link = links[i];
+        if (link.packets == 0)
+            continue;
+        const TileId tile = static_cast<TileId>(i / 4);
+        int x = 0;
+        int y = 0;
+        if (spatial.meshWidth() > 0) {
+            x = static_cast<int>(tile) % spatial.meshWidth();
+            y = static_cast<int>(tile) / spatial.meshWidth();
+        }
+        os << "link," << tile << ',' << x << ',' << y << ",,"
+           << SpatialCollector::dirName(static_cast<unsigned>(i % 4))
+           << ',' << link.packets << ',' << link.bytes << ','
+           << link.busyTicks << ',' << link.waitTicks << ",,,\n";
+    }
+    for (const auto &[tile, summary] : spatial.tileSummaries()) {
+        double occupancy_mean = 0.0;
+        const auto series = spatial.tileSeries().find(tile);
+        if (series != spatial.tileSeries().end()) {
+            const TimeSeries &ts = series->second.outstanding;
+            double sum = 0.0;
+            std::uint64_t count = 0;
+            for (std::size_t w = 0; w < ts.windows(); ++w) {
+                sum += ts.windowSum(w);
+                count += ts.windowCount(w);
+            }
+            occupancy_mean = count ? sum / static_cast<double>(count)
+                                   : 0.0;
+        }
+        os << "tile," << tile << ',' << summary.x << ',' << summary.y
+           << ',' << summary.ring << ",,,,,," << summary.finishTick
+           << ',' << summary.rttMean << ',' << occupancy_mean << '\n';
+    }
 }
 
 void

@@ -20,7 +20,9 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/profiler.hh"
 #include "obs/registry.hh"
+#include "obs/spatial.hh"
 #include "obs/trace.hh"
 
 namespace hdpat
@@ -36,12 +38,26 @@ struct RunMetadata
     std::uint64_t totalTicks = 0;
 };
 
-/** Dump every metric in @p registry as one JSON document. */
+/**
+ * Dump every metric in @p registry as one JSON document. When
+ * @p spatial / @p profile are non-null their data is appended as
+ * "spatial" and "profile" sections; omitting them keeps the document
+ * byte-identical to pre-introspection exports.
+ */
 void writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
-                      const RunMetadata &meta);
+                      const RunMetadata &meta,
+                      const SpatialCollector *spatial = nullptr,
+                      const ProfileSnapshot *profile = nullptr);
 
 /** Dump @p tracer's span records in Chrome Trace Event Format. */
 void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+/**
+ * The spatial heatmap as flat CSV rows (kind = "link" rows carry
+ * per-directed-link traffic, kind = "tile" rows the per-tile summary
+ * and mean occupancy), for spreadsheet/pandas consumption.
+ */
+void writeSpatialCsv(std::ostream &os, const SpatialCollector &spatial);
 
 } // namespace hdpat
 

@@ -20,18 +20,21 @@ Heartbeat::start()
     lastExecuted_ = engine_.executedEvents();
     lastTick_ = engine_.now();
     lastWall_ = std::chrono::steady_clock::now();
+    engine_.noteObserverScheduled();
     engine_.scheduleIn(interval_, [this] { fire(); });
 }
 
 void
 Heartbeat::fire()
 {
+    engine_.noteObserverFired();
     if (!running_)
         return;
 
-    // An empty queue at beat time means the workload drained: stop, so
-    // the heartbeat never keeps the event loop alive by itself.
-    if (engine_.pendingEvents() == 0) {
+    // Only observer events (this one, the watchdog, the sampler) left
+    // at beat time means the workload drained: stop, so observers
+    // never keep the event loop alive — alone or among themselves.
+    if (!engine_.hasNonObserverEvents()) {
         running_ = false;
         return;
     }
@@ -62,6 +65,7 @@ Heartbeat::fire()
     lastExecuted_ = executed;
     lastTick_ = now;
     lastWall_ = wall;
+    engine_.noteObserverScheduled();
     engine_.scheduleIn(interval_, [this] { fire(); });
 }
 

@@ -1,0 +1,385 @@
+#include "obs/json_reader.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+namespace
+{
+
+/** Recursive-descent parser over a flat character range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage after document");
+        return true;
+    }
+
+  private:
+    /** Nesting bound: deep enough for real documents, shallow enough
+     *  that malformed input cannot blow the host stack. */
+    static constexpr int kMaxDepth = 64;
+
+    bool fail(const std::string &why)
+    {
+        std::ostringstream os;
+        os << why << " at offset " << pos_;
+        error_ = os.str();
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+        case '{':
+            return parseObject(out, depth);
+        case '[':
+            return parseArray(out, depth);
+        case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        case 't':
+        case 'f':
+            return parseBool(out);
+        case 'n':
+            return parseLiteral("null") &&
+                   (out.kind = JsonValue::Kind::Null, true);
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool parseLiteral(const char *lit)
+    {
+        const std::size_t n = std::string(lit).size();
+        if (text_.compare(pos_, n, lit) != 0)
+            return fail(std::string("expected '") + lit + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool parseBool(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Bool;
+        if (text_[pos_] == 't') {
+            out.boolean = true;
+            return parseLiteral("true");
+        }
+        out.boolean = false;
+        return parseLiteral("false");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        // RFC 8259 grammar by hand: strtod alone would accept "inf",
+        // "nan", and hex floats, all of which must be rejected.
+        if (pos_ >= text_.size() || !std::isdigit(
+                static_cast<unsigned char>(text_[pos_])))
+            return fail("malformed number");
+        if (text_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed fraction");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (pos_ >= text_.size() || !std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                return fail("malformed exponent");
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        const double v = std::strtod(token.c_str(), nullptr);
+        if (!std::isfinite(v)) {
+            pos_ = start;
+            return fail("number is not finite");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+                out.push_back('"');
+                break;
+            case '\\':
+                out.push_back('\\');
+                break;
+            case '/':
+                out.push_back('/');
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point; surrogate pairs
+                // stay as two encoded halves (no exporter emits them).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default:
+                return fail("bad escape character");
+            }
+        }
+    }
+
+    bool parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            skipWs();
+            if (!parseValue(element, depth + 1))
+                return false;
+            out.elements.push_back(std::move(element));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            const char c = text_[pos_++];
+            if (c == ']')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected string key in object");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (out.find(key))
+                return fail("duplicate object key \"" + key + "\"");
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("expected ':' after object key");
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            const char c = text_[pos_++];
+            if (c == '}')
+                return true;
+            if (c != ',')
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : members) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    hdpat_fatal_if(!v, "JSON object has no member \"" << key << "\"");
+    return *v;
+}
+
+double
+JsonValue::asNumber() const
+{
+    hdpat_fatal_if(kind != Kind::Number, "JSON value is not a number");
+    return number;
+}
+
+std::uint64_t
+JsonValue::asUint() const
+{
+    const double v = asNumber();
+    hdpat_fatal_if(v < 0, "JSON number is negative");
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    hdpat_fatal_if(kind != Kind::String, "JSON value is not a string");
+    return str;
+}
+
+bool
+JsonValue::asBool() const
+{
+    hdpat_fatal_if(kind != Kind::Bool, "JSON value is not a bool");
+    return boolean;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    Parser parser(text, error);
+    out = JsonValue();
+    return parser.parse(out);
+}
+
+JsonValue
+parseJsonOrDie(const std::string &text, const std::string &what)
+{
+    JsonValue value;
+    std::string error;
+    hdpat_fatal_if(!parseJson(text, value, error),
+                   what << ": " << error);
+    return value;
+}
+
+JsonValue
+parseJsonFileOrDie(const std::string &path)
+{
+    std::ifstream in(path);
+    hdpat_fatal_if(!in, "cannot open JSON file '" << path << "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseJsonOrDie(buffer.str(), path);
+}
+
+} // namespace hdpat

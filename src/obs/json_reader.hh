@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A strict, dependency-free JSON reader: the counterpart of
+ * JsonWriter. Parses a whole document into a JsonValue tree and
+ * rejects anything RFC 8259 rejects — unbalanced structure, trailing
+ * garbage, NaN/Infinity literals, non-finite numbers, bad escapes.
+ *
+ * Consumers: the exporter-validity tests (prove every export is
+ * well-formed), fig05_position_imbalance (regenerates the figure from
+ * the exported "spatial" section), and bench/perf_report (diffs a
+ * "profile" section against a committed baseline).
+ */
+
+#ifndef HDPAT_OBS_JSON_READER_HH
+#define HDPAT_OBS_JSON_READER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hdpat
+{
+
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> elements;
+    /** Object members in document order (duplicate keys rejected). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+    /** Member lookup; panics (hdpat_fatal) when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Value accessors; panic on kind mismatch. */
+    double asNumber() const;
+    std::uint64_t asUint() const;
+    const std::string &asString() const;
+    bool asBool() const;
+};
+
+/**
+ * Parse @p text strictly. Returns false (with a position-annotated
+ * message in @p error) on any deviation from RFC 8259.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** parseJson that dies (hdpat_fatal) with the parse error. */
+JsonValue parseJsonOrDie(const std::string &text,
+                         const std::string &what);
+
+/** Read an entire file and parse it; dies on I/O or parse failure. */
+JsonValue parseJsonFileOrDie(const std::string &path);
+
+} // namespace hdpat
+
+#endif // HDPAT_OBS_JSON_READER_HH

@@ -1,0 +1,37 @@
+#include "obs/profiler.hh"
+
+namespace hdpat
+{
+
+const char *
+profSectionName(ProfSection section)
+{
+    switch (section) {
+    case ProfSection::EventDispatch:
+        return "event_dispatch";
+    case ProfSection::Translate:
+        return "translate";
+    case ProfSection::NocRouting:
+        return "noc_routing";
+    case ProfSection::IommuPipeline:
+        return "iommu_pipeline";
+    case ProfSection::WorkloadGen:
+        return "workload_gen";
+    case ProfSection::Export:
+        return "export";
+    }
+    return "unknown";
+}
+
+void
+ProfileSnapshot::merge(const ProfileSnapshot &other)
+{
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+        sections[i].calls += other.sections[i].calls;
+        sections[i].nanos += other.sections[i].nanos;
+    }
+    wallNanos += other.wallNanos;
+    runs += other.runs;
+}
+
+} // namespace hdpat

@@ -1,0 +1,87 @@
+#include "obs/spatial.hh"
+
+#include <utility>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+const char *
+SpatialCollector::dirName(unsigned dir)
+{
+    switch (dir) {
+    case 0:
+        return "east";
+    case 1:
+        return "west";
+    case 2:
+        return "south";
+    case 3:
+        return "north";
+    }
+    return "unknown";
+}
+
+SpatialCollector::SpatialCollector(std::size_t num_tiles, Tick window)
+    : window_(window), links_(num_tiles * 4), iommuBacklog_(window)
+{
+    hdpat_fatal_if(window_ == 0, "spatial window must be > 0");
+}
+
+void
+SpatialCollector::setMesh(int width, int height, TileId cpu_tile)
+{
+    width_ = width;
+    height_ = height;
+    cpuTile_ = cpu_tile;
+}
+
+void
+SpatialCollector::sampleTile(TileId tile, Tick now, double outstanding,
+                             double gmmu_queue)
+{
+    auto it = series_.find(tile);
+    if (it == series_.end())
+        it = series_.emplace(tile, TileSeries(window_)).first;
+    it->second.outstanding.add(now, outstanding);
+    it->second.gmmuQueue.add(now, gmmu_queue);
+}
+
+SpatialSampler::SpatialSampler(Engine &engine, Tick interval,
+                               SampleFn sample)
+    : engine_(engine), interval_(interval), sample_(std::move(sample))
+{
+    hdpat_fatal_if(interval_ == 0, "sampling interval must be > 0");
+    hdpat_fatal_if(!sample_, "sampler needs a sample function");
+}
+
+void
+SpatialSampler::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    engine_.noteObserverScheduled();
+    engine_.scheduleIn(interval_, [this] { fire(); });
+}
+
+void
+SpatialSampler::fire()
+{
+    engine_.noteObserverFired();
+    if (!running_)
+        return;
+    // Only observer events (heartbeat, watchdog, this) left: the run
+    // is over; sampling an idle wafer adds nothing.
+    if (!engine_.hasNonObserverEvents()) {
+        running_ = false;
+        return;
+    }
+    ++samples_;
+    sample_(engine_.now());
+    engine_.noteObserverScheduled();
+    engine_.scheduleIn(interval_, [this] { fire(); });
+}
+
+} // namespace hdpat

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+// Header-only use (ProfScope): no hdpat_obs link dependency.
+#include "obs/profiler.hh"
 #include "sim/log.hh"
 
 namespace hdpat
@@ -37,7 +39,10 @@ Engine::step()
     EventFn fn = queue_.pop(when);
     now_ = when;
     ++executed_;
-    fn();
+    {
+        const ProfScope prof(profiler_, ProfSection::EventDispatch);
+        fn();
+    }
     return true;
 }
 
@@ -63,6 +68,8 @@ Engine::reset()
     queue_.clear();
     now_ = 0;
     executed_ = 0;
+    observersPending_ = 0;
+    observersExecuted_ = 0;
 }
 
 } // namespace hdpat

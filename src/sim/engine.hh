@@ -18,6 +18,8 @@
 namespace hdpat
 {
 
+class Profiler;
+
 /**
  * Discrete-event simulation driver.
  *
@@ -73,13 +75,50 @@ class Engine
     /** Total events executed so far. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /**
+     * Observer-event bookkeeping. Self-rescheduling observers (the
+     * heartbeat, the stall watchdog, the spatial sampler) must not
+     * keep the run alive, and with several active at once "another
+     * event is pending" stops being evidence of a live workload —
+     * the other event may itself be an observer. Observers announce
+     * each scheduled self-event, mark it when it fires, and consult
+     * hasNonObserverEvents() before rescheduling.
+     */
+    void noteObserverScheduled() { ++observersPending_; }
+    /** First statement of every observer event callback. */
+    void noteObserverFired()
+    {
+        --observersPending_;
+        ++observersExecuted_;
+    }
+    /** True while any pending event belongs to the simulation itself. */
+    bool hasNonObserverEvents() const
+    {
+        return queue_.size() > observersPending_;
+    }
+    /** Executed events that were not observer self-events. */
+    std::uint64_t nonObserverExecuted() const
+    {
+        return executed_ - observersExecuted_;
+    }
+
     /** Drop all pending events and rewind time to zero. */
     void reset();
+
+    /**
+     * Host self-profiler for event dispatch (null = off). Only the
+     * profiler's header-inline hot path is used here, so hdpat_sim
+     * gains no link dependency on hdpat_obs.
+     */
+    void setProfiler(Profiler *profiler) { profiler_ = profiler; }
 
   private:
     EventQueue queue_;
     Tick now_ = 0;
     std::uint64_t executed_ = 0;
+    std::size_t observersPending_ = 0;
+    std::uint64_t observersExecuted_ = 0;
+    Profiler *profiler_ = nullptr;
 };
 
 } // namespace hdpat

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Exporter validity: every file the runner writes — metrics JSON,
+ * Chrome trace, spatial CSV — must survive a strict RFC 8259 parse
+ * (or, for the CSV, a column-count check) and carry the schema fields
+ * downstream consumers key on. The strict reader itself is unit-tested
+ * first: an exporter bug that emits NaN or a duplicate key must fail
+ * here, not in a plotting script three stages later.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "driver/run_result.hh"
+#include "driver/runner.hh"
+#include "obs/json_reader.hh"
+#include "obs/profiler.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+// --- Strict-reader unit tests -------------------------------------
+
+JsonValue
+mustParse(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, v, error)) << error;
+    return v;
+}
+
+void
+mustReject(const std::string &text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(parseJson(text, v, error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonReaderTest, ParsesWellFormedDocument)
+{
+    const JsonValue v = mustParse(
+        R"({"a": 1, "b": [true, null, "x\n"], "c": {"d": -2.5e3}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("a").asUint(), 1u);
+    ASSERT_TRUE(v.at("b").isArray());
+    ASSERT_EQ(v.at("b").elements.size(), 3u);
+    EXPECT_TRUE(v.at("b").elements[0].asBool());
+    EXPECT_TRUE(v.at("b").elements[1].isNull());
+    EXPECT_EQ(v.at("b").elements[2].asString(), "x\n");
+    EXPECT_DOUBLE_EQ(v.at("c").at("d").asNumber(), -2500.0);
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, RejectsNonFiniteNumbers)
+{
+    mustReject(R"({"x": NaN})");
+    mustReject(R"({"x": Infinity})");
+    mustReject(R"({"x": -Infinity})");
+    mustReject(R"({"x": nan})");
+}
+
+TEST(JsonReaderTest, RejectsTrailingGarbage)
+{
+    mustReject(R"({"x": 1} extra)");
+    mustReject(R"({"x": 1}{"y": 2})");
+    mustReject(R"([1, 2],)");
+}
+
+TEST(JsonReaderTest, RejectsStructuralErrors)
+{
+    mustReject("");
+    mustReject(R"({"x": 1)");
+    mustReject(R"([1, 2)");
+    mustReject(R"({"x" 1})");
+    mustReject(R"({"x": 1,})");
+    mustReject(R"([1, 2,])");
+    mustReject(R"({'x': 1})");
+}
+
+TEST(JsonReaderTest, RejectsDuplicateKeys)
+{
+    mustReject(R"({"x": 1, "x": 2})");
+}
+
+TEST(JsonReaderTest, RejectsExcessiveNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    for (int i = 0; i < 100; ++i)
+        deep += ']';
+    mustReject(deep);
+}
+
+// --- Full-run export validation -----------------------------------
+
+std::string
+tmpPath(const char *leaf)
+{
+    return (std::filesystem::temp_directory_path() / leaf).string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(ExportValidityTest, MetricsJsonIsStrictAndComplete)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.config.name = "export-5x5";
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 800;
+    spec.seed = 42;
+    spec.obs = ObsOptions{};
+    spec.obs.metricsJsonPath = tmpPath("hdpat-export-metrics.json");
+    spec.obs.traceOutPath = tmpPath("hdpat-export-trace.json");
+    spec.obs.spatialCsvPath = tmpPath("hdpat-export-spatial.csv");
+    spec.obs.spatialWindow = 50'000;
+    spec.obs.audit = true;
+    spec.obs.profile = true;
+    spec.obs.heartbeatInterval = 0;
+    const RunResult result = runOnce(spec);
+    EXPECT_GT(result.opsTotal, 0u);
+
+    // Metrics JSON: strict parse, then the fields every consumer
+    // (fig05, perf_report, CI artifacts) depends on.
+    const JsonValue doc =
+        parseJsonFileOrDie(spec.obs.metricsJsonPath);
+    EXPECT_EQ(doc.at("schema").asString(), "hdpat-metrics-v1");
+    const JsonValue &run = doc.at("run");
+    EXPECT_EQ(run.at("workload").asString(), "SPMV");
+    EXPECT_EQ(run.at("policy").asString(), "hdpat");
+    EXPECT_EQ(run.at("seed").asUint(), 42u);
+    EXPECT_GT(run.at("total_ticks").asUint(), 0u);
+    EXPECT_TRUE(doc.at("counters").isObject());
+    EXPECT_TRUE(doc.at("summaries").isObject());
+
+    const JsonValue &spatial = doc.at("spatial");
+    const JsonValue &mesh = spatial.at("mesh");
+    EXPECT_EQ(mesh.at("width").asUint(), 5u);
+    EXPECT_EQ(mesh.at("height").asUint(), 5u);
+    EXPECT_EQ(mesh.at("window_ticks").asUint(), 50'000u);
+    ASSERT_TRUE(spatial.at("tiles").isArray());
+    // 24 GPM tiles + the CPU tile.
+    EXPECT_EQ(spatial.at("tiles").elements.size(), 25u);
+    ASSERT_TRUE(spatial.at("links").isArray());
+    EXPECT_FALSE(spatial.at("links").elements.empty());
+    for (const JsonValue &link : spatial.at("links").elements) {
+        EXPECT_GT(link.at("packets").asUint(), 0u);
+        const std::string &dir = link.at("dir").asString();
+        EXPECT_TRUE(dir == "east" || dir == "west" ||
+                    dir == "south" || dir == "north")
+            << dir;
+    }
+
+    const JsonValue &profile = doc.at("profile");
+    EXPECT_EQ(profile.at("runs").asUint(), 1u);
+    EXPECT_GT(profile.at("wall_nanos").asUint(), 0u);
+    const JsonValue &sections = profile.at("sections");
+    for (std::size_t i = 0; i < kNumProfSections; ++i) {
+        const char *name =
+            profSectionName(static_cast<ProfSection>(i));
+        ASSERT_NE(sections.find(name), nullptr) << name;
+    }
+    // The simulation ran, so dispatch and translate must have fired.
+    EXPECT_GT(sections.at("event_dispatch").at("calls").asUint(), 0u);
+    EXPECT_GT(sections.at("translate").at("calls").asUint(), 0u);
+
+    // Chrome trace: strict parse plus the two top-level fields the
+    // trace viewer requires.
+    const JsonValue trace =
+        parseJsonFileOrDie(spec.obs.traceOutPath);
+    EXPECT_EQ(trace.at("displayTimeUnit").asString(), "ns");
+    EXPECT_TRUE(trace.at("traceEvents").isArray());
+
+    // Spatial CSV: header intact and every row column-complete.
+    const std::string csv = slurp(spec.obs.spatialCsvPath);
+    std::istringstream lines(csv);
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line,
+              "kind,tile,x,y,ring,dir,packets,bytes,busy_ticks,"
+              "wait_ticks,finish_tick,rtt_mean,occupancy_mean");
+    const std::size_t columns =
+        static_cast<std::size_t>(
+            std::count(line.begin(), line.end(), ',')) + 1;
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        ++rows;
+        EXPECT_EQ(static_cast<std::size_t>(
+                      std::count(line.begin(), line.end(), ',')) + 1,
+                  columns)
+            << line;
+    }
+    EXPECT_GT(rows, 0u);
+
+    std::remove(spec.obs.metricsJsonPath.c_str());
+    std::remove(spec.obs.traceOutPath.c_str());
+    std::remove(spec.obs.spatialCsvPath.c_str());
+}
+
+TEST(ExportValidityTest, ProfileSectionOmittedWhenProfilerOff)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.config.name = "export-off-5x5";
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "PR";
+    spec.opsPerGpm = 400;
+    spec.seed = 7;
+    spec.obs = ObsOptions{};
+    spec.obs.metricsJsonPath = tmpPath("hdpat-export-noprof.json");
+    spec.obs.heartbeatInterval = 0;
+    runOnce(spec);
+
+    const JsonValue doc =
+        parseJsonFileOrDie(spec.obs.metricsJsonPath);
+    EXPECT_EQ(doc.at("schema").asString(), "hdpat-metrics-v1");
+    EXPECT_EQ(doc.find("profile"), nullptr);
+    EXPECT_EQ(doc.find("spatial"), nullptr);
+    std::remove(spec.obs.metricsJsonPath.c_str());
+}
+
+} // namespace
+} // namespace hdpat
