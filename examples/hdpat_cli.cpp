@@ -7,7 +7,8 @@
  *
  * Usage:
  *   hdpat_cli [--workload ABBR|all] [--policy NAME] [--config NAME]
- *             [--ops N] [--seed S] [--scale F] [--jobs N]
+ *             [--ops N] [--seed S] [--scale F] [--page-shift N]
+ *             [--mesh WxH] [--jobs N]
  *             [--csv FILE] [--trace FILE]
  *             [--metrics-json FILE] [--trace-out FILE]
  *             [--trace-sample N|1/N] [--heartbeat TICKS]
@@ -95,6 +96,9 @@ struct Options
     std::size_t ops = 0;
     std::uint64_t seed = 0x5eed;
     double scale = 1.0;
+    int pageShift = 0;  ///< 0 = keep the preset's page size.
+    int meshWidth = 0;  ///< 0 = keep the preset's mesh.
+    int meshHeight = 0;
     std::string csv_path;
     std::string trace_path;
     ObsOptions obs = obsOptionsFromEnv();
@@ -140,6 +144,19 @@ parse(int argc, char **argv)
                 std::atoll(value().c_str()));
         } else if (arg == "--scale") {
             opt.scale = std::atof(value().c_str());
+        } else if (arg == "--page-shift") {
+            opt.pageShift = std::atoi(value().c_str());
+        } else if (arg == "--mesh") {
+            // "WxH", e.g. --mesh 7x12.
+            const std::string v = value();
+            const auto x = v.find('x');
+            if (x == std::string::npos) {
+                std::cerr << "--mesh expects WxH (e.g. 7x12), got '"
+                          << v << "'\n";
+                std::exit(1);
+            }
+            opt.meshWidth = std::atoi(v.substr(0, x).c_str());
+            opt.meshHeight = std::atoi(v.substr(x + 1).c_str());
         } else if (arg == "--csv") {
             opt.csv_path = value();
         } else if (arg == "--trace") {
@@ -178,7 +195,8 @@ parse(int argc, char **argv)
             std::cout
                 << "usage: hdpat_cli [--workload ABBR|all] "
                    "[--policy NAME] [--config NAME] [--ops N] "
-                   "[--seed S] [--scale F] [--jobs N] [--csv FILE] "
+                   "[--seed S] [--scale F] [--page-shift N] "
+                   "[--mesh WxH] [--jobs N] [--csv FILE] "
                    "[--trace FILE] [--metrics-json FILE] "
                    "[--trace-out FILE] [--trace-sample N|1/N] "
                    "[--heartbeat TICKS] [--audit] [--watchdog TICKS] "
@@ -241,12 +259,27 @@ specFor(const Options &opt, const std::string &workload)
     RunSpec spec;
     spec.config = configByName(opt.config);
     spec.policy = policyByName(opt.policy);
+    if (opt.pageShift != 0)
+        spec.config.pageShift = static_cast<unsigned>(opt.pageShift);
+    if (opt.meshWidth != 0 || opt.meshHeight != 0) {
+        spec.config.meshWidth = opt.meshWidth;
+        spec.config.meshHeight = opt.meshHeight;
+    }
     spec.workload = workload;
     spec.opsPerGpm = opt.ops;
     spec.seed = opt.seed;
     spec.footprintScale = opt.scale;
     spec.captureIommuTrace = !opt.trace_path.empty();
     spec.obs = opt.obs;
+
+    // Fail fast on bad --page-shift / --mesh (or any other field)
+    // before the sweep starts, listing every violated invariant.
+    if (const auto errors = validationErrors(spec); !errors.empty()) {
+        std::cerr << "invalid run options:\n";
+        for (const std::string &e : errors)
+            std::cerr << "  - " << e << "\n";
+        std::exit(1);
+    }
     return spec;
 }
 

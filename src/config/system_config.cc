@@ -1,5 +1,7 @@
 #include "config/system_config.hh"
 
+#include <sstream>
+
 #include "sim/log.hh"
 
 namespace hdpat
@@ -13,20 +15,95 @@ SystemConfig::numGpms() const
     return static_cast<std::size_t>(meshWidth) * meshHeight - 1;
 }
 
+std::vector<std::string>
+SystemConfig::validationErrors() const
+{
+    std::vector<std::string> errors;
+    const auto bad = [&errors](const auto &...parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        errors.push_back(oss.str());
+    };
+
+    // ---- Topology -----------------------------------------------------
+    if (meshWidth < 1)
+        bad("meshWidth must be >= 1 (got ", meshWidth, ")");
+    if (meshHeight < 1)
+        bad("meshHeight must be >= 1 (got ", meshHeight, ")");
+    if (topology == TopologyKind::Wafer && meshWidth >= 1 &&
+        meshHeight >= 1 && meshWidth * meshHeight < 2) {
+        bad("meshWidth x meshHeight = ", meshWidth, "x", meshHeight,
+            " leaves no GPM tiles (the single tile hosts the CPU)");
+    }
+
+    // ---- Compute ------------------------------------------------------
+    if (issueWidth < 1)
+        bad("issueWidth must be >= 1 (got ", issueWidth, ")");
+    if (maxOutstandingOps < 1)
+        bad("maxOutstandingOps must be >= 1 (got ", maxOutstandingOps,
+            ")");
+    if (!(computeScale > 0.0))
+        bad("computeScale must be positive (got ", computeScale, ")");
+
+    // ---- Virtual memory ----------------------------------------------
+    if (pageShift < 12 || pageShift > 30) {
+        bad("pageShift ", pageShift,
+            " outside the supported page-size range [12, 30]");
+    }
+
+    // ---- TLB hierarchy ------------------------------------------------
+    const auto checkLevel = [&](const char *field,
+                                const TlbLevelParams &lvl) {
+        if (lvl.sets == 0)
+            bad(field, ".sets must be >= 1");
+        if (lvl.ways == 0)
+            bad(field, ".ways must be >= 1");
+    };
+    checkLevel("l1Tlb", l1Tlb);
+    checkLevel("l2Tlb", l2Tlb);
+    checkLevel("lastLevelTlb", lastLevelTlb);
+    // l2Tlb.mshrs bounds the remote-miss MSHR file; 0 would silently
+    // mean "unlimited" (MshrFile convention), which is never what a
+    // Table-I-style config intends. lastLevelTlb.mshrs == 0 stays
+    // legal: the LL TLB is filled by peers/pushes, not via MSHRs.
+    if (l2Tlb.mshrs == 0)
+        bad("l2Tlb.mshrs must be >= 1 (0 would disable the bound)");
+
+    // ---- Walkers and IOMMU pipeline ------------------------------------
+    if (gmmuWalkers == 0)
+        bad("gmmuWalkers: each GMMU needs at least one page walker");
+    if (iommuWalkers == 0)
+        bad("iommuWalkers: the IOMMU needs at least one page walker");
+    if (iommuPwQueueCapacity == 0)
+        bad("iommuPwQueueCapacity: the PW-queue cannot be empty");
+    if (iommuIngressPerCycle < 1)
+        bad("iommuIngressPerCycle must be >= 1 (got ",
+            iommuIngressPerCycle, ")");
+    if (iommuTlbMshrs == 0)
+        bad("iommuTlbMshrs must be >= 1 (0 would disable the bound)");
+
+    // ---- Bandwidth models ----------------------------------------------
+    if (!(noc.bytesPerTick > 0.0))
+        bad("noc.bytesPerTick must be positive (got ", noc.bytesPerTick,
+            ")");
+    if (!(hbmBytesPerTick > 0.0))
+        bad("hbmBytesPerTick must be positive (got ", hbmBytesPerTick,
+            ")");
+
+    return errors;
+}
+
 void
 SystemConfig::validate() const
 {
-    hdpat_fatal_if(meshWidth <= 0 || meshHeight <= 0, "empty mesh");
-    hdpat_fatal_if(pageShift < 10 || pageShift > 30,
-                   "unreasonable page shift " << pageShift);
-    hdpat_fatal_if(issueWidth <= 0, "issue width must be positive");
-    hdpat_fatal_if(maxOutstandingOps <= 0,
-                   "outstanding window must be positive");
-    hdpat_fatal_if(iommuWalkers == 0, "IOMMU needs at least one walker");
-    hdpat_fatal_if(gmmuWalkers == 0, "GMMU needs at least one walker");
-    hdpat_fatal_if(iommuPwQueueCapacity == 0, "PW-queue cannot be empty");
-    hdpat_fatal_if(iommuIngressPerCycle <= 0,
-                   "IOMMU ingress rate must be positive");
+    const std::vector<std::string> errors = validationErrors();
+    if (errors.empty())
+        return;
+    std::ostringstream oss;
+    oss << "invalid SystemConfig \"" << name << "\":";
+    for (const std::string &e : errors)
+        oss << "\n  - " << e;
+    hdpat_fatal(oss.str());
 }
 
 SystemConfig

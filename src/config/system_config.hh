@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "noc/network.hh"
 #include "sim/types.hh"
@@ -134,7 +135,20 @@ struct SystemConfig
     /** GPM count for this topology. */
     std::size_t numGpms() const;
 
-    /** Validate invariants; calls hdpat_fatal on bad configs. */
+    /**
+     * Structured validation: one message per violated invariant, each
+     * naming the offending field. Empty means the config is buildable
+     * and runnable; the fuzzer treats any divergence between this
+     * predicate and actual run outcome as a bug (either a missing
+     * check here or an over-strict one).
+     */
+    std::vector<std::string> validationErrors() const;
+
+    /**
+     * Fatal wrapper around validationErrors(): exits (status 1)
+     * listing every violation. Kept for call sites that want
+     * fail-fast semantics.
+     */
     void validate() const;
 
     // ---- Presets (GPU generations, §V-E Fig 21) -------------------------

@@ -1,7 +1,46 @@
 #include "config/translation_policy.hh"
 
+#include <sstream>
+
 namespace hdpat
 {
+
+std::vector<std::string>
+TranslationPolicy::validationErrors() const
+{
+    std::vector<std::string> errors;
+    const auto bad = [&errors](const auto &...parts) {
+        std::ostringstream oss;
+        (oss << ... << parts);
+        errors.push_back(oss.str());
+    };
+
+    // System always builds the concentric/cluster structures from
+    // these knobs (even for policies that never probe them), so they
+    // must be sane regardless of peerMode. Fuzz-found: C = 0 leaves
+    // the distributed groups without caching tiles and aborts system
+    // construction.
+    if (concentricLayers < 1)
+        bad("concentricLayers must be >= 1 (got ", concentricLayers,
+            ")");
+    if (numClusters < 1)
+        bad("numClusters must be >= 1 (got ", numClusters, ")");
+    if (prefetchDegree < 1)
+        bad("prefetchDegree must be >= 1 (got ", prefetchDegree, ")");
+
+    // The enums may arrive as casts of untrusted integers (fuzz cases,
+    // future config files); an unnamed enumerator would silently fall
+    // through every switch.
+    const int pm = static_cast<int>(peerMode);
+    if (pm < 0 || pm > static_cast<int>(PeerCachingMode::ClusterRotation))
+        bad("peerMode ", pm, " is not a PeerCachingMode (0..",
+            static_cast<int>(PeerCachingMode::ClusterRotation), ")");
+    const int wm = static_cast<int>(walkMode);
+    if (wm < 0 || wm > static_cast<int>(IommuWalkMode::ForwardToHome))
+        bad("walkMode ", wm, " is not an IommuWalkMode (0..",
+            static_cast<int>(IommuWalkMode::ForwardToHome), ")");
+    return errors;
+}
 
 TranslationPolicy
 TranslationPolicy::baseline()

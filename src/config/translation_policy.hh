@@ -10,6 +10,7 @@
 #define HDPAT_CONFIG_TRANSLATION_POLICY_HH
 
 #include <string>
+#include <vector>
 
 namespace hdpat
 {
@@ -112,6 +113,13 @@ struct TranslationPolicy
     {
         return peerMode != PeerCachingMode::None;
     }
+
+    /**
+     * Structured validation: one message per violated invariant, each
+     * naming the offending field. Empty means the policy is runnable
+     * on any valid SystemConfig.
+     */
+    std::vector<std::string> validationErrors() const;
 
     // ---- Presets ---------------------------------------------------
 

@@ -51,6 +51,19 @@ struct RunResult
     std::uint64_t probeHitsTotal = 0;
     std::uint64_t pushesReceivedTotal = 0;
 
+    // ---- Conservation-audit digest (zero unless auditing was on) ------
+    /** Translations issued / retired as counted by the auditor. */
+    std::uint64_t auditIssued = 0;
+    std::uint64_t auditRetired = 0;
+    /** PPNs checked against the reference page walk (all must match). */
+    std::uint64_t auditPfnChecks = 0;
+    /**
+     * Order-independent digest of per-(tile, VPN) retire counts. Equal
+     * specs must produce equal hashes under any runMany ordering or
+     * job count — the fuzzer's conservation differential.
+     */
+    std::uint64_t auditRetireCensusHash = 0;
+
     // ---- Component snapshots -------------------------------------------
     Iommu::Stats iommu;
     Network::Stats noc;

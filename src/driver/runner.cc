@@ -1,7 +1,9 @@
 #include "driver/runner.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "driver/system.hh"
@@ -95,9 +97,41 @@ defaultOpsPerGpm()
     return static_cast<std::size_t>(12000.0 * benchScale());
 }
 
+std::vector<std::string>
+validationErrors(const RunSpec &spec)
+{
+    std::vector<std::string> errors = spec.config.validationErrors();
+    for (std::string &e : spec.policy.validationErrors())
+        errors.push_back(std::move(e));
+
+    const auto abbrs = workloadAbbrs();
+    if (std::find(abbrs.begin(), abbrs.end(), spec.workload) ==
+        abbrs.end()) {
+        errors.push_back("workload '" + spec.workload +
+                         "' is not in the Table II suite");
+    }
+    if (!(spec.footprintScale > 0.0)) {
+        std::ostringstream oss;
+        oss << "footprintScale must be positive (got "
+            << spec.footprintScale << ")";
+        errors.push_back(oss.str());
+    }
+    return errors;
+}
+
 RunResult
 runOnce(const RunSpec &spec)
 {
+    if (const std::vector<std::string> errors = validationErrors(spec);
+        !errors.empty()) {
+        std::string msg = "invalid RunSpec (config \"" +
+                          spec.config.name + "\", policy \"" +
+                          spec.policy.name + "\"):";
+        for (const std::string &e : errors)
+            msg += "\n  - " + e;
+        hdpat_fatal(msg);
+    }
+
     System system(spec.config, spec.policy);
     if (spec.captureIommuTrace)
         system.setCaptureIommuTrace(true);

@@ -81,7 +81,20 @@ struct RunSpec
     ObsOptions obs = obsOptionsFromEnv();
 };
 
-/** Build the system, load the workload, run, return the result. */
+/**
+ * Structured validation of a whole run description: the config's and
+ * policy's own errors plus cross-field constraints (e.g. the workload
+ * abbreviation must exist, footprintScale must be positive). Empty
+ * means runOnce(spec) is expected to complete; the fuzzer treats any
+ * divergence as a bug.
+ */
+std::vector<std::string> validationErrors(const RunSpec &spec);
+
+/**
+ * Build the system, load the workload, run, return the result.
+ * Fails fast (exit 1) with the full validationErrors() list when the
+ * spec is invalid, instead of crashing mid-construction.
+ */
 RunResult runOnce(const RunSpec &spec);
 
 /**

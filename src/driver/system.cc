@@ -9,21 +9,30 @@ namespace hdpat
 {
 
 MeshTopology
-System::buildTopology(const SystemConfig &cfg)
+System::buildTopology(const SystemConfig &cfg,
+                      const TranslationPolicy &pol)
 {
+    cfg.validate();
+    const std::vector<std::string> pol_errors = pol.validationErrors();
+    if (!pol_errors.empty()) {
+        std::string msg = "invalid TranslationPolicy \"" + pol.name +
+                          "\":";
+        for (const std::string &e : pol_errors)
+            msg += "\n  - " + e;
+        hdpat_fatal(msg);
+    }
     if (cfg.topology == TopologyKind::Mcm4)
         return MeshTopology::mcm4();
     return MeshTopology::wafer(cfg.meshWidth, cfg.meshHeight);
 }
 
 System::System(const SystemConfig &cfg, const TranslationPolicy &pol)
-    : cfg_(cfg), pol_(pol), topo_(buildTopology(cfg)),
+    : cfg_(cfg), pol_(pol), topo_(buildTopology(cfg, pol)),
       net_(engine_, topo_, cfg.noc), pt_(cfg.pageShift),
       layers_(topo_, pol.concentricLayers),
       clusterMap_(layers_, pol.numClusters, pol.rotation),
       groups_(layers_)
 {
-    cfg_.validate();
     hdpat_fatal_if(pol_.usesPeerCaching() && layers_.numLayers() == 0,
                    "policy '" << pol_.name
                               << "' needs concentric caching layers");
@@ -165,6 +174,16 @@ void
 System::enableAudit()
 {
     auditor_ = std::make_unique<Auditor>();
+    // Reference oracle: a direct walk of the global page table. Every
+    // PPN any policy path installs must agree with it; nullopt (page
+    // unmapped, e.g. by a shootdown) abstains.
+    auditor_->setReferenceTranslator(
+        [this](Vpn vpn) -> std::optional<Pfn> {
+            const Pte *pte = pt_.translate(vpn);
+            if (!pte)
+                return std::nullopt;
+            return pte->pfn;
+        });
     net_.setAuditor(auditor_.get());
     iommu_->setAuditor(auditor_.get());
     for (auto &gpm : gpms_)
@@ -325,6 +344,10 @@ System::run()
             msg += "\n" + report.diagnostic;
             hdpat_panic(msg);
         }
+        result.auditIssued = auditor_->issued();
+        result.auditRetired = auditor_->retired();
+        result.auditPfnChecks = auditor_->pfnChecks();
+        result.auditRetireCensusHash = auditor_->retireCensusHash();
     }
 
     if (spatial_) {

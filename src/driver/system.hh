@@ -158,7 +158,14 @@ class System
     Profiler *profiler() { return profiler_.get(); }
 
   private:
-    static MeshTopology buildTopology(const SystemConfig &cfg);
+    /**
+     * Validate cfg + pol (fail fast with field-named errors, before
+     * any member construction can crash on a degenerate value), then
+     * build the mesh. Runs first in the member-init order because
+     * topo_ is the first complex member.
+     */
+    static MeshTopology buildTopology(const SystemConfig &cfg,
+                                      const TranslationPolicy &pol);
 
     /** Register every component's metrics (called once from ctor). */
     void registerMetrics();

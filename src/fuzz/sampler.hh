@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Seeded random sampling over the FuzzCase space: mesh shapes from
+ * 1x1 to 12x12 (odd, even, and rectangular), page shifts 12..21 with
+ * occasional out-of-range probes, deliberately degenerate TLB
+ * geometry (sets/ways/mshrs down to 0 and 1), every peer-caching
+ * mode, and the full Table II workload suite.
+ *
+ * The sampler intentionally produces *invalid* cases at a known rate:
+ * the harness checks the validity predicate in both directions, so a
+ * config that validates clean but crashes -- or validates dirty but
+ * runs fine -- is a finding either way.
+ */
+
+#ifndef HDPAT_FUZZ_SAMPLER_HH
+#define HDPAT_FUZZ_SAMPLER_HH
+
+#include "fuzz/fuzz_case.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+
+/** Draw one case. Deterministic given the Rng state. */
+FuzzCase sampleFuzzCase(Rng &rng);
+
+} // namespace hdpat
+
+#endif // HDPAT_FUZZ_SAMPLER_HH

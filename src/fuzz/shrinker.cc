@@ -1,0 +1,69 @@
+#include "fuzz/shrinker.hh"
+
+#include <vector>
+
+namespace hdpat
+{
+
+FuzzCase
+shrinkFuzzCase(FuzzCase c,
+               const std::function<bool(const FuzzCase &)> &stillFails,
+               std::size_t *steps)
+{
+    const FuzzCase defaults;
+    std::size_t accepted = 0;
+
+    const auto tryCandidate = [&](FuzzCase candidate) {
+        if (candidate == c)
+            return false;
+        if (!stillFails(candidate))
+            return false;
+        c = candidate;
+        ++accepted;
+        return true;
+    };
+
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+
+        // Workload back to the default first: it is the coarsest knob
+        // and removing it exonerates the access pattern entirely.
+        if (c.workload != defaults.workload) {
+            FuzzCase candidate = c;
+            candidate.workload = defaults.workload;
+            progressed |= tryCandidate(candidate);
+        }
+
+        for (const std::string &name : fuzzCaseFieldNames()) {
+            const std::int64_t current = fuzzCaseFieldValue(c, name);
+            const std::int64_t def = fuzzCaseFieldValue(defaults, name);
+            if (current == def)
+                continue;
+
+            // Candidates from most to least simplifying: the default,
+            // the unit value, then binary search toward the default.
+            std::vector<std::int64_t> candidates{def};
+            if (current != 1 && def != 1)
+                candidates.push_back(1);
+            const std::int64_t mid = def + (current - def) / 2;
+            if (mid != current && mid != def)
+                candidates.push_back(mid);
+
+            for (const std::int64_t value : candidates) {
+                FuzzCase candidate = c;
+                *fuzzCaseField(candidate, name) = value;
+                if (tryCandidate(candidate)) {
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (steps)
+        *steps = accepted;
+    return c;
+}
+
+} // namespace hdpat

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Greedy fixed-point shrinking of a failing FuzzCase: repeatedly try
+ * to move fields back to their defaults (then toward 1 / half the
+ * value), keeping a change only when the case still fails with the
+ * same outcome kind. The result is the minimal reproducer that goes
+ * into the regression corpus.
+ */
+
+#ifndef HDPAT_FUZZ_SHRINKER_HH
+#define HDPAT_FUZZ_SHRINKER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/fuzz_case.hh"
+
+namespace hdpat
+{
+
+/**
+ * @param c The failing case.
+ * @param stillFails Re-runs a candidate and reports whether it fails
+ *        the same way (same FuzzOutcome::Kind). Called once per
+ *        candidate; budget the timeout accordingly.
+ * @param steps Out (optional): number of accepted simplifications.
+ * @return The simplified case (== c when nothing could be removed).
+ */
+FuzzCase shrinkFuzzCase(FuzzCase c,
+                        const std::function<bool(const FuzzCase &)>
+                            &stillFails,
+                        std::size_t *steps = nullptr);
+
+} // namespace hdpat
+
+#endif // HDPAT_FUZZ_SHRINKER_HH

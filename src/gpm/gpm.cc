@@ -358,6 +358,12 @@ Gpm::onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn)
 void
 Gpm::fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote)
 {
+    // Every resolution path (local walk, peer probe, IOMMU response,
+    // proactive push, delegated walk) funnels through here or through
+    // insertLastLevel before the PPN becomes visible, so these two are
+    // where the auditor checks it against the reference page walk.
+    if (auditor_) [[unlikely]]
+        auditor_->pfnResolved(tile_, vpn, pfn, engine_.now());
     l2Tlb_.insert(vpn, pfn, remote);
     l1Tlb_.insert(vpn, pfn, remote);
 }
@@ -365,6 +371,8 @@ Gpm::fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote)
 void
 Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
 {
+    if (auditor_) [[unlikely]]
+        auditor_->pfnResolved(tile_, vpn, pfn, engine_.now());
     if (remote) {
         if (llTlb_.peek(vpn)) {
             // Refresh: the cuckoo filter already tracks this VPN.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "noc/geometry.hh"
 #include "sim/log.hh"
 
 namespace hdpat
@@ -85,7 +86,8 @@ int
 DistributedGroups::groupOf(TileId tile) const
 {
     const Coord c = topo_.coordOf(tile);
-    const Coord center = topo_.cpuCoord();
+    // Same center definition as MeshTopology::wafer / ConcentricLayers.
+    const Coord center = meshCenter(topo_.width(), topo_.height());
     if (c.x != center.x)
         return c.x < center.x ? 0 : 1;
     // Tiles on the CPU column split by vertical side.

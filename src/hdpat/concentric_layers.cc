@@ -15,7 +15,12 @@ ConcentricLayers::ConcentricLayers(const MeshTopology &topo,
     hdpat_fatal_if(num_layers < 0, "negative layer count");
     layerOf_.assign(static_cast<std::size_t>(topo_.numTiles()), -1);
 
-    const Coord center = topo_.cpuCoord();
+    // Rings are centered on the CPU tile, which MeshTopology places at
+    // meshCenter(). Assert the shared definition so a future off-center
+    // topology can't silently skew the angular ordering.
+    const Coord center = meshCenter(topo_.width(), topo_.height());
+    hdpat_fatal_if(!(center == topo_.cpuCoord()),
+                   "concentric layers require the CPU at meshCenter()");
     for (int ring = 1; ring <= num_layers; ++ring) {
         std::vector<TileId> tiles;
         for (TileId gpm : topo_.gpmTiles()) {

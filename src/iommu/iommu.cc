@@ -233,7 +233,14 @@ Iommu::admitHead()
     if (pwQueue_.size() >= cfg_.iommuPwQueueCapacity)
         return Admit::Stall;
 
-    if (tlb_) {
+    // Fuzz-found deadlock: never register a TLB MSHR for a walk that
+    // will be delegated. In ForwardToHome mode the home GMMU replies
+    // straight to the requester and this IOMMU only sees the
+    // context-release, so the MSHR would never resolve -- the entry
+    // leaks, later same-VPN requests merge onto the dead walk, and the
+    // mesh deadlocks. Delegated concurrency is limited by forwarding
+    // contexts instead; the TLB is filled when the result returns.
+    if (tlb_ && pol_.walkMode == IommuWalkMode::Local) {
         const RemoteRequest req = p.req;
         tlb_->mshrs().registerMiss(vpn, [this, req](Vpn, Pfn pfn) {
             respond(req, pfn, TranslationSource::IommuWalk);
@@ -422,7 +429,13 @@ Iommu::pushPte(Vpn vpn, Pfn pfn, bool prefetched)
 void
 Iommu::receiveDelegatedResult(Vpn vpn)
 {
-    (void)vpn;
+    // The reply carries the translation back with it; let the Fig 19
+    // TLB (when configured) cache it so later same-page requests hit
+    // at the IOMMU instead of burning another forwarding context.
+    if (tlb_) {
+        if (const Pte *pte = pt_.translate(vpn))
+            tlb_->fill(vpn, pte->pfn);
+    }
     ++freeForwardContexts_;
     ++stats_.delegationReturns;
     recordServed();

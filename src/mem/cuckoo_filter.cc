@@ -1,5 +1,6 @@
 #include "mem/cuckoo_filter.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "sim/log.hh"
@@ -31,7 +32,12 @@ CuckooFilter::CuckooFilter(std::size_t capacity, unsigned fingerprint_bits,
     const std::size_t wanted =
         static_cast<std::size_t>(static_cast<double>(capacity) /
                                  (kSlotsPerBucket * 0.95)) + 1;
-    numBuckets_ = nextPow2(wanted);
+    // Never fewer than two buckets: with a single bucket the alternate
+    // index always equals the primary (x ^ h masked by 0 is 0), so the
+    // two-choice invariant of partial-key cuckoo hashing breaks and
+    // every relocation kick is futile. Only capacities <= 3 are
+    // affected; any capacity >= 4 already sizes to >= 2 buckets.
+    numBuckets_ = std::max<std::size_t>(2, nextPow2(wanted));
     table_.assign(numBuckets_ * kSlotsPerBucket, 0);
 }
 
@@ -51,10 +57,19 @@ CuckooFilter::hash(std::uint64_t x) const
 CuckooFilter::Fingerprint
 CuckooFilter::fingerprintOf(Vpn vpn) const
 {
+    // 64-bit mask so the shift is safe for any fpBits_ in [1, 16]
+    // (same mask value as the old 32-bit expression at every legal
+    // width, so stored fingerprints are unchanged).
     const std::uint64_t h = hash(vpn * 0x9e3779b97f4a7c15ull + 1);
-    Fingerprint fp =
-        static_cast<Fingerprint>(h & ((1u << fpBits_) - 1));
-    // Fingerprint 0 means "empty slot"; remap.
+    Fingerprint fp = static_cast<Fingerprint>(
+        h & ((std::uint64_t{1} << fpBits_) - 1));
+    // Fingerprint 0 means "empty slot"; remap to 1. Two of the 2^bits
+    // hash values now produce fingerprint 1, so *its* collision rate
+    // doubles while every other fingerprint keeps the nominal rate --
+    // negligible at the default 12 bits, and at 1 bit it simply means
+    // every stored entry is fingerprint 1. The mapping is deliberately
+    // kept bit-identical to the original; benchmark outputs depend on
+    // the exact filter contents.
     return fp == 0 ? 1 : fp;
 }
 

@@ -39,7 +39,9 @@ class CuckooFilter
 
     /**
      * @param capacity Number of items the filter should hold; the
-     *                 bucket array is sized for ~95% max load.
+     *                 bucket array is sized for ~95% max load, never
+     *                 fewer than two buckets (capacity 0 is a legal
+     *                 degenerate 8-slot filter).
      * @param fingerprint_bits Fingerprint width (1..16).
      * @param seed Hash seed (determinism).
      */

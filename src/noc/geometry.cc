@@ -5,6 +5,12 @@
 namespace hdpat
 {
 
+Coord
+meshCenter(int width, int height)
+{
+    return Coord{(width - 1) / 2, (height - 1) / 2};
+}
+
 int
 manhattan(Coord a, Coord b)
 {
@@ -22,6 +28,8 @@ quadrantOf(Coord c, Coord center)
 {
     const int dx = c.x - center.x;
     const int dy = c.y - center.y;
+    if (dx == 0 && dy == 0)
+        return 0; // the center belongs to quadrant 0 by definition
     if (dx >= 0 && dy > 0)
         return 0;
     if (dx < 0 && dy >= 0)

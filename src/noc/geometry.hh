@@ -23,6 +23,17 @@ struct Coord
     bool operator==(const Coord &) const = default;
 };
 
+/**
+ * The IOMMU/CPU tile of a W x H wafer: ((W-1)/2, (H-1)/2).
+ *
+ * For odd dimensions this is the exact center; for even or
+ * rectangular meshes (Fig 22's 7x12, 8x8) it is the upper-left tile
+ * of the central 2x2 block — always in-mesh, and the single
+ * definition every center-relative structure (mesh topology,
+ * concentric layers, cluster map) must share.
+ */
+Coord meshCenter(int width, int height);
+
 /** |dx| + |dy| — the mesh hop count under XY routing. */
 int manhattan(Coord a, Coord b);
 
@@ -32,7 +43,10 @@ int chebyshev(Coord a, Coord b);
 /**
  * Quadrant of @p c relative to @p center: 0..3 counter-clockwise
  * starting from the +x/+y quadrant. Tiles on an axis are assigned to
- * the quadrant they border counter-clockwise (deterministic).
+ * the quadrant they border counter-clockwise (deterministic):
+ * +y axis -> 0, -x axis -> 1, -y axis -> 2, +x axis -> 3. The center
+ * itself belongs to quadrant 0 by definition, so ring-0 callers never
+ * bias one quadrant's population.
  */
 int quadrantOf(Coord c, Coord center);
 

@@ -26,7 +26,8 @@ MeshTopology::wafer(int width, int height)
 {
     std::vector<bool> active(static_cast<std::size_t>(width * height),
                              true);
-    const TileId cpu = (height / 2) * width + (width / 2);
+    const Coord center = meshCenter(width, height);
+    const TileId cpu = center.y * width + center.x;
     return MeshTopology(width, height, cpu, std::move(active));
 }
 

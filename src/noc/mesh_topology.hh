@@ -27,8 +27,8 @@ class MeshTopology
 {
   public:
     /**
-     * Full wafer: all W x H tiles active, CPU at the central tile
-     * (floor(W/2), floor(H/2)), e.g. 7x7 -> 48 GPMs, 7x12 -> 83 GPMs.
+     * Full wafer: all W x H tiles active, CPU at meshCenter(W, H) =
+     * ((W-1)/2, (H-1)/2), e.g. 7x7 -> 48 GPMs, 7x12 -> 83 GPMs.
      */
     static MeshTopology wafer(int width, int height);
 

@@ -21,6 +21,7 @@ void
 Auditor::opRetired(TileId tile, Vpn vpn, Tick now)
 {
     ++retired_;
+    ++retireCensus_[Key{tile, vpn}];
     const auto it = inFlight_.find(Key{tile, vpn});
     if (it == inFlight_.end()) {
         // A retire with no matching issue is either a double retire or
@@ -36,6 +37,52 @@ Auditor::opRetired(TileId tile, Vpn vpn, Tick now)
     --inFlightTotal_;
     if (--it->second.count == 0)
         inFlight_.erase(it);
+}
+
+void
+Auditor::pfnResolved(TileId tile, Vpn vpn, Pfn pfn, Tick now)
+{
+    if (!reference_)
+        return;
+    ++pfnChecks_;
+    const std::optional<Pfn> want = reference_(vpn);
+    if (!want)
+        return; // Unmapped (e.g. shot down mid-flight): no verdict.
+    if (*want == pfn)
+        return;
+    ++pfnMismatches_;
+    // Record the first few with full context; the rest only count, so
+    // a systematically wrong path cannot OOM the auditor.
+    constexpr std::uint64_t kMaxRecorded = 16;
+    if (pfnMismatches_ <= kMaxRecorded) {
+        std::ostringstream os;
+        os << "wrong PPN installed at tile " << tile << ": vpn 0x"
+           << std::hex << vpn << " resolved to pfn 0x" << pfn
+           << " but the page table says 0x" << *want << std::dec
+           << " (tick " << now << ")";
+        liveViolations_.push_back(os.str());
+    }
+}
+
+std::uint64_t
+Auditor::retireCensusHash() const
+{
+    // Commutative combine (sum of scrambled entries), so the digest
+    // is independent of hash-map iteration order and of the order
+    // retires happened in.
+    std::uint64_t h = 0;
+    for (const auto &[key, count] : retireCensus_) {
+        std::uint64_t x = key.vpn * 0x9e3779b97f4a7c15ull;
+        x ^= static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(key.tile)) *
+             0xbf58476d1ce4e5b9ull;
+        x ^= count * 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 29;
+        h += x;
+    }
+    return h;
 }
 
 void
@@ -125,6 +172,13 @@ Auditor::finalize() const
     if (issued_ != retired_) {
         std::ostringstream os;
         os << "issued " << issued_ << " ops but retired " << retired_;
+        report.violations.push_back(os.str());
+    }
+    if (pfnMismatches_ > 0) {
+        std::ostringstream os;
+        os << pfnMismatches_ << " of " << pfnChecks_
+           << " resolved translations installed a PPN that "
+           << "contradicts the page table";
         report.violations.push_back(os.str());
     }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +71,28 @@ class Auditor
     void opIssued(TileId tile, Vpn vpn, Tick now);
     void opRetired(TileId tile, Vpn vpn, Tick now);
 
+    /**
+     * A translation resolved somewhere in the hierarchy and is about
+     * to be installed at @p tile. When a reference translator is set
+     * (see setReferenceTranslator), the PPN is checked against a
+     * direct walk of the page table: a mismatch means some policy
+     * path (peer probe, redirection, prefetch, delegation, ...)
+     * delivered the wrong frame — the paper's core correctness
+     * requirement, identical under every policy.
+     */
+    void pfnResolved(TileId tile, Vpn vpn, Pfn pfn, Tick now);
+
+    /**
+     * Install the reference VPN->PPN mapping (a direct page-table
+     * walk). Returning nullopt means "unmapped" (e.g. after a
+     * shootdown) and skips the check for that VPN.
+     */
+    void
+    setReferenceTranslator(std::function<std::optional<Pfn>(Vpn)> ref)
+    {
+        reference_ = std::move(ref);
+    }
+
     void packetSent(std::size_t bytes)
     {
         ++sent_[static_cast<std::size_t>(planeOf(bytes))];
@@ -108,10 +131,24 @@ class Auditor
      */
     std::string diagnostic() const;
 
+    /**
+     * Order-independent digest of the per-(tile, VPN) retire
+     * multiplicities. Two runs of the same spec — serial or parallel,
+     * any runMany ordering — must produce the same census hash; a
+     * divergence means some page retired a different number of times.
+     */
+    std::uint64_t retireCensusHash() const;
+
     // ---- Introspection (tests) ---------------------------------------
     std::uint64_t issued() const { return issued_; }
     std::uint64_t retired() const { return retired_; }
     std::uint64_t inFlight() const { return inFlightTotal_; }
+    std::uint64_t pfnChecks() const { return pfnChecks_; }
+    std::uint64_t pfnMismatches() const { return pfnMismatches_; }
+    std::uint64_t distinctRetiredPages() const
+    {
+        return retireCensus_.size();
+    }
     std::uint64_t packetsSent(Plane p) const
     {
         return sent_[static_cast<std::size_t>(p)];
@@ -164,9 +201,14 @@ class Auditor
     };
 
     std::unordered_map<Key, Flight, KeyHash> inFlight_;
+    /** Lifetime retire count per (tile, VPN), for the census hash. */
+    std::unordered_map<Key, std::uint64_t, KeyHash> retireCensus_;
     std::uint64_t inFlightTotal_ = 0;
     std::uint64_t issued_ = 0;
     std::uint64_t retired_ = 0;
+    std::function<std::optional<Pfn>(Vpn)> reference_;
+    std::uint64_t pfnChecks_ = 0;
+    std::uint64_t pfnMismatches_ = 0;
     std::uint64_t sent_[kNumPlanes] = {0, 0};
     std::uint64_t delivered_[kNumPlanes] = {0, 0};
     // Ordered maps: violation and diagnostic text comes out in tile

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "hdpat/cluster_map.hh"
 #include "hdpat/concentric_layers.hh"
 
 namespace hdpat
@@ -119,6 +120,40 @@ TEST(ConcentricLayersTest, RectangularWafer)
     for (int layer = 0; layer < 2; ++layer) {
         for (TileId t : layers.layerTiles(layer))
             EXPECT_EQ(topo.ringOf(t), layer + 1);
+    }
+}
+
+/**
+ * fig22 (12x7) and even (8x8) meshes: MeshTopology, ConcentricLayers
+ * and ClusterMap all agree on the same in-mesh center definition.
+ */
+TEST(ConcentricLayersTest, CenterConsistentAcrossUsers)
+{
+    for (const auto &[w, h] : {std::pair<int, int>{12, 7},
+                               std::pair<int, int>{8, 8}}) {
+        const MeshTopology topo = MeshTopology::wafer(w, h);
+        EXPECT_EQ(topo.cpuCoord(), meshCenter(w, h)) << w << "x" << h;
+        EXPECT_NE(topo.tileAt(topo.cpuCoord()), kInvalidTile);
+
+        // ConcentricLayers builds rings around the same tile: every
+        // ring-1 tile is Chebyshev-1 from meshCenter.
+        const ConcentricLayers layers(topo, 2);
+        for (TileId t : layers.layerTiles(0)) {
+            EXPECT_EQ(chebyshev(topo.coordOf(t), meshCenter(w, h)), 1)
+                << w << "x" << h << " tile " << t;
+        }
+
+        // ClusterMap (via DistributedGroups) splits on the same
+        // center column: tiles left of it are group 0, right group 1.
+        const DistributedGroups groups(layers);
+        for (int g : {0, 1}) {
+            for (TileId t : groups.groupTiles(g)) {
+                const Coord c = topo.coordOf(t);
+                if (c.x != meshCenter(w, h).x)
+                    EXPECT_EQ(g, c.x < meshCenter(w, h).x ? 0 : 1)
+                        << w << "x" << h << " tile " << t;
+            }
+        }
     }
 }
 

@@ -71,6 +71,88 @@ TEST(SystemConfigTest, ValidateRejectsBadConfigs)
     EXPECT_EXIT(cfg2.validate(), testing::ExitedWithCode(1), "page");
 }
 
+TEST(SystemConfigTest, AllPresetsValidate)
+{
+    for (const SystemConfig &cfg :
+         {SystemConfig::mi100(), SystemConfig::mi200(),
+          SystemConfig::mi300(), SystemConfig::h100(),
+          SystemConfig::h200(), SystemConfig::mi100Wafer7x12(),
+          SystemConfig::mcm4()}) {
+        EXPECT_TRUE(cfg.validationErrors().empty()) << cfg.name;
+    }
+}
+
+TEST(SystemConfigTest, ValidationErrorsNameTheField)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 0;
+    cfg.pageShift = 11;
+    cfg.issueWidth = 0;
+    cfg.computeScale = -1.0;
+    cfg.l2Tlb.sets = 0;
+    cfg.l2Tlb.mshrs = 0;
+    cfg.lastLevelTlb.ways = 0;
+    const auto errors = cfg.validationErrors();
+    const auto mentions = [&errors](const std::string &field) {
+        for (const std::string &e : errors) {
+            if (e.find(field) != std::string::npos)
+                return true;
+        }
+        return false;
+    };
+    EXPECT_TRUE(mentions("meshWidth"));
+    EXPECT_TRUE(mentions("pageShift"));
+    EXPECT_TRUE(mentions("issueWidth"));
+    EXPECT_TRUE(mentions("computeScale"));
+    EXPECT_TRUE(mentions("l2Tlb.sets"));
+    EXPECT_TRUE(mentions("l2Tlb.mshrs"));
+    EXPECT_TRUE(mentions("lastLevelTlb.ways"));
+}
+
+TEST(SystemConfigTest, SingleTileWaferIsRejected)
+{
+    SystemConfig cfg;
+    cfg.meshWidth = 1;
+    cfg.meshHeight = 1;
+    const auto errors = cfg.validationErrors();
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_NE(errors[0].find("no GPM"), std::string::npos)
+        << errors[0];
+}
+
+TEST(SystemConfigTest, PageShiftBoundsAreInclusive)
+{
+    SystemConfig cfg;
+    cfg.pageShift = 12;
+    EXPECT_TRUE(cfg.validationErrors().empty());
+    cfg.pageShift = 30;
+    EXPECT_TRUE(cfg.validationErrors().empty());
+    cfg.pageShift = 11;
+    EXPECT_FALSE(cfg.validationErrors().empty());
+    cfg.pageShift = 31;
+    EXPECT_FALSE(cfg.validationErrors().empty());
+}
+
+TEST(SystemConfigTest, ZeroLastLevelMshrsStayLegal)
+{
+    // The Table I default (lastLevelTlb.mshrs = 0) means "no MSHR
+    // bound" for the peer-filled level and must keep validating.
+    const SystemConfig cfg = SystemConfig::mi100();
+    ASSERT_EQ(cfg.lastLevelTlb.mshrs, 0u);
+    EXPECT_TRUE(cfg.validationErrors().empty());
+}
+
+TEST(TranslationPolicyTest, ValidationCatchesDegenerateKnobs)
+{
+    TranslationPolicy p = TranslationPolicy::hdpat();
+    EXPECT_TRUE(p.validationErrors().empty());
+    p.numClusters = 0;
+    p.concentricLayers = 0;
+    p.prefetchDegree = 0;
+    const auto errors = p.validationErrors();
+    EXPECT_EQ(errors.size(), 3u);
+}
+
 TEST(GpuPresetsTest, GenerationSweepIsPaperOrder)
 {
     const auto configs = gpuGenerationConfigs();

@@ -176,5 +176,114 @@ TEST_P(CuckooFpBitsTest, FalsePositiveRateBounded)
 INSTANTIATE_TEST_SUITE_P(FingerprintBits, CuckooFpBitsTest,
                          testing::Values(8u, 10u, 12u, 16u));
 
+// ---- Fuzz-found extremes -------------------------------------------------
+
+TEST(CuckooExtremesTest, TinyCapacitiesGetTwoBuckets)
+{
+    // Capacities 0..3 used to size down to a single bucket, where the
+    // alternate index equals the primary for every key and relocation
+    // kicks are futile. The floor of two buckets keeps the two-choice
+    // invariant; everything >= 4 is sized as before.
+    for (std::size_t capacity : {0u, 1u, 2u, 3u}) {
+        CuckooFilter filter(capacity);
+        EXPECT_EQ(filter.slotCount(),
+                  2 * CuckooFilter::kSlotsPerBucket)
+            << "capacity=" << capacity;
+        EXPECT_EQ(filter.size(), 0u);
+        EXPECT_FALSE(filter.contains(0x42));
+    }
+    EXPECT_EQ(CuckooFilter(4).slotCount(),
+              2 * CuckooFilter::kSlotsPerBucket);
+    // The default build (1 << 17 items) must be sized exactly as it
+    // always was: 65536 buckets of 4 slots.
+    EXPECT_EQ(CuckooFilter(std::size_t{1} << 17).slotCount(),
+              std::size_t{65536} * CuckooFilter::kSlotsPerBucket);
+}
+
+TEST(CuckooExtremesTest, CapacityZeroStillRoundTrips)
+{
+    CuckooFilter filter(0);
+    EXPECT_TRUE(filter.insert(0x1234));
+    EXPECT_TRUE(filter.contains(0x1234));
+    EXPECT_TRUE(filter.erase(0x1234));
+    EXPECT_FALSE(filter.erase(0x1234));
+    EXPECT_EQ(filter.size(), 0u);
+}
+
+TEST(CuckooExtremesTest, CapacityOneOverloadFailsCleanly)
+{
+    // 8 slots total; flooding far past that must eventually report
+    // insert failure (never crash or loop), and every item the filter
+    // accepted must still be found (no false negatives among kept
+    // items -- the dropped one is the final kick victim, which insert
+    // reports via its return value).
+    CuckooFilter filter(1);
+    bool sawFailure = false;
+    for (Vpn v = 1; v <= 64; ++v)
+        sawFailure |= !filter.insert(v);
+    EXPECT_TRUE(sawFailure);
+    EXPECT_LE(filter.size(), filter.slotCount());
+    EXPECT_GT(filter.stats().insertFailures, 0u);
+}
+
+TEST(CuckooExtremesTest, OneBitFingerprintsDegradeToOccupancyCheck)
+{
+    // At 1 bit the fp==0 -> 1 remap makes every stored fingerprint 1:
+    // the filter degenerates into "is either candidate bucket
+    // non-empty?". Still no false negatives, and erase of a never-
+    // inserted key can succeed only by design (shared fingerprints),
+    // never crash.
+    CuckooFilter filter(256, 1);
+    for (Vpn v = 0; v < 100; ++v)
+        ASSERT_TRUE(filter.insert(v));
+    for (Vpn v = 0; v < 100; ++v)
+        EXPECT_TRUE(filter.contains(v));
+    // With 100 of 64+ buckets occupied, false positives are rampant --
+    // that is the documented 1-bit bound, not a bug. Measure that the
+    // rate is sane rather than asserting an exact value.
+    int positives = 0;
+    for (Vpn v = 1000; v < 2000; ++v)
+        positives += filter.contains(v);
+    EXPECT_GT(positives, 0);
+}
+
+TEST(CuckooExtremesTest, SixteenBitFingerprintsMaskCorrectly)
+{
+    // fpBits_=16 exercises the full uint16 range: inserts must
+    // round-trip and the empty-slot sentinel (0) must never collide
+    // with a stored fingerprint.
+    CuckooFilter filter(4096, 16);
+    for (Vpn v = 0; v < 3000; ++v)
+        ASSERT_TRUE(filter.insert(v));
+    for (Vpn v = 0; v < 3000; ++v)
+        ASSERT_TRUE(filter.contains(v));
+    for (Vpn v = 0; v < 3000; ++v)
+        ASSERT_TRUE(filter.erase(v));
+    EXPECT_EQ(filter.size(), 0u);
+    for (Vpn v = 0; v < 3000; ++v)
+        EXPECT_FALSE(filter.contains(v))
+            << "residue after erase at vpn " << v;
+}
+
+TEST(CuckooExtremesTest, FingerprintOneBiasIsBoundedAndDocumented)
+{
+    // The fp==0 -> 1 remap doubles fingerprint 1's share of the key
+    // space (2 of 2^bits hash values). Verify the doubled-but-bounded
+    // claim empirically at 8 bits: a filter holding items should see a
+    // false-positive rate under ~3x the nominal 8/2^bits bound even
+    // with the bias folded in (the biased fingerprint is only one of
+    // 255).
+    CuckooFilter filter(4096, 8);
+    for (Vpn v = 0; v < 3000; ++v)
+        filter.insert(v);
+    int fp = 0;
+    const int probes = 50000;
+    for (int i = 0; i < probes; ++i)
+        fp += filter.contains(1000000 + static_cast<Vpn>(i));
+    const double rate = static_cast<double>(fp) / probes;
+    const double nominal = 8.0 / 256.0;
+    EXPECT_LT(rate, 3.0 * nominal) << "rate=" << rate;
+}
+
 } // namespace
 } // namespace hdpat

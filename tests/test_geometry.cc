@@ -27,6 +27,28 @@ TEST(GeometryTest, Chebyshev)
     EXPECT_EQ(chebyshev({5, 5}, {5, 5}), 0);
 }
 
+TEST(GeometryTest, MeshCenterIsAlwaysInMesh)
+{
+    // Odd dimensions: exact center.
+    EXPECT_EQ(meshCenter(7, 7), (Coord{3, 3}));
+    EXPECT_EQ(meshCenter(3, 3), (Coord{1, 1}));
+    // Even / rectangular (fig22 runs 12x7): upper-left of the central
+    // block, never out of bounds.
+    EXPECT_EQ(meshCenter(12, 7), (Coord{5, 3}));
+    EXPECT_EQ(meshCenter(8, 8), (Coord{3, 3}));
+    EXPECT_EQ(meshCenter(2, 2), (Coord{0, 0}));
+    EXPECT_EQ(meshCenter(1, 1), (Coord{0, 0}));
+    for (int w = 1; w <= 12; ++w) {
+        for (int h = 1; h <= 12; ++h) {
+            const Coord c = meshCenter(w, h);
+            ASSERT_GE(c.x, 0);
+            ASSERT_LT(c.x, w);
+            ASSERT_GE(c.y, 0);
+            ASSERT_LT(c.y, h);
+        }
+    }
+}
+
 TEST(GeometryTest, QuadrantsCoverAllDirections)
 {
     const Coord center{3, 3};
@@ -44,6 +66,40 @@ TEST(GeometryTest, AxisTilesGetDeterministicQuadrants)
     EXPECT_EQ(quadrantOf({2, 3}, center), 1);  // -x axis
     EXPECT_EQ(quadrantOf({3, 2}, center), 2);  // -y axis
     EXPECT_EQ(quadrantOf({4, 3}, center), 3);  // +x axis
+}
+
+TEST(GeometryTest, QuadrantBoundarySemanticsTable)
+{
+    const Coord center{3, 3};
+    struct Case
+    {
+        Coord c;
+        int quadrant;
+        const char *what;
+    };
+    const Case cases[] = {
+        // The center itself has a defined quadrant (0), not the
+        // fall-through quadrant 3 it used to land in.
+        {{3, 3}, 0, "center"},
+        // Axes: counter-clockwise assignment, pinned.
+        {{3, 4}, 0, "+y axis"},
+        {{3, 6}, 0, "+y axis far"},
+        {{2, 3}, 1, "-x axis"},
+        {{0, 3}, 1, "-x axis far"},
+        {{3, 2}, 2, "-y axis"},
+        {{3, 0}, 2, "-y axis far"},
+        {{4, 3}, 3, "+x axis"},
+        {{6, 3}, 3, "+x axis far"},
+        // Corners (diagonals) belong to their open quadrant.
+        {{4, 4}, 0, "+x+y corner"},
+        {{2, 4}, 1, "-x+y corner"},
+        {{2, 2}, 2, "-x-y corner"},
+        {{4, 2}, 3, "+x-y corner"},
+    };
+    for (const Case &tc : cases) {
+        EXPECT_EQ(quadrantOf(tc.c, center), tc.quadrant)
+            << tc.what << " (" << tc.c.x << "," << tc.c.y << ")";
+    }
 }
 
 TEST(GeometryTest, QuadrantsPartitionARing)

@@ -91,7 +91,7 @@ TEST(MeshTopologyTest, GpmTilesAreSortedAndUnique)
         EXPECT_LT(gpms[i - 1], gpms[i]);
 }
 
-/** Any odd mesh keeps the CPU exactly at the centre. */
+/** Every wafer puts the CPU at the shared meshCenter() definition. */
 class WaferSizeTest
     : public testing::TestWithParam<std::pair<int, int>>
 {
@@ -101,7 +101,9 @@ TEST_P(WaferSizeTest, CenterCpuAndFullGpmCount)
 {
     const auto [w, h] = GetParam();
     const MeshTopology topo = MeshTopology::wafer(w, h);
-    EXPECT_EQ(topo.cpuCoord(), (Coord{w / 2, h / 2}));
+    EXPECT_EQ(topo.cpuCoord(), meshCenter(w, h));
+    EXPECT_EQ(topo.cpuCoord(), (Coord{(w - 1) / 2, (h - 1) / 2}));
+    EXPECT_TRUE(topo.isActive(topo.cpuTile()));
     EXPECT_EQ(topo.numGpms(), static_cast<std::size_t>(w * h - 1));
 }
 
@@ -109,7 +111,23 @@ INSTANTIATE_TEST_SUITE_P(
     Sizes, WaferSizeTest,
     testing::Values(std::pair<int, int>{3, 3}, std::pair<int, int>{5, 5},
                     std::pair<int, int>{7, 7}, std::pair<int, int>{9, 7},
-                    std::pair<int, int>{12, 7}));
+                    std::pair<int, int>{12, 7}, std::pair<int, int>{8, 8},
+                    std::pair<int, int>{2, 2}, std::pair<int, int>{1, 2},
+                    std::pair<int, int>{12, 12}));
+
+TEST(MeshTopologyTest, EvenAndRectangularCentersAreInMesh)
+{
+    // fig22's wafer (12 wide, 7 tall): the CPU must be a real tile,
+    // not the off-by-one (6, 3) the old floor(w/2) placement chose on
+    // even widths.
+    const MeshTopology fig22 = MeshTopology::wafer(12, 7);
+    EXPECT_EQ(fig22.cpuCoord(), (Coord{5, 3}));
+    EXPECT_NE(fig22.tileAt(fig22.cpuCoord()), kInvalidTile);
+
+    const MeshTopology even = MeshTopology::wafer(8, 8);
+    EXPECT_EQ(even.cpuCoord(), (Coord{3, 3}));
+    EXPECT_NE(even.tileAt(even.cpuCoord()), kInvalidTile);
+}
 
 } // namespace
 } // namespace hdpat

@@ -161,6 +161,81 @@ TEST(AuditorTest, CatchesUndrainedQueue)
     EXPECT_NE(all.find("3"), std::string::npos) << all;
 }
 
+TEST(AuditorTest, PpnOracleCatchesWrongTranslation)
+{
+    Auditor auditor;
+    auditor.setReferenceTranslator([](Vpn vpn) -> std::optional<Pfn> {
+        if (vpn == 0x30) // Unmapped: the oracle must abstain.
+            return std::nullopt;
+        return vpn + 0x1000;
+    });
+
+    auditor.pfnResolved(2, 0x10, 0x1010, 100); // Correct.
+    auditor.pfnResolved(2, 0x30, 0xdead, 150); // Unmapped: no verdict.
+    auditor.pfnResolved(5, 0x20, 0xbeef, 200); // Wrong.
+    EXPECT_EQ(auditor.pfnChecks(), 3u);
+    EXPECT_EQ(auditor.pfnMismatches(), 1u);
+
+    const Auditor::Report report = auditor.finalize();
+    ASSERT_FALSE(report.ok);
+    const std::string all = joined(report);
+    EXPECT_NE(all.find("wrong PPN installed at tile 5"),
+              std::string::npos)
+        << all;
+    EXPECT_NE(all.find("vpn 0x20"), std::string::npos) << all;
+}
+
+TEST(AuditorTest, PpnOracleSilentWithoutReference)
+{
+    Auditor auditor;
+    auditor.pfnResolved(1, 0x10, 0xdead, 50);
+    EXPECT_EQ(auditor.pfnChecks(), 0u);
+    EXPECT_TRUE(auditor.finalize().ok);
+}
+
+TEST(AuditorTest, RetireCensusHashIsOrderIndependent)
+{
+    // Same multiset of (tile, vpn) retires in two different orders,
+    // including a repeated retire of the same page, must digest
+    // identically; a different multiset must not.
+    Auditor a;
+    a.opIssued(1, 0x10, 0);
+    a.opIssued(2, 0x20, 0);
+    a.opIssued(1, 0x10, 0);
+    a.opRetired(1, 0x10, 10);
+    a.opRetired(2, 0x20, 20);
+    a.opRetired(1, 0x10, 30);
+
+    Auditor b;
+    b.opIssued(2, 0x20, 0);
+    b.opIssued(1, 0x10, 0);
+    b.opIssued(1, 0x10, 0);
+    b.opRetired(2, 0x20, 5);
+    b.opRetired(1, 0x10, 15);
+    b.opRetired(1, 0x10, 25);
+
+    EXPECT_EQ(a.retireCensusHash(), b.retireCensusHash());
+    EXPECT_NE(a.retireCensusHash(), 0u);
+
+    Auditor c; // One fewer retire of (1, 0x10).
+    c.opIssued(1, 0x10, 0);
+    c.opIssued(2, 0x20, 0);
+    c.opRetired(1, 0x10, 10);
+    c.opRetired(2, 0x20, 20);
+    EXPECT_NE(a.retireCensusHash(), c.retireCensusHash());
+
+    // Swapping which tile retired a page is a routing bug the plain
+    // issued/retired totals would miss; the census must see it.
+    Auditor d;
+    d.opIssued(1, 0x20, 0);
+    d.opIssued(2, 0x10, 0);
+    d.opIssued(1, 0x10, 0);
+    d.opRetired(1, 0x20, 10);
+    d.opRetired(2, 0x10, 20);
+    d.opRetired(1, 0x10, 30);
+    EXPECT_NE(a.retireCensusHash(), d.retireCensusHash());
+}
+
 TEST(AuditorSystemTest, FullRunAuditsGreen)
 {
     System sys(smallConfig(), TranslationPolicy::hdpat());

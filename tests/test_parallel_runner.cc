@@ -108,6 +108,10 @@ expectSameResult(const RunResult &a, const RunResult &b)
     EXPECT_EQ(a.probesReceivedTotal, b.probesReceivedTotal);
     EXPECT_EQ(a.probeHitsTotal, b.probeHitsTotal);
     EXPECT_EQ(a.pushesReceivedTotal, b.pushesReceivedTotal);
+    EXPECT_EQ(a.auditIssued, b.auditIssued);
+    EXPECT_EQ(a.auditRetired, b.auditRetired);
+    EXPECT_EQ(a.auditPfnChecks, b.auditPfnChecks);
+    EXPECT_EQ(a.auditRetireCensusHash, b.auditRetireCensusHash);
 
     EXPECT_EQ(a.iommu.requestsReceived, b.iommu.requestsReceived);
     EXPECT_EQ(a.iommu.redirectsSent, b.iommu.redirectsSent);
