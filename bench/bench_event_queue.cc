@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark comparison of the two EventQueue implementations
+ * (calendar wheel vs legacy binary heap) at the delta mixes the
+ * simulator actually generates:
+ *
+ *  - hot mix: the handful of short fixed deltas that dominate event
+ *    traffic (NoC hop latency, TLB/IOMMU pipeline stages, HBM
+ *    latency), with same-tick pileups,
+ *  - deep steady state: schedule/pop churn against a large pending
+ *    population, where heap sift depth (and its 136-byte entry moves)
+ *    is at its worst,
+ *  - far future: observer-style deltas beyond the wheel width, the
+ *    calendar queue's overflow tier.
+ *
+ * Each benchmark reports items/s where an item is one schedule+pop
+ * pair. perf_snapshot.sh records the suite into BENCH_micro.json.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstddef>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+EventQueueImpl
+implArg(const benchmark::State &state)
+{
+    return state.range(0) == 0 ? EventQueueImpl::Calendar
+                               : EventQueueImpl::Heap;
+}
+
+void
+setImplLabel(benchmark::State &state)
+{
+    state.SetLabel(eventQueueImplName(implArg(state)));
+}
+
+/** The simulator's short fixed deltas, weighted toward NoC hops. */
+constexpr std::array<Tick, 8> kHotDeltas = {1, 1, 2, 3, 4, 12, 40, 160};
+
+/**
+ * Hot mix at a modest pending population: schedule a burst with the
+ * fixed short deltas (plus same-tick ties), then drain it, as the
+ * engine does around each dispatched event.
+ */
+void
+BM_EventQueueHotMix(benchmark::State &state)
+{
+    setImplLabel(state);
+    EventQueue q(implArg(state));
+    q.reserve(1024);
+    Rng rng(42);
+    Tick now = 0;
+    for (auto _ : state) {
+        (void)_;
+        for (int i = 0; i < 64; ++i) {
+            const Tick delta = rng.chance(0.15)
+                                   ? 0
+                                   : kHotDeltas[rng.uniformInt(
+                                         kHotDeltas.size())];
+            q.schedule(now + delta, [] {});
+        }
+        for (int i = 0; i < 64; ++i) {
+            q.pop(now)();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueHotMix)->Arg(0)->Arg(1);
+
+/**
+ * Steady-state churn against a deep pending population (the wafer at
+ * full tilt: every GPM's outstanding window in flight). One schedule
+ * + one pop per item keeps the population constant, so the heap works
+ * at its full sift depth while the wheel stays O(1).
+ */
+void
+BM_EventQueueDeepSteadyState(benchmark::State &state)
+{
+    setImplLabel(state);
+    const std::size_t population =
+        static_cast<std::size_t>(state.range(1));
+    EventQueue q(implArg(state));
+    q.reserve(population + 64);
+    Rng rng(7);
+    Tick now = 0;
+    for (std::size_t i = 0; i < population; ++i)
+        q.schedule(now + kHotDeltas[rng.uniformInt(kHotDeltas.size())],
+                   [] {});
+    for (auto _ : state) {
+        (void)_;
+        q.pop(now)();
+        q.schedule(now + kHotDeltas[rng.uniformInt(kHotDeltas.size())],
+                   [] {});
+    }
+    state.SetItemsProcessed(state.iterations());
+    q.clear();
+}
+BENCHMARK(BM_EventQueueDeepSteadyState)
+    ->Args({0, 4096})
+    ->Args({1, 4096})
+    ->Args({0, 32768})
+    ->Args({1, 32768});
+
+/**
+ * Far-future traffic: observer-style deltas beyond the 4096-tick
+ * wheel, so every calendar event rides the overflow min-heap. This is
+ * the calendar queue's worst case; it must stay within a small factor
+ * of the legacy heap, which handles all deltas identically.
+ */
+void
+BM_EventQueueFarFuture(benchmark::State &state)
+{
+    setImplLabel(state);
+    EventQueue q(implArg(state));
+    q.reserve(1024);
+    Rng rng(99);
+    Tick now = 0;
+    for (auto _ : state) {
+        (void)_;
+        for (int i = 0; i < 64; ++i)
+            q.schedule(now + 5000 + rng.uniformInt(2'000'000), [] {});
+        for (int i = 0; i < 64; ++i)
+            q.pop(now)();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueFarFuture)->Arg(0)->Arg(1);
+
+} // namespace
+} // namespace hdpat
+
+BENCHMARK_MAIN();

@@ -45,6 +45,8 @@ struct Options
     std::string outDir = "fuzz-failures";
     unsigned timeoutSeconds = 60;
     std::vector<std::string> replays;
+    /** -1 = leave each case's heapEventQueue field alone. */
+    int forceHeapEventQueue = -1;
 };
 
 void
@@ -60,7 +62,10 @@ usage(const char *argv0)
         << "                 (default fuzz-failures; created lazily)\n"
         << "  --timeout SEC  per-case wall-clock budget (default 60)\n"
         << "  --replay FILE  run a .fuzzcase file instead of sampling\n"
-        << "                 (repeatable; skips the random sweep)\n";
+        << "                 (repeatable; skips the random sweep)\n"
+        << "  --eventq IMPL  force every case onto one event-queue\n"
+        << "                 implementation (heap | calendar); default\n"
+        << "                 is each case's own heapEventQueue field\n";
     std::exit(1);
 }
 
@@ -86,10 +91,27 @@ parseArgs(int argc, char **argv)
                 static_cast<unsigned>(std::atoi(value(i)));
         else if (arg == "--replay")
             opt.replays.emplace_back(value(i));
-        else
+        else if (arg == "--eventq") {
+            const std::string impl = value(i);
+            if (impl == "heap")
+                opt.forceHeapEventQueue = 1;
+            else if (impl == "calendar")
+                opt.forceHeapEventQueue = 0;
+            else
+                usage(argv[0]);
+        } else
             usage(argv[0]);
     }
     return opt;
+}
+
+/** Apply --eventq to one case (no-op when the flag is absent). */
+FuzzCase
+withEventQueueChoice(FuzzCase c, const Options &opt)
+{
+    if (opt.forceHeapEventQueue >= 0)
+        c.heapEventQueue = opt.forceHeapEventQueue;
+    return c;
 }
 
 /** Write one reproducer; returns the path ("" on failure). */
@@ -158,8 +180,8 @@ replayFiles(const Options &opt)
             ++failures;
             continue;
         }
-        const FuzzOutcome outcome =
-            runFuzzCase(*c, opt.timeoutSeconds);
+        const FuzzOutcome outcome = runFuzzCase(
+            withEventQueueChoice(*c, opt), opt.timeoutSeconds);
         std::cout << path << ": " << fuzzOutcomeKindName(outcome.kind)
                   << "\n";
         if (!outcome.ok()) {
@@ -186,7 +208,8 @@ main(int argc, char **argv)
     Rng rng(opt.seed);
     int findings = 0;
     for (int i = 0; i < opt.runs; ++i) {
-        const FuzzCase c = sampleFuzzCase(rng);
+        const FuzzCase c =
+            withEventQueueChoice(sampleFuzzCase(rng), opt);
         const FuzzOutcome outcome = runFuzzCase(c, opt.timeoutSeconds);
         if (outcome.ok()) {
             if ((i + 1) % 20 == 0)

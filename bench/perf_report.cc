@@ -138,14 +138,61 @@ diff(const std::string &baseline_path, const std::string &fresh_path)
     return 0;
 }
 
+/**
+ * CI gate: fail (exit 1) when @p section's fresh nanos-per-call
+ * exceeds the baseline's by more than @p max_regress_pct percent.
+ * Per-call time is the right unit for a noisy runner: it is
+ * insensitive to how many events the fixed-seed run happens to
+ * execute, and the threshold absorbs machine-to-machine variance.
+ */
+int
+check(const char *section, const std::string &pct_text,
+      const std::string &baseline_path, const std::string &fresh_path)
+{
+    const double max_regress_pct = std::stod(pct_text);
+    const JsonValue baseline_doc = parseJsonFileOrDie(baseline_path);
+    const JsonValue fresh_doc = parseJsonFileOrDie(fresh_path);
+    const SectionTotals b =
+        sectionOf(profileOf(baseline_doc, baseline_path), section);
+    const SectionTotals f =
+        sectionOf(profileOf(fresh_doc, fresh_path), section);
+    if (b.calls == 0 || f.calls == 0) {
+        std::cerr << "error: section \"" << section
+                  << "\" missing or empty (baseline calls=" << b.calls
+                  << ", fresh calls=" << f.calls << ")\n";
+        return 1;
+    }
+    const double base_per_call =
+        static_cast<double>(b.nanos) / static_cast<double>(b.calls);
+    const double fresh_per_call =
+        static_cast<double>(f.nanos) / static_cast<double>(f.calls);
+    const double delta_pct =
+        (fresh_per_call / base_per_call - 1.0) * 100.0;
+    std::cout << section << ": baseline " << fmt(base_per_call, 0)
+              << " ns/call (" << b.calls << " calls), fresh "
+              << fmt(fresh_per_call, 0) << " ns/call (" << f.calls
+              << " calls), delta " << fmt(delta_pct, 1)
+              << "% (limit +" << fmt(max_regress_pct, 0) << "%)\n";
+    if (delta_pct > max_regress_pct) {
+        std::cerr << "error: " << section
+                  << " regressed beyond the budget\n";
+        return 1;
+    }
+    return 0;
+}
+
 void
 usage()
 {
     std::cerr
         << "usage: perf_report --extract METRICS.json\n"
            "       perf_report --baseline BENCH.json METRICS.json\n"
+           "       perf_report --check SECTION MAX_PCT BENCH.json "
+           "METRICS.json\n"
            "Reads the \"profile\" section the host self-profiler "
-           "exports (--profile / HDPAT_PROFILE=1).\n";
+           "exports (--profile / HDPAT_PROFILE=1). --check exits "
+           "nonzero when SECTION's ns/call regressed more than "
+           "MAX_PCT percent vs the baseline.\n";
     std::exit(1);
 }
 
@@ -158,6 +205,8 @@ main(int argc, char **argv)
         return extract(argv[2]);
     if (argc == 4 && std::strcmp(argv[1], "--baseline") == 0)
         return diff(argv[2], argv[3]);
+    if (argc == 6 && std::strcmp(argv[1], "--check") == 0)
+        return check(argv[2], argv[3], argv[4], argv[5]);
     usage();
     return 1;
 }

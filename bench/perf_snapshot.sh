@@ -21,10 +21,11 @@ BIN="$BUILD_DIR/bench/fig14_overall"
 CLI="$BUILD_DIR/examples/hdpat_cli"
 REPORT="$BUILD_DIR/bench/perf_report"
 MICRO="$BUILD_DIR/bench/micro_substrates"
+EVENTQ="$BUILD_DIR/bench/bench_event_queue"
 MICRO_OUT="${MICRO_OUT:-BENCH_micro.json}"
 CORES="$(nproc)"
 
-for tool in "$BIN" "$CLI" "$REPORT" "$MICRO"; do
+for tool in "$BIN" "$CLI" "$REPORT" "$MICRO" "$EVENTQ"; do
     if [ ! -x "$tool" ]; then
         echo "error: $tool not found (build first: cmake --build $BUILD_DIR -j)" >&2
         exit 1
@@ -56,17 +57,31 @@ OVERHEAD_PCT="$(awk -v s="$SERIAL" -v p="$PROFILED" \
     'BEGIN { printf "%.1f", (s > 0 ? (p / s - 1) * 100 : 0) }')"
 
 # Per-subsystem profile of one representative profiled run, embedded
-# for perf_report --baseline.
+# for perf_report --baseline and the CI --check gate. An unprofiled
+# warm-up of the same command first, so first-touch costs don't land
+# in the recorded per-call times (CI's perf-smoke step warms up the
+# same way before it measures).
 PROFILE_TMP="$(mktemp --suffix=.json)"
 trap 'rm -f "$PROFILE_TMP"' EXIT
+"$CLI" --workload SPMV --policy hdpat --ops "$OPS" > /dev/null
 HDPAT_PROFILE=1 HDPAT_METRICS_JSON="$PROFILE_TMP" \
     "$CLI" --workload SPMV --policy hdpat --ops "$OPS" --profile \
     > /dev/null
 PROFILE_JSON="$("$REPORT" --extract "$PROFILE_TMP")"
 
-# Substrate micro-benchmarks (TLB, cuckoo filter, event queue, ...).
-"$MICRO" --benchmark_format=json --benchmark_out="$MICRO_OUT" \
+# Substrate micro-benchmarks (TLB, cuckoo filter, event queue, ...),
+# plus the calendar-vs-heap event-queue head-to-head, merged into one
+# record (the benchmarks arrays concatenate; context comes from the
+# substrate run).
+SUBSTRATE_TMP="$(mktemp --suffix=.json)"
+EVENTQ_TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "$PROFILE_TMP" "$SUBSTRATE_TMP" "$EVENTQ_TMP"' EXIT
+"$MICRO" --benchmark_format=json --benchmark_out="$SUBSTRATE_TMP" \
     --benchmark_out_format=json > /dev/null
+"$EVENTQ" --benchmark_format=json --benchmark_out="$EVENTQ_TMP" \
+    --benchmark_out_format=json > /dev/null
+jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
+    "$SUBSTRATE_TMP" "$EVENTQ_TMP" > "$MICRO_OUT"
 echo "wrote micro-benchmark record to $MICRO_OUT" >&2
 
 cat <<EOF

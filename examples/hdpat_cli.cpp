@@ -240,6 +240,10 @@ parse(int argc, char **argv)
                    "--spatial-csv\n"
                    "  HDPAT_PROFILE=1          default for --profile\n"
                    "  HDPAT_JOBS=N             default for --jobs\n"
+                   "  HDPAT_EVENTQ=IMPL        event queue: calendar "
+                   "(default) or heap (legacy; same results)\n"
+                   "  HDPAT_STREAM_CACHE=0     disable the shared "
+                   "workload stream cache (same results)\n"
                    "  HDPAT_BENCH_SCALE=F      multiply bench op "
                    "counts by F\n"
                    "  HDPAT_LOG=LEVEL          log level: error, "

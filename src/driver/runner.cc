@@ -165,7 +165,20 @@ runOnce(const RunSpec &spec)
     auto workload = makeWorkload(spec.workload, spec.footprintScale);
     const std::size_t ops =
         spec.opsPerGpm ? spec.opsPerGpm : defaultOpsPerGpm();
-    system.loadWorkload(*workload, ops, spec.seed);
+    // Sweeps re-run the same key against many policies/configs; the
+    // shared cache generates each stream once and replays it. Timed
+    // under workload_gen so the profile keeps charging generation
+    // (cold) or replay setup (warm) to the same section.
+    std::shared_ptr<const StreamTable> streams;
+    if (streamCacheEnabled()) {
+        const ProfScope prof(system.profiler(),
+                             ProfSection::WorkloadGen);
+        streams = WorkloadStreamCache::shared().get(
+            StreamKey{spec.workload, spec.footprintScale, ops,
+                      spec.seed, system.numGpms(),
+                      spec.config.pageShift});
+    }
+    system.loadWorkload(*workload, ops, spec.seed, std::move(streams));
     RunResult result = system.run();
 
     if (!spec.obs.spatialCsvPath.empty()) {

@@ -144,6 +144,20 @@ System::registerMetrics()
                 merged.merge(g->stats().remoteRtt);
             return merged;
         }));
+
+    // Event-engine load: lifetime schedule count and the most events
+    // pending at once. The high-water gauge is what sizes
+    // EventQueue::reserve() in loadWorkload -- exporting it makes the
+    // estimate auditable from any metrics JSON.
+    registry_.addCounter("engine.events_scheduled",
+                         MetricRegistry::CounterFn([this] {
+                             return engine_.scheduledEvents();
+                         }));
+    registry_.addGauge("engine.pending_events_hwm",
+                       MetricRegistry::GaugeFn([this] {
+                           return static_cast<double>(
+                               engine_.pendingEventsHighWater());
+                       }));
 }
 
 void
@@ -250,8 +264,20 @@ void
 System::loadWorkload(Workload &workload, std::size_t ops_per_gpm,
                      std::uint64_t seed)
 {
+    loadWorkload(workload, ops_per_gpm, seed, nullptr);
+}
+
+void
+System::loadWorkload(Workload &workload, std::size_t ops_per_gpm,
+                     std::uint64_t seed,
+                     std::shared_ptr<const StreamTable> streams)
+{
     const ProfScope prof(profiler_.get(), ProfSection::WorkloadGen);
     hdpat_fatal_if(loaded_, "System::loadWorkload called twice");
+    hdpat_fatal_if(streams && streams->numGpms() != gpms_.size(),
+                   "stream table built for "
+                       << streams->numGpms() << " GPMs, system has "
+                       << gpms_.size());
     loaded_ = true;
     workloadName_ = workload.info().abbr;
 
@@ -269,15 +295,31 @@ System::loadWorkload(Workload &workload, std::size_t ops_per_gpm,
             gpm->seedLocalPages(it->second);
     }
 
+    const double rate = workload.info().opsPerCycle * cfg_.computeScale;
+    const int window = static_cast<int>(workload.info().maxOutstanding *
+                                        cfg_.computeScale);
     for (std::size_t i = 0; i < gpms_.size(); ++i) {
-        gpms_[i]->setWork(workload.streamFor(i, gpms_.size(),
-                                             ops_per_gpm, seed));
-        const double rate =
-            workload.info().opsPerCycle * cfg_.computeScale;
-        const int window = static_cast<int>(
-            workload.info().maxOutstanding * cfg_.computeScale);
+        if (streams) {
+            gpms_[i]->setWork(
+                std::make_unique<ReplayStream>(streams, i));
+        } else {
+            gpms_[i]->setWork(workload.streamFor(i, gpms_.size(),
+                                                 ops_per_gpm, seed));
+        }
         gpms_[i]->setIssueParams(rate, window);
     }
+
+    // Pre-size the event queue for the audited steady state: each GPM
+    // keeps up to its outstanding window in flight plus an issue
+    // self-event, and every in-flight op contributes at most one
+    // pending event (hop, pipeline stage, or completion) at a time.
+    // The observers (heartbeat, watchdog, sampler) and IOMMU batching
+    // ride in the slack. Suite-wide, the recorded
+    // engine.pending_events_hwm gauge stays below this estimate, so
+    // steady-state scheduling never allocates.
+    const std::size_t per_gpm =
+        static_cast<std::size_t>(std::max(window, 1)) + 2;
+    engine_.reserveEvents(gpms_.size() * per_gpm + 64);
 }
 
 std::size_t

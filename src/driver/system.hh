@@ -42,6 +42,7 @@
 #include "obs/trace.hh"
 #include "obs/watchdog.hh"
 #include "sim/engine.hh"
+#include "workloads/stream_cache.hh"
 #include "workloads/workload.hh"
 
 namespace hdpat
@@ -63,6 +64,17 @@ class System
      */
     void loadWorkload(Workload &workload, std::size_t ops_per_gpm,
                       std::uint64_t seed);
+
+    /**
+     * Same, but replay @p streams (a memoized table from the
+     * WorkloadStreamCache) instead of generating addresses. The system
+     * takes a shared const view -- the table outlives the run and is
+     * safely shared with concurrent runs of the same key. @p workload
+     * still performs the buffer allocation (page-table state, homes).
+     */
+    void loadWorkload(Workload &workload, std::size_t ops_per_gpm,
+                      std::uint64_t seed,
+                      std::shared_ptr<const StreamTable> streams);
 
     /** Record the (tick, VPN) stream arriving at the IOMMU. */
     void setCaptureIommuTrace(bool on) { iommu_->setCaptureTrace(on); }

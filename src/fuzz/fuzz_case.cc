@@ -55,6 +55,7 @@ forEachNumericField(Case &c, F &&f)
     f("concurrentProbes", c.concurrentProbes);
     f("opsPerGpm", c.opsPerGpm);
     f("seed", c.seed);
+    f("heapEventQueue", c.heapEventQueue);
 }
 
 /** Negative sampled values target signed config fields; for unsigned

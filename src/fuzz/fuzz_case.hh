@@ -65,6 +65,12 @@ struct FuzzCase
     std::int64_t opsPerGpm = 200;
     std::int64_t seed = 0x5eed;
 
+    // ---- Harness -----------------------------------------------------
+    /** Run the case under the legacy heap event queue (HDPAT_EVENTQ)
+     *  instead of the calendar queue, so the differential oracles
+     *  cover both orderings of the same simulation. */
+    std::int64_t heapEventQueue = 0;
+
     /** Build the RunSpec this case describes (audit left off; the
      *  harness decides observability). */
     RunSpec toSpec() const;

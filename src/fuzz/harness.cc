@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <vector>
 
@@ -69,8 +70,15 @@ sameCounts(const RunResult &a, const RunResult &b, const char *what,
  * violations panic (abort) inside System::run.
  */
 [[noreturn]] void
-childRun(const RunSpec &spec)
+childRun(const RunSpec &spec, bool heap_event_queue)
 {
+    // The event-queue choice is process-wide (every Engine in this
+    // child reads HDPAT_EVENTQ at construction), so the three oracle
+    // runs below all use the selected implementation -- and their
+    // counts must match the corpus and census expectations that were
+    // recorded under the other one.
+    setenv("HDPAT_EVENTQ", heap_event_queue ? "heap" : "calendar", 1);
+
     // Oracle 2: one audited, watchdogged run. The auditor carries the
     // PPN reference translator, so every installed translation is
     // checked against the page table no matter which policy path
@@ -181,7 +189,7 @@ runFuzzCase(const FuzzCase &c, unsigned timeout_seconds)
         if (devnull >= 0)
             dup2(devnull, STDOUT_FILENO);
         alarm(timeout_seconds);
-        childRun(spec);
+        childRun(spec, c.heapEventQueue != 0);
     }
 
     close(fds[1]);

@@ -91,6 +91,11 @@ sampleFuzzCase(Rng &rng)
     c.opsPerGpm = static_cast<std::int64_t>(rng.uniformRange(60, 320));
     c.seed = static_cast<std::int64_t>(rng.next() & 0x7fffffffffffffffull);
 
+    // Half the cases run on the legacy heap event queue, so the
+    // retire-census and runMany differentials exercise both queue
+    // implementations across the whole sampled config space.
+    c.heapEventQueue = rng.chance(0.5);
+
     return c;
 }
 

@@ -75,6 +75,29 @@ class Engine
     /** Total events executed so far. */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /** Total events ever scheduled (lifetime; survives reset). */
+    std::uint64_t scheduledEvents() const
+    {
+        return queue_.scheduledCount();
+    }
+
+    /** Most events pending at once so far (lifetime high-water mark). */
+    std::size_t pendingEventsHighWater() const
+    {
+        return queue_.pendingHighWater();
+    }
+
+    /**
+     * Pre-size the event queue for @p n simultaneously pending events
+     * so steady-state scheduling below that mark never allocates.
+     * System::loadWorkload calls this with its audited high-water
+     * estimate before the first event fires.
+     */
+    void reserveEvents(std::size_t n) { queue_.reserve(n); }
+
+    /** Ordering structure the queue runs on (HDPAT_EVENTQ). */
+    EventQueueImpl queueImpl() const { return queue_.impl(); }
+
     /**
      * Observer-event bookkeeping. Self-rescheduling observers (the
      * heartbeat, the stall watchdog, the spatial sampler) must not

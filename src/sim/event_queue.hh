@@ -5,11 +5,35 @@
  * Events are arbitrary callbacks scheduled at an absolute tick. Events
  * scheduled for the same tick execute in scheduling order (FIFO), which
  * keeps simulations deterministic for a fixed seed.
+ *
+ * Two implementations share the EventQueue interface and are provably
+ * pop-order identical (the shadow-queue differential tests assert it):
+ *
+ *  - Calendar (default): a bucketed timing wheel for near-future events
+ *    backed by an overflow min-heap for far-future ones. Nearly every
+ *    event the simulator schedules uses one of a handful of small fixed
+ *    deltas (NoC hop latency, TLB/IOMMU pipeline stages, HBM latency),
+ *    so schedule and pop are O(1) appends/removals on a per-tick FIFO
+ *    bucket. Callback storage lives in a stable slab of slots reused
+ *    through a free list -- the 136-byte EventFn payload is written
+ *    once and never moved by the ordering structure, and steady-state
+ *    scheduling performs no heap allocation.
+ *  - Heap: the original binary min-heap of whole entries, kept as the
+ *    differential reference and selectable with HDPAT_EVENTQ=heap.
+ *
+ * Determinism contract (both implementations): pops come in
+ * nondecreasing (tick, seq) order where seq is the schedule order, so
+ * same-tick events fire FIFO. The calendar keeps this without merging
+ * structures because an overflow event at tick T was necessarily
+ * scheduled at an earlier simulated time than any bucket event at T
+ * (it was out of the wheel's horizon then), hence always has the
+ * smaller seq -- popping overflow-first on tick ties is exact.
  */
 
 #ifndef HDPAT_SIM_EVENT_QUEUE_HH
 #define HDPAT_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,8 +44,26 @@
 namespace hdpat
 {
 
+/** Which ordering structure an EventQueue uses. */
+enum class EventQueueImpl : std::uint8_t
+{
+    Calendar, ///< Timing wheel + overflow heap (default).
+    Heap,     ///< Legacy binary min-heap (differential reference).
+};
+
+/** Printable name ("calendar" / "heap"). */
+const char *eventQueueImplName(EventQueueImpl impl);
+
 /**
- * A binary min-heap of (tick, sequence) ordered events.
+ * Process default from the HDPAT_EVENTQ environment variable:
+ * "heap" selects the legacy min-heap, anything else (or unset) the
+ * calendar queue. Read per call so a harness (the fuzzer, the
+ * differential tests) can flip it between Engine constructions.
+ */
+EventQueueImpl defaultEventQueueImpl();
+
+/**
+ * A (tick, sequence) ordered queue of events.
  *
  * The sequence number breaks ties so that same-tick events fire in the
  * order they were scheduled.
@@ -29,10 +71,14 @@ namespace hdpat
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    explicit EventQueue(EventQueueImpl impl = defaultEventQueueImpl());
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** The ordering structure this instance runs on. */
+    EventQueueImpl impl() const { return impl_; }
 
     /**
      * Schedule @p fn to run at absolute time @p when.
@@ -43,10 +89,10 @@ class EventQueue
     void schedule(Tick when, EventFn fn);
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Tick of the earliest pending event; kTickNever when empty. */
     Tick nextTick() const;
@@ -63,18 +109,88 @@ class EventQueue
     /**
      * Discard all pending events. The same-tick tie-break sequence
      * restarts, but scheduledCount() keeps counting: it reports the
-     * lifetime total, which a reset must not rewind.
+     * lifetime total, which a reset must not rewind. The pending
+     * high-water mark survives too.
      */
     void clear();
 
-    /** Grow the heap's backing storage ahead of a known burst. */
-    void reserve(std::size_t n) { heap_.reserve(n); }
+    /**
+     * Pre-size the backing storage (callback slab, overflow heap, or
+     * legacy heap vector) for @p n simultaneously pending events, so
+     * steady-state scheduling below that mark never allocates.
+     */
+    void reserve(std::size_t n);
 
     /** Total number of events ever scheduled (statistics). */
     std::uint64_t scheduledCount() const { return lifetimeScheduled_; }
 
+    /** Most events ever pending at once (lifetime; survives clear). */
+    std::size_t pendingHighWater() const { return highWater_; }
+
   private:
-    struct Entry
+    // ---- Calendar tier --------------------------------------------------
+
+    /** Wheel size in single-tick buckets; deltas below this are O(1). */
+    static constexpr std::size_t kNumBuckets = 4096;
+    static constexpr std::uint64_t kBucketMask = kNumBuckets - 1;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    /**
+     * One pending event. Slots live in a slab indexed by the wheel and
+     * the overflow heap; the EventFn is written at schedule and moved
+     * out at pop, never relocated in between (slab growth aside).
+     */
+    struct Slot
+    {
+        EventFn fn;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        /** Bucket FIFO chain / free-list link. */
+        std::uint32_t next = kNoSlot;
+    };
+
+    /** Overflow heap entry: ordering fields only, payload in the slab. */
+    struct OverflowRef
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    std::uint32_t allocSlot();
+    void growSlab(std::size_t wanted);
+    void setBucketBit(std::size_t bucket);
+    void clearBucketBit(std::size_t bucket);
+    /** First occupied bucket at or circularly after lastPop_. */
+    std::size_t nextOccupiedBucket() const;
+    void overflowSiftUp(std::size_t idx);
+    void overflowSiftDown(std::size_t idx);
+
+    void scheduleCalendar(Tick when, EventFn fn);
+    EventFn popCalendar(Tick &when);
+    Tick nextTickCalendar() const;
+    void clearCalendar();
+
+    std::vector<Slot> slots_;
+    std::uint32_t freeHead_ = kNoSlot;
+    std::vector<std::uint32_t> bucketHead_;
+    std::vector<std::uint32_t> bucketTail_;
+    /** One bit per bucket, plus a bit-per-word summary for the scan. */
+    std::array<std::uint64_t, kNumBuckets / 64> occupied_{};
+    std::uint64_t occupiedSummary_ = 0;
+    std::vector<OverflowRef> overflow_;
+    std::size_t calendarCount_ = 0;
+    /**
+     * Tick of the most recent pop: the wheel covers
+     * [lastPop_, lastPop_ + kNumBuckets). All pending events are
+     * >= lastPop_ (the engine never schedules into the past), so the
+     * window maps injectively onto the buckets.
+     */
+    Tick lastPop_ = 0;
+
+    // ---- Legacy heap tier -----------------------------------------------
+
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
@@ -82,12 +198,20 @@ class EventQueue
     };
 
     /** Heap ordering: earliest tick first, then scheduling order. */
-    static bool later(const Entry &a, const Entry &b);
+    static bool later(const HeapEntry &a, const HeapEntry &b);
 
-    void siftUp(std::size_t idx);
-    void siftDown(std::size_t idx);
+    void heapSiftUp(std::size_t idx);
+    void heapSiftDown(std::size_t idx);
+    void scheduleHeap(Tick when, EventFn fn);
+    EventFn popHeap(Tick &when);
 
-    std::vector<Entry> heap_;
+    std::vector<HeapEntry> heap_;
+
+    // ---- Shared ---------------------------------------------------------
+
+    EventQueueImpl impl_;
+    std::size_t size_ = 0;
+    std::size_t highWater_ = 0;
     /** Tie-break for same-tick FIFO order; restarts on clear(). */
     std::uint64_t nextSeq_ = 0;
     /** Lifetime schedule count; survives clear(). */

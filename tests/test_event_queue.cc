@@ -1,8 +1,12 @@
 /**
  * @file
  * Unit tests for the discrete-event queue: ordering, same-tick FIFO,
- * heap integrity under randomized load, and the no-allocation
- * guarantee of the small-buffer callback on the schedule/pop hot path.
+ * structural integrity under randomized load, and the no-allocation
+ * guarantee of the schedule/pop hot path. Every behavioral test is
+ * parameterized over both implementations (calendar wheel and legacy
+ * heap); the shadow-queue test drives both side by side and asserts
+ * identical pop order, which is the determinism contract the calendar
+ * queue must uphold.
  */
 
 #include <algorithm>
@@ -82,17 +86,22 @@ namespace hdpat
 namespace
 {
 
-TEST(EventQueueTest, StartsEmpty)
+class EventQueueImplTest
+    : public ::testing::TestWithParam<EventQueueImpl>
 {
-    EventQueue q;
+};
+
+TEST_P(EventQueueImplTest, StartsEmpty)
+{
+    EventQueue q(GetParam());
     EXPECT_TRUE(q.empty());
     EXPECT_EQ(q.size(), 0u);
     EXPECT_EQ(q.nextTick(), kTickNever);
 }
 
-TEST(EventQueueTest, PopsInTickOrder)
+TEST_P(EventQueueImplTest, PopsInTickOrder)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     std::vector<int> order;
     q.schedule(30, [&] { order.push_back(3); });
     q.schedule(10, [&] { order.push_back(1); });
@@ -105,9 +114,9 @@ TEST(EventQueueTest, PopsInTickOrder)
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueueTest, SameTickIsFifo)
+TEST_P(EventQueueImplTest, SameTickIsFifo)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     std::vector<int> order;
     for (int i = 0; i < 16; ++i)
         q.schedule(5, [&order, i] { order.push_back(i); });
@@ -121,9 +130,9 @@ TEST(EventQueueTest, SameTickIsFifo)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(EventQueueTest, NextTickTracksEarliest)
+TEST_P(EventQueueImplTest, NextTickTracksEarliest)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     q.schedule(42, [] {});
     EXPECT_EQ(q.nextTick(), 42u);
     q.schedule(7, [] {});
@@ -135,9 +144,9 @@ TEST(EventQueueTest, NextTickTracksEarliest)
     EXPECT_EQ(q.nextTick(), 42u);
 }
 
-TEST(EventQueueTest, ClearDiscardsEverything)
+TEST_P(EventQueueImplTest, ClearDiscardsEverything)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     q.schedule(1, [] {});
     q.schedule(2, [] {});
     q.clear();
@@ -145,9 +154,9 @@ TEST(EventQueueTest, ClearDiscardsEverything)
     EXPECT_EQ(q.nextTick(), kTickNever);
 }
 
-TEST(EventQueueTest, ScheduledCountIsMonotonic)
+TEST_P(EventQueueImplTest, ScheduledCountIsMonotonic)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     for (int i = 0; i < 10; ++i)
         q.schedule(static_cast<Tick>(i), [] {});
     EXPECT_EQ(q.scheduledCount(), 10u);
@@ -156,9 +165,9 @@ TEST(EventQueueTest, ScheduledCountIsMonotonic)
     EXPECT_EQ(q.scheduledCount(), 10u); // Pops do not decrement.
 }
 
-TEST(EventQueueTest, ClearKeepsLifetimeScheduledCount)
+TEST_P(EventQueueImplTest, ClearKeepsLifetimeScheduledCount)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     for (int i = 0; i < 3; ++i)
         q.schedule(static_cast<Tick>(i), [] {});
     EXPECT_EQ(q.scheduledCount(), 3u);
@@ -171,9 +180,23 @@ TEST(EventQueueTest, ClearKeepsLifetimeScheduledCount)
     EXPECT_EQ(q.scheduledCount(), 4u);
 }
 
-TEST(EventQueueTest, SameTickFifoHoldsAcrossClear)
+TEST_P(EventQueueImplTest, ClearKeepsPendingHighWater)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
+    for (int i = 0; i < 5; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    EXPECT_EQ(q.pendingHighWater(), 5u);
+
+    q.clear();
+    EXPECT_EQ(q.pendingHighWater(), 5u); // Lifetime mark survives.
+
+    q.schedule(1, [] {});
+    EXPECT_EQ(q.pendingHighWater(), 5u); // Not reset by new traffic.
+}
+
+TEST_P(EventQueueImplTest, SameTickFifoHoldsAcrossClear)
+{
+    EventQueue q(GetParam());
     q.schedule(1, [] {});
     q.clear();
 
@@ -191,14 +214,15 @@ TEST(EventQueueTest, SameTickFifoHoldsAcrossClear)
 }
 
 /**
- * The hot path must be allocation-free: with the heap vector
+ * The hot path must be allocation-free: with the backing storage
  * pre-reserved, scheduling, popping, and invoking events -- including
  * ones with captures far beyond std::function's inline buffer -- may
- * not touch the heap.
+ * not touch the heap. The far-future deltas push events through the
+ * calendar queue's overflow heap as well as its wheel buckets.
  */
-TEST(EventQueueTest, ScheduleAndPopDoNotAllocate)
+TEST_P(EventQueueImplTest, ScheduleAndPopDoNotAllocate)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     q.reserve(256);
     int sink = 0;
     std::array<std::uint8_t, 96> payload{};
@@ -209,6 +233,11 @@ TEST(EventQueueTest, ScheduleAndPopDoNotAllocate)
         q.schedule(static_cast<Tick>(i % 7), [&sink, payload] {
             sink += payload[0];
         });
+        // A sprinkle of far-future events exercises the overflow tier.
+        if (i % 10 == 0) {
+            q.schedule(static_cast<Tick>(100000 + i),
+                       [&sink, payload] { sink += payload[0]; });
+        }
     }
     while (!q.empty()) {
         Tick when = 0;
@@ -217,21 +246,21 @@ TEST(EventQueueTest, ScheduleAndPopDoNotAllocate)
     const std::uint64_t after = g_heap_allocations.load();
 
     EXPECT_EQ(after, before);
-    EXPECT_EQ(sink, 200);
+    EXPECT_EQ(sink, 220);
 }
 
-TEST(EventQueueTest, PopOnEmptyPanics)
+TEST_P(EventQueueImplTest, PopOnEmptyPanics)
 {
-    EventQueue q;
+    EventQueue q(GetParam());
     Tick when = 0;
     EXPECT_DEATH({ q.pop(when); }, "empty event queue");
 }
 
 /** Property: random interleavings drain in nondecreasing tick order. */
-TEST(EventQueueTest, RandomizedDrainIsSorted)
+TEST_P(EventQueueImplTest, RandomizedDrainIsSorted)
 {
     Rng rng(123);
-    EventQueue q;
+    EventQueue q(GetParam());
     std::vector<Tick> scheduled;
     for (int i = 0; i < 5000; ++i) {
         const Tick t = rng.uniformInt(1000);
@@ -251,18 +280,16 @@ TEST(EventQueueTest, RandomizedDrainIsSorted)
     EXPECT_EQ(drained, scheduled);
 }
 
-/** Interleaved push/pop keeps the heap invariant. */
-TEST(EventQueueTest, InterleavedPushPop)
+/** Interleaved push/pop keeps the ordering invariant. */
+TEST_P(EventQueueImplTest, InterleavedPushPop)
 {
     Rng rng(77);
-    EventQueue q;
+    EventQueue q(GetParam());
     Tick last_popped = 0;
-    Tick horizon = 0;
     for (int round = 0; round < 2000; ++round) {
         if (q.empty() || rng.chance(0.6)) {
             // Never schedule before the last popped tick (engine rule).
             const Tick t = last_popped + rng.uniformInt(50);
-            horizon = std::max(horizon, t);
             q.schedule(t, [] {});
         } else {
             Tick when = 0;
@@ -272,6 +299,155 @@ TEST(EventQueueTest, InterleavedPushPop)
         }
     }
 }
+
+/**
+ * Deltas straddling the wheel width (4096 ticks): one tick inside the
+ * window, the first tick past it (overflow), and one further. All must
+ * drain in tick order regardless of which tier they landed in.
+ */
+TEST_P(EventQueueImplTest, BucketWidthBoundaryTicks)
+{
+    EventQueue q(GetParam());
+    std::vector<Tick> expect;
+    for (const Tick t : {Tick{4095}, Tick{4096}, Tick{4097}, Tick{0},
+                         Tick{1}, Tick{8191}, Tick{8192}}) {
+        q.schedule(t, [] {});
+        expect.push_back(t);
+    }
+    std::sort(expect.begin(), expect.end());
+
+    std::vector<Tick> drained;
+    while (!q.empty()) {
+        Tick when = 0;
+        q.pop(when);
+        drained.push_back(when);
+    }
+    EXPECT_EQ(drained, expect);
+}
+
+/**
+ * Far-future "promotion" ordering: an event scheduled while its tick
+ * was beyond the wheel horizon (overflow tier) must still fire before
+ * a same-tick event scheduled later, once time has advanced enough
+ * that the later schedule lands in a wheel bucket. This is the FIFO
+ * tie the determinism contract hangs on.
+ */
+TEST_P(EventQueueImplTest, FarFutureOverflowKeepsFifoOnTies)
+{
+    EventQueue q(GetParam());
+    std::vector<int> order;
+    constexpr Tick kFar = 10000; // Beyond the 4096-tick wheel at t=0.
+
+    q.schedule(kFar, [&] { order.push_back(0); }); // Overflow tier.
+
+    // March simulated time forward to within a wheel width of kFar.
+    for (Tick t = 1000; t < kFar; t += 1000)
+        q.schedule(t, [] {});
+    Tick when = 0;
+    while (q.size() > 1)
+        q.pop(when)();
+    // Now the same tick lands in a bucket; FIFO says it fires second.
+    q.schedule(kFar, [&] { order.push_back(1); });
+    q.schedule(kFar, [&] { order.push_back(2); });
+
+    while (!q.empty())
+        q.pop(when)();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(when, kFar);
+}
+
+/**
+ * Shadow-queue differential: drive the calendar queue and the legacy
+ * heap with an identical engine-like schedule/pop script and assert
+ * the (tick, schedule-index) pop sequences match exactly. Several
+ * delta profiles: the simulator's short fixed deltas, wheel-boundary
+ * straddlers, and heavy same-tick contention.
+ */
+TEST(EventQueueShadowTest, CalendarMatchesHeapPopOrder)
+{
+    const struct
+    {
+        std::uint64_t seed;
+        Tick max_delta;
+        double same_tick_bias;
+    } profiles[] = {
+        {11, 8, 0.5},     // Short fixed deltas (hop/pipeline latencies).
+        {22, 6000, 0.0},  // Straddles the 4096-tick wheel width.
+        {33, 1, 0.9},     // Same-tick pileups.
+        {44, 100000, 0.2} // Mostly overflow-tier traffic.
+    };
+
+    for (const auto &p : profiles) {
+        Rng rng(p.seed);
+        EventQueue cal(EventQueueImpl::Calendar);
+        EventQueue heap(EventQueueImpl::Heap);
+        std::vector<std::pair<Tick, int>> cal_pops, heap_pops;
+        Tick now = 0;
+        int next_id = 0;
+        for (int round = 0; round < 20000; ++round) {
+            if (cal.empty() || rng.chance(0.55)) {
+                const Tick delta = rng.chance(p.same_tick_bias)
+                                       ? 0
+                                       : rng.uniformInt(p.max_delta);
+                const int id = next_id++;
+                cal.schedule(now + delta, [&cal_pops, id] {
+                    cal_pops.emplace_back(0, id);
+                });
+                heap.schedule(now + delta, [&heap_pops, id] {
+                    heap_pops.emplace_back(0, id);
+                });
+            } else {
+                Tick cal_when = 0, heap_when = 0;
+                cal.pop(cal_when)();
+                heap.pop(heap_when)();
+                ASSERT_EQ(cal_when, heap_when);
+                cal_pops.back().first = cal_when;
+                heap_pops.back().first = heap_when;
+                now = cal_when;
+            }
+        }
+        while (!cal.empty()) {
+            Tick cal_when = 0, heap_when = 0;
+            cal.pop(cal_when)();
+            ASSERT_FALSE(heap.empty());
+            heap.pop(heap_when)();
+            ASSERT_EQ(cal_when, heap_when);
+            cal_pops.back().first = cal_when;
+            heap_pops.back().first = heap_when;
+        }
+        EXPECT_TRUE(heap.empty());
+        ASSERT_EQ(cal_pops.size(), heap_pops.size());
+        EXPECT_EQ(cal_pops, heap_pops)
+            << "pop order diverged for seed " << p.seed;
+    }
+}
+
+TEST(EventQueueConfigTest, EnvSelectsImplementation)
+{
+    ASSERT_EQ(setenv("HDPAT_EVENTQ", "heap", 1), 0);
+    EXPECT_EQ(defaultEventQueueImpl(), EventQueueImpl::Heap);
+    {
+        EventQueue q;
+        EXPECT_EQ(q.impl(), EventQueueImpl::Heap);
+    }
+    ASSERT_EQ(setenv("HDPAT_EVENTQ", "calendar", 1), 0);
+    EXPECT_EQ(defaultEventQueueImpl(), EventQueueImpl::Calendar);
+    ASSERT_EQ(unsetenv("HDPAT_EVENTQ"), 0);
+    {
+        EventQueue q;
+        EXPECT_EQ(q.impl(), EventQueueImpl::Calendar);
+    }
+    EXPECT_STREQ(eventQueueImplName(EventQueueImpl::Heap), "heap");
+    EXPECT_STREQ(eventQueueImplName(EventQueueImpl::Calendar),
+                 "calendar");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Impls, EventQueueImplTest,
+    ::testing::Values(EventQueueImpl::Calendar, EventQueueImpl::Heap),
+    [](const ::testing::TestParamInfo<EventQueueImpl> &info) {
+        return std::string(eventQueueImplName(info.param));
+    });
 
 } // namespace
 } // namespace hdpat

@@ -218,15 +218,22 @@ TEST(FuzzCorpusTest, CorpusIsNonEmptyAndParses)
 
 TEST(FuzzCorpusTest, EveryReproducerReplaysGreen)
 {
+    // Each reproducer must stay green under both event-queue
+    // implementations: the bugs they pin were ordering-sensitive, so a
+    // queue whose pop order drifted would resurface them here.
     for (const std::string &path : corpusFiles()) {
-        SCOPED_TRACE(path);
         std::string error;
         const auto c = loadFuzzCase(path, &error);
-        ASSERT_TRUE(c.has_value()) << error;
-        const FuzzOutcome outcome = runFuzzCase(*c, 180);
-        EXPECT_TRUE(outcome.ok())
-            << fuzzOutcomeKindName(outcome.kind) << ": "
-            << outcome.reason;
+        ASSERT_TRUE(c.has_value()) << path << ": " << error;
+        for (const std::int64_t heap_queue : {0, 1}) {
+            SCOPED_TRACE(path + (heap_queue ? " [heap]" : " [calendar]"));
+            FuzzCase variant = *c;
+            variant.heapEventQueue = heap_queue;
+            const FuzzOutcome outcome = runFuzzCase(variant, 180);
+            EXPECT_TRUE(outcome.ok())
+                << fuzzOutcomeKindName(outcome.kind) << ": "
+                << outcome.reason;
+        }
     }
 }
 

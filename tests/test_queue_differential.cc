@@ -1,0 +1,189 @@
+/**
+ * @file
+ * System-level differential coverage for the two event-queue
+ * implementations: identical simulations (RunResults and metrics JSON,
+ * byte for byte) across the whole Table II suite on the fig14 config
+ * and on the fig22 7x12 wafer, plus engine observer bookkeeping that
+ * must not depend on the ordering structure.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "driver/runner.hh"
+#include "sim/engine.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** runOnce under a forced queue implementation, metrics JSON to
+ *  @p json_path. The auditor is on so the retire-census hash (an
+ *  order-sensitive digest) participates in the comparison. */
+RunResult
+runWithQueue(RunSpec spec, const char *impl,
+             const std::string &json_path)
+{
+    spec.obs.audit = true;
+    spec.obs.metricsJsonPath = json_path;
+    EXPECT_EQ(setenv("HDPAT_EVENTQ", impl, 1), 0);
+    RunResult result = runOnce(spec);
+    EXPECT_EQ(unsetenv("HDPAT_EVENTQ"), 0);
+    return result;
+}
+
+void
+expectIdenticalRuns(const RunSpec &spec, const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir();
+    const RunResult heap =
+        runWithQueue(spec, "heap", dir + tag + "-heap.json");
+    const RunResult cal =
+        runWithQueue(spec, "calendar", dir + tag + "-calendar.json");
+
+    EXPECT_EQ(heap.totalTicks, cal.totalTicks);
+    EXPECT_EQ(heap.opsTotal, cal.opsTotal);
+    EXPECT_EQ(heap.gpmFinish, cal.gpmFinish);
+    EXPECT_EQ(heap.remoteOps, cal.remoteOps);
+    EXPECT_EQ(heap.sourceCounts, cal.sourceCounts);
+    EXPECT_EQ(heap.auditIssued, cal.auditIssued);
+    EXPECT_EQ(heap.auditRetired, cal.auditRetired);
+    EXPECT_EQ(heap.auditRetireCensusHash, cal.auditRetireCensusHash);
+
+    const std::string heap_json = slurp(dir + tag + "-heap.json");
+    const std::string cal_json = slurp(dir + tag + "-calendar.json");
+    EXPECT_FALSE(heap_json.empty());
+    EXPECT_EQ(heap_json, cal_json)
+        << tag << ": metrics JSON diverged between queues";
+}
+
+/**
+ * Fig 14 shape: every Table II workload on the MI100 wafer under the
+ * full HDPAT policy. Heap and calendar queues must produce bitwise
+ * identical results -- the end-to-end form of the determinism
+ * contract (same-tick FIFO order preserved through every component).
+ */
+TEST(QueueDifferentialTest, Fig14SuiteBitwiseIdenticalAcrossQueues)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.opsPerGpm = 300;
+    for (const std::string &abbr : workloadAbbrs()) {
+        SCOPED_TRACE(abbr);
+        spec.workload = abbr;
+        expectIdenticalRuns(spec, "fig14-" + abbr);
+    }
+}
+
+/** Fig 22 shape: the 7x12 wafer (83 GPMs), baseline and HDPAT. */
+TEST(QueueDifferentialTest, Fig22WaferBitwiseIdenticalAcrossQueues)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100Wafer7x12();
+    spec.opsPerGpm = 200;
+    for (const std::string &abbr : {std::string("SPMV"),
+                                    std::string("PR")}) {
+        spec.workload = abbr;
+        for (const bool use_hdpat : {false, true}) {
+            spec.policy = use_hdpat ? TranslationPolicy::hdpat()
+                                    : TranslationPolicy::baseline();
+            SCOPED_TRACE(abbr + (use_hdpat ? "/hdpat" : "/baseline"));
+            expectIdenticalRuns(spec, "fig22-" + abbr +
+                                          (use_hdpat ? "-h" : "-b"));
+        }
+    }
+}
+
+class EngineQueueImplTest
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    void SetUp() override
+    {
+        ASSERT_EQ(setenv("HDPAT_EVENTQ", GetParam(), 1), 0);
+    }
+    void TearDown() override
+    {
+        ASSERT_EQ(unsetenv("HDPAT_EVENTQ"), 0);
+    }
+};
+
+/**
+ * Observer bookkeeping is queue-agnostic: a self-rescheduling observer
+ * must never count as "live work", whichever structure orders it.
+ */
+TEST_P(EngineQueueImplTest, ObserverBookkeepingUnchanged)
+{
+    Engine engine;
+    EXPECT_STREQ(eventQueueImplName(engine.queueImpl()), GetParam());
+
+    int workload_runs = 0;
+    int observer_runs = 0;
+    // A heartbeat-style observer: reschedules itself while any
+    // non-observer event is pending.
+    std::function<void()> observer = [&] {
+        engine.noteObserverFired();
+        ++observer_runs;
+        if (engine.hasNonObserverEvents()) {
+            engine.noteObserverScheduled();
+            engine.scheduleIn(10, [&] { observer(); });
+        }
+    };
+    engine.noteObserverScheduled();
+    engine.scheduleIn(10, [&] { observer(); });
+    EXPECT_FALSE(engine.hasNonObserverEvents());
+
+    engine.scheduleIn(35, [&] { ++workload_runs; });
+    EXPECT_TRUE(engine.hasNonObserverEvents());
+
+    engine.run();
+    EXPECT_EQ(workload_runs, 1);
+    // Fires at t=10, 20, 30 (workload pending), then at t=40 it sees
+    // no live work and stops.
+    EXPECT_EQ(observer_runs, 4);
+    EXPECT_EQ(engine.nonObserverExecuted(), 1u);
+    EXPECT_EQ(engine.now(), 40u);
+}
+
+/** The reserve estimate is visible and the high-water mark behaves. */
+TEST_P(EngineQueueImplTest, PendingHighWaterTracksPeak)
+{
+    Engine engine;
+    engine.reserveEvents(64);
+    for (int i = 0; i < 5; ++i)
+        engine.scheduleIn(static_cast<Tick>(i + 1), [] {});
+    EXPECT_EQ(engine.pendingEventsHighWater(), 5u);
+    engine.run();
+    EXPECT_EQ(engine.pendingEventsHighWater(), 5u);
+    EXPECT_EQ(engine.scheduledEvents(), 5u);
+    engine.reset();
+    EXPECT_EQ(engine.pendingEventsHighWater(), 5u); // Lifetime mark.
+    EXPECT_EQ(engine.scheduledEvents(), 5u);        // Lifetime count.
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, EngineQueueImplTest,
+                         ::testing::Values("calendar", "heap"));
+
+} // namespace
+} // namespace hdpat

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Workload stream cache: replayed tables must be bit-identical to
+ * direct generation (including against a page table with real wafer
+ * tile homes, which is the soundness claim behind building on a
+ * scratch table), hits must share one build, the LRU bound must hold,
+ * and a cached run must equal an uncached run end to end.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "driver/runner.hh"
+#include "mem/page_table.hh"
+#include "noc/mesh_topology.hh"
+#include "workloads/stream_cache.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+/**
+ * For every Table II workload: generate streams the way System does --
+ * against a page table whose pages are homed on real wafer tiles --
+ * and compare with the cache's table, which was built on a scratch
+ * page table with synthetic tile ids. Bit-identical streams prove the
+ * addresses do not depend on page homes.
+ */
+TEST(StreamCacheTest, ReplayMatchesDirectGenerationForWholeSuite)
+{
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const std::size_t num_gpms = topo.gpmTiles().size();
+    constexpr std::size_t kOps = 400;
+    constexpr std::uint64_t kSeed = 0x5eed;
+
+    WorkloadStreamCache cache;
+    for (const std::string &abbr : workloadAbbrs()) {
+        SCOPED_TRACE(abbr);
+        const auto table = cache.get(
+            StreamKey{abbr, 1.0, kOps, kSeed, num_gpms, 12});
+        ASSERT_EQ(table->numGpms(), num_gpms);
+
+        GlobalPageTable pt(12);
+        const auto workload = makeWorkload(abbr);
+        workload->allocate(pt, topo.gpmTiles());
+        for (std::size_t i = 0; i < num_gpms; ++i) {
+            const auto direct =
+                workload->streamFor(i, num_gpms, kOps, kSeed);
+            std::vector<Addr> expect;
+            while (const auto addr = direct->next())
+                expect.push_back(*addr);
+            ASSERT_EQ(table->gpm(i), expect) << "gpm " << i;
+
+            ReplayStream replay(table, i);
+            for (const Addr want : expect) {
+                const auto got = replay.next();
+                ASSERT_TRUE(got.has_value());
+                ASSERT_EQ(*got, want);
+            }
+            EXPECT_FALSE(replay.next().has_value());
+            EXPECT_FALSE(replay.next().has_value()); // Stays drained.
+        }
+    }
+}
+
+TEST(StreamCacheTest, HitsShareOneBuild)
+{
+    WorkloadStreamCache cache;
+    const StreamKey key{"SPMV", 1.0, 100, 1, 8, 12};
+    const auto a = cache.get(key);
+    const auto b = cache.get(key);
+    EXPECT_EQ(a.get(), b.get()); // Same immutable table.
+    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    StreamKey other = key;
+    other.seed = 2;
+    const auto c = cache.get(other);
+    EXPECT_NE(a.get(), c.get());
+    EXPECT_EQ(cache.builds(), 2u);
+}
+
+TEST(StreamCacheTest, DistinctKeysAreDistinctStreams)
+{
+    // SPMV's zipf gather makes the stream seed-sensitive (MM's pure
+    // sequential channels would not be).
+    WorkloadStreamCache cache;
+    const StreamKey base{"SPMV", 1.0, 200, 7, 8, 12};
+    const auto table = cache.get(base);
+
+    StreamKey scaled = base;
+    scaled.footprintScale = 2.0;
+    EXPECT_NE(cache.get(scaled)->gpm(0), table->gpm(0));
+
+    StreamKey reseeded = base;
+    reseeded.seed = 8;
+    EXPECT_NE(cache.get(reseeded)->gpm(0), table->gpm(0));
+}
+
+TEST(StreamCacheTest, LruBoundEvictsOldest)
+{
+    WorkloadStreamCache cache(2);
+    StreamKey key{"SPMV", 1.0, 50, 1, 4, 12};
+    const auto first = cache.get(key); // Keeps the table alive.
+    key.seed = 2;
+    cache.get(key);
+    key.seed = 3;
+    cache.get(key);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.builds(), 3u);
+
+    // The evicted (oldest) key rebuilds; the shared_ptr we held is
+    // still valid and unchanged.
+    key.seed = 1;
+    const auto rebuilt = cache.get(key);
+    EXPECT_EQ(cache.builds(), 4u);
+    EXPECT_EQ(first->gpm(0), rebuilt->gpm(0));
+}
+
+TEST(StreamCacheTest, ConcurrentGetsBuildOnce)
+{
+    WorkloadStreamCache cache;
+    const StreamKey key{"PR", 1.0, 150, 9, 8, 12};
+    std::vector<std::shared_ptr<const StreamTable>> results(8);
+    {
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < results.size(); ++t)
+            threads.emplace_back(
+                [&, t] { results[t] = cache.get(key); });
+        for (std::thread &th : threads)
+            th.join();
+    }
+    for (const auto &r : results)
+        EXPECT_EQ(r.get(), results[0].get());
+    EXPECT_EQ(cache.builds(), 1u);
+    EXPECT_EQ(cache.hits(), 7u);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** End to end: cached and uncached runs are the same simulation. */
+TEST(StreamCacheTest, RunnerEquivalentWithAndWithoutCache)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "FFT";
+    spec.opsPerGpm = 300;
+    spec.obs.audit = true;
+
+    const std::string dir = ::testing::TempDir();
+    spec.obs.metricsJsonPath = dir + "cache-on.json";
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "1", 1), 0);
+    const RunResult cached = runOnce(spec);
+
+    spec.obs.metricsJsonPath = dir + "cache-off.json";
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "0", 1), 0);
+    const RunResult uncached = runOnce(spec);
+    ASSERT_EQ(unsetenv("HDPAT_STREAM_CACHE"), 0);
+
+    EXPECT_EQ(cached.totalTicks, uncached.totalTicks);
+    EXPECT_EQ(cached.opsTotal, uncached.opsTotal);
+    EXPECT_EQ(cached.gpmFinish, uncached.gpmFinish);
+    EXPECT_EQ(cached.auditRetireCensusHash,
+              uncached.auditRetireCensusHash);
+    EXPECT_EQ(slurp(dir + "cache-on.json"),
+              slurp(dir + "cache-off.json"));
+}
+
+TEST(StreamCacheTest, EnvKillSwitch)
+{
+    ASSERT_EQ(unsetenv("HDPAT_STREAM_CACHE"), 0);
+    EXPECT_TRUE(streamCacheEnabled()); // Default on.
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "0", 1), 0);
+    EXPECT_FALSE(streamCacheEnabled());
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "off", 1), 0);
+    EXPECT_FALSE(streamCacheEnabled());
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "1", 1), 0);
+    EXPECT_TRUE(streamCacheEnabled());
+    ASSERT_EQ(unsetenv("HDPAT_STREAM_CACHE"), 0);
+}
+
+} // namespace
+} // namespace hdpat
