@@ -5,10 +5,16 @@
 #      serially and with one job per core,
 #   2. times the same sweep with the host self-profiler on, so the
 #      profiler's overhead is measured and recorded,
-#   3. captures a per-subsystem host self-profile (via hdpat_cli
+#   3. times the same sweep with latency attribution on (exact mode),
+#      so the attribution overhead is measured and recorded like the
+#      profiler's,
+#   4. captures a per-subsystem host self-profile (via hdpat_cli
 #      --profile and perf_report --extract) and embeds it in the
 #      emitted record for perf_report --baseline diffs,
-#   4. records the micro_substrates google-benchmark suite as
+#   5. captures a latency-anatomy digest of the same representative
+#      run (via perf_report --extract-latency) and embeds it for
+#      perf_report --latency-diff tail-regression gating,
+#   6. records the micro_substrates google-benchmark suite as
 #      BENCH_micro.json (next to the fig14 record).
 #
 # Usage: bench/perf_snapshot.sh [BUILD_DIR] [OPS_PER_GPM] > BENCH_fig14.json
@@ -33,9 +39,10 @@ for tool in "$BIN" "$CLI" "$REPORT" "$MICRO" "$EVENTQ"; do
 done
 
 run_timed() {
-    local jobs="$1" profile="$2" start end
+    local jobs="$1" profile="$2" latency="${3:-}" start end
     start="$(date +%s.%N)"
-    HDPAT_JOBS="$jobs" HDPAT_PROFILE="$profile" "$BIN" "$OPS" > /dev/null
+    HDPAT_JOBS="$jobs" HDPAT_PROFILE="$profile" HDPAT_LATENCY="$latency" \
+        "$BIN" "$OPS" > /dev/null
     end="$(date +%s.%N)"
     awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", e - s }'
 }
@@ -56,6 +63,13 @@ PROFILED="$(run_timed 1 1)"
 OVERHEAD_PCT="$(awk -v s="$SERIAL" -v p="$PROFILED" \
     'BEGIN { printf "%.1f", (s > 0 ? (p / s - 1) * 100 : 0) }')"
 
+# And with latency attribution on (exact mode, every span): the delta
+# is the attribution overhead, recorded for the same reason -- the
+# "bitwise-identical when off, measured cost when on" promise.
+LATENCY_TIMED="$(run_timed 1 "" 1)"
+LATENCY_OVERHEAD_PCT="$(awk -v s="$SERIAL" -v l="$LATENCY_TIMED" \
+    'BEGIN { printf "%.1f", (s > 0 ? (l / s - 1) * 100 : 0) }')"
+
 # Per-subsystem profile of one representative profiled run, embedded
 # for perf_report --baseline and the CI --check gate. An unprofiled
 # warm-up of the same command first, so first-touch costs don't land
@@ -69,13 +83,23 @@ HDPAT_PROFILE=1 HDPAT_METRICS_JSON="$PROFILE_TMP" \
     > /dev/null
 PROFILE_JSON="$("$REPORT" --extract "$PROFILE_TMP")"
 
+# Latency-anatomy digest of the same representative run (exact mode),
+# embedded for perf_report --latency-diff: simulated per-stage ticks
+# are deterministic, so CI can hold tail regressions to a tight band.
+LATENCY_TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "$PROFILE_TMP" "$LATENCY_TMP"' EXIT
+HDPAT_LATENCY=1 HDPAT_METRICS_JSON="$LATENCY_TMP" \
+    "$CLI" --workload SPMV --policy hdpat --ops "$OPS" --latency \
+    > /dev/null
+LATENCY_JSON="$("$REPORT" --extract-latency "$LATENCY_TMP")"
+
 # Substrate micro-benchmarks (TLB, cuckoo filter, event queue, ...),
 # plus the calendar-vs-heap event-queue head-to-head, merged into one
 # record (the benchmarks arrays concatenate; context comes from the
 # substrate run).
 SUBSTRATE_TMP="$(mktemp --suffix=.json)"
 EVENTQ_TMP="$(mktemp --suffix=.json)"
-trap 'rm -f "$PROFILE_TMP" "$SUBSTRATE_TMP" "$EVENTQ_TMP"' EXIT
+trap 'rm -f "$PROFILE_TMP" "$LATENCY_TMP" "$SUBSTRATE_TMP" "$EVENTQ_TMP"' EXIT
 "$MICRO" --benchmark_format=json --benchmark_out="$SUBSTRATE_TMP" \
     --benchmark_out_format=json > /dev/null
 "$EVENTQ" --benchmark_format=json --benchmark_out="$EVENTQ_TMP" \
@@ -95,7 +119,10 @@ cat <<EOF
   "speedup": $SPEEDUP,
   "profiled_serial_seconds": $PROFILED,
   "profiler_overhead_pct": $OVERHEAD_PCT,
+  "latency_serial_seconds": $LATENCY_TIMED,
+  "latency_overhead_pct": $LATENCY_OVERHEAD_PCT,
   "profile": $PROFILE_JSON,
+  "latency": $LATENCY_JSON,
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host": "$(uname -sm)"
 }

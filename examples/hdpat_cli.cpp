@@ -14,6 +14,8 @@
  *             [--trace-sample N|1/N] [--heartbeat TICKS]
  *             [--audit] [--watchdog TICKS] [--profile]
  *             [--spatial TICKS] [--spatial-csv FILE]
+ *             [--latency] [--latency-sample N|1/N]
+ *             [--latency-topk K] [--latency-report FILE]
  *
  * Flags accept both "--flag value" and "--flag=value". --metrics-json
  * dumps every registered metric as JSON; --trace-out writes sampled
@@ -29,7 +31,11 @@
  * aborts with a diagnostic if no op retires for TICKS simulated ticks;
  * --spatial collects per-link/per-tile heatmaps into the metrics JSON
  * "spatial" section (and --spatial-csv as CSV); --profile reports
- * where host wall-clock goes, per subsystem.
+ * where host wall-clock goes, per subsystem; --latency attributes
+ * every (sampled) translation's latency to pipeline stages, prints
+ * the per-stage anatomy with exact tail quantiles, and exports the
+ * metrics-JSON "latency" section (--latency-report also writes the
+ * slowest-K critical-path timelines as text).
  *
  * Policies: baseline, hdpat, route-based, concentric, distributed,
  *           cluster-rotation, redirection, prefetch, trans-fw,
@@ -187,6 +193,23 @@ parse(int argc, char **argv)
             opt.obs.spatialCsvPath = value();
         } else if (arg == "--profile") {
             opt.obs.profile = true;
+        } else if (arg == "--latency") {
+            opt.obs.latency = true;
+        } else if (arg == "--latency-sample") {
+            std::string v = value();
+            const auto slash = v.find('/');
+            if (slash != std::string::npos)
+                v = v.substr(slash + 1);
+            const long long n = std::atoll(v.c_str());
+            if (n > 0)
+                opt.obs.latencySampleN =
+                    static_cast<std::uint64_t>(n);
+        } else if (arg == "--latency-topk") {
+            const long long n = std::atoll(value().c_str());
+            if (n > 0)
+                opt.obs.latencyTopK = static_cast<std::size_t>(n);
+        } else if (arg == "--latency-report") {
+            opt.obs.latencyReportPath = value();
         } else if (arg == "--jobs") {
             const long long n = std::atoll(value().c_str());
             if (n > 0)
@@ -201,7 +224,9 @@ parse(int argc, char **argv)
                    "[--trace-out FILE] [--trace-sample N|1/N] "
                    "[--heartbeat TICKS] [--audit] [--watchdog TICKS] "
                    "[--spatial TICKS] [--spatial-csv FILE] "
-                   "[--profile]\n"
+                   "[--profile] [--latency] "
+                   "[--latency-sample N|1/N] [--latency-topk K] "
+                   "[--latency-report FILE]\n"
                    "  --jobs N  run multi-workload sweeps N "
                    "simulations at a time (default: HDPAT_JOBS or "
                    "all cores); results are identical to serial\n"
@@ -221,6 +246,20 @@ parse(int argc, char **argv)
                    "print a per-subsystem table and export\n"
                    "                   the metrics-JSON \"profile\" "
                    "section\n"
+                   "  --latency        attribute each translation's "
+                   "latency to pipeline stages; print the\n"
+                   "                   anatomy table with exact "
+                   "p50/p95/p99/p999 and export the metrics-JSON\n"
+                   "                   \"latency\" section (schema "
+                   "hdpat-metrics-v2)\n"
+                   "  --latency-sample N  attribute 1 in N sampled "
+                   "translations (default 1 = exact mode;\n"
+                   "                   deterministic per (tile, VPN, "
+                   "tick) hash, accepts 1/N)\n"
+                   "  --latency-topk K keep the K slowest spans for "
+                   "the critical-path report (default 8)\n"
+                   "  --latency-report F  write the slowest-span "
+                   "timeline diagnostic to F (implies --latency)\n"
                    "\n"
                    "environment variables (flags take precedence):\n"
                    "  HDPAT_METRICS_JSON=FILE  default for "
@@ -239,6 +278,13 @@ parse(int argc, char **argv)
                    "  HDPAT_SPATIAL_CSV=FILE   default for "
                    "--spatial-csv\n"
                    "  HDPAT_PROFILE=1          default for --profile\n"
+                   "  HDPAT_LATENCY=1          default for --latency\n"
+                   "  HDPAT_LATENCY_SAMPLE=N   default for "
+                   "--latency-sample (accepts 1/N)\n"
+                   "  HDPAT_LATENCY_TOPK=K     default for "
+                   "--latency-topk\n"
+                   "  HDPAT_LATENCY_REPORT=F   default for "
+                   "--latency-report\n"
                    "  HDPAT_JOBS=N             default for --jobs\n"
                    "  HDPAT_EVENTQ=IMPL        event queue: calendar "
                    "(default) or heap (legacy; same results)\n"
@@ -354,6 +400,36 @@ main(int argc, char **argv)
                      0)});
         }
         prof_table.print(std::cout);
+    }
+
+    if (opt.obs.latencyEnabled()) {
+        LatencySnapshot merged;
+        for (const RunResult &r : results)
+            merged.merge(r.latency, opt.obs.latencyTopK);
+        std::cout << "\ntranslation latency anatomy (" << merged.spans
+                  << " spans, sample 1/" << merged.sampleN << ")\n";
+        TablePrinter lat_table(
+            {"stage", "spans", "mean", "p99", "share"});
+        const double e2e_sum =
+            merged.endToEnd.sum() > 0.0 ? merged.endToEnd.sum() : 1.0;
+        for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+            const LatencyStageStats &stage = merged.stages[s];
+            if (stage.stat.count() == 0)
+                continue;
+            lat_table.addRow(
+                {latencyStageName(static_cast<LatencyStage>(s)),
+                 std::to_string(stage.stat.count()),
+                 fmt(stage.stat.mean(), 1),
+                 std::to_string(stage.hist.quantile(0.99)),
+                 fmtPct(stage.stat.sum() / e2e_sum)});
+        }
+        lat_table.print(std::cout);
+        std::cout << "end-to-end ticks: mean "
+                  << fmt(merged.endToEnd.mean(), 1) << "  p50 "
+                  << merged.exactQuantile(0.50) << "  p95 "
+                  << merged.exactQuantile(0.95) << "  p99 "
+                  << merged.exactQuantile(0.99) << "  p999 "
+                  << merged.exactQuantile(0.999) << "\n";
     }
     return 0;
 }

@@ -217,6 +217,9 @@ suffixObsPaths(std::vector<RunSpec> &specs)
         if (!obs.spatialCsvPath.empty())
             obs.spatialCsvPath =
                 withRunIndexSuffix(obs.spatialCsvPath, i);
+        if (!obs.latencyReportPath.empty())
+            obs.latencyReportPath =
+                withRunIndexSuffix(obs.latencyReportPath, i);
     }
 }
 

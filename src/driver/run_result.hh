@@ -16,6 +16,7 @@
 
 #include "iommu/iommu.hh"
 #include "noc/network.hh"
+#include "obs/latency.hh"
 #include "obs/profiler.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -70,6 +71,9 @@ struct RunResult
 
     /** Host self-profile (empty unless profiling was enabled). */
     ProfileSnapshot profile;
+
+    /** Latency anatomy (empty unless latency attribution was on). */
+    LatencySnapshot latency;
 
     // ---- Helpers ---------------------------------------------------------
     /** Total remote translations resolved (sum of sourceCounts). */

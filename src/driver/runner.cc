@@ -67,6 +67,16 @@ obsOptionsFromEnv()
     if (const char *env = std::getenv("HDPAT_SPATIAL_CSV"))
         obs.spatialCsvPath = env;
     obs.profile = envFlag("HDPAT_PROFILE");
+    obs.latency = envFlag("HDPAT_LATENCY");
+    obs.latencySampleN = parseSampleSpec(
+        std::getenv("HDPAT_LATENCY_SAMPLE"), obs.latencySampleN);
+    if (const char *env = std::getenv("HDPAT_LATENCY_TOPK")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            obs.latencyTopK = static_cast<std::size_t>(v);
+    }
+    if (const char *env = std::getenv("HDPAT_LATENCY_REPORT"))
+        obs.latencyReportPath = env;
     return obs;
 }
 
@@ -139,6 +149,11 @@ runOnce(const RunSpec &spec)
     if (!spec.obs.traceOutPath.empty())
         system.enableTracing(spec.obs.traceCapacity,
                              spec.obs.traceSampleN);
+    // After tracing: when both are on, latency rides the trace ring's
+    // sampling so the Chrome trace and the anatomy agree on spans.
+    if (spec.obs.latencyEnabled())
+        system.enableLatency(spec.obs.latencySampleN,
+                             spec.obs.latencyTopK);
     if (spec.obs.heartbeatInterval > 0) {
         system.enableHeartbeat(
             static_cast<Tick>(spec.obs.heartbeatInterval));
@@ -200,6 +215,16 @@ runOnce(const RunSpec &spec)
                      << system.tracer()->spansCompleted()
                      << " complete spans) to " << spec.obs.traceOutPath);
     }
+    if (!spec.obs.latencyReportPath.empty()) {
+        const ProfScope prof(system.profiler(), ProfSection::Export);
+        std::ofstream out(spec.obs.latencyReportPath);
+        hdpat_fatal_if(!out, "cannot open latency report path '"
+                                 << spec.obs.latencyReportPath << "'");
+        out << criticalPathReport(result.latency);
+        hdpat_inform("wrote critical-path report ("
+                     << result.latency.slowest.size() << " spans) to "
+                     << spec.obs.latencyReportPath);
+    }
     // The metrics JSON goes last so its "profile" section includes the
     // other exports' wall-clock in the export section.
     if (!spec.obs.metricsJsonPath.empty()) {
@@ -217,7 +242,8 @@ runOnce(const RunSpec &spec)
         meta.seed = spec.seed;
         meta.totalTicks = result.totalTicks;
         writeMetricsJson(out, system.metrics(), meta, system.spatial(),
-                         prof_snap.empty() ? nullptr : &prof_snap);
+                         prof_snap.empty() ? nullptr : &prof_snap,
+                         system.latency() ? &result.latency : nullptr);
         hdpat_inform("wrote metrics JSON to "
                      << spec.obs.metricsJsonPath);
     }

@@ -52,11 +52,25 @@ struct ObsOptions
     std::string spatialCsvPath;
     /** Run the host self-profiler (HDPAT_PROFILE). */
     bool profile = false;
+    /** Latency attribution (HDPAT_LATENCY): per-stage anatomy. */
+    bool latency = false;
+    /** Attribute 1 in N sampled translations (1 = exact mode). */
+    std::uint64_t latencySampleN = 1;
+    /** Slowest spans kept for the critical-path report. */
+    std::size_t latencyTopK = 8;
+    /** Write the critical-path report here ("" = off; implies on). */
+    std::string latencyReportPath;
 
     bool any() const
     {
         return !metricsJsonPath.empty() || !traceOutPath.empty() ||
-               !spatialCsvPath.empty();
+               !spatialCsvPath.empty() || !latencyReportPath.empty();
+    }
+
+    /** Latency attribution on, via the flag or the report path. */
+    bool latencyEnabled() const
+    {
+        return latency || !latencyReportPath.empty();
     }
 
     /** Spatial collection window, applying the CSV-implies default. */

@@ -171,6 +171,20 @@ System::enableTracing(std::size_t capacity, std::uint64_t sample_n)
 }
 
 void
+System::enableLatency(std::uint64_t sample_n, std::size_t top_k)
+{
+    if (!tracer_) {
+        // Ring capacity 1: the collector consumes the record stream
+        // through the sink, so the ring itself is never exported and
+        // can stay minimal.
+        enableTracing(1, sample_n);
+    }
+    latency_ =
+        std::make_unique<LatencyCollector>(tracer_->sampleN(), top_k);
+    tracer_->setSink(latency_.get());
+}
+
+void
 System::enableHeartbeat(Tick interval)
 {
     heartbeat_ = std::make_unique<Heartbeat>(
@@ -418,6 +432,9 @@ System::run()
 
     if (profiler_)
         result.profile = profiler_->snapshot();
+
+    if (latency_)
+        result.latency = latency_->snapshot();
 
     // Aggregated GPM-side statistics come from the metric registry's
     // wafer-wide entries, so RunResult and every exporter read the

@@ -36,6 +36,7 @@
 #include "noc/network.hh"
 #include "obs/audit.hh"
 #include "obs/heartbeat.hh"
+#include "obs/latency.hh"
 #include "obs/profiler.hh"
 #include "obs/registry.hh"
 #include "obs/spatial.hh"
@@ -86,6 +87,18 @@ class System
      */
     void enableTracing(std::size_t capacity = 1u << 20,
                        std::uint64_t sample_n = 1);
+
+    /**
+     * Enable latency attribution: every sampled translation's span is
+     * decomposed into per-stage durations (obs/latency.hh), with an
+     * exact-quantile reservoir and the slowest-@p top_k spans kept
+     * for the critical-path report. Rides the span tracer: when
+     * enableTracing was already called, the tracer's sampling governs
+     * and @p sample_n is ignored; otherwise a ring-less tracer is
+     * created with @p sample_n (1 = exact mode). Call before run().
+     */
+    void enableLatency(std::uint64_t sample_n = 1,
+                       std::size_t top_k = 8);
 
     /**
      * Log a progress heartbeat every @p interval simulated ticks while
@@ -158,6 +171,8 @@ class System
     const MetricRegistry &metrics() const { return registry_; }
     /** The span tracer (null unless enableTracing was called). */
     const Tracer *tracer() const { return tracer_.get(); }
+    /** Latency collector (null unless enableLatency was called). */
+    const LatencyCollector *latency() const { return latency_.get(); }
     /** The conservation auditor (null unless enableAudit was called). */
     const Auditor *auditor() const { return auditor_.get(); }
     /** The stall watchdog (null unless enableWatchdog was called). */
@@ -197,6 +212,7 @@ class System
     std::vector<Gpm *> gpmByTile_;
     MetricRegistry registry_;
     std::unique_ptr<Tracer> tracer_;
+    std::unique_ptr<LatencyCollector> latency_;
     std::unique_ptr<Heartbeat> heartbeat_;
     std::unique_ptr<Auditor> auditor_;
     std::unique_ptr<Watchdog> watchdog_;

@@ -111,6 +111,31 @@ childRun(const RunSpec &spec, bool heap_event_queue)
                      why.c_str());
         _exit(kOracleExit);
     }
+
+    // Oracle 4: latency attribution must be a pure observer. A run
+    // with per-stage attribution on (sampled, to exercise the hash
+    // path) must conserve every count, and every sampled span's stage
+    // durations must sum to its end-to-end latency.
+    RunSpec attributed = audited;
+    attributed.obs.latency = true;
+    attributed.obs.latencySampleN = 3;
+    const RunResult traced = runOnce(attributed);
+    if (!sameCounts(single, traced, "plain vs latency-attributed",
+                    &why)) {
+        std::fprintf(stderr, "differential mismatch: %s\n",
+                     why.c_str());
+        _exit(kOracleExit);
+    }
+    if (traced.latency.conservationViolations != 0) {
+        std::fprintf(stderr,
+                     "latency conservation: %llu of %llu spans have "
+                     "stage sums != end-to-end\n",
+                     static_cast<unsigned long long>(
+                         traced.latency.conservationViolations),
+                     static_cast<unsigned long long>(
+                         traced.latency.spans));
+        _exit(kOracleExit);
+    }
     _exit(0);
 }
 

@@ -173,6 +173,7 @@ Iommu::admitHead()
         if (auto aux = rt_->lookup(vpn)) {
             if (*aux != p.req.requester) {
                 ++stats_.redirectsSent;
+                trace(p.req, SpanEvent::IommuAdmit);
                 trace(p.req, SpanEvent::IommuRedirect,
                       static_cast<std::uint64_t>(*aux));
                 stats_.preQueueLatency.add(
@@ -203,6 +204,7 @@ Iommu::admitHead()
     if (tlb_) {
         if (auto pfn = tlb_->lookup(vpn)) {
             ++stats_.tlbHits;
+            trace(p.req, SpanEvent::IommuAdmit);
             trace(p.req, SpanEvent::IommuTlbHit);
             stats_.preQueueLatency.add(
                 static_cast<double>(now - p.arriveTick));
@@ -220,6 +222,7 @@ Iommu::admitHead()
                     recordServed();
                 });
             ++stats_.mshrMerges;
+            trace(p.req, SpanEvent::IommuAdmit);
             stats_.preQueueLatency.add(
                 static_cast<double>(now - p.arriveTick));
             ingressQueue_.pop_front();
@@ -249,6 +252,7 @@ Iommu::admitHead()
         p.viaMshr = true;
     }
 
+    trace(p.req, SpanEvent::IommuAdmit);
     stats_.preQueueLatency.add(static_cast<double>(now - p.arriveTick));
     ingressQueue_.pop_front();
     enqueueWalk(std::move(p));

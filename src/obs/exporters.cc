@@ -142,16 +142,107 @@ writeProfileSection(JsonWriter &w, const ProfileSnapshot &profile)
     w.endObject().endObject();
 }
 
+void
+writeLatencySection(JsonWriter &w, const LatencySnapshot &lat)
+{
+    w.key("latency").beginObject();
+    w.field("sample_n", lat.sampleN);
+    w.field("spans", lat.spans);
+    w.field("conservation_violations", lat.conservationViolations);
+
+    // All stages are always present (count 0 when never visited) so
+    // consumers can key on names without existence checks.
+    w.key("stages").beginObject();
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        w.key(latencyStageName(static_cast<LatencyStage>(s)))
+            .beginObject();
+        w.key("summary");
+        writeSummary(w, lat.stages[s].stat);
+        w.key("histogram");
+        writeHistogram(w, lat.stages[s].hist);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("end_to_end").beginObject();
+    w.key("summary");
+    writeSummary(w, lat.endToEnd);
+    w.key("histogram");
+    writeHistogram(w, lat.endToEndHist);
+    // Exact order statistics from the reservoir, not bucket bounds.
+    w.key("quantiles")
+        .beginObject()
+        .field("p50", lat.exactQuantile(0.50))
+        .field("p95", lat.exactQuantile(0.95))
+        .field("p99", lat.exactQuantile(0.99))
+        .field("p999", lat.exactQuantile(0.999))
+        .endObject();
+    w.field("reservoir_samples",
+            static_cast<std::uint64_t>(lat.reservoir.size()));
+    w.field("reservoir_dropped", lat.reservoirDropped);
+    w.endObject();
+
+    w.key("tiles").beginArray();
+    for (const auto &[tile, hist] : lat.perTile) {
+        w.beginObject().field("tile", tile);
+        w.key("histogram");
+        writeHistogram(w, hist);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("slowest").beginArray();
+    for (const LatencySpanTimeline &tl : lat.slowest) {
+        w.beginObject()
+            .field("span", tl.span)
+            .field("owner", tl.owner)
+            .field("vpn", tl.vpn)
+            .field("issue_tick", static_cast<std::uint64_t>(
+                                     tl.issueTick))
+            .field("total_ticks", static_cast<std::uint64_t>(
+                                      tl.total));
+        w.key("stage_ticks").beginObject();
+        for (std::size_t s = 0; s < kNumLatencyStages; ++s)
+            w.field(latencyStageName(static_cast<LatencyStage>(s)),
+                    static_cast<std::uint64_t>(tl.stageTicks[s]));
+        w.endObject();
+        w.key("timeline").beginArray();
+        for (std::size_t i = 0; i < tl.steps.size(); ++i) {
+            const LatencyTimelineStep &step = tl.steps[i];
+            w.beginObject()
+                .field("offset", static_cast<std::uint64_t>(
+                                     step.offset))
+                .field("event", spanEventName(step.event))
+                .field("at", step.at)
+                .field("arg", step.arg);
+            // The final record (Complete) has no following interval.
+            if (i + 1 < tl.steps.size()) {
+                w.field("stage", latencyStageName(step.stage));
+                w.field("ticks", static_cast<std::uint64_t>(
+                                     step.ticks));
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+}
+
 } // namespace
 
 void
 writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
                  const RunMetadata &meta,
                  const SpatialCollector *spatial,
-                 const ProfileSnapshot *profile)
+                 const ProfileSnapshot *profile,
+                 const LatencySnapshot *latency)
 {
     JsonWriter w(os);
-    w.beginObject().field("schema", "hdpat-metrics-v1");
+    w.beginObject().field("schema", latency ? "hdpat-metrics-v2"
+                                            : "hdpat-metrics-v1");
 
     w.key("run")
         .beginObject()
@@ -215,6 +306,8 @@ writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
         writeSpatialSection(w, *spatial);
     if (profile && !profile->empty())
         writeProfileSection(w, *profile);
+    if (latency)
+        writeLatencySection(w, *latency);
 
     w.endObject();
     os << '\n';

@@ -4,7 +4,9 @@
  *
  *  - writeMetricsJson: one stable-schema JSON document per run holding
  *    every registered metric (counters, gauges, summaries, histograms,
- *    time series) plus run metadata. Schema id: "hdpat-metrics-v1".
+ *    time series) plus run metadata. Schema id: "hdpat-metrics-v1",
+ *    or "hdpat-metrics-v2" when the optional "latency" section (stage
+ *    anatomy, exact quantiles, slowest spans) is present.
  *
  *  - writeChromeTrace: the span trace in Chrome Trace Event Format
  *    (the JSON-array-of-events flavour), loadable in Perfetto or
@@ -20,6 +22,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/latency.hh"
 #include "obs/profiler.hh"
 #include "obs/registry.hh"
 #include "obs/spatial.hh"
@@ -40,14 +43,17 @@ struct RunMetadata
 
 /**
  * Dump every metric in @p registry as one JSON document. When
- * @p spatial / @p profile are non-null their data is appended as
- * "spatial" and "profile" sections; omitting them keeps the document
- * byte-identical to pre-introspection exports.
+ * @p spatial / @p profile / @p latency are non-null their data is
+ * appended as "spatial", "profile", and "latency" sections; omitting
+ * them keeps the document byte-identical to pre-introspection exports
+ * (including the v1 schema id — only a present "latency" section
+ * bumps it to v2).
  */
 void writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
                       const RunMetadata &meta,
                       const SpatialCollector *spatial = nullptr,
-                      const ProfileSnapshot *profile = nullptr);
+                      const ProfileSnapshot *profile = nullptr,
+                      const LatencySnapshot *latency = nullptr);
 
 /** Dump @p tracer's span records in Chrome Trace Event Format. */
 void writeChromeTrace(std::ostream &os, const Tracer &tracer);

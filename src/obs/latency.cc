@@ -1,0 +1,367 @@
+#include "obs/latency.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+const char *
+latencyStageName(LatencyStage stage)
+{
+    switch (stage) {
+      case LatencyStage::TlbProbe:
+        return "tlb-probe";
+      case LatencyStage::PeerLookup:
+        return "peer-lookup";
+      case LatencyStage::NocRequest:
+        return "noc-request";
+      case LatencyStage::PreQueue:
+        return "pre-queue";
+      case LatencyStage::QueueWait:
+        return "queue-wait";
+      case LatencyStage::PageWalk:
+        return "page-walk";
+      case LatencyStage::NocReply:
+        return "noc-reply";
+      case LatencyStage::Fill:
+        return "fill";
+      case LatencyStage::DataRetire:
+        return "data-retire";
+    }
+    return "unknown";
+}
+
+LatencyStage
+latencyStageAfter(const TraceRecord &rec)
+{
+    switch (rec.event) {
+      case SpanEvent::Issue:
+        return LatencyStage::TlbProbe;
+
+      // A hit (or final resolution) is followed by fill bookkeeping.
+      case SpanEvent::L1TlbHit:
+      case SpanEvent::L2TlbHit:
+      case SpanEvent::LastLevelTlbHit:
+      case SpanEvent::LocalWalkHit:
+      case SpanEvent::ProbeHit:
+      case SpanEvent::Resolved:
+        return LatencyStage::Fill;
+
+      // Filter verdicts and protocol launch: the op is deciding who
+      // might hold the translation — peer/cuckoo lookup work.
+      case SpanEvent::CuckooNegative:
+      case SpanEvent::CuckooFalsePositive:
+      case SpanEvent::RemoteStart:
+        return LatencyStage::PeerLookup;
+
+      // MSHR-full stall and walker-queue entry both wait in a queue.
+      case SpanEvent::RemoteStalled:
+      case SpanEvent::LocalWalkStart:
+      case SpanEvent::IommuAdmit:
+        return LatencyStage::QueueWait;
+
+      // Request-direction messaging. NetSend's arg is the destination
+      // tile: a message headed *to* the owner is a reply (responses
+      // always target the requester; requests never do, because
+      // cuckoo filters have no false negatives so home != requester).
+      case SpanEvent::ProbeSent:
+      case SpanEvent::ProbeMiss:
+      case SpanEvent::IommuRedirect:
+      case SpanEvent::RedirectBounce:
+      case SpanEvent::DelegatedWalk:
+        return LatencyStage::NocRequest;
+      case SpanEvent::NetSend:
+        return rec.arg == static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(rec.owner))
+                   ? LatencyStage::NocReply
+                   : LatencyStage::NocRequest;
+
+      // Arrival at the owner starts the fill; arrival anywhere else
+      // starts that tile's lookup work.
+      case SpanEvent::NetArrive:
+        return rec.at == rec.owner ? LatencyStage::Fill
+                                   : LatencyStage::PeerLookup;
+
+      case SpanEvent::IommuArrive:
+        return LatencyStage::PreQueue;
+
+      case SpanEvent::IommuWalkStart:
+      case SpanEvent::GmmuWalkStart:
+        return LatencyStage::PageWalk;
+
+      // Walk/TLB results and responses head back toward the owner.
+      case SpanEvent::IommuWalkDone:
+      case SpanEvent::GmmuWalkDone:
+      case SpanEvent::IommuTlbHit:
+      case SpanEvent::IommuRespond:
+      case SpanEvent::RedirectHit:
+        return LatencyStage::NocReply;
+
+      case SpanEvent::RedirectArrive:
+        return LatencyStage::PeerLookup;
+
+      case SpanEvent::DataAccess:
+      case SpanEvent::Complete: // No following interval; unused.
+        return LatencyStage::DataRetire;
+    }
+    return LatencyStage::DataRetire;
+}
+
+std::uint64_t
+LatencySnapshot::exactQuantile(double q) const
+{
+    if (reservoir.empty())
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double n = static_cast<double>(reservoir.size());
+    double rank = std::ceil(q * n) - 1.0;
+    if (rank < 0.0)
+        rank = 0.0;
+    std::size_t idx = static_cast<std::size_t>(rank);
+    if (idx >= reservoir.size())
+        idx = reservoir.size() - 1;
+    return reservoir[idx];
+}
+
+namespace
+{
+
+/** Strict "a is slower than b" order for slowest-K retention. */
+bool
+slowerThan(const LatencySpanTimeline &a, const LatencySpanTimeline &b)
+{
+    if (a.total != b.total)
+        return a.total > b.total;
+    if (a.issueTick != b.issueTick)
+        return a.issueTick < b.issueTick;
+    if (a.owner != b.owner)
+        return a.owner < b.owner;
+    if (a.vpn != b.vpn)
+        return a.vpn < b.vpn;
+    return a.span < b.span;
+}
+
+} // namespace
+
+void
+LatencySnapshot::merge(const LatencySnapshot &other, std::size_t top_k)
+{
+    sampleN = std::max(sampleN, other.sampleN);
+    spans += other.spans;
+    conservationViolations += other.conservationViolations;
+    for (std::size_t i = 0; i < kNumLatencyStages; ++i) {
+        stages[i].stat.merge(other.stages[i].stat);
+        stages[i].hist.merge(other.stages[i].hist);
+    }
+    endToEnd.merge(other.endToEnd);
+    endToEndHist.merge(other.endToEndHist);
+
+    for (const auto &[tile, hist] : other.perTile) {
+        auto it = std::find_if(perTile.begin(), perTile.end(),
+                               [tile = tile](const auto &entry) {
+                                   return entry.first == tile;
+                               });
+        if (it == perTile.end())
+            perTile.emplace_back(tile, hist);
+        else
+            it->second.merge(hist);
+    }
+    std::sort(perTile.begin(), perTile.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+
+    reservoirDropped += other.reservoirDropped;
+    for (std::uint64_t v : other.reservoir) {
+        if (reservoir.size() < LatencyCollector::kReservoirCap)
+            reservoir.push_back(v);
+        else
+            ++reservoirDropped;
+    }
+    std::sort(reservoir.begin(), reservoir.end());
+
+    slowest.insert(slowest.end(), other.slowest.begin(),
+                   other.slowest.end());
+    std::sort(slowest.begin(), slowest.end(), slowerThan);
+    if (top_k && slowest.size() > top_k)
+        slowest.resize(top_k);
+}
+
+LatencyCollector::LatencyCollector(std::uint64_t sample_n,
+                                   std::size_t top_k)
+    : sampleN_(sample_n ? sample_n : 1), topK_(top_k ? top_k : 1)
+{
+}
+
+void
+LatencyCollector::onRecord(const TraceRecord &rec)
+{
+    if (rec.event == SpanEvent::Issue) {
+        auto &records = live_[rec.span];
+        records.clear();
+        records.push_back(rec);
+        return;
+    }
+    const auto it = live_.find(rec.span);
+    if (it == live_.end())
+        return;
+    it->second.push_back(rec);
+    if (rec.event == SpanEvent::Complete) {
+        finalize(it->second);
+        live_.erase(it);
+    }
+}
+
+void
+LatencyCollector::finalize(std::vector<TraceRecord> &records)
+{
+    // records[0] is Issue, records.back() is Complete (the tracer
+    // guarantees both for every closed span).
+    const Tick issue = records.front().tick;
+    const Tick complete = records.back().tick;
+    const Tick total = complete - issue;
+
+    std::array<Tick, kNumLatencyStages> stage_ticks{};
+    for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+        const Tick span_ticks = records[i + 1].tick - records[i].tick;
+        const LatencyStage stage = latencyStageAfter(records[i]);
+        stage_ticks[static_cast<std::size_t>(stage)] += span_ticks;
+    }
+
+    Tick accounted = 0;
+    std::array<bool, kNumLatencyStages> visited{};
+    for (std::size_t i = 0; i + 1 < records.size(); ++i)
+        visited[static_cast<std::size_t>(
+            latencyStageAfter(records[i]))] = true;
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        accounted += stage_ticks[s];
+        if (visited[s]) {
+            stages_[s].stat.add(static_cast<double>(stage_ticks[s]));
+            stages_[s].hist.add(stage_ticks[s]);
+        }
+    }
+    if (accounted != total)
+        ++violations_;
+
+    ++spans_;
+    endToEnd_.add(static_cast<double>(total));
+    endToEndHist_.add(total);
+    perTile_[records.front().owner].add(total);
+
+    if (reservoir_.size() < kReservoirCap)
+        reservoir_.push_back(total);
+    else
+        ++reservoirDropped_;
+
+    // Slowest-K retention: cheap reject first, then insert-and-sort
+    // (topK_ is small). Ties break deterministically (slowerThan).
+    if (slowest_.size() >= topK_) {
+        LatencySpanTimeline probe;
+        probe.total = total;
+        probe.issueTick = issue;
+        probe.owner = records.front().owner;
+        probe.vpn = records.front().vpn;
+        probe.span = records.front().span;
+        if (!slowerThan(probe, slowest_.back()))
+            return;
+    }
+    LatencySpanTimeline tl;
+    tl.span = records.front().span;
+    tl.owner = records.front().owner;
+    tl.vpn = records.front().vpn;
+    tl.issueTick = issue;
+    tl.total = total;
+    tl.stageTicks = stage_ticks;
+    tl.steps.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        LatencyTimelineStep step;
+        step.offset = records[i].tick - issue;
+        step.ticks = i + 1 < records.size()
+                         ? records[i + 1].tick - records[i].tick
+                         : 0;
+        step.event = records[i].event;
+        step.at = records[i].at;
+        step.arg = records[i].arg;
+        step.stage = latencyStageAfter(records[i]);
+        tl.steps.push_back(step);
+    }
+    slowest_.push_back(std::move(tl));
+    std::sort(slowest_.begin(), slowest_.end(), slowerThan);
+    if (slowest_.size() > topK_)
+        slowest_.resize(topK_);
+}
+
+LatencySnapshot
+LatencyCollector::snapshot() const
+{
+    LatencySnapshot snap;
+    snap.sampleN = sampleN_;
+    snap.spans = spans_;
+    snap.conservationViolations = violations_;
+    snap.stages = stages_;
+    snap.endToEnd = endToEnd_;
+    snap.endToEndHist = endToEndHist_;
+    snap.perTile.assign(perTile_.begin(), perTile_.end());
+    snap.reservoir = reservoir_;
+    std::sort(snap.reservoir.begin(), snap.reservoir.end());
+    snap.reservoirDropped = reservoirDropped_;
+    snap.slowest = slowest_;
+    return snap;
+}
+
+std::string
+criticalPathReport(const LatencySnapshot &snap)
+{
+    std::ostringstream os;
+    os << "=== translation critical path: " << snap.slowest.size()
+       << " slowest of " << snap.spans << " spans (sample 1/"
+       << snap.sampleN << ") ===\n";
+    if (snap.spans) {
+        os << "end-to-end ticks: mean "
+           << static_cast<std::uint64_t>(snap.endToEnd.mean())
+           << "  p50 " << snap.exactQuantile(0.50) << "  p95 "
+           << snap.exactQuantile(0.95) << "  p99 "
+           << snap.exactQuantile(0.99) << "  p999 "
+           << snap.exactQuantile(0.999) << "\n";
+    }
+
+    std::size_t rank = 0;
+    for (const LatencySpanTimeline &tl : snap.slowest) {
+        ++rank;
+        os << "\n#" << rank << "  span " << tl.span << "  owner tile "
+           << tl.owner << "  vpn 0x" << std::hex << tl.vpn << std::dec
+           << "  issue @" << tl.issueTick << "  total " << tl.total
+           << " ticks\n";
+
+        os << "    stages:";
+        for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+            if (tl.stageTicks[s] == 0)
+                continue;
+            os << "  " << latencyStageName(
+                              static_cast<LatencyStage>(s))
+               << "=" << tl.stageTicks[s];
+        }
+        os << "\n";
+
+        for (std::size_t i = 0; i < tl.steps.size(); ++i) {
+            const LatencyTimelineStep &step = tl.steps[i];
+            os << "    +" << std::setw(8) << std::left << step.offset
+               << " " << std::setw(22) << spanEventName(step.event)
+               << std::right << " @tile " << std::setw(3) << step.at;
+            if (step.arg)
+                os << "  arg=" << step.arg;
+            if (i + 1 < tl.steps.size())
+                os << "  -> " << latencyStageName(step.stage) << " ("
+                   << step.ticks << ")";
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace hdpat

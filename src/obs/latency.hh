@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Latency anatomy: per-stage attribution of translation spans.
+ *
+ * The span tracer (obs/trace.hh) records *events*; this layer turns
+ * each completed span into a stage timeline by attributing every
+ * inter-record interval [rec[i].tick, rec[i+1].tick) to exactly one
+ * pipeline stage. The stage is a pure function of the earlier record
+ * (its event, whether it happened at the owner tile, and whether its
+ * argument names the owner), so attribution needs no protocol state
+ * and conservation holds by construction:
+ *
+ *     sum over stages of attributed ticks == complete - issue
+ *
+ * for every span, which the fuzz harness enforces as an oracle.
+ *
+ * Accumulated products per run:
+ *  - per-stage SummaryStat + Log2Histogram (ticks spent in the stage
+ *    by each span that visited it),
+ *  - end-to-end SummaryStat + Log2Histogram,
+ *  - per-owner-tile end-to-end Log2Histogram,
+ *  - an exact-quantile reservoir of end-to-end latencies, so
+ *    p50/p95/p99/p999 are real order statistics rather than bucket
+ *    upper bounds,
+ *  - the slowest-K spans with their full timelines, rendered by
+ *    criticalPathReport() as a paste-ready diagnostic.
+ *
+ * Everything is driven through the SpanSink interface, so the
+ * collector sees every record regardless of trace ring capacity, and
+ * costs nothing when latency attribution is off (null tracer sink).
+ */
+
+#ifndef HDPAT_OBS_LATENCY_HH
+#define HDPAT_OBS_LATENCY_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+/**
+ * Translation pipeline stages, in rough issue-to-retire order. Each
+ * inter-record interval of a span is attributed to exactly one.
+ */
+enum class LatencyStage : std::uint8_t
+{
+    TlbProbe = 0, ///< On-GPM TLB hierarchy probe (L1/L2/filter).
+    PeerLookup,   ///< Peer/cuckoo/neighbour lookup at a remote GPM.
+    NocRequest,   ///< Request-direction NoC flight time.
+    PreQueue,     ///< IOMMU ingress (pre-admission) queue wait.
+    QueueWait,    ///< Walker/MSHR queue wait (GMMU or IOMMU side).
+    PageWalk,     ///< Page-table walk service time.
+    NocReply,     ///< Reply-direction NoC flight time.
+    Fill,         ///< TLB fill / local resolution bookkeeping.
+    DataRetire,   ///< Post-translation data access until retire.
+};
+
+constexpr std::size_t kNumLatencyStages =
+    static_cast<std::size_t>(LatencyStage::DataRetire) + 1;
+
+/** Stable printable stage name (part of the metrics-JSON schema). */
+const char *latencyStageName(LatencyStage stage);
+
+/**
+ * Stage attributed to the interval that *follows* @p rec. Pure
+ * function of (rec.event, rec.at == rec.owner, rec.arg == rec.owner);
+ * see DESIGN.md for the taxonomy rationale. Complete has no following
+ * interval; by convention it maps to DataRetire (never consulted).
+ */
+LatencyStage latencyStageAfter(const TraceRecord &rec);
+
+/** One step of a reconstructed span timeline. */
+struct LatencyTimelineStep
+{
+    /** Ticks since the span's Issue record. */
+    Tick offset = 0;
+    /** Length of the interval that follows (0 for the last step). */
+    Tick ticks = 0;
+    SpanEvent event = SpanEvent::Issue;
+    /** Tile at which the event happened. */
+    TileId at = kInvalidTile;
+    /** Event argument (peer tile, source, ...). */
+    std::uint64_t arg = 0;
+    /** Stage the following interval was attributed to. */
+    LatencyStage stage = LatencyStage::TlbProbe;
+};
+
+/** A slowest-K span with its full per-hop timeline. */
+struct LatencySpanTimeline
+{
+    std::uint64_t span = 0;
+    TileId owner = kInvalidTile;
+    Vpn vpn = 0;
+    Tick issueTick = 0;
+    /** End-to-end latency (complete - issue). */
+    Tick total = 0;
+    /** Ticks attributed to each stage (sums to total). */
+    std::array<Tick, kNumLatencyStages> stageTicks{};
+    std::vector<LatencyTimelineStep> steps;
+};
+
+/** Per-stage accumulation across the spans that visited the stage. */
+struct LatencyStageStats
+{
+    SummaryStat stat;
+    Log2Histogram hist;
+};
+
+/**
+ * Immutable, copyable result of a collection run. Lives in RunResult,
+ * feeds the metrics-JSON "latency" section, and merges across runMany
+ * batches for CLI sweeps.
+ */
+struct LatencySnapshot
+{
+    /** Sampling divisor the spans were collected under (1 = exact). */
+    std::uint64_t sampleN = 1;
+    /** Spans completed and attributed. */
+    std::uint64_t spans = 0;
+    /** Spans whose stage ticks failed to sum to end-to-end latency. */
+    std::uint64_t conservationViolations = 0;
+
+    std::array<LatencyStageStats, kNumLatencyStages> stages;
+
+    SummaryStat endToEnd;
+    Log2Histogram endToEndHist;
+
+    /** Per-owner-tile end-to-end histograms, tile-ordered. */
+    std::vector<std::pair<TileId, Log2Histogram>> perTile;
+
+    /** End-to-end latencies, sorted ascending (exact order stats). */
+    std::vector<std::uint64_t> reservoir;
+    /** Samples discarded once the reservoir cap was hit. */
+    std::uint64_t reservoirDropped = 0;
+
+    /** Slowest spans, slowest first. */
+    std::vector<LatencySpanTimeline> slowest;
+
+    bool empty() const { return spans == 0; }
+
+    /**
+     * Exact end-to-end quantile: the order statistic at rank
+     * ceil(q * n) - 1 of the sorted reservoir. Matches
+     * Log2Histogram::quantile's "first cumulative >= q * total"
+     * convention, so when the reservoir dropped nothing the two
+     * always land in the same log2 bucket (CI enforces <= 1 apart).
+     */
+    std::uint64_t exactQuantile(double q) const;
+
+    /**
+     * Fold @p other into this snapshot, keeping the @p top_k slowest
+     * spans overall. Used by the CLI to aggregate runMany sweeps.
+     */
+    void merge(const LatencySnapshot &other, std::size_t top_k);
+};
+
+/**
+ * Paste-ready critical-path diagnostic for the slowest spans: one
+ * block per span with its stage totals and tick-by-tick hop timeline,
+ * in the auditor's structured-report style.
+ */
+std::string criticalPathReport(const LatencySnapshot &snap);
+
+/**
+ * SpanSink that reconstructs stage timelines from the tracer's record
+ * stream. Attach with Tracer::setSink; snapshot() at end of run.
+ */
+class LatencyCollector : public SpanSink
+{
+  public:
+    /** Hard cap on exact-quantile samples held (1 Mi * 4 = 32 MiB). */
+    static constexpr std::size_t kReservoirCap = 1u << 22;
+
+    /**
+     * @param sample_n Sampling divisor (recorded into the snapshot;
+     *        the tracer enforces it).
+     * @param top_k Slowest spans to keep with full timelines.
+     */
+    explicit LatencyCollector(std::uint64_t sample_n = 1,
+                              std::size_t top_k = 8);
+
+    void onRecord(const TraceRecord &rec) override;
+
+    std::uint64_t spansCompleted() const { return spans_; }
+    std::uint64_t conservationViolations() const { return violations_; }
+
+    /** Materialize the accumulated state (sorts the reservoir). */
+    LatencySnapshot snapshot() const;
+
+  private:
+    void finalize(std::vector<TraceRecord> &records);
+
+    std::uint64_t sampleN_;
+    std::size_t topK_;
+
+    /** Records of live spans, keyed by span id, in arrival order. */
+    std::unordered_map<std::uint64_t, std::vector<TraceRecord>> live_;
+
+    std::array<LatencyStageStats, kNumLatencyStages> stages_;
+    SummaryStat endToEnd_;
+    Log2Histogram endToEndHist_;
+    std::map<TileId, Log2Histogram> perTile_;
+    std::vector<std::uint64_t> reservoir_;
+    std::uint64_t reservoirDropped_ = 0;
+    /** Kept sorted slowest-first, truncated to topK_. */
+    std::vector<LatencySpanTimeline> slowest_;
+    std::uint64_t spans_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_OBS_LATENCY_HH

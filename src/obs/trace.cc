@@ -41,6 +41,8 @@ spanEventName(SpanEvent ev)
         return "net-arrive";
       case SpanEvent::IommuArrive:
         return "iommu-arrive";
+      case SpanEvent::IommuAdmit:
+        return "iommu-admit";
       case SpanEvent::IommuRedirect:
         return "iommu-redirect";
       case SpanEvent::IommuTlbHit:
@@ -81,10 +83,29 @@ Tracer::Tracer(std::size_t capacity, std::uint64_t sample_n)
 }
 
 bool
+Tracer::sampled(TileId owner, Vpn vpn, Tick now) const
+{
+    if (sampleN_ <= 1)
+        return true;
+    // Splitmix64-style finalizer over the span key plus issue tick.
+    // Stateless by design: the decision for a given op is identical
+    // whatever order the runner interleaves runs in.
+    std::uint64_t x =
+        vpn + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(now) + 1) +
+        0x94d049bb133111ebull *
+            (static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(owner)) + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x % sampleN_ == 0;
+}
+
+bool
 Tracer::begin(TileId owner, Vpn vpn, Tick now)
 {
-    const std::uint64_t seen = opsSeen_++;
-    if (seen % sampleN_ != 0)
+    ++opsSeen_;
+    if (!sampled(owner, vpn, now))
         return false;
     const Key key{owner, vpn};
     // A concurrent op on the same (tile, VPN) is already traced; its
@@ -128,6 +149,8 @@ Tracer::end(TileId owner, Vpn vpn, Tick now)
 void
 Tracer::push(const TraceRecord &rec)
 {
+    if (sink_)
+        sink_->onRecord(rec);
     if (ring_.size() < capacity_) {
         ring_.push_back(rec);
         return;

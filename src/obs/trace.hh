@@ -11,7 +11,11 @@
  *  - Bounded: records live in a ring buffer; when it wraps, the oldest
  *    records are overwritten (and counted as dropped).
  *  - Sampled: only 1-in-N issued operations open a span, so even long
- *    runs stay cheap and the exported trace stays loadable.
+ *    runs stay cheap and the exported trace stays loadable. The
+ *    sampling decision is a pure hash of (owner tile, VPN, issue
+ *    tick), never an arrival counter, so serial and runMany
+ *    executions — and calendar- vs heap-queue runs — sample exactly
+ *    the same spans.
  *
  * A span is keyed by (owner tile, VPN): the GPM that issued the memory
  * op owns the span, and every component that touches the request on its
@@ -51,6 +55,7 @@ enum class SpanEvent : std::uint8_t
     NetSend,             ///< Message handed to the NoC (arg = dest).
     NetArrive,           ///< Message delivered by the NoC (arg = dest).
     IommuArrive,         ///< Request entered the IOMMU pre-queue.
+    IommuAdmit,          ///< Request left the pre-queue (admitted).
     IommuRedirect,       ///< Redirection-table hit (arg = aux tile).
     IommuTlbHit,         ///< Conventional IOMMU-TLB hit (Fig 19 mode).
     IommuWalkStart,      ///< IOMMU page-table walk began.
@@ -89,6 +94,20 @@ struct TraceRecord
     SpanEvent event = SpanEvent::Issue;
 };
 
+/**
+ * Observer of the live record stream. A sink sees every record the
+ * tracer accepts — Issue through Complete, in simulation order —
+ * before it lands in (and can later be evicted from) the ring, so
+ * sinks are immune to ring wrap. The latency-attribution collector
+ * (obs/latency.hh) is the canonical implementation.
+ */
+class SpanSink
+{
+  public:
+    virtual ~SpanSink() = default;
+    virtual void onRecord(const TraceRecord &rec) = 0;
+};
+
 class Tracer
 {
   public:
@@ -109,6 +128,21 @@ class Tracer
      * @return true when the op is now traced.
      */
     bool begin(TileId owner, Vpn vpn, Tick now);
+
+    /**
+     * Would an op keyed (owner, vpn) issued at @p now be sampled?
+     * Pure function of its arguments and sampleN(): no tracer state
+     * is read or written, which is the determinism contract satellite
+     * runs (serial vs runMany, calendar vs heap queue) rely on.
+     */
+    bool sampled(TileId owner, Vpn vpn, Tick now) const;
+
+    /**
+     * Attach a record-stream observer (null = none). The sink is
+     * notified synchronously for every accepted record, including
+     * Issue and Complete.
+     */
+    void setSink(SpanSink *sink) { sink_ = sink; }
 
     /** Is a span live for this key? Cheap; safe to call per event. */
     bool active(TileId owner, Vpn vpn) const;
@@ -168,6 +202,7 @@ class Tracer
     std::uint64_t spansStarted_ = 0;
     std::uint64_t spansCompleted_ = 0;
     std::uint64_t dropped_ = 0;
+    SpanSink *sink_ = nullptr;
 };
 
 } // namespace hdpat

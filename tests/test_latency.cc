@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Latency anatomy tests: the stage-attribution function, timeline
+ * reconstruction through a synthetic tracer, the conservation
+ * invariant (sum of stage ticks == end-to-end latency) across the
+ * full workload suite, reservoir-vs-histogram quantile agreement, and
+ * determinism of the whole pipeline across repeat and parallel runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "driver/parallel.hh"
+#include "driver/runner.hh"
+#include "obs/latency.hh"
+#include "obs/trace.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+TraceRecord
+rec(std::uint64_t span, Tick tick, SpanEvent event, TileId at,
+    TileId owner, std::uint64_t arg = 0)
+{
+    TraceRecord r;
+    r.span = span;
+    r.tick = tick;
+    r.vpn = 42;
+    r.arg = arg;
+    r.owner = owner;
+    r.at = at;
+    r.event = event;
+    return r;
+}
+
+// --- Stage attribution --------------------------------------------
+
+TEST(LatencyStageTest, AttributionIsAPureFunctionOfTheRecord)
+{
+    // Issue opens the TLB probe.
+    EXPECT_EQ(latencyStageAfter(rec(1, 0, SpanEvent::Issue, 3, 3)),
+              LatencyStage::TlbProbe);
+    // A hit ends the lookup; what follows is fill bookkeeping.
+    EXPECT_EQ(latencyStageAfter(rec(1, 4, SpanEvent::L1TlbHit, 3, 3)),
+              LatencyStage::Fill);
+    // IOMMU ingress: arrive -> pre-queue, admit -> walker queue.
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 9, SpanEvent::IommuArrive, 24, 3)),
+        LatencyStage::PreQueue);
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 15, SpanEvent::IommuAdmit, 24, 3)),
+        LatencyStage::QueueWait);
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 20, SpanEvent::IommuWalkStart, 24, 3)),
+        LatencyStage::PageWalk);
+    // NetSend direction depends on whether the reply is headed back
+    // to the owner (arg == owner) or the request is still outbound.
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 5, SpanEvent::NetSend, 24, 3, 3)),
+        LatencyStage::NocReply);
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 5, SpanEvent::NetSend, 3, 3, 24)),
+        LatencyStage::NocRequest);
+    // NetArrive at the owner is the fill; elsewhere it's a peer
+    // lookup in progress.
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 8, SpanEvent::NetArrive, 3, 3)),
+        LatencyStage::Fill);
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 8, SpanEvent::NetArrive, 24, 3)),
+        LatencyStage::PeerLookup);
+    EXPECT_EQ(
+        latencyStageAfter(rec(1, 30, SpanEvent::DataAccess, 3, 3)),
+        LatencyStage::DataRetire);
+}
+
+TEST(LatencyStageTest, EveryStageHasAStableName)
+{
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        const char *name =
+            latencyStageName(static_cast<LatencyStage>(s));
+        ASSERT_NE(name, nullptr);
+        EXPECT_GT(std::string(name).size(), 0u);
+    }
+}
+
+// --- Synthetic collection -----------------------------------------
+
+TEST(LatencyCollectorTest, ReconstructsTimelineFromSink)
+{
+    // A local-hit span: issue @100, L1 hit @104, data access @110,
+    // complete @130. Stage ticks: TlbProbe 4, Fill 6, DataRetire 20.
+    Tracer t(64, 1);
+    LatencyCollector collector(1, 4);
+    t.setSink(&collector);
+
+    ASSERT_TRUE(t.begin(5, 42, 100));
+    t.record(5, 42, 104, SpanEvent::L1TlbHit, 5);
+    t.record(5, 42, 110, SpanEvent::DataAccess, 5);
+    t.end(5, 42, 130);
+
+    EXPECT_EQ(collector.spansCompleted(), 1u);
+    EXPECT_EQ(collector.conservationViolations(), 0u);
+
+    const LatencySnapshot snap = collector.snapshot();
+    EXPECT_EQ(snap.spans, 1u);
+    EXPECT_EQ(snap.endToEnd.count(), 1u);
+    EXPECT_DOUBLE_EQ(snap.endToEnd.sum(), 30.0);
+
+    const auto stage = [&](LatencyStage s) -> const LatencyStageStats & {
+        return snap.stages[static_cast<std::size_t>(s)];
+    };
+    EXPECT_DOUBLE_EQ(stage(LatencyStage::TlbProbe).stat.sum(), 4.0);
+    EXPECT_DOUBLE_EQ(stage(LatencyStage::Fill).stat.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(stage(LatencyStage::DataRetire).stat.sum(), 20.0);
+    EXPECT_EQ(stage(LatencyStage::PageWalk).stat.count(), 0u);
+
+    ASSERT_EQ(snap.slowest.size(), 1u);
+    const LatencySpanTimeline &tl = snap.slowest[0];
+    EXPECT_EQ(tl.owner, 5);
+    EXPECT_EQ(tl.vpn, 42u);
+    EXPECT_EQ(tl.issueTick, 100u);
+    EXPECT_EQ(tl.total, 30u);
+    ASSERT_EQ(tl.steps.size(), 4u);
+    EXPECT_EQ(tl.steps[0].offset, 0u);
+    EXPECT_EQ(tl.steps[0].ticks, 4u);
+    EXPECT_EQ(tl.steps[1].offset, 4u);
+    EXPECT_EQ(tl.steps[2].offset, 10u);
+    EXPECT_EQ(tl.steps[3].offset, 30u);
+    EXPECT_EQ(tl.steps[3].ticks, 0u);
+
+    ASSERT_EQ(snap.reservoir.size(), 1u);
+    EXPECT_EQ(snap.reservoir[0], 30u);
+    EXPECT_EQ(snap.exactQuantile(0.5), 30u);
+    EXPECT_EQ(snap.exactQuantile(0.999), 30u);
+
+    // The report carries the span's identity and stage totals.
+    const std::string report = criticalPathReport(snap);
+    EXPECT_NE(report.find("critical path"), std::string::npos);
+    EXPECT_NE(report.find("vpn 0x2a"), std::string::npos);
+    EXPECT_NE(report.find("total 30 ticks"), std::string::npos);
+}
+
+TEST(LatencyCollectorTest, KeepsSlowestKInOrder)
+{
+    Tracer t(64, 1);
+    LatencyCollector collector(1, 3);
+    t.setSink(&collector);
+    // 8 spans with end-to-end latency 10, 20, ..., 80.
+    for (Tick i = 1; i <= 8; ++i) {
+        ASSERT_TRUE(t.begin(0, i, 1000 * i));
+        t.end(0, i, 1000 * i + 10 * i);
+    }
+    const LatencySnapshot snap = collector.snapshot();
+    EXPECT_EQ(snap.spans, 8u);
+    ASSERT_EQ(snap.slowest.size(), 3u);
+    EXPECT_EQ(snap.slowest[0].total, 80u);
+    EXPECT_EQ(snap.slowest[1].total, 70u);
+    EXPECT_EQ(snap.slowest[2].total, 60u);
+    // Reservoir is sorted ascending and exact quantiles are order
+    // statistics: p50 of 8 samples is the 4th (rank ceil(.5*8)-1).
+    ASSERT_EQ(snap.reservoir.size(), 8u);
+    EXPECT_EQ(snap.exactQuantile(0.5), 40u);
+    EXPECT_EQ(snap.exactQuantile(0.95), 80u);
+}
+
+TEST(LatencySnapshotTest, MergeSumsAndReranks)
+{
+    Tracer t1(64, 1), t2(64, 1);
+    LatencyCollector c1(1, 2), c2(1, 2);
+    t1.setSink(&c1);
+    t2.setSink(&c2);
+    for (Tick i = 1; i <= 4; ++i) {
+        ASSERT_TRUE(t1.begin(0, i, 0));
+        t1.end(0, i, 10 * i); // 10, 20, 30, 40.
+        ASSERT_TRUE(t2.begin(1, i, 0));
+        t2.end(1, i, 15 * i); // 15, 30, 45, 60.
+    }
+    LatencySnapshot merged = c1.snapshot();
+    merged.merge(c2.snapshot(), 2);
+    EXPECT_EQ(merged.spans, 8u);
+    EXPECT_EQ(merged.endToEnd.count(), 8u);
+    ASSERT_EQ(merged.slowest.size(), 2u);
+    EXPECT_EQ(merged.slowest[0].total, 60u);
+    EXPECT_EQ(merged.slowest[1].total, 45u);
+    ASSERT_EQ(merged.perTile.size(), 2u);
+    EXPECT_EQ(merged.reservoir.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(merged.reservoir.begin(),
+                               merged.reservoir.end()));
+}
+
+// --- Full-system properties ---------------------------------------
+
+RunSpec
+latencySpec(const std::string &workload, std::uint64_t sample_n)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.config.name = "latency-5x5";
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = workload;
+    spec.opsPerGpm = 400;
+    spec.seed = 0x5eed;
+    spec.obs = ObsOptions{};
+    spec.obs.latency = true;
+    spec.obs.latencySampleN = sample_n;
+    spec.obs.heartbeatInterval = 0;
+    return spec;
+}
+
+TEST(LatencyPropertyTest, ConservationHoldsAcrossTheSuite)
+{
+    // Satellite 3: for every sampled translation in every workload,
+    // the stage durations must sum to the end-to-end latency.
+    for (const std::string &workload : workloadAbbrs()) {
+        const RunResult r = runOnce(latencySpec(workload, 1));
+        const LatencySnapshot &lat = r.latency;
+        EXPECT_GT(lat.spans, 0u) << workload;
+        EXPECT_EQ(lat.conservationViolations, 0u) << workload;
+        EXPECT_EQ(lat.endToEnd.count(), lat.spans) << workload;
+        double stage_sum = 0.0;
+        for (const LatencyStageStats &s : lat.stages)
+            stage_sum += s.stat.sum();
+        EXPECT_DOUBLE_EQ(stage_sum, lat.endToEnd.sum()) << workload;
+    }
+}
+
+TEST(LatencyPropertyTest, ReservoirAndHistogramQuantilesAgree)
+{
+    const auto bucketIndexOf = [](std::uint64_t v) -> int {
+        if (v == 0)
+            return 0;
+        int idx = 0;
+        while (v) {
+            v >>= 1;
+            ++idx;
+        }
+        return idx;
+    };
+    const RunResult r = runOnce(latencySpec("SPMV", 1));
+    const LatencySnapshot &lat = r.latency;
+    ASSERT_GT(lat.spans, 0u);
+    ASSERT_EQ(lat.reservoirDropped, 0u);
+    for (double q : {0.50, 0.95, 0.99, 0.999}) {
+        const std::uint64_t exact = lat.exactQuantile(q);
+        const std::uint64_t bucketed = lat.endToEndHist.quantile(q);
+        EXPECT_LE(std::abs(bucketIndexOf(exact) -
+                           bucketIndexOf(bucketed)),
+                  1)
+            << "q=" << q << " exact=" << exact
+            << " bucketed=" << bucketed;
+    }
+}
+
+TEST(LatencyPropertyTest, AttributionIsDeterministic)
+{
+    // Same spec twice (sampled, to exercise the hash path): the
+    // snapshots must agree exactly.
+    const RunResult a = runOnce(latencySpec("MT", 4));
+    const RunResult b = runOnce(latencySpec("MT", 4));
+    EXPECT_EQ(a.latency.spans, b.latency.spans);
+    EXPECT_EQ(a.latency.reservoir, b.latency.reservoir);
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        EXPECT_EQ(a.latency.stages[s].stat.count(),
+                  b.latency.stages[s].stat.count());
+        EXPECT_DOUBLE_EQ(a.latency.stages[s].stat.sum(),
+                         b.latency.stages[s].stat.sum());
+    }
+    ASSERT_EQ(a.latency.slowest.size(), b.latency.slowest.size());
+    for (std::size_t i = 0; i < a.latency.slowest.size(); ++i) {
+        EXPECT_EQ(a.latency.slowest[i].span,
+                  b.latency.slowest[i].span);
+        EXPECT_EQ(a.latency.slowest[i].total,
+                  b.latency.slowest[i].total);
+    }
+    EXPECT_EQ(criticalPathReport(a.latency),
+              criticalPathReport(b.latency));
+}
+
+TEST(LatencyPropertyTest, ParallelBatchesMatchSerial)
+{
+    const std::vector<RunSpec> specs = {latencySpec("SPMV", 1),
+                                        latencySpec("PR", 1),
+                                        latencySpec("MT", 4)};
+    const std::vector<RunResult> serial = runMany(specs, 1);
+    const std::vector<RunResult> threaded = runMany(specs, 3);
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].latency.spans, threaded[i].latency.spans);
+        EXPECT_EQ(serial[i].latency.reservoir,
+                  threaded[i].latency.reservoir);
+        EXPECT_EQ(criticalPathReport(serial[i].latency),
+                  criticalPathReport(threaded[i].latency));
+    }
+}
+
+} // namespace
+} // namespace hdpat

@@ -20,6 +20,7 @@
 #include "driver/run_result.hh"
 #include "driver/runner.hh"
 #include "obs/json_reader.hh"
+#include "obs/latency.hh"
 #include "obs/profiler.hh"
 
 namespace hdpat
@@ -243,6 +244,87 @@ TEST(ExportValidityTest, ProfileSectionOmittedWhenProfilerOff)
     EXPECT_EQ(doc.at("schema").asString(), "hdpat-metrics-v1");
     EXPECT_EQ(doc.find("profile"), nullptr);
     EXPECT_EQ(doc.find("spatial"), nullptr);
+    // Latency attribution was off, so the section is absent and the
+    // schema stays v1 -- downstream v1 consumers are unaffected.
+    EXPECT_EQ(doc.find("latency"), nullptr);
+    std::remove(spec.obs.metricsJsonPath.c_str());
+}
+
+TEST(ExportValidityTest, LatencySectionIsV2AndComplete)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.config.name = "export-lat-5x5";
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 400;
+    spec.seed = 42;
+    spec.obs = ObsOptions{};
+    spec.obs.metricsJsonPath = tmpPath("hdpat-export-latency.json");
+    spec.obs.latency = true; // Exact mode (sample 1).
+    spec.obs.heartbeatInterval = 0;
+    const RunResult result = runOnce(spec);
+    EXPECT_GT(result.latency.spans, 0u);
+
+    const JsonValue doc =
+        parseJsonFileOrDie(spec.obs.metricsJsonPath);
+    EXPECT_EQ(doc.at("schema").asString(), "hdpat-metrics-v2");
+    const JsonValue &latency = doc.at("latency");
+    EXPECT_EQ(latency.at("sample_n").asUint(), 1u);
+    EXPECT_EQ(latency.at("spans").asUint(), result.latency.spans);
+    EXPECT_EQ(latency.at("conservation_violations").asUint(), 0u);
+
+    // Every stage of the taxonomy is present (possibly with count 0)
+    // so consumers can index by name unconditionally.
+    const JsonValue &stages = latency.at("stages");
+    for (std::size_t s = 0; s < kNumLatencyStages; ++s) {
+        const char *name =
+            latencyStageName(static_cast<LatencyStage>(s));
+        const JsonValue *stage = stages.find(name);
+        ASSERT_NE(stage, nullptr) << name;
+        EXPECT_TRUE(stage->at("summary").isObject());
+        EXPECT_TRUE(stage->at("histogram").isObject());
+    }
+
+    const JsonValue &e2e = latency.at("end_to_end");
+    EXPECT_EQ(e2e.at("summary").at("count").asUint(),
+              result.latency.spans);
+    const JsonValue &quantiles = e2e.at("quantiles");
+    EXPECT_LE(quantiles.at("p50").asUint(),
+              quantiles.at("p95").asUint());
+    EXPECT_LE(quantiles.at("p95").asUint(),
+              quantiles.at("p99").asUint());
+    EXPECT_LE(quantiles.at("p99").asUint(),
+              quantiles.at("p999").asUint());
+    // Exact mode on a small run: nothing dropped, so the reservoir
+    // holds every span.
+    EXPECT_EQ(e2e.at("reservoir_samples").asUint(),
+              result.latency.spans);
+    EXPECT_EQ(e2e.at("reservoir_dropped").asUint(), 0u);
+
+    EXPECT_TRUE(latency.at("tiles").isArray());
+    EXPECT_FALSE(latency.at("tiles").elements.empty());
+
+    const JsonValue &slowest = latency.at("slowest");
+    ASSERT_TRUE(slowest.isArray());
+    ASSERT_FALSE(slowest.elements.empty());
+    std::uint64_t prev = ~0ull;
+    for (const JsonValue &span : slowest.elements) {
+        const std::uint64_t total = span.at("total_ticks").asUint();
+        EXPECT_LE(total, prev); // Sorted slowest-first.
+        prev = total;
+        EXPECT_TRUE(span.at("stage_ticks").isObject());
+        const JsonValue &timeline = span.at("timeline");
+        ASSERT_TRUE(timeline.isArray());
+        ASSERT_FALSE(timeline.elements.empty());
+        EXPECT_EQ(timeline.elements.front().at("event").asString(),
+                  "issue");
+        EXPECT_EQ(timeline.elements.back().at("event").asString(),
+                  "complete");
+    }
+
     std::remove(spec.obs.metricsJsonPath.c_str());
 }
 

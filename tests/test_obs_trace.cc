@@ -17,13 +17,46 @@ namespace
 
 TEST(TracerTest, SamplesOneInN)
 {
-    Tracer t(1024, 3);
+    // Hash sampling: the decision is a pure function of
+    // (owner, VPN, issue tick), so the sampled population is
+    // identical across tracers and arrival orders, and roughly 1/N
+    // of a large key set is kept.
+    Tracer t(1 << 14, 4);
     std::uint64_t opened = 0;
-    for (Vpn vpn = 0; vpn < 9; ++vpn)
-        opened += t.begin(0, vpn, 10) ? 1 : 0;
-    EXPECT_EQ(t.opsSeen(), 9u);
-    EXPECT_EQ(opened, 3u); // Ops 0, 3, 6.
-    EXPECT_EQ(t.spansStarted(), 3u);
+    for (Vpn vpn = 0; vpn < 4096; ++vpn) {
+        const bool in = t.begin(0, vpn, 10);
+        opened += in ? 1 : 0;
+        EXPECT_EQ(in, t.sampled(0, vpn, 10));
+        if (in)
+            t.end(0, vpn, 20);
+    }
+    EXPECT_EQ(t.opsSeen(), 4096u);
+    EXPECT_EQ(t.spansStarted(), opened);
+    // Mean 1024 of 4096; generous bounds, but enough to catch a
+    // broken mixer (all-in or all-out).
+    EXPECT_GT(opened, 512u);
+    EXPECT_LT(opened, 2048u);
+}
+
+TEST(TracerTest, SamplingIsDeterministicAcrossOrderings)
+{
+    Tracer forward(64, 5);
+    Tracer backward(64, 5);
+    std::vector<bool> fwd, bwd(1024);
+    for (Vpn vpn = 0; vpn < 1024; ++vpn)
+        fwd.push_back(forward.sampled(3, vpn, 77));
+    for (Vpn vpn = 1024; vpn-- > 0;)
+        bwd[vpn] = backward.sampled(3, vpn, 77);
+    EXPECT_EQ(fwd, bwd);
+    // The decision keys on all three fields: a different owner or
+    // issue tick reshuffles the population.
+    std::uint64_t owner_diff = 0, tick_diff = 0;
+    for (Vpn vpn = 0; vpn < 1024; ++vpn) {
+        owner_diff += fwd[vpn] != forward.sampled(4, vpn, 77) ? 1 : 0;
+        tick_diff += fwd[vpn] != forward.sampled(3, vpn, 78) ? 1 : 0;
+    }
+    EXPECT_GT(owner_diff, 0u);
+    EXPECT_GT(tick_diff, 0u);
 }
 
 TEST(TracerTest, SampleEveryOpByDefault)
