@@ -203,7 +203,8 @@ main(int argc, char **argv)
 
     std::cout << "hdpat_fuzz: " << opt.runs << " cases, seed "
               << opt.seed << ", oracles: validity-prediction + "
-              << "conservation/PPN audit + runMany differential\n";
+              << "conservation/PPN audit + runMany differential + "
+              << "NoC fusion differential\n";
 
     Rng rng(opt.seed);
     int findings = 0;

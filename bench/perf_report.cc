@@ -201,6 +201,58 @@ check(const char *section, const std::string &pct_text,
     return 0;
 }
 
+/**
+ * CI gate over an exported counter (e.g. engine.events_scheduled):
+ * fail (exit 1) when the fresh value exceeds the baseline's by more
+ * than @p max_regress_pct percent. Counters are simulated quantities,
+ * deterministic for a fixed seed, so unlike host-time checks the
+ * threshold only needs to absorb intentional model drift -- a silently
+ * un-fused NoC delivery path (~20% more scheduled events on the
+ * audited reference run) trips it immediately.
+ *
+ * The baseline may be a BENCH_*.json record carrying a "counters"
+ * object (perf_snapshot.sh embeds one from an audited run) or a full
+ * metrics dump; the fresh side is a metrics dump.
+ */
+int
+counterCheck(const char *name, const std::string &pct_text,
+             const std::string &baseline_path,
+             const std::string &fresh_path)
+{
+    const double max_regress_pct = std::stod(pct_text);
+    const auto counterOf = [&](const std::string &path) {
+        const JsonValue doc = parseJsonFileOrDie(path);
+        const JsonValue *counters = doc.find("counters");
+        const JsonValue *value =
+            counters ? counters->find(name) : nullptr;
+        if (!value) {
+            std::cerr << "error: " << path << " has no counter \""
+                      << name << "\"\n";
+            std::exit(1);
+        }
+        return value->asUint();
+    };
+    const std::uint64_t base = counterOf(baseline_path);
+    const std::uint64_t fresh = counterOf(fresh_path);
+    if (base == 0) {
+        std::cerr << "error: baseline counter \"" << name
+                  << "\" is zero; nothing to compare\n";
+        return 1;
+    }
+    const double delta_pct = (static_cast<double>(fresh) /
+                                  static_cast<double>(base) -
+                              1.0) * 100.0;
+    std::cout << name << ": baseline " << base << ", fresh " << fresh
+              << ", delta " << fmt(delta_pct, 1) << "% (limit +"
+              << fmt(max_regress_pct, 0) << "%)\n";
+    if (delta_pct > max_regress_pct) {
+        std::cerr << "error: " << name
+                  << " regressed beyond the budget\n";
+        return 1;
+    }
+    return 0;
+}
+
 // --- Latency-section tooling ------------------------------------------
 
 /** One quantile's label and probability, in report order. */
@@ -479,6 +531,8 @@ usage()
            "       perf_report --baseline BENCH.json METRICS.json\n"
            "       perf_report --check SECTION MAX_PCT BENCH.json "
            "METRICS.json\n"
+           "       perf_report --counter-check NAME MAX_PCT BENCH.json "
+           "METRICS.json\n"
            "       perf_report --extract-latency METRICS.json\n"
            "       perf_report --latency-diff BASE.json FRESH.json "
            "[MAX_PCT]\n"
@@ -488,7 +542,10 @@ usage()
            "section latency attribution exports (--latency / "
            "HDPAT_LATENCY=1). --check exits nonzero when SECTION's "
            "ns/call regressed more than MAX_PCT percent vs the "
-           "baseline; --latency-diff with MAX_PCT does the same for "
+           "baseline; --counter-check does the same for an exported "
+           "counter (e.g. engine.events_scheduled) against the "
+           "baseline's embedded \"counters\" object; "
+           "--latency-diff with MAX_PCT does the same for "
            "per-stage simulated ticks; --latency-check exits nonzero "
            "when the exact-quantile reservoir and the histogram "
            "disagree by more than one log2 bucket.\n";
@@ -506,6 +563,8 @@ main(int argc, char **argv)
         return diff(argv[2], argv[3]);
     if (argc == 6 && std::strcmp(argv[1], "--check") == 0)
         return check(argv[2], argv[3], argv[4], argv[5]);
+    if (argc == 6 && std::strcmp(argv[1], "--counter-check") == 0)
+        return counterCheck(argv[2], argv[3], argv[4], argv[5]);
     if (argc == 3 && std::strcmp(argv[1], "--extract-latency") == 0)
         return extractLatency(argv[2]);
     if ((argc == 4 || argc == 5) &&

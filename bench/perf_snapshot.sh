@@ -14,7 +14,11 @@
 #   5. captures a latency-anatomy digest of the same representative
 #      run (via perf_report --extract-latency) and embeds it for
 #      perf_report --latency-diff tail-regression gating,
-#   6. records the micro_substrates google-benchmark suite as
+#   6. captures the exported simulation counters of an audited run of
+#      the same representative command, embedded for
+#      perf_report --counter-check (the engine.events_scheduled gate
+#      that catches a silently un-fused NoC delivery path),
+#   7. records the micro_substrates google-benchmark suite as
 #      BENCH_micro.json (next to the fig14 record).
 #
 # Usage: bench/perf_snapshot.sh [BUILD_DIR] [OPS_PER_GPM] > BENCH_fig14.json
@@ -37,6 +41,19 @@ for tool in "$BIN" "$CLI" "$REPORT" "$MICRO" "$EVENTQ"; do
         exit 1
     fi
 done
+
+# Refuse to snapshot anything but a Release build: committed
+# BENCH_*.json records gate CI, and a debug-build baseline would make
+# every future Release measurement look like a huge improvement (and
+# mask real regressions). Checked before any record is written.
+if ! grep -q '^CMAKE_BUILD_TYPE:[^=]*=Release$' "$BUILD_DIR/CMakeCache.txt" \
+        2>/dev/null; then
+    echo "error: $BUILD_DIR is not a Release build" >&2
+    echo "  (configure with -DCMAKE_BUILD_TYPE=Release; found: \
+$(grep '^CMAKE_BUILD_TYPE:' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null \
+        || echo 'no CMakeCache.txt'))" >&2
+    exit 1
+fi
 
 run_timed() {
     local jobs="$1" profile="$2" latency="${3:-}" start end
@@ -93,17 +110,54 @@ HDPAT_LATENCY=1 HDPAT_METRICS_JSON="$LATENCY_TMP" \
     > /dev/null
 LATENCY_JSON="$("$REPORT" --extract-latency "$LATENCY_TMP")"
 
+# Exported simulation counters of an *audited* run of the same command,
+# embedded for perf_report --counter-check. Audited, because only runs
+# with an observer attached schedule (or fuse) delivery companion
+# events: engine.events_scheduled from this run is the number that
+# jumps ~20% if NoC arrival fusion silently stops applying.
+COUNTER_TMP="$(mktemp --suffix=.json)"
+trap 'rm -f "$PROFILE_TMP" "$LATENCY_TMP" "$COUNTER_TMP"' EXIT
+HDPAT_AUDIT=1 HDPAT_METRICS_JSON="$COUNTER_TMP" \
+    "$CLI" --workload SPMV --policy hdpat --ops "$OPS" --audit \
+    > /dev/null
+COUNTERS_JSON="$(jq -c '.counters' "$COUNTER_TMP")"
+
 # Substrate micro-benchmarks (TLB, cuckoo filter, event queue, ...),
 # plus the calendar-vs-heap event-queue head-to-head, merged into one
 # record (the benchmarks arrays concatenate; context comes from the
 # substrate run).
 SUBSTRATE_TMP="$(mktemp --suffix=.json)"
 EVENTQ_TMP="$(mktemp --suffix=.json)"
-trap 'rm -f "$PROFILE_TMP" "$LATENCY_TMP" "$SUBSTRATE_TMP" "$EVENTQ_TMP"' EXIT
+trap 'rm -f "$PROFILE_TMP" "$LATENCY_TMP" "$COUNTER_TMP" \
+    "$SUBSTRATE_TMP" "$EVENTQ_TMP"' EXIT
 "$MICRO" --benchmark_format=json --benchmark_out="$SUBSTRATE_TMP" \
     --benchmark_out_format=json > /dev/null
 "$EVENTQ" --benchmark_format=json --benchmark_out="$EVENTQ_TMP" \
     --benchmark_out_format=json > /dev/null
+# Same Release discipline for the google-benchmark harness itself:
+# its JSON context records how the benchmark *library* was built. The
+# timing loops live in OUR translation units (covered by the
+# CMAKE_BUILD_TYPE assertion above); the library only contributes the
+# per-iteration bookkeeping, and the Debian-packaged libbenchmark is
+# compiled without NDEBUG so it always reports "debug". Hard-fail only
+# if the context is missing entirely (wrong/ancient library); surface
+# a non-release library loudly so the record is never mistaken for a
+# fully-release harness.
+for bench_json in "$SUBSTRATE_TMP" "$EVENTQ_TMP"; do
+    build_type="$(jq -r '.context.library_build_type // empty' \
+        "$bench_json")"
+    if [ -z "$build_type" ]; then
+        echo "error: google-benchmark emitted no" \
+            "context.library_build_type (unsupported library?)" >&2
+        exit 1
+    fi
+    if [ "$build_type" != "release" ]; then
+        echo "warning: google-benchmark library reports build type" \
+            "'$build_type' (system-packaged lib without NDEBUG);" \
+            "benchmark bodies are still Release-built -- compare" \
+            "records only against the same library" >&2
+    fi
+done
 jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
     "$SUBSTRATE_TMP" "$EVENTQ_TMP" > "$MICRO_OUT"
 echo "wrote micro-benchmark record to $MICRO_OUT" >&2
@@ -123,6 +177,7 @@ cat <<EOF
   "latency_overhead_pct": $LATENCY_OVERHEAD_PCT,
   "profile": $PROFILE_JSON,
   "latency": $LATENCY_JSON,
+  "counters": $COUNTERS_JSON,
   "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "host": "$(uname -sm)"
 }

@@ -288,6 +288,8 @@ parse(int argc, char **argv)
                    "  HDPAT_JOBS=N             default for --jobs\n"
                    "  HDPAT_EVENTQ=IMPL        event queue: calendar "
                    "(default) or heap (legacy; same results)\n"
+                   "  HDPAT_NOC_FUSE=0         disable NoC arrival "
+                   "fusion (per-companion events; same results)\n"
                    "  HDPAT_STREAM_CACHE=0     disable the shared "
                    "workload stream cache (same results)\n"
                    "  HDPAT_BENCH_SCALE=F      multiply bench op "

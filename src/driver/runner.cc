@@ -60,6 +60,9 @@ obsOptionsFromEnv()
     if (const char *env = std::getenv("HDPAT_HEARTBEAT"))
         obs.heartbeatInterval = std::atoll(env);
     obs.audit = envFlag("HDPAT_AUDIT");
+    if (const char *env = std::getenv("HDPAT_NOC_FUSE");
+        env && *env && std::string(env) == "0")
+        obs.nocFuse = false;
     if (const char *env = std::getenv("HDPAT_WATCHDOG"))
         obs.watchdogInterval = std::atoll(env);
     if (const char *env = std::getenv("HDPAT_SPATIAL"))
@@ -145,6 +148,7 @@ runOnce(const RunSpec &spec)
     System system(spec.config, spec.policy);
     if (spec.captureIommuTrace)
         system.setCaptureIommuTrace(true);
+    system.setNocFusion(spec.obs.nocFuse);
 
     if (!spec.obs.traceOutPath.empty())
         system.enableTracing(spec.obs.traceCapacity,

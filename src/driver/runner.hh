@@ -60,6 +60,13 @@ struct ObsOptions
     std::size_t latencyTopK = 8;
     /** Write the critical-path report here ("" = off; implies on). */
     std::string latencyReportPath;
+    /**
+     * Fuse NoC delivery companion events into the arrival event
+     * (HDPAT_NOC_FUSE; default on, set to 0 to force the pre-fusion
+     * per-companion event shape). Spatial observation overrides this
+     * to off regardless.
+     */
+    bool nocFuse = true;
 
     bool any() const
     {

@@ -116,6 +116,13 @@ class System
     void enableAudit();
 
     /**
+     * Enable/disable NoC delivery fusion (default on; the
+     * HDPAT_NOC_FUSE=0 kill switch routes here). Spatial observation
+     * still forces unfused delivery regardless of this setting.
+     */
+    void setNocFusion(bool on) { net_.setFusion(on); }
+
+    /**
      * Enable the stall watchdog: if the engine keeps executing events
      * for @p interval simulated ticks without a single memop retiring,
      * abort with the auditor-style diagnostic (stuck spans, per-tile

@@ -56,6 +56,7 @@ forEachNumericField(Case &c, F &&f)
     f("opsPerGpm", c.opsPerGpm);
     f("seed", c.seed);
     f("heapEventQueue", c.heapEventQueue);
+    f("nocFuse", c.nocFuse);
 }
 
 /** Negative sampled values target signed config fields; for unsigned
@@ -159,6 +160,7 @@ FuzzCase::toSpec() const
     // on exactly the observability it needs.
     spec.obs = ObsOptions{};
     spec.obs.heartbeatInterval = 0;
+    spec.obs.nocFuse = nocFuse != 0;
     return spec;
 }
 

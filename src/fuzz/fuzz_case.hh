@@ -71,6 +71,13 @@ struct FuzzCase
      *  cover both orderings of the same simulation. */
     std::int64_t heapEventQueue = 0;
 
+    /** Run the case with NoC delivery fusion on (the default shipping
+     *  configuration) or off (the per-companion-event shape). The
+     *  harness additionally re-runs every case with the flag flipped
+     *  and requires identical counts, so both values of this field
+     *  still cross-check fused against per-hop delivery. */
+    std::int64_t nocFuse = 1;
+
     /** Build the RunSpec this case describes (audit left off; the
      *  harness decides observability). */
     RunSpec toSpec() const;

@@ -112,7 +112,21 @@ childRun(const RunSpec &spec, bool heap_event_queue)
         _exit(kOracleExit);
     }
 
-    // Oracle 4: latency attribution must be a pure observer. A run
+    // Oracle 4: NoC delivery fusion must be a pure scheduling
+    // transform. Re-run the audited case with the fusion flag flipped:
+    // every simulated count -- including totalTicks and the retire
+    // census hash -- must match, whichever shape the case sampled.
+    RunSpec flipped = audited;
+    flipped.obs.nocFuse = !audited.obs.nocFuse;
+    const RunResult refused = runOnce(flipped);
+    if (!sameCounts(single, refused, "fused vs per-hop delivery",
+                    &why)) {
+        std::fprintf(stderr, "differential mismatch: %s\n",
+                     why.c_str());
+        _exit(kOracleExit);
+    }
+
+    // Oracle 5: latency attribution must be a pure observer. A run
     // with per-stage attribution on (sampled, to exercise the hash
     // path) must conserve every count, and every sampled span's stage
     // durations must sum to its end-to-end latency.

@@ -96,6 +96,12 @@ sampleFuzzCase(Rng &rng)
     // implementations across the whole sampled config space.
     c.heapEventQueue = rng.chance(0.5);
 
+    // And half run with NoC delivery fusion off, so the whole sampled
+    // space exercises the per-companion-event delivery shape too (the
+    // harness flips the flag again for the fusion differential, so
+    // either starting value cross-checks both shapes).
+    c.nocFuse = rng.chance(0.5);
+
     return c;
 }
 

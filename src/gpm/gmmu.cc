@@ -1,5 +1,6 @@
 #include "gpm/gmmu.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/log.hh"
@@ -29,6 +30,15 @@ Gmmu::requestWalk(Vpn vpn, WalkCallback cb, TileId trace_owner)
 void
 Gmmu::tryStart()
 {
+    // Batched probe warm-up: prefetch the PWC sets of every walk this
+    // round can dispatch (bounded by free walkers) before starting
+    // them one by one. Non-architectural, like Tlb::probeMany.
+    if (pwc_.enabled()) {
+        const std::size_t starts = std::min<std::size_t>(
+            static_cast<std::size_t>(freeWalkers_), queue_.size());
+        for (std::size_t i = 0; i < starts; ++i)
+            pwc_.prefetch(queue_[i].vpn);
+    }
     while (freeWalkers_ > 0 && !queue_.empty()) {
         Pending p = std::move(queue_.front());
         queue_.pop_front();

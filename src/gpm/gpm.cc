@@ -26,6 +26,10 @@ Gpm::Gpm(TileId tile, Engine &engine, Network &net, GlobalPageTable &pt,
       issueRate_(static_cast<double>(cfg.issueWidth)),
       issueWindow_(cfg.maxOutstandingOps)
 {
+    // A cycle's gather can hold at most the window's worth of ops;
+    // pre-size so steady-state issue never allocates.
+    issueBatch_.reserve(static_cast<std::size_t>(issueWindow_));
+    issueVpns_.reserve(static_cast<std::size_t>(issueWindow_));
 }
 
 void
@@ -33,8 +37,11 @@ Gpm::setIssueParams(double ops_per_cycle, int max_outstanding)
 {
     if (ops_per_cycle > 0.0)
         issueRate_ = ops_per_cycle;
-    if (max_outstanding > 0)
+    if (max_outstanding > 0) {
         issueWindow_ = max_outstanding;
+        issueBatch_.reserve(static_cast<std::size_t>(issueWindow_));
+        issueVpns_.reserve(static_cast<std::size_t>(issueWindow_));
+    }
 }
 
 void
@@ -205,18 +212,36 @@ Gpm::tryIssue()
     if (nextIssueTime_ < now)
         nextIssueTime_ = now;
 
-    // Issue every op whose slot falls within the current cycle.
+    // Gather every op whose slot falls within the current cycle, then
+    // prefetch the L1 TLB sets they will probe, then issue. The
+    // address stream is independent of simulator state and the probe
+    // is non-architectural, so splitting gather from issue reorders
+    // nothing observable -- it only lets the translate loop below run
+    // against warm tag arrays instead of paying a cold miss per op.
+    issueBatch_.clear();
+    issueVpns_.clear();
     while (outstanding_ < issueWindow_ && nextIssueTime_ < now + 1.0) {
         std::optional<Addr> va = stream_->next();
         if (!va) {
             streamDone_ = true;
-            checkFinished();
-            return;
+            break;
         }
+        // Reserve the op's window slot at gather time so an
+        // end-of-stream checkFinished() below cannot observe the
+        // batched ops as already drained.
         ++outstanding_;
         ++stats_.opsIssued;
         nextIssueTime_ += 1.0 / issueRate_;
-        beginOp(*va);
+        issueBatch_.push_back(*va);
+        issueVpns_.push_back(pt_.vpnOf(*va));
+    }
+    if (issueVpns_.size() > 1)
+        l1Tlb_.probeMany(issueVpns_);
+    for (const Addr va : issueBatch_)
+        beginOp(va);
+    if (streamDone_) {
+        checkFinished();
+        return;
     }
 
     // Out of this cycle's issue budget but the window has room:

@@ -144,6 +144,15 @@ Iommu::processIngress()
 {
     const ProfScope prof(profiler_, ProfSection::IommuPipeline);
     int budget = cfg_.iommuIngressPerCycle;
+    // Batched probe warm-up: prefetch the TLB sets of every request
+    // this cycle's budget could admit. Non-architectural (no LRU or
+    // stats), so an early admission stall leaves nothing stale.
+    if (tlb_) {
+        const std::size_t heads = std::min<std::size_t>(
+            static_cast<std::size_t>(budget), ingressQueue_.size());
+        for (std::size_t i = 0; i < heads; ++i)
+            tlb_->prefetchSet(ingressQueue_[i].req.vpn);
+    }
     while (budget > 0 && !ingressQueue_.empty()) {
         const Tick ready =
             ingressQueue_.front().arriveTick + cfg_.iommuIngressLatency;

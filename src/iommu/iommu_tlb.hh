@@ -29,6 +29,9 @@ class IommuTlb
     /** Look up @p vpn. */
     std::optional<Pfn> lookup(Vpn vpn) { return tlb_.lookup(vpn); }
 
+    /** Prefetch @p vpn's set (no architectural side effects). */
+    void prefetchSet(Vpn vpn) const { tlb_.prefetchSet(vpn); }
+
     /** Fill a translation (demand or prefetched). */
     void fill(Vpn vpn, Pfn pfn) { tlb_.insert(vpn, pfn); }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "sim/log.hh"
 
@@ -20,7 +21,44 @@ nextPow2(std::size_t x)
     return std::size_t(1) << std::bit_width(x - 1);
 }
 
+// SWAR helpers over one 4-slot bucket: the four 16-bit fingerprints
+// are exactly one 64-bit word, so membership / first-empty / first-
+// match resolve with word ops instead of a slot loop.
+constexpr std::uint64_t kLaneLsb = 0x0001000100010001ull;
+constexpr std::uint64_t kLaneMsb = 0x8000800080008000ull;
+
+std::uint64_t
+loadBucket(const std::uint16_t *slots)
+{
+    std::uint64_t word;
+    std::memcpy(&word, slots, sizeof(word));
+    return word;
+}
+
+/**
+ * MSB-per-lane mask of the 16-bit lanes of @p word that are zero.
+ * Borrow propagation can set spurious bits only in lanes *above* the
+ * lowest zero lane, so existence tests and lowest-lane extraction are
+ * both exact.
+ */
+std::uint64_t
+zeroLanes(std::uint64_t word)
+{
+    return (word - kLaneLsb) & ~word & kLaneMsb;
+}
+
+/** Lane index (0..3) of the lowest set MSB in a zeroLanes() mask. */
+unsigned
+lowestLane(std::uint64_t mask)
+{
+    return static_cast<unsigned>(std::countr_zero(mask)) / 16;
+}
+
 } // namespace
+
+static_assert(CuckooFilter::kSlotsPerBucket == 4 &&
+                  sizeof(std::uint16_t) * 4 == sizeof(std::uint64_t),
+              "SWAR bucket ops assume a 4 x 16-bit = 64-bit bucket");
 
 CuckooFilter::CuckooFilter(std::size_t capacity, unsigned fingerprint_bits,
                            std::uint64_t seed)
@@ -88,37 +126,33 @@ CuckooFilter::altIndex(std::size_t idx, Fingerprint fp) const
 bool
 CuckooFilter::bucketInsert(std::size_t bucket, Fingerprint fp)
 {
-    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
-        auto &slot = table_[bucket * kSlotsPerBucket + s];
-        if (slot == 0) {
-            slot = fp;
-            return true;
-        }
-    }
-    return false;
+    Fingerprint *slots = table_.data() + bucket * kSlotsPerBucket;
+    const std::uint64_t empties = zeroLanes(loadBucket(slots));
+    if (!empties)
+        return false;
+    // Lowest empty lane first: identical slot choice to the old
+    // ascending scan, so table contents stay bit-for-bit the same.
+    slots[lowestLane(empties)] = fp;
+    return true;
 }
 
 bool
 CuckooFilter::bucketErase(std::size_t bucket, Fingerprint fp)
 {
-    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
-        auto &slot = table_[bucket * kSlotsPerBucket + s];
-        if (slot == fp) {
-            slot = 0;
-            return true;
-        }
-    }
-    return false;
+    Fingerprint *slots = table_.data() + bucket * kSlotsPerBucket;
+    const std::uint64_t matches = zeroLanes(
+        loadBucket(slots) ^ (kLaneLsb * fp));
+    if (!matches)
+        return false;
+    slots[lowestLane(matches)] = 0;
+    return true;
 }
 
 bool
 CuckooFilter::bucketContains(std::size_t bucket, Fingerprint fp) const
 {
-    for (unsigned s = 0; s < kSlotsPerBucket; ++s) {
-        if (table_[bucket * kSlotsPerBucket + s] == fp)
-            return true;
-    }
-    return false;
+    const Fingerprint *slots = table_.data() + bucket * kSlotsPerBucket;
+    return zeroLanes(loadBucket(slots) ^ (kLaneLsb * fp)) != 0;
 }
 
 bool

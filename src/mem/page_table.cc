@@ -30,18 +30,32 @@ GlobalPageTable::allocate(std::size_t bytes, std::span<const TileId> homes)
     const std::size_t remainder = pages % homes.size();
     std::size_t page = 0;
     for (std::size_t h = 0; h < homes.size(); ++h) {
+        const TileId home = homes[h];
+        growHomeLanes(home);
+        const std::size_t lane = static_cast<std::size_t>(home);
         std::size_t block = per_home + (h < remainder ? 1 : 0);
         for (std::size_t i = 0; i < block; ++i, ++page) {
             const Vpn vpn = nextVpn_ + page;
             Pte pte;
-            pte.home = homes[h];
-            pte.pfn = nextPfn_[homes[h]]++;
+            pte.home = home;
+            pte.pfn = nextPfn_[lane]++;
             table_.emplace(vpn, pte);
-            ++homeCounts_[homes[h]];
         }
+        homeCounts_[lane] += block;
     }
     nextVpn_ += pages;
     return handle;
+}
+
+void
+GlobalPageTable::growHomeLanes(TileId tile)
+{
+    hdpat_fatal_if(tile < 0, "negative home tile " << tile);
+    const std::size_t need = static_cast<std::size_t>(tile) + 1;
+    if (homeCounts_.size() < need) {
+        homeCounts_.resize(need, 0);
+        nextPfn_.resize(need, 0);
+    }
 }
 
 bool
@@ -50,9 +64,9 @@ GlobalPageTable::unmap(Vpn vpn)
     auto it = table_.find(vpn);
     if (it == table_.end())
         return false;
-    auto home_it = homeCounts_.find(it->second.home);
-    if (home_it != homeCounts_.end() && home_it->second > 0)
-        --home_it->second;
+    const std::size_t lane = static_cast<std::size_t>(it->second.home);
+    if (lane < homeCounts_.size() && homeCounts_[lane] > 0)
+        --homeCounts_[lane];
     table_.erase(it);
     return true;
 }
@@ -81,8 +95,8 @@ GlobalPageTable::homeOf(Vpn vpn) const
 std::size_t
 GlobalPageTable::pagesHomedOn(TileId tile) const
 {
-    auto it = homeCounts_.find(tile);
-    return it == homeCounts_.end() ? 0 : it->second;
+    const std::size_t lane = static_cast<std::size_t>(tile);
+    return lane < homeCounts_.size() ? homeCounts_[lane] : 0;
 }
 
 void

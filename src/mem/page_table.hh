@@ -92,13 +92,28 @@ class GlobalPageTable
     void forEachPage(const std::function<void(Vpn, const Pte &)> &fn) const;
 
   private:
+    /** Grow the per-home lanes to cover @p tile. */
+    void growHomeLanes(TileId tile);
+
     unsigned pageShift_;
+    /**
+     * VPN -> PTE. Deliberately kept an unordered_map even though VPNs
+     * are bump-allocated: forEachPage() iterates it, and that order
+     * seeds the per-home cuckoo filters at workload load -- changing
+     * the container would reorder those inserts and perturb filter
+     * contents (and thus simulated timing) for no modeled reason.
+     */
     std::unordered_map<Vpn, Pte> table_;
-    std::unordered_map<TileId, std::size_t> homeCounts_;
     /** Next unallocated VPN (bump allocator, starts above null page). */
     Vpn nextVpn_ = 0x100;
-    /** Per-home next free PFN. */
-    std::unordered_map<TileId, Pfn> nextPfn_;
+    /**
+     * Per-home lanes indexed by TileId (tiles are small dense ids):
+     * pages homed there, and the next free PFN. allocate() bumps both
+     * once per page, which made the old per-page unordered_map probes
+     * a fixture of the host profile.
+     */
+    std::vector<std::size_t> homeCounts_;
+    std::vector<Pfn> nextPfn_;
 };
 
 } // namespace hdpat

@@ -15,6 +15,7 @@
 #define HDPAT_MEM_PAGE_WALK_CACHE_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "mem/tlb.hh"
 #include "sim/types.hh"
@@ -50,6 +51,19 @@ class PageWalkCache
      * walks (the PWC holds non-leaf entries only).
      */
     Tick walkLatency(Vpn vpn);
+
+    /**
+     * Prefetch every level's set for @p vpn ahead of walkLatency()
+     * (no architectural side effects). The walk queue calls this for
+     * the walks a dispatch round is about to start, so the per-level
+     * scans run against warm tag arrays.
+     */
+    void prefetch(Vpn vpn) const
+    {
+        for (unsigned level = 1; level < levels_ && !caches_.empty();
+             ++level)
+            caches_[level - 1].prefetchSet(prefixOf(vpn, level));
+    }
 
     /** Install the intermediate levels after a completed walk. */
     void fill(Vpn vpn);

@@ -1,6 +1,7 @@
 #include "mem/set_assoc_cache.hh"
 
 #include <bit>
+#include <cstring>
 
 #include "sim/log.hh"
 
@@ -19,7 +20,10 @@ SetAssocCache::SetAssocCache(std::size_t size_bytes, std::size_t num_ways,
     numSets_ = total_lines / num_ways;
     hdpat_fatal_if(numSets_ == 0,
                    "cache too small: " << size_bytes << " bytes");
-    lines_.resize(numSets_ * numWays_);
+    const std::size_t n = numSets_ * numWays_;
+    tags_.reset(new Addr[n]);
+    lru_.reset(new std::uint64_t[n]);
+    valid_.reset(new std::uint8_t[n]());
 }
 
 std::size_t
@@ -38,26 +42,38 @@ SetAssocCache::access(Addr addr)
     const Addr line_addr = addr >> lineShift_;
     const std::size_t base = setIndex(line_addr) * numWays_;
 
-    Line *victim = nullptr;
+    // First-match hit scan over the dense tag/valid lanes; a line
+    // appears in at most one way, so the early exit is exact.
+    std::size_t hit = ~std::size_t{0};
     for (std::size_t w = 0; w < numWays_; ++w) {
-        Line &line = lines_[base + w];
-        if (line.valid && line.tag == line_addr) {
-            ++stats_.hits;
-            line.lruStamp = ++lruClock_;
-            return true;
-        }
-        if (!line.valid) {
-            if (!victim || victim->valid)
-                victim = &line;
-        } else if (!victim || (victim->valid &&
-                               line.lruStamp < victim->lruStamp)) {
-            victim = &line;
+        const std::size_t i = base + w;
+        if (valid_[i] && tags_[i] == line_addr) {
+            hit = i;
+            break;
         }
     }
+    if (hit != ~std::size_t{0}) {
+        ++stats_.hits;
+        lru_[hit] = ++lruClock_;
+        return true;
+    }
 
-    victim->tag = line_addr;
-    victim->valid = true;
-    victim->lruStamp = ++lruClock_;
+    // Victim: the first invalid way, else the strictly-least-recently
+    // used way (ties keep the lowest way, matching the AoS scan).
+    std::size_t victim = ~std::size_t{0};
+    for (std::size_t w = 0; w < numWays_; ++w) {
+        const std::size_t i = base + w;
+        if (!valid_[i]) {
+            victim = i;
+            break;
+        }
+        if (victim == ~std::size_t{0} || lru_[i] < lru_[victim])
+            victim = i;
+    }
+
+    tags_[victim] = line_addr;
+    valid_[victim] = 1;
+    lru_[victim] = ++lruClock_;
     return false;
 }
 
@@ -65,11 +81,10 @@ bool
 SetAssocCache::contains(Addr addr) const
 {
     const Addr line_addr = addr >> lineShift_;
-    const std::size_t base =
-        const_cast<SetAssocCache *>(this)->setIndex(line_addr) * numWays_;
+    const std::size_t base = setIndex(line_addr) * numWays_;
     for (std::size_t w = 0; w < numWays_; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == line_addr)
+        const std::size_t i = base + w;
+        if (valid_[i] && tags_[i] == line_addr)
             return true;
     }
     return false;
@@ -78,8 +93,7 @@ SetAssocCache::contains(Addr addr) const
 void
 SetAssocCache::flush()
 {
-    for (auto &line : lines_)
-        line.valid = false;
+    std::memset(valid_.get(), 0, numSets_ * numWays_);
 }
 
 } // namespace hdpat

@@ -3,13 +3,21 @@
  * Tag-only set-associative cache used to model each GPM's data cache
  * (the unified L2 of Fig 1(b)); it decides whether a memory operation
  * pays HBM / remote-NoC cost after translation.
+ *
+ * Storage is structure-of-arrays (tag / valid / LRU lanes): a probe
+ * reads only the tag and valid lanes, and construction zeroes only
+ * the one-byte valid lane. The latter matters far more than it looks:
+ * a wafer sweep constructs one multi-megabyte data cache per tile per
+ * run, while a short run touches only a few hundred of its lines --
+ * value-initializing every 24-byte line struct was the single largest
+ * entry in the host profile before this layout.
  */
 
 #ifndef HDPAT_MEM_SET_ASSOC_CACHE_HH
 #define HDPAT_MEM_SET_ASSOC_CACHE_HH
 
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 #include "sim/types.hh"
 
@@ -59,20 +67,20 @@ class SetAssocCache
     const Stats &stats() const { return stats_; }
 
   private:
-    struct Line
-    {
-        Addr tag = 0;
-        bool valid = false;
-        std::uint64_t lruStamp = 0;
-    };
-
     std::size_t setIndex(Addr line_addr) const;
 
     std::size_t numSets_;
     std::size_t numWays_;
     std::size_t lineBytes_;
     unsigned lineShift_;
-    std::vector<Line> lines_;
+    /**
+     * SoA lanes, flat: set s occupies [s*ways, (s+1)*ways). Only
+     * valid_ is zeroed at construction; tags_/lru_ are guarded by the
+     * valid bit and first-touched on fill.
+     */
+    std::unique_ptr<Addr[]> tags_;
+    std::unique_ptr<std::uint64_t[]> lru_;
+    std::unique_ptr<std::uint8_t[]> valid_;
     std::uint64_t lruClock_ = 0;
     Stats stats_;
 };

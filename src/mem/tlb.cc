@@ -10,7 +10,14 @@ Tlb::Tlb(std::size_t num_sets, std::size_t num_ways)
 {
     hdpat_fatal_if(num_sets == 0 || num_ways == 0,
                    "TLB requires at least one set and one way");
-    entries_.resize(numSets_ * numWays_);
+    const std::size_t n = numSets_ * numWays_;
+    // Tag/payload/LRU lanes stay uninitialized (guarded by the valid
+    // bit); only the flag lane is zeroed, so constructing a TLB costs
+    // one short memset instead of touching every entry.
+    vpns_.reset(new Vpn[n]);
+    pfns_.reset(new Pfn[n]);
+    lru_.reset(new std::uint64_t[n]);
+    flags_.reset(new std::uint8_t[n]());
 }
 
 std::size_t
@@ -23,109 +30,143 @@ Tlb::setIndex(Vpn vpn) const
     return static_cast<std::size_t>(x % numSets_);
 }
 
-TlbEntry *
-Tlb::find(Vpn vpn)
+std::size_t
+Tlb::findSlot(Vpn vpn) const
 {
     const std::size_t base = setIndex(vpn) * numWays_;
+    // First-match scan over the dense tag/flag lanes. At most one
+    // valid way holds the VPN (insert refreshes in place), so exiting
+    // on the hit is exact -- and measurably faster than a predicated
+    // full-set scan for the wide (32-way) Table I configurations.
     for (std::size_t w = 0; w < numWays_; ++w) {
-        TlbEntry &entry = entries_[base + w];
-        if (entry.valid && entry.vpn == vpn)
-            return &entry;
+        const std::size_t i = base + w;
+        if ((flags_[i] & kValid) && vpns_[i] == vpn)
+            return i;
     }
-    return nullptr;
+    return kNone;
 }
 
-const TlbEntry *
-Tlb::find(Vpn vpn) const
+TlbEntry
+Tlb::entryAt(std::size_t i) const
 {
-    return const_cast<Tlb *>(this)->find(vpn);
+    TlbEntry e;
+    e.vpn = vpns_[i];
+    e.pfn = pfns_[i];
+    e.remote = (flags_[i] & kRemote) != 0;
+    e.prefetched = (flags_[i] & kPrefetched) != 0;
+    e.valid = (flags_[i] & kValid) != 0;
+    e.lruStamp = lru_[i];
+    return e;
 }
 
 std::optional<Pfn>
 Tlb::lookup(Vpn vpn)
 {
-    if (const TlbEntry *entry = lookupEntry(vpn))
-        return entry->pfn;
-    return std::nullopt;
+    ++stats_.lookups;
+    const std::size_t i = findSlot(vpn);
+    if (i == kNone)
+        return std::nullopt;
+    ++stats_.hits;
+    lru_[i] = ++lruClock_;
+    return pfns_[i];
 }
 
 const TlbEntry *
 Tlb::lookupEntry(Vpn vpn)
 {
     ++stats_.lookups;
-    if (TlbEntry *entry = find(vpn)) {
-        ++stats_.hits;
-        entry->lruStamp = ++lruClock_;
-        return entry;
-    }
-    return nullptr;
+    const std::size_t i = findSlot(vpn);
+    if (i == kNone)
+        return nullptr;
+    ++stats_.hits;
+    lru_[i] = ++lruClock_;
+    scratch_ = entryAt(i);
+    return &scratch_;
 }
 
 std::optional<Pfn>
 Tlb::peek(Vpn vpn) const
 {
-    if (const TlbEntry *entry = find(vpn))
-        return entry->pfn;
-    return std::nullopt;
+    const std::size_t i = findSlot(vpn);
+    if (i == kNone)
+        return std::nullopt;
+    return pfns_[i];
+}
+
+std::uint64_t
+Tlb::probeMany(std::span<const Vpn> vpns) const
+{
+    // Pass 1: prefetch every probed set so pass 2 scans warm lines.
+    for (const Vpn vpn : vpns)
+        prefetchSet(vpn);
+    // Pass 2: sequential tag scans, no LRU / stats side effects.
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < vpns.size(); ++i) {
+        if (findSlot(vpns[i]) != kNone && i < 64)
+            hits |= std::uint64_t{1} << i;
+    }
+    return hits;
 }
 
 std::optional<TlbEntry>
 Tlb::insert(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
 {
     ++stats_.inserts;
-    if (TlbEntry *entry = find(vpn)) {
-        entry->pfn = pfn;
-        entry->remote = remote;
-        entry->prefetched = prefetched;
-        entry->lruStamp = ++lruClock_;
+    const std::uint8_t newFlags =
+        kValid | (remote ? kRemote : 0) | (prefetched ? kPrefetched : 0);
+    if (const std::size_t i = findSlot(vpn); i != kNone) {
+        pfns_[i] = pfn;
+        flags_[i] = newFlags;
+        lru_[i] = ++lruClock_;
         return std::nullopt;
     }
 
+    // Victim: the first invalid way, else the strictly-least-recently
+    // used way (ties keep the lowest way, as the AoS scan did).
     const std::size_t base = setIndex(vpn) * numWays_;
-    TlbEntry *victim = nullptr;
+    std::size_t victim = kNone;
     for (std::size_t w = 0; w < numWays_; ++w) {
-        TlbEntry &entry = entries_[base + w];
-        if (!entry.valid) {
-            victim = &entry;
+        const std::size_t i = base + w;
+        if (!(flags_[i] & kValid)) {
+            victim = i;
             break;
         }
-        if (!victim || entry.lruStamp < victim->lruStamp)
-            victim = &entry;
+        if (victim == kNone || lru_[i] < lru_[victim])
+            victim = i;
     }
 
     std::optional<TlbEntry> evicted;
-    if (victim->valid) {
-        evicted = *victim;
+    if (flags_[victim] & kValid) {
+        evicted = entryAt(victim);
         ++stats_.evictions;
     } else {
         ++occupancy_;
     }
-    victim->vpn = vpn;
-    victim->pfn = pfn;
-    victim->remote = remote;
-    victim->prefetched = prefetched;
-    victim->valid = true;
-    victim->lruStamp = ++lruClock_;
+    vpns_[victim] = vpn;
+    pfns_[victim] = pfn;
+    flags_[victim] = newFlags;
+    lru_[victim] = ++lruClock_;
     return evicted;
 }
 
 std::optional<TlbEntry>
 Tlb::invalidate(Vpn vpn)
 {
-    if (TlbEntry *entry = find(vpn)) {
-        TlbEntry copy = *entry;
-        entry->valid = false;
-        --occupancy_;
-        return copy;
-    }
-    return std::nullopt;
+    const std::size_t i = findSlot(vpn);
+    if (i == kNone)
+        return std::nullopt;
+    TlbEntry copy = entryAt(i);
+    flags_[i] = 0;
+    --occupancy_;
+    return copy;
 }
 
 void
 Tlb::flush()
 {
-    for (auto &entry : entries_)
-        entry.valid = false;
+    const std::size_t n = numSets_ * numWays_;
+    for (std::size_t i = 0; i < n; ++i)
+        flags_[i] = 0;
     occupancy_ = 0;
 }
 

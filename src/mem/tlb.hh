@@ -3,21 +3,30 @@
  * Set-associative TLB with LRU replacement (Table I structures: L1
  * vector/scalar/instruction TLBs, the shared L2 TLB, the last-level
  * TLB / GMMU cache, and the conventional IOMMU-side TLB of Fig 19).
+ *
+ * Storage is structure-of-arrays: tags, payloads, LRU stamps, and
+ * flags live in separate contiguous arrays so a set probe reads only
+ * the tag/flag lanes (one or two cache lines for the common 4-8 way
+ * configurations) instead of striding over 32-byte entry structs.
+ * Only the flag array is zero-initialized at construction; tag and
+ * payload lanes are first-touched on use, which keeps building the
+ * thousands of TLBs of a wafer-scale sweep off the host profile.
  */
 
 #ifndef HDPAT_MEM_TLB_HH
 #define HDPAT_MEM_TLB_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <vector>
+#include <span>
 
 #include "sim/types.hh"
 
 namespace hdpat
 {
 
-/** One translation held by a TLB. */
+/** One translation held by a TLB (materialized view of the arrays). */
 struct TlbEntry
 {
     Vpn vpn = 0;
@@ -66,11 +75,37 @@ class Tlb
     /** Look up @p vpn; updates LRU on hit. */
     std::optional<Pfn> lookup(Vpn vpn);
 
-    /** Like lookup() but exposes the full entry (nullptr on miss). */
+    /**
+     * Like lookup() but exposes the full entry (nullptr on miss). The
+     * pointer refers to a scratch view materialized from the arrays;
+     * it is invalidated by the next hitting lookupEntry() call.
+     */
     const TlbEntry *lookupEntry(Vpn vpn);
 
     /** Look up without disturbing replacement state. */
     std::optional<Pfn> peek(Vpn vpn) const;
+
+    /**
+     * Batched non-architectural probe: software-prefetches every
+     * probed set's tag/flag lanes, then scans them sequentially.
+     * Touches neither LRU state nor stats, so interleaving it with
+     * the architectural lookup stream cannot change simulated
+     * behavior -- admission paths use it to warm the host cache for
+     * a whole cycle's worth of VPNs before probing them one by one.
+     *
+     * @return Bitmask with bit i set when vpns[i] is present (at most
+     *         the first 64 VPNs are reported; extras are prefetched
+     *         and scanned but not reported).
+     */
+    std::uint64_t probeMany(std::span<const Vpn> vpns) const;
+
+    /** Prefetch the tag/flag lanes of @p vpn's set (no side effects). */
+    void prefetchSet(Vpn vpn) const
+    {
+        const std::size_t base = setIndex(vpn) * numWays_;
+        __builtin_prefetch(&vpns_[base]);
+        __builtin_prefetch(&flags_[base]);
+    }
 
     /**
      * Insert (or refresh) a translation.
@@ -104,16 +139,35 @@ class Tlb
     const Stats &stats() const { return stats_; }
 
   private:
+    /** Flag lane bits. */
+    static constexpr std::uint8_t kValid = 1;
+    static constexpr std::uint8_t kRemote = 2;
+    static constexpr std::uint8_t kPrefetched = 4;
+
+    static constexpr std::size_t kNone = ~std::size_t{0};
+
     std::size_t setIndex(Vpn vpn) const;
-    TlbEntry *find(Vpn vpn);
-    const TlbEntry *find(Vpn vpn) const;
+    /** Slot index of @p vpn, or kNone. */
+    std::size_t findSlot(Vpn vpn) const;
+    /** Materialize slot @p i into a TlbEntry view. */
+    TlbEntry entryAt(std::size_t i) const;
 
     std::size_t numSets_;
     std::size_t numWays_;
-    std::vector<TlbEntry> entries_; ///< Flat: set s at [s*ways, ...).
+    /**
+     * SoA lanes, flat: set s occupies [s*ways, (s+1)*ways). Only
+     * flags_ is zeroed at construction; the other lanes are
+     * guarded by the valid bit and first-touched on insert.
+     */
+    std::unique_ptr<Vpn[]> vpns_;
+    std::unique_ptr<Pfn[]> pfns_;
+    std::unique_ptr<std::uint64_t[]> lru_;
+    std::unique_ptr<std::uint8_t[]> flags_;
     std::uint64_t lruClock_ = 0;
     std::size_t occupancy_ = 0;
     Stats stats_;
+    /** Backing storage for the lookupEntry() view. */
+    TlbEntry scratch_;
 };
 
 } // namespace hdpat

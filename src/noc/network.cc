@@ -121,10 +121,18 @@ Network::send(TileId src, TileId dst, std::size_t bytes,
     const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
     if (auditor_) [[unlikely]] {
         auditor_->packetSent(bytes);
-        // The delivery count is its own event, scheduled before the
-        // arrival callback: same-tick FIFO runs it first, and a
-        // dropped or never-scheduled delivery shows up as a sent !=
-        // delivered imbalance at finalize().
+        if (fusionActive()) {
+            // Fused: the delivered-count runs inside the arrival
+            // event, immediately before the callback -- the same
+            // adjacency same-tick FIFO gave the two-event form.
+            scheduleFused(arrive, bytes, kFuseAudit, dst, kInvalidTile,
+                          0, std::move(on_arrive));
+            return;
+        }
+        // Unfused: the delivery count is its own event, scheduled
+        // before the arrival callback: same-tick FIFO runs it first,
+        // and a dropped or never-scheduled delivery shows up as a
+        // sent != delivered imbalance at finalize().
         Auditor *auditor = auditor_;
         engine_.scheduleAt(arrive, [auditor, bytes] {
             auditor->packetDelivered(bytes);
@@ -146,6 +154,16 @@ Network::sendTracedSlow(TileId src, TileId dst, std::size_t bytes,
                     SpanEvent::NetSend, src,
                     static_cast<std::uint64_t>(dst));
     const Tick arrive = computeArrival(engine_.now(), src, dst, bytes);
+    if (fusionActive()) {
+        std::uint8_t mode = kFuseTrace;
+        if (auditor_) [[unlikely]] {
+            auditor_->packetSent(bytes);
+            mode |= kFuseAudit;
+        }
+        scheduleFused(arrive, bytes, mode, dst, trace_owner, trace_vpn,
+                      std::move(on_arrive));
+        return;
+    }
     if (auditor_) [[unlikely]] {
         auditor_->packetSent(bytes);
         Auditor *auditor = auditor_;
@@ -166,6 +184,62 @@ Network::sendTracedSlow(TileId src, TileId dst, std::size_t bytes,
                                static_cast<std::uint64_t>(dst));
                        });
     engine_.scheduleAt(arrive, std::move(on_arrive));
+}
+
+void
+Network::scheduleFused(Tick arrive, std::size_t bytes, std::uint8_t mode,
+                       TileId dst, TileId trace_owner, Vpn trace_vpn,
+                       EventFn on_arrive)
+{
+    std::uint32_t slot;
+    if (freeHead_ != kNoSlot) {
+        slot = freeHead_;
+        freeHead_ = slab_[slot].nextFree;
+    } else {
+        // Slab growth is the only allocation on this path; once the
+        // in-flight high-water mark is reached, slots recycle through
+        // the free list and steady state allocates nothing.
+        slot = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    PendingDelivery &p = slab_[slot];
+    p.fn = std::move(on_arrive);
+    p.bytes = bytes;
+    p.arrive = arrive;
+    p.dst = dst;
+    p.traceOwner = trace_owner;
+    p.traceVpn = trace_vpn;
+    p.mode = mode;
+    engine_.scheduleAt(arrive, [this, slot] { deliverFused(slot); });
+}
+
+void
+Network::deliverFused(std::uint32_t slot)
+{
+    // Copy the payload out and release the slot before running any of
+    // it: the arrival callback may send further packets, growing or
+    // reusing the slab.
+    PendingDelivery &p = slab_[slot];
+    const std::size_t bytes = p.bytes;
+    const Tick arrive = p.arrive;
+    const TileId dst = p.dst;
+    const TileId traceOwner = p.traceOwner;
+    const Vpn traceVpn = p.traceVpn;
+    const std::uint8_t mode = p.mode;
+    EventFn fn = std::move(p.fn);
+    p.nextFree = freeHead_;
+    freeHead_ = slot;
+
+    // Companion order matches the unfused schedule order: delivered
+    // count, then the NetArrive record, then the arrival callback.
+    if (mode & kFuseAudit)
+        auditor_->packetDelivered(bytes);
+    if (mode & kFuseTrace) {
+        tracer_->record(traceOwner, traceVpn, arrive,
+                        SpanEvent::NetArrive, dst,
+                        static_cast<std::uint64_t>(dst));
+    }
+    fn();
 }
 
 void

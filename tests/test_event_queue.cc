@@ -20,6 +20,9 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/cuckoo_filter.hh"
+#include "mem/page_walk_cache.hh"
+#include "mem/tlb.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -247,6 +250,73 @@ TEST_P(EventQueueImplTest, ScheduleAndPopDoNotAllocate)
 
     EXPECT_EQ(after, before);
     EXPECT_EQ(sink, 220);
+}
+
+/**
+ * The SoA translation structures share the no-allocation contract:
+ * after construction, every steady-state operation (lookups, inserts,
+ * evictions, invalidations, batched probes, walk-latency queries,
+ * fills) runs on the fixed lanes and may not touch the heap. This test
+ * lives here because this translation unit owns the counting
+ * operator new that the whole test binary links.
+ */
+TEST(SoaSubstrateAllocation, TlbSteadyStateDoesNotAllocate)
+{
+    Tlb tlb(64, 8);
+    std::array<Vpn, 64> batch{};
+
+    const std::uint64_t before = g_heap_allocations.load();
+    std::uint64_t sink = 0;
+    for (Vpn v = 0; v < 4096; ++v) {
+        tlb.insert(v, v + 1, (v & 1) != 0, (v & 2) != 0);
+        sink += tlb.lookup(v / 2).value_or(0);
+        sink += tlb.peek(v).value_or(0);
+        if (v % 7 == 0)
+            tlb.invalidate(v / 3);
+        batch[v % batch.size()] = v;
+        if (v % batch.size() == batch.size() - 1)
+            sink += tlb.probeMany(batch);
+    }
+    tlb.flush();
+    const std::uint64_t after = g_heap_allocations.load();
+
+    EXPECT_EQ(after, before);
+    EXPECT_GT(sink, 0u);
+}
+
+TEST(SoaSubstrateAllocation, CuckooFilterSteadyStateDoesNotAllocate)
+{
+    CuckooFilter filter(1u << 12);
+
+    const std::uint64_t before = g_heap_allocations.load();
+    std::uint64_t sink = 0;
+    for (Vpn v = 0; v < 4000; ++v) {
+        filter.insert(v);
+        sink += filter.contains(v) ? 1 : 0;
+        if (v % 3 == 0)
+            filter.erase(v / 2);
+    }
+    const std::uint64_t after = g_heap_allocations.load();
+
+    EXPECT_EQ(after, before);
+    EXPECT_GT(sink, 0u);
+}
+
+TEST(SoaSubstrateAllocation, PageWalkCacheSteadyStateDoesNotAllocate)
+{
+    PageWalkCache pwc(256);
+
+    const std::uint64_t before = g_heap_allocations.load();
+    Tick total = 0;
+    for (Vpn v = 0; v < 2048; ++v) {
+        pwc.prefetch(v);
+        total += pwc.walkLatency(v);
+        pwc.fill(v);
+    }
+    const std::uint64_t after = g_heap_allocations.load();
+
+    EXPECT_EQ(after, before);
+    EXPECT_GT(total, 0u);
 }
 
 TEST_P(EventQueueImplTest, PopOnEmptyPanics)

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * NoC delivery fusion must be a pure host-side scheduling transform:
+ * folding an arrival's observer companions (auditor delivered-count,
+ * tracer NetArrive record) into the arrival event may change how many
+ * events the engine schedules, but never any simulated result.
+ *
+ * The contract, tested here end to end through runOnce():
+ *   - without observers, fused and unfused runs produce bitwise
+ *     identical metrics JSON (there is nothing to fuse, so the event
+ *     stream is the same object);
+ *   - with the auditor attached, every sim-visible metric stays
+ *     identical while engine.events_scheduled drops strictly --
+ *     that drop is the whole point of the optimization;
+ *   - spatial observation forces the per-companion shape regardless
+ *     of the flag, so heatmap CSVs and the full metrics dump
+ *     (engine counters included) are identical either way.
+ */
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver/runner.hh"
+#include "obs/json_reader.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** A quiet, env-independent spec (ctest exports HDPAT_AUDIT=1; the
+ *  fusion comparisons pick observers explicitly instead). */
+RunSpec
+baseSpec(const SystemConfig &cfg)
+{
+    RunSpec spec;
+    spec.config = cfg;
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 300;
+    spec.obs = ObsOptions{};
+    spec.obs.heartbeatInterval = 0;
+    return spec;
+}
+
+/** Run @p spec with the fusion flag set, dumping metrics to @p path. */
+RunResult
+runWithFusion(RunSpec spec, bool fuse, const std::string &path)
+{
+    spec.obs.nocFuse = fuse;
+    spec.obs.metricsJsonPath = path;
+    return runOnce(spec);
+}
+
+/**
+ * Flatten a parsed metrics document to dotted-path -> printed-value
+ * rows, so two documents compare structurally with a key filter.
+ */
+void
+flattenJson(const JsonValue &v, const std::string &prefix,
+            std::vector<std::pair<std::string, std::string>> &out)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Object:
+        for (const auto &[key, child] : v.members)
+            flattenJson(child, prefix + "/" + key, out);
+        return;
+      case JsonValue::Kind::Array:
+        for (std::size_t i = 0; i < v.elements.size(); ++i)
+            flattenJson(v.elements[i],
+                        prefix + "/" + std::to_string(i), out);
+        return;
+      default: {
+        std::ostringstream os;
+        os.precision(17);
+        if (v.isNumber())
+            os << v.number;
+        else if (v.isString())
+            os << v.str;
+        else if (v.kind == JsonValue::Kind::Bool)
+            os << (v.boolean ? "true" : "false");
+        else
+            os << "null";
+        out.emplace_back(prefix, os.str());
+      }
+    }
+}
+
+std::vector<std::pair<std::string, std::string>>
+flattenedWithoutEngineRows(const std::string &json_path)
+{
+    const JsonValue doc = parseJsonFileOrDie(json_path);
+    std::vector<std::pair<std::string, std::string>> rows;
+    flattenJson(doc, "", rows);
+    std::erase_if(rows, [](const auto &row) {
+        return row.first.find("/engine.") != std::string::npos;
+    });
+    return rows;
+}
+
+TEST(NocFusionDifferential, UnobservedRunsAreBitwiseIdentical)
+{
+    // Fig 14 shape (7x7 MI100 wafer) and Fig 22 shape (7x12 wafer):
+    // with no observer attached there are no companion events, so the
+    // flag must not change a single exported byte.
+    for (const SystemConfig &cfg :
+         {SystemConfig::mi100(), SystemConfig::mi100Wafer7x12()}) {
+        const std::string dir = ::testing::TempDir();
+        const std::string fused_path =
+            dir + "fusion-on-" + cfg.name + ".json";
+        const std::string unfused_path =
+            dir + "fusion-off-" + cfg.name + ".json";
+
+        const RunResult fused =
+            runWithFusion(baseSpec(cfg), true, fused_path);
+        const RunResult unfused =
+            runWithFusion(baseSpec(cfg), false, unfused_path);
+
+        EXPECT_EQ(fused.totalTicks, unfused.totalTicks) << cfg.name;
+        EXPECT_EQ(fused.opsTotal, unfused.opsTotal) << cfg.name;
+        EXPECT_EQ(fused.noc.packets, unfused.noc.packets) << cfg.name;
+        EXPECT_EQ(readFile(fused_path), readFile(unfused_path))
+            << cfg.name << ": unobserved runs must not depend on the "
+            << "fusion flag";
+    }
+}
+
+TEST(NocFusionDifferential, AuditedRunsDifferOnlyInEngineLoad)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string fused_path = dir + "audited-fused.json";
+    const std::string unfused_path = dir + "audited-unfused.json";
+
+    RunSpec spec = baseSpec(SystemConfig::mi100());
+    spec.obs.audit = true;
+    const RunResult fused = runWithFusion(spec, true, fused_path);
+    const RunResult unfused = runWithFusion(spec, false, unfused_path);
+
+    // Every sim-visible number -- counters, gauges, summaries,
+    // histograms, run metadata -- must match; only the engine.* load
+    // counters (events scheduled, pending high-water) may move.
+    EXPECT_EQ(flattenedWithoutEngineRows(fused_path),
+              flattenedWithoutEngineRows(unfused_path));
+    EXPECT_EQ(fused.auditRetireCensusHash, unfused.auditRetireCensusHash);
+
+    // And the optimization must actually optimize: fusing the
+    // auditor's delivered-count into the arrival event schedules
+    // strictly fewer events.
+    const auto events = [](const std::string &path) {
+        return parseJsonFileOrDie(path)
+            .at("counters")
+            .at("engine.events_scheduled")
+            .asUint();
+    };
+    EXPECT_LT(events(fused_path), events(unfused_path));
+}
+
+TEST(NocFusionDifferential, SpatialObservationForcesUnfusedShape)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string fused_path = dir + "spatial-fused.json";
+    const std::string unfused_path = dir + "spatial-unfused.json";
+    const std::string fused_csv = dir + "spatial-fused.csv";
+    const std::string unfused_csv = dir + "spatial-unfused.csv";
+
+    RunSpec spec = baseSpec(SystemConfig::mi100());
+    spec.obs.audit = true;
+    spec.obs.spatialWindow = 50000;
+    spec.obs.spatialCsvPath = fused_csv;
+    runWithFusion(spec, true, fused_path);
+    spec.obs.spatialCsvPath = unfused_csv;
+    runWithFusion(spec, false, unfused_path);
+
+    // Spatial collection disables fusion no matter the flag, so the
+    // two runs execute the exact same event stream: heatmap CSVs and
+    // the full metrics dump (engine counters included) match bytewise.
+    EXPECT_EQ(readFile(fused_csv), readFile(unfused_csv));
+    EXPECT_EQ(readFile(fused_path), readFile(unfused_path));
+}
+
+} // namespace
+} // namespace hdpat
