@@ -4,10 +4,12 @@
  *
  * Samples random SystemConfig x TranslationPolicy x workload points
  * (see src/fuzz/sampler.cc for the distribution), runs each in a
- * fork-isolated harness under the conservation auditor, the PPN
- * reference oracle, and the runMany ordering differential, then
- * greedily shrinks any failure to a minimal reproducer and writes it
- * as a `.fuzzcase` file ready for tests/fuzz_corpus/.
+ * fork-isolated harness under the six oracles listed in
+ * src/fuzz/harness.hh (conservation audit, PPN reference, runMany
+ * ordering and NoC-fusion differentials, latency conservation, and
+ * the backpressure Little's-law identity), then greedily shrinks any
+ * failure to a minimal reproducer and writes it as a `.fuzzcase`
+ * file ready for tests/fuzz_corpus/.
  *
  * Usage:
  *   hdpat_fuzz [--seed N] [--runs N] [--out DIR] [--timeout SEC]
@@ -204,7 +206,8 @@ main(int argc, char **argv)
     std::cout << "hdpat_fuzz: " << opt.runs << " cases, seed "
               << opt.seed << ", oracles: validity-prediction + "
               << "conservation/PPN audit + runMany differential + "
-              << "NoC fusion differential\n";
+              << "NoC fusion differential + latency conservation + "
+              << "backpressure/Little's law\n";
 
     Rng rng(opt.seed);
     int findings = 0;

@@ -18,11 +18,19 @@
 #      the same representative command, embedded for
 #      perf_report --counter-check (the engine.events_scheduled gate
 #      that catches a silently un-fused NoC delivery path),
-#   7. records the micro_substrates google-benchmark suite as
-#      BENCH_micro.json (next to the fig14 record).
+#   7. times the same sweep with backpressure accounting on, so the
+#      resource-saturation overhead is measured and recorded like the
+#      profiler's and latency attribution's,
+#   8. records the micro_substrates google-benchmark suite as
+#      BENCH_micro.json (next to the fig14 record),
+#   9. appends a one-line digest (commit, date, headline wall-clock
+#      and ns/call numbers, audited counters) to BENCH_history.jsonl,
+#      so the perf trajectory across PRs stays queryable instead of
+#      being overwritten in BENCH_fig14.json.
 #
 # Usage: bench/perf_snapshot.sh [BUILD_DIR] [OPS_PER_GPM] > BENCH_fig14.json
 #        MICRO_OUT=path.json overrides the micro-benchmark output path.
+#        HISTORY_OUT=path.jsonl overrides the history append target.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -33,6 +41,7 @@ REPORT="$BUILD_DIR/bench/perf_report"
 MICRO="$BUILD_DIR/bench/micro_substrates"
 EVENTQ="$BUILD_DIR/bench/bench_event_queue"
 MICRO_OUT="${MICRO_OUT:-BENCH_micro.json}"
+HISTORY_OUT="${HISTORY_OUT:-BENCH_history.jsonl}"
 CORES="$(nproc)"
 
 for tool in "$BIN" "$CLI" "$REPORT" "$MICRO" "$EVENTQ"; do
@@ -56,9 +65,11 @@ $(grep '^CMAKE_BUILD_TYPE:' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null \
 fi
 
 run_timed() {
-    local jobs="$1" profile="$2" latency="${3:-}" start end
+    local jobs="$1" profile="$2" latency="${3:-}" backpressure="${4:-}"
+    local start end
     start="$(date +%s.%N)"
-    HDPAT_JOBS="$jobs" HDPAT_PROFILE="$profile" HDPAT_LATENCY="$latency" \
+    HDPAT_JOBS="$jobs" HDPAT_PROFILE="$profile" \
+        HDPAT_LATENCY="$latency" HDPAT_BACKPRESSURE="$backpressure" \
         "$BIN" "$OPS" > /dev/null
     end="$(date +%s.%N)"
     awk -v s="$start" -v e="$end" 'BEGIN { printf "%.3f", e - s }'
@@ -86,6 +97,12 @@ OVERHEAD_PCT="$(awk -v s="$SERIAL" -v p="$PROFILED" \
 LATENCY_TIMED="$(run_timed 1 "" 1)"
 LATENCY_OVERHEAD_PCT="$(awk -v s="$SERIAL" -v l="$LATENCY_TIMED" \
     'BEGIN { printf "%.1f", (s > 0 ? (l / s - 1) * 100 : 0) }')"
+
+# And with backpressure accounting on (every bounded structure reports
+# its transitions): same promise, same measurement.
+BACKPRESSURE_TIMED="$(run_timed 1 "" "" 1)"
+BACKPRESSURE_OVERHEAD_PCT="$(awk -v s="$SERIAL" -v b="$BACKPRESSURE_TIMED" \
+    'BEGIN { printf "%.1f", (s > 0 ? (b / s - 1) * 100 : 0) }')"
 
 # Per-subsystem profile of one representative profiled run, embedded
 # for perf_report --baseline and the CI --check gate. An unprofiled
@@ -162,6 +179,8 @@ jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
     "$SUBSTRATE_TMP" "$EVENTQ_TMP" > "$MICRO_OUT"
 echo "wrote micro-benchmark record to $MICRO_OUT" >&2
 
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
 cat <<EOF
 {
   "bench": "fig14_overall",
@@ -175,10 +194,46 @@ cat <<EOF
   "profiler_overhead_pct": $OVERHEAD_PCT,
   "latency_serial_seconds": $LATENCY_TIMED,
   "latency_overhead_pct": $LATENCY_OVERHEAD_PCT,
+  "backpressure_serial_seconds": $BACKPRESSURE_TIMED,
+  "backpressure_overhead_pct": $BACKPRESSURE_OVERHEAD_PCT,
   "profile": $PROFILE_JSON,
   "latency": $LATENCY_JSON,
   "counters": $COUNTERS_JSON,
-  "date": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "date": "$DATE",
   "host": "$(uname -sm)"
 }
 EOF
+
+# One-line history record: the headline numbers only (wall-clock per
+# mode, the hot sections' ns/call, the audited event/translation
+# counters), keyed by commit. Appended, never rewritten -- the
+# committed BENCH_fig14.json holds the full current baseline, this
+# file holds the trajectory.
+COMMIT="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD \
+    2>/dev/null || echo unknown)"
+jq -cn \
+    --arg commit "$COMMIT" \
+    --arg date "$DATE" \
+    --argjson ops "$OPS" \
+    --argjson serial "$SERIAL" \
+    --argjson parallel "$PARALLEL" \
+    --argjson speedup "$SPEEDUP" \
+    --argjson profiler_pct "$OVERHEAD_PCT" \
+    --argjson latency_pct "$LATENCY_OVERHEAD_PCT" \
+    --argjson backpressure_pct "$BACKPRESSURE_OVERHEAD_PCT" \
+    --argjson profile "$PROFILE_JSON" \
+    --argjson counters "$COUNTERS_JSON" \
+    '{commit: $commit, date: $date, bench: "fig14_overall",
+      ops_per_gpm: $ops, serial_seconds: $serial,
+      parallel_seconds: $parallel, speedup: $speedup,
+      profiler_overhead_pct: $profiler_pct,
+      latency_overhead_pct: $latency_pct,
+      backpressure_overhead_pct: $backpressure_pct,
+      ns_per_call: ($profile.sections
+          | with_entries(.value = (if .value.calls > 0
+              then (.value.nanos / .value.calls | round) else 0 end))),
+      counters: {
+          events_scheduled: $counters["engine.events_scheduled"],
+          iommu_walks_completed: $counters["iommu.walks_completed"]
+      }}' >> "$HISTORY_OUT"
+echo "appended history record for $COMMIT to $HISTORY_OUT" >&2

@@ -16,6 +16,8 @@
  *             [--spatial TICKS] [--spatial-csv FILE]
  *             [--latency] [--latency-sample N|1/N]
  *             [--latency-topk K] [--latency-report FILE]
+ *             [--backpressure] [--backpressure-window TICKS]
+ *             [--backpressure-report FILE]
  *
  * Flags accept both "--flag value" and "--flag=value". --metrics-json
  * dumps every registered metric as JSON; --trace-out writes sampled
@@ -35,7 +37,11 @@
  * every (sampled) translation's latency to pipeline stages, prints
  * the per-stage anatomy with exact tail quantiles, and exports the
  * metrics-JSON "latency" section (--latency-report also writes the
- * slowest-K critical-path timelines as text).
+ * slowest-K critical-path timelines as text); --backpressure registers
+ * every bounded structure as a named resource, prints the ranked
+ * bottleneck table (saturation, occupancy integrals, Little's-law
+ * cross-check), and exports the metrics-JSON "backpressure" section
+ * (schema hdpat-metrics-v3).
  *
  * Policies: baseline, hdpat, route-based, concentric, distributed,
  *           cluster-rotation, redirection, prefetch, trans-fw,
@@ -210,6 +216,12 @@ parse(int argc, char **argv)
                 opt.obs.latencyTopK = static_cast<std::size_t>(n);
         } else if (arg == "--latency-report") {
             opt.obs.latencyReportPath = value();
+        } else if (arg == "--backpressure") {
+            opt.obs.backpressure = true;
+        } else if (arg == "--backpressure-window") {
+            opt.obs.backpressureWindow = std::atoll(value().c_str());
+        } else if (arg == "--backpressure-report") {
+            opt.obs.backpressureReportPath = value();
         } else if (arg == "--jobs") {
             const long long n = std::atoll(value().c_str());
             if (n > 0)
@@ -226,7 +238,9 @@ parse(int argc, char **argv)
                    "[--spatial TICKS] [--spatial-csv FILE] "
                    "[--profile] [--latency] "
                    "[--latency-sample N|1/N] [--latency-topk K] "
-                   "[--latency-report FILE]\n"
+                   "[--latency-report FILE] [--backpressure] "
+                   "[--backpressure-window TICKS] "
+                   "[--backpressure-report FILE]\n"
                    "  --jobs N  run multi-workload sweeps N "
                    "simulations at a time (default: HDPAT_JOBS or "
                    "all cores); results are identical to serial\n"
@@ -260,6 +274,19 @@ parse(int argc, char **argv)
                    "the critical-path report (default 8)\n"
                    "  --latency-report F  write the slowest-span "
                    "timeline diagnostic to F (implies --latency)\n"
+                   "  --backpressure   account every bounded "
+                   "structure's occupancy, saturation, and\n"
+                   "                   rejections as a named resource; "
+                   "print the ranked bottleneck table,\n"
+                   "                   cross-checked by the "
+                   "Little's-law identity, and export the\n"
+                   "                   metrics-JSON \"backpressure\" "
+                   "section (schema hdpat-metrics-v3)\n"
+                   "  --backpressure-window N  also keep per-N-tick "
+                   "pressure histories (0 = totals only)\n"
+                   "  --backpressure-report F  write the full ranked "
+                   "bottleneck report to F\n"
+                   "                   (implies --backpressure)\n"
                    "\n"
                    "environment variables (flags take precedence):\n"
                    "  HDPAT_METRICS_JSON=FILE  default for "
@@ -285,6 +312,12 @@ parse(int argc, char **argv)
                    "--latency-topk\n"
                    "  HDPAT_LATENCY_REPORT=F   default for "
                    "--latency-report\n"
+                   "  HDPAT_BACKPRESSURE=1     default for "
+                   "--backpressure\n"
+                   "  HDPAT_BACKPRESSURE_WINDOW=N  default for "
+                   "--backpressure-window\n"
+                   "  HDPAT_BACKPRESSURE_REPORT=F  default for "
+                   "--backpressure-report\n"
                    "  HDPAT_JOBS=N             default for --jobs\n"
                    "  HDPAT_EVENTQ=IMPL        event queue: calendar "
                    "(default) or heap (legacy; same results)\n"
@@ -432,6 +465,16 @@ main(int argc, char **argv)
                   << merged.exactQuantile(0.95) << "  p99 "
                   << merged.exactQuantile(0.99) << "  p999 "
                   << merged.exactQuantile(0.999) << "\n";
+    }
+
+    if (opt.obs.backpressureEnabled()) {
+        // Snapshots of different runs are not mergeable (each has its
+        // own tick axis), so print one ranked table per workload,
+        // truncated; the full report goes to --backpressure-report.
+        for (const RunResult &r : results) {
+            std::cout << '\n' << r.workload << ' '
+                      << bottleneckReport(r.backpressure, 12);
+        }
     }
     return 0;
 }

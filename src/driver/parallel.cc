@@ -220,6 +220,9 @@ suffixObsPaths(std::vector<RunSpec> &specs)
         if (!obs.latencyReportPath.empty())
             obs.latencyReportPath =
                 withRunIndexSuffix(obs.latencyReportPath, i);
+        if (!obs.backpressureReportPath.empty())
+            obs.backpressureReportPath =
+                withRunIndexSuffix(obs.backpressureReportPath, i);
     }
 }
 

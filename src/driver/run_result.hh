@@ -16,6 +16,7 @@
 
 #include "iommu/iommu.hh"
 #include "noc/network.hh"
+#include "obs/backpressure.hh"
 #include "obs/latency.hh"
 #include "obs/profiler.hh"
 #include "sim/stats.hh"
@@ -74,6 +75,9 @@ struct RunResult
 
     /** Latency anatomy (empty unless latency attribution was on). */
     LatencySnapshot latency;
+
+    /** Backpressure anatomy (empty unless enableBackpressure). */
+    BackpressureSnapshot backpressure;
 
     // ---- Helpers ---------------------------------------------------------
     /** Total remote translations resolved (sum of sourceCounts). */

@@ -80,6 +80,11 @@ obsOptionsFromEnv()
     }
     if (const char *env = std::getenv("HDPAT_LATENCY_REPORT"))
         obs.latencyReportPath = env;
+    obs.backpressure = envFlag("HDPAT_BACKPRESSURE");
+    if (const char *env = std::getenv("HDPAT_BACKPRESSURE_WINDOW"))
+        obs.backpressureWindow = std::atoll(env);
+    if (const char *env = std::getenv("HDPAT_BACKPRESSURE_REPORT"))
+        obs.backpressureReportPath = env;
     return obs;
 }
 
@@ -177,6 +182,12 @@ runOnce(const RunSpec &spec)
         system.enableSpatial(static_cast<Tick>(window),
                              std::max<Tick>(1, window / 4));
     }
+    if (spec.obs.backpressureEnabled()) {
+        system.enableBackpressure(
+            spec.obs.backpressureWindow > 0
+                ? static_cast<Tick>(spec.obs.backpressureWindow)
+                : 0);
+    }
     // Before loadWorkload so the workload_gen section is captured.
     if (spec.obs.profile)
         system.enableProfiler();
@@ -229,6 +240,18 @@ runOnce(const RunSpec &spec)
                      << result.latency.slowest.size() << " spans) to "
                      << spec.obs.latencyReportPath);
     }
+    if (!spec.obs.backpressureReportPath.empty()) {
+        const ProfScope prof(system.profiler(), ProfSection::Export);
+        std::ofstream out(spec.obs.backpressureReportPath);
+        hdpat_fatal_if(!out,
+                       "cannot open backpressure report path '"
+                           << spec.obs.backpressureReportPath << "'");
+        out << bottleneckReport(result.backpressure);
+        hdpat_inform("wrote bottleneck report ("
+                     << result.backpressure.resources.size()
+                     << " resources) to "
+                     << spec.obs.backpressureReportPath);
+    }
     // The metrics JSON goes last so its "profile" section includes the
     // other exports' wall-clock in the export section.
     if (!spec.obs.metricsJsonPath.empty()) {
@@ -247,7 +270,9 @@ runOnce(const RunSpec &spec)
         meta.totalTicks = result.totalTicks;
         writeMetricsJson(out, system.metrics(), meta, system.spatial(),
                          prof_snap.empty() ? nullptr : &prof_snap,
-                         system.latency() ? &result.latency : nullptr);
+                         system.latency() ? &result.latency : nullptr,
+                         system.backpressure() ? &result.backpressure
+                                               : nullptr);
         hdpat_inform("wrote metrics JSON to "
                      << spec.obs.metricsJsonPath);
     }

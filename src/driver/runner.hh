@@ -67,17 +67,33 @@ struct ObsOptions
      * to off regardless.
      */
     bool nocFuse = true;
+    /** Backpressure accounting (HDPAT_BACKPRESSURE). */
+    bool backpressure = false;
+    /**
+     * Backpressure window in ticks (HDPAT_BACKPRESSURE_WINDOW); 0 =
+     * totals only, no per-window occupancy arrays.
+     */
+    std::int64_t backpressureWindow = 0;
+    /** Write the bottleneck report here ("" = off; implies on). */
+    std::string backpressureReportPath;
 
     bool any() const
     {
         return !metricsJsonPath.empty() || !traceOutPath.empty() ||
-               !spatialCsvPath.empty() || !latencyReportPath.empty();
+               !spatialCsvPath.empty() || !latencyReportPath.empty() ||
+               !backpressureReportPath.empty();
     }
 
     /** Latency attribution on, via the flag or the report path. */
     bool latencyEnabled() const
     {
         return latency || !latencyReportPath.empty();
+    }
+
+    /** Backpressure on, via the flag or the report path. */
+    bool backpressureEnabled() const
+    {
+        return backpressure || !backpressureReportPath.empty();
     }
 
     /** Spatial collection window, applying the CSV-implies default. */

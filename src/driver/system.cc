@@ -187,14 +187,36 @@ System::enableLatency(std::uint64_t sample_n, std::size_t top_k)
 void
 System::enableHeartbeat(Tick interval)
 {
+    // The status lambda carries its own windowed-retire state so the
+    // line shows throughput over the last beat, not just cumulative
+    // progress: a mid-run stall reads as "retired +0 (0/s)" beats
+    // before the watchdog would fire.
     heartbeat_ = std::make_unique<Heartbeat>(
-        engine_, interval, [this] {
+        engine_, interval,
+        [this, last_retired = std::uint64_t{0},
+         last_wall = std::chrono::steady_clock::now()]() mutable {
             int in_flight = 0;
-            for (const auto &g : gpms_)
+            std::uint64_t retired = 0;
+            for (const auto &g : gpms_) {
                 in_flight += g->outstandingOps();
+                retired += g->stats().opsCompleted;
+            }
+            const auto wall = std::chrono::steady_clock::now();
+            const double wall_s =
+                std::chrono::duration<double>(wall - last_wall).count();
+            const std::uint64_t delta = retired - last_retired;
+            const std::uint64_t per_s =
+                wall_s > 0.0 ? static_cast<std::uint64_t>(
+                                   static_cast<double>(delta) / wall_s)
+                             : 0;
+            last_retired = retired;
+            last_wall = wall;
             return "in-flight=" + std::to_string(in_flight) +
                    " iommu-backlog=" +
-                   std::to_string(iommu_->backlog());
+                   std::to_string(iommu_->backlog()) + " retired=" +
+                   std::to_string(retired) + " (+" +
+                   std::to_string(delta) + ", " +
+                   std::to_string(per_s) + "/s wall)";
         });
 }
 
@@ -272,6 +294,16 @@ System::enableProfiler()
     iommu_->setProfiler(profiler_.get());
     for (auto &gpm : gpms_)
         gpm->setProfiler(profiler_.get());
+}
+
+void
+System::enableBackpressure(Tick window)
+{
+    backpressure_ = std::make_unique<BackpressureCollector>(window);
+    net_.setBackpressure(*backpressure_);
+    iommu_->setBackpressure(*backpressure_);
+    for (auto &gpm : gpms_)
+        gpm->setBackpressure(*backpressure_);
 }
 
 void
@@ -435,6 +467,13 @@ System::run()
 
     if (latency_)
         result.latency = latency_->snapshot();
+
+    if (backpressure_) {
+        // Snapshot at the engine's final tick: the last GPM finish can
+        // precede trailing drain events (walk completions, deliveries)
+        // whose transitions the integrals must cover.
+        result.backpressure = backpressure_->snapshot(engine_.now());
+    }
 
     // Aggregated GPM-side statistics come from the metric registry's
     // wafer-wide entries, so RunResult and every exporter read the

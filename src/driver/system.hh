@@ -35,6 +35,7 @@
 #include "noc/mesh_topology.hh"
 #include "noc/network.hh"
 #include "obs/audit.hh"
+#include "obs/backpressure.hh"
 #include "obs/heartbeat.hh"
 #include "obs/latency.hh"
 #include "obs/profiler.hh"
@@ -145,6 +146,17 @@ class System
      */
     void enableProfiler();
 
+    /**
+     * Enable backpressure accounting: every bounded structure (walk
+     * queues, MSHR tables, walker pools, LL-TLB residency, NoC links)
+     * registers as a named resource with tick-weighted occupancy
+     * integrals, peaks, and time-at-capacity, cross-checked by the
+     * Little's-law oracle (obs/backpressure.hh). @p window > 0 also
+     * keeps per-window histories for pressure-over-time plots. Call
+     * before run(); bitwise-invisible when not called.
+     */
+    void enableBackpressure(Tick window = 0);
+
     /** Run to completion and gather statistics. */
     RunResult run();
 
@@ -188,6 +200,11 @@ class System
     const SpatialCollector *spatial() const { return spatial_.get(); }
     /** Host self-profiler (null unless enableProfiler was called). */
     const Profiler *profiler() const { return profiler_.get(); }
+    /** Backpressure collector (null unless enableBackpressure). */
+    const BackpressureCollector *backpressure() const
+    {
+        return backpressure_.get();
+    }
     /** Mutable form: callers time their own sections (e.g. export). */
     Profiler *profiler() { return profiler_.get(); }
 
@@ -226,6 +243,7 @@ class System
     std::unique_ptr<SpatialCollector> spatial_;
     std::unique_ptr<SpatialSampler> spatialSampler_;
     std::unique_ptr<Profiler> profiler_;
+    std::unique_ptr<BackpressureCollector> backpressure_;
     std::string workloadName_ = "(none)";
     bool loaded_ = false;
 };

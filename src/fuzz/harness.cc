@@ -150,6 +150,30 @@ childRun(const RunSpec &spec, bool heap_event_queue)
                          traced.latency.spans));
         _exit(kOracleExit);
     }
+
+    // Oracle 6: backpressure accounting must be a pure observer, and
+    // the Little's-law identity must hold for every registered
+    // resource -- the incrementally accumulated occupancy integral
+    // and the timestamp-sum derivation disagree the moment any
+    // component misses or double-counts a transition.
+    RunSpec pressured = audited;
+    pressured.obs.backpressure = true;
+    const RunResult observed = runOnce(pressured);
+    if (!sameCounts(single, observed, "plain vs backpressure-observed",
+                    &why)) {
+        std::fprintf(stderr, "differential mismatch: %s\n",
+                     why.c_str());
+        _exit(kOracleExit);
+    }
+    if (observed.backpressure.littleViolations != 0) {
+        std::fprintf(stderr,
+                     "Little's-law identity: %llu of %zu resources "
+                     "have mismatched occupancy integrals\n",
+                     static_cast<unsigned long long>(
+                         observed.backpressure.littleViolations),
+                     observed.backpressure.resources.size());
+        _exit(kOracleExit);
+    }
     _exit(0);
 }
 

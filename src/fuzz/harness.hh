@@ -1,6 +1,6 @@
 /**
  * @file
- * Fork-isolated execution of one FuzzCase with four oracles:
+ * Fork-isolated execution of one FuzzCase with six oracles:
  *
  * 1. Validity prediction: validationErrors(spec) empty must mean the
  *    run completes; non-empty must mean it fail-fasts. Divergence in
@@ -11,10 +11,17 @@
  * 3. runMany differential: the same batch executed serially, and
  *    reordered on multiple workers, must agree on translation counts,
  *    page-walk counts, and the per-(tile, VPN) retire-census digest.
- * 4. Latency attribution: re-running with per-stage attribution on
+ * 4. NoC fusion differential: fused and per-hop delivery are the same
+ *    schedule, so every count (totalTicks included) must match with
+ *    the flag flipped.
+ * 5. Latency attribution: re-running with per-stage attribution on
  *    (hash-sampled) must leave every count unchanged, and each
  *    sampled span's stage durations must sum to its end-to-end
  *    latency (conservation by construction, checked anyway).
+ * 6. Backpressure + Little's law: re-running with saturation
+ *    accounting on must leave every count unchanged, and the
+ *    dual-path occupancy-integral identity (obs/backpressure.hh)
+ *    must hold for every registered resource.
  *
  * The child is a fresh fork per case, so a crash, fatal, hang, or
  * abort in the simulator cannot take the fuzzer down with it.

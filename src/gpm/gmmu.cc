@@ -24,6 +24,8 @@ Gmmu::requestWalk(Vpn vpn, WalkCallback cb, TileId trace_owner)
     ++stats_.walksRequested;
     queue_.push_back(
         Pending{vpn, std::move(cb), engine_.now(), trace_owner});
+    if (bpQueue_) [[unlikely]]
+        bpQueue_->arrive(engine_.now());
     tryStart();
 }
 
@@ -43,6 +45,10 @@ Gmmu::tryStart()
         Pending p = std::move(queue_.front());
         queue_.pop_front();
         --freeWalkers_;
+        if (bpQueue_) [[unlikely]] {
+            bpQueue_->depart(engine_.now());
+            bpWalkers_->arrive(engine_.now());
+        }
         stats_.queueWait.add(
             static_cast<double>(engine_.now() - p.enqueued));
         if (tracer_ && p.traceOwner != kInvalidTile) {
@@ -54,6 +60,8 @@ Gmmu::tryStart()
                                  : walkLatency_;
         engine_.scheduleIn(latency, [this, p = std::move(p)] {
             ++freeWalkers_;
+            if (bpWalkers_) [[unlikely]]
+                bpWalkers_->depart(engine_.now());
             ++stats_.walksCompleted;
             const Pte *pte = pt_.translate(p.vpn);
             std::optional<Pfn> result;

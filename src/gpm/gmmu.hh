@@ -16,6 +16,7 @@
 
 #include "mem/page_table.hh"
 #include "mem/page_walk_cache.hh"
+#include "obs/backpressure.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/engine.hh"
@@ -60,6 +61,16 @@ class Gmmu
     /** Per-request span tracer (null = off). */
     void setTracer(Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Backpressure resources (null = off): the walk queue and the
+     * walker pool (occupancy = busy walkers).
+     */
+    void setBackpressure(Resource *queue, Resource *walkers)
+    {
+        bpQueue_ = queue;
+        bpWalkers_ = walkers;
+    }
+
     /** Register GMMU metrics under @p prefix (e.g. "gpm.t3.gmmu."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -86,6 +97,8 @@ class Gmmu
     Tick walkLatency_;
     PageWalkCache pwc_;
     Tracer *tracer_ = nullptr;
+    Resource *bpQueue_ = nullptr;
+    Resource *bpWalkers_ = nullptr;
     std::deque<Pending> queue_;
     Stats stats_;
 };

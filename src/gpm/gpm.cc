@@ -94,6 +94,40 @@ Gpm::setAuditor(Auditor *auditor)
 }
 
 void
+Gpm::setBackpressure(BackpressureCollector &bp)
+{
+    const std::string prefix = "gpm.t" + std::to_string(tile_) + ".";
+    const auto mshr_hook = [this](Resource *res) {
+        return [this, res](MshrFile::PressureEvent ev) {
+            switch (ev) {
+              case MshrFile::PressureEvent::Alloc:
+                res->arrive(engine_.now());
+                break;
+              case MshrFile::PressureEvent::Free:
+                res->depart(engine_.now());
+                break;
+              case MshrFile::PressureEvent::Reject:
+                res->reject();
+                break;
+            }
+        };
+    };
+    remoteMshr_.setPressureHook(mshr_hook(bp.add(
+        prefix + "remote_mshr", ResourceKind::Mshr, cfg_.l2Tlb.mshrs)));
+    localWalkMshr_.setPressureHook(mshr_hook(
+        bp.add(prefix + "local_walk_mshr", ResourceKind::Mshr, 0)));
+    bpStalledRemote_ =
+        bp.add(prefix + "stalled_remote", ResourceKind::Queue, 0);
+    bpLlTlb_ = bp.add(prefix + "ll_tlb", ResourceKind::Residency,
+                      static_cast<std::uint64_t>(cfg_.lastLevelTlb.sets) *
+                          cfg_.lastLevelTlb.ways);
+    gmmu_.setBackpressure(
+        bp.add(prefix + "gmmu.queue", ResourceKind::Queue, 0),
+        bp.add(prefix + "gmmu.walkers", ResourceKind::Pool,
+               cfg_.gmmuWalkers));
+}
+
+void
 Gpm::registerMetrics(MetricRegistry &reg,
                      const std::string &prefix) const
 {
@@ -148,6 +182,8 @@ Gpm::shootdown(Vpn vpn)
         ++invalidated;
         if (auditor_) [[unlikely]]
             auditor_->tlbEvicted(tile_);
+        if (bpLlTlb_) [[unlikely]]
+            bpLlTlb_->depart(engine_.now());
         if (ll_entry->remote)
             cuckoo_.erase(vpn);
     }
@@ -410,6 +446,13 @@ Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
             if (evicted)
                 auditor_->tlbEvicted(tile_);
         }
+        if (bpLlTlb_) [[unlikely]] {
+            // Evict-then-fill, so a replacement never reads as a
+            // transient occupancy above capacity.
+            if (evicted)
+                bpLlTlb_->depart(engine_.now());
+            bpLlTlb_->arrive(engine_.now());
+        }
         cuckoo_.insert(vpn);
         if (evicted && evicted->remote)
             cuckoo_.erase(evicted->vpn);
@@ -418,13 +461,21 @@ Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
 
     // A refresh of a resident entry neither fills nor evicts; the
     // audited fill count must only grow when a new entry appears.
-    const bool fresh = auditor_ && !llTlb_.peek(vpn);
+    // peek() is side-effect-free, so widening the gate to the
+    // backpressure observer leaves unobserved runs bitwise identical.
+    const bool fresh = (auditor_ || bpLlTlb_) && !llTlb_.peek(vpn);
     const auto evicted = llTlb_.insert(vpn, pfn, false, false);
     if (auditor_) [[unlikely]] {
         if (fresh)
             auditor_->tlbFilled(tile_);
         if (evicted)
             auditor_->tlbEvicted(tile_);
+    }
+    if (bpLlTlb_) [[unlikely]] {
+        if (evicted)
+            bpLlTlb_->depart(engine_.now());
+        if (fresh)
+            bpLlTlb_->arrive(engine_.now());
     }
     // Locally homed pages stay in the cuckoo filter permanently (the
     // local page table still maps them); only cached remote PTEs are

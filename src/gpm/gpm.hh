@@ -182,6 +182,13 @@ class Gpm : public PeerEndpoint
     /** Host self-profiler for the translation path (null = off). */
     void setProfiler(Profiler *profiler) { profiler_ = profiler; }
 
+    /**
+     * Register this GPM's bounded structures with the backpressure
+     * collector (remote + local-walk MSHRs, stalled-remote queue,
+     * LL-TLB residency, GMMU walk queue + walker pool).
+     */
+    void setBackpressure(BackpressureCollector &bp);
+
     /** Register this GPM's metrics under @p prefix (e.g. "gpm.t3."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -317,6 +324,11 @@ class Gpm : public PeerEndpoint
     std::unordered_map<Vpn, RemoteCtx> remoteCtx_;
     std::deque<Addr> stalledRemote_;
     std::uint64_t epochCounter_ = 0;
+
+    // Backpressure resources (null = off); the MSHR files report
+    // through their own pressure hooks instead.
+    Resource *bpStalledRemote_ = nullptr;
+    Resource *bpLlTlb_ = nullptr;
 
     // Issue engine state.
     std::unique_ptr<AddressStream> stream_;

@@ -42,6 +42,8 @@ Gpm::startRemote(Addr va, Tick when)
             ++stats_.remoteStalls;
             trace(vpn, SpanEvent::RemoteStalled);
             stalledRemote_.push_back(va);
+            if (bpStalledRemote_) [[unlikely]]
+                bpStalledRemote_->arrive(engine_.now());
             break;
         }
     });
@@ -55,6 +57,10 @@ Gpm::retryStalledRemote()
     std::deque<Addr> pending;
     pending.swap(stalledRemote_);
     for (Addr va : pending) {
+        // Each stalled op leaves the queue for its retry; a still-full
+        // MSHR re-enqueues it below as a fresh arrival.
+        if (bpStalledRemote_) [[unlikely]]
+            bpStalledRemote_->depart(engine_.now());
         const Vpn vpn = pt_.vpnOf(va);
         // A just-finished resolution may already cover this op.
         if (auto pfn = l2Tlb_.lookup(vpn)) {
@@ -75,6 +81,8 @@ Gpm::retryStalledRemote()
             break;
           case MshrFile::Outcome::Full:
             stalledRemote_.push_back(va);
+            if (bpStalledRemote_) [[unlikely]]
+                bpStalledRemote_->arrive(engine_.now());
             break;
         }
     }

@@ -62,6 +62,42 @@ Iommu::setAuditor(Auditor *auditor)
 }
 
 void
+Iommu::setBackpressure(BackpressureCollector &bp)
+{
+    // The ingress buffer's capacity is nominal: the config declares it
+    // but admission never enforces it (requests accumulate while the
+    // PW-queue or MSHRs stall), so its rejections stay 0 and its
+    // saturation fraction reports how long the *declared* buffer
+    // would have been full.
+    bpIngress_ = bp.add("iommu.ingress", ResourceKind::Queue,
+                        cfg_.iommuBufferCapacity);
+    bpPwQueue_ = bp.add("iommu.pw_queue", ResourceKind::Queue,
+                        cfg_.iommuPwQueueCapacity);
+    bpWalkers_ = bp.add("iommu.walkers", ResourceKind::Pool,
+                        cfg_.iommuWalkers);
+    bpForward_ = bp.add("iommu.forward_contexts", ResourceKind::Pool,
+                        cfg_.iommuForwardContexts);
+    if (tlb_) {
+        bpTlbMshrs_ = bp.add("iommu.tlb_mshrs", ResourceKind::Mshr,
+                             cfg_.iommuTlbMshrs);
+        tlb_->mshrs().setPressureHook(
+            [this](MshrFile::PressureEvent ev) {
+                switch (ev) {
+                  case MshrFile::PressureEvent::Alloc:
+                    bpTlbMshrs_->arrive(engine_.now());
+                    break;
+                  case MshrFile::PressureEvent::Free:
+                    bpTlbMshrs_->depart(engine_.now());
+                    break;
+                  case MshrFile::PressureEvent::Reject:
+                    bpTlbMshrs_->reject();
+                    break;
+                }
+            });
+    }
+}
+
+void
 Iommu::registerMetrics(MetricRegistry &reg,
                        const std::string &prefix) const
 {
@@ -123,6 +159,8 @@ Iommu::receiveRequest(const RemoteRequest &req)
     p.req = req;
     p.arriveTick = engine_.now();
     ingressQueue_.push_back(std::move(p));
+    if (bpIngress_) [[unlikely]]
+        bpIngress_->arrive(engine_.now());
     sampleDepth();
     scheduleIngress(engine_.now());
 }
@@ -198,6 +236,8 @@ Iommu::admitHead()
                                 },
                                 fwd.requester, fwd.vpn);
                 ingressQueue_.pop_front();
+                if (bpIngress_) [[unlikely]]
+                    bpIngress_->depart(now);
                 recordServed();
                 return Admit::Done;
             }
@@ -219,6 +259,8 @@ Iommu::admitHead()
                 static_cast<double>(now - p.arriveTick));
             respond(p.req, *pfn, TranslationSource::IommuTlb);
             ingressQueue_.pop_front();
+            if (bpIngress_) [[unlikely]]
+                bpIngress_->depart(now);
             recordServed();
             return Admit::Done;
         }
@@ -235,15 +277,25 @@ Iommu::admitHead()
             stats_.preQueueLatency.add(
                 static_cast<double>(now - p.arriveTick));
             ingressQueue_.pop_front();
+            if (bpIngress_) [[unlikely]]
+                bpIngress_->depart(now);
             return Admit::Done;
         }
-        if (tlb_->mshrs().full())
+        if (tlb_->mshrs().full()) {
+            // registerMiss is never reached here, so the MSHR file's
+            // own pressure hook cannot see this bounce.
+            if (bpTlbMshrs_) [[unlikely]]
+                bpTlbMshrs_->reject();
             return Admit::Stall; // The paper's MSHR concurrency limit.
+        }
     }
 
     // 3. PW-queue admission.
-    if (pwQueue_.size() >= cfg_.iommuPwQueueCapacity)
+    if (pwQueue_.size() >= cfg_.iommuPwQueueCapacity) {
+        if (bpPwQueue_) [[unlikely]]
+            bpPwQueue_->reject();
         return Admit::Stall;
+    }
 
     // Fuzz-found deadlock: never register a TLB MSHR for a walk that
     // will be delegated. In ForwardToHome mode the home GMMU replies
@@ -264,6 +316,8 @@ Iommu::admitHead()
     trace(p.req, SpanEvent::IommuAdmit);
     stats_.preQueueLatency.add(static_cast<double>(now - p.arriveTick));
     ingressQueue_.pop_front();
+    if (bpIngress_) [[unlikely]]
+        bpIngress_->depart(now);
     enqueueWalk(std::move(p));
     return Admit::Done;
 }
@@ -273,6 +327,8 @@ Iommu::enqueueWalk(Pending p)
 {
     p.pwEnqueueTick = engine_.now();
     pwQueue_.push_back(std::move(p));
+    if (bpPwQueue_) [[unlikely]]
+        bpPwQueue_->arrive(engine_.now());
     tryStartWalks();
 }
 
@@ -286,6 +342,10 @@ Iommu::tryStartWalks()
             Pending p = std::move(pwQueue_.front());
             pwQueue_.pop_front();
             --freeForwardContexts_;
+            if (bpPwQueue_) [[unlikely]] {
+                bpPwQueue_->depart(engine_.now());
+                bpForward_->arrive(engine_.now());
+            }
             stats_.pwQueueLatency.add(
                 static_cast<double>(engine_.now() - p.pwEnqueueTick));
             ++stats_.delegationsSent;
@@ -311,6 +371,10 @@ Iommu::tryStartWalks()
         Pending p = std::move(pwQueue_.front());
         pwQueue_.pop_front();
         --freeWalkers_;
+        if (bpPwQueue_) [[unlikely]] {
+            bpPwQueue_->depart(engine_.now());
+            bpWalkers_->arrive(engine_.now());
+        }
         stats_.pwQueueLatency.add(
             static_cast<double>(engine_.now() - p.pwEnqueueTick));
         ++stats_.walksStarted;
@@ -331,6 +395,8 @@ Iommu::completeWalk(Pending p, Tick walk_start)
 {
     const ProfScope prof(profiler_, ProfSection::IommuPipeline);
     ++freeWalkers_;
+    if (bpWalkers_) [[unlikely]]
+        bpWalkers_->depart(engine_.now());
     ++stats_.walksCompleted;
     stats_.walkLatency.add(
         static_cast<double>(engine_.now() - walk_start));
@@ -364,6 +430,8 @@ Iommu::completeWalk(Pending p, Tick walk_start)
                 respond(it->req, pfn, TranslationSource::IommuWalk);
                 recordServed();
                 it = pwQueue_.erase(it);
+                if (bpPwQueue_) [[unlikely]]
+                    bpPwQueue_->depart(engine_.now());
             } else {
                 ++it;
             }
@@ -450,6 +518,8 @@ Iommu::receiveDelegatedResult(Vpn vpn)
             tlb_->fill(vpn, pte->pfn);
     }
     ++freeForwardContexts_;
+    if (bpForward_) [[unlikely]]
+        bpForward_->depart(engine_.now());
     ++stats_.delegationReturns;
     recordServed();
     sampleDepth();

@@ -33,6 +33,7 @@
 #include "mem/page_table.hh"
 #include "mem/page_walk_cache.hh"
 #include "noc/network.hh"
+#include "obs/backpressure.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/engine.hh"
@@ -105,6 +106,13 @@ class Iommu
 
     /** Host self-profiler for the IOMMU pipeline (null = off). */
     void setProfiler(Profiler *profiler) { profiler_ = profiler; }
+
+    /**
+     * Register the IOMMU's bounded structures with the backpressure
+     * collector (ingress buffer, PW-queue, walker pool, forwarding
+     * contexts, Fig 19 TLB MSHRs). No-cost when never called.
+     */
+    void setBackpressure(BackpressureCollector &bp);
 
     /** Register IOMMU metrics under @p prefix (e.g. "iommu."). */
     void registerMetrics(MetricRegistry &reg,
@@ -189,6 +197,12 @@ class Iommu
     std::size_t freeWalkers_;
     std::size_t freeForwardContexts_;
     bool ingressScheduled_ = false;
+
+    Resource *bpIngress_ = nullptr;
+    Resource *bpPwQueue_ = nullptr;
+    Resource *bpWalkers_ = nullptr;
+    Resource *bpForward_ = nullptr;
+    Resource *bpTlbMshrs_ = nullptr;
 
     Stats stats_;
 };

@@ -52,10 +52,32 @@ class MshrFile
      */
     using AuditHook = std::function<void(bool allocated)>;
 
+    /** Occupancy transition reported to the backpressure hook. */
+    enum class PressureEvent
+    {
+        Alloc, ///< A new entry was allocated (occupancy +1).
+        Free,  ///< An entry was resolved and freed (occupancy -1).
+        Reject ///< A miss bounced off a full table (no transition).
+    };
+
+    /**
+     * Backpressure hook: same null-by-default shape as AuditHook, so
+     * this header stays free of obs/ dependencies. Merged misses are
+     * deliberately silent -- they occupy no entry, which is exactly
+     * why a global stage==resource Little's-law check cannot hold and
+     * the backpressure oracle is per-resource (see obs/backpressure.hh).
+     */
+    using PressureHook = std::function<void(PressureEvent)>;
+
     /** @param capacity 0 means unlimited. */
     explicit MshrFile(std::size_t capacity) : capacity_(capacity) {}
 
     void setAuditHook(AuditHook hook) { auditHook_ = std::move(hook); }
+
+    void setPressureHook(PressureHook hook)
+    {
+        pressureHook_ = std::move(hook);
+    }
 
     /** Register a miss for @p vpn; @p cb fires when it resolves. */
     Outcome registerMiss(Vpn vpn, MshrCallback cb)
@@ -68,12 +90,16 @@ class MshrFile
         }
         if (capacity_ != 0 && entries_.size() >= capacity_) {
             ++stats_.fullRejections;
+            if (pressureHook_) [[unlikely]]
+                pressureHook_(PressureEvent::Reject);
             return Outcome::Full;
         }
         entries_[vpn].push_back(std::move(cb));
         ++stats_.allocations;
         if (auditHook_) [[unlikely]]
             auditHook_(true);
+        if (pressureHook_) [[unlikely]]
+            pressureHook_(PressureEvent::Alloc);
         return Outcome::Allocated;
     }
 
@@ -94,6 +120,8 @@ class MshrFile
         entries_.erase(it);
         if (auditHook_) [[unlikely]]
             auditHook_(false);
+        if (pressureHook_) [[unlikely]]
+            pressureHook_(PressureEvent::Free);
         for (auto &cb : waiters)
             cb(vpn, pfn);
     }
@@ -112,6 +140,7 @@ class MshrFile
     std::unordered_map<Vpn, std::vector<MshrCallback>> entries_;
     Stats stats_;
     AuditHook auditHook_;
+    PressureHook pressureHook_;
 };
 
 } // namespace hdpat

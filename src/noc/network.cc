@@ -90,6 +90,8 @@ Network::computeArrival(Tick now, TileId src, TileId dst,
         stats_.linkWait.add(depart - t);
         if (spatial_) [[unlikely]]
             spatial_->linkTraversed(link, bytes, serialize, depart - t);
+        if (!bpLinks_.empty()) [[unlikely]]
+            bpLinks_[link]->linkTraversed(serialize, depart - t);
         linkFree_[link] = depart + serialize;
         t = depart + serialize + static_cast<double>(params_.linkLatency);
         tile = next;
@@ -240,6 +242,20 @@ Network::deliverFused(std::uint32_t slot)
                         static_cast<std::uint64_t>(dst));
     }
     fn();
+}
+
+void
+Network::setBackpressure(BackpressureCollector &bp)
+{
+    // Direction codes match linkIndex(): E=0, W=1, S=2, N=3.
+    static constexpr const char *kDirNames[4] = {"e", "w", "s", "n"};
+    bpLinks_.resize(linkFree_.size());
+    for (std::size_t i = 0; i < bpLinks_.size(); ++i) {
+        bpLinks_[i] =
+            bp.add("noc.link.t" + std::to_string(i / 4) + "." +
+                       kDirNames[i % 4],
+                   ResourceKind::Link, 0);
+    }
 }
 
 void

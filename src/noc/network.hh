@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "noc/mesh_topology.hh"
+#include "obs/backpressure.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sim/engine.hh"
@@ -144,6 +145,15 @@ class Network
     /** Host self-profiler for the routing path (null = off). */
     void setProfiler(Profiler *profiler) { profiler_ = profiler; }
 
+    /**
+     * Register every directed link as an analytic backpressure
+     * resource. Link occupancy is computed at send time in fractional
+     * ticks (not observed via time-ordered transitions), so links
+     * report busy/wait totals and are exempt from the transition
+     * oracle; see obs/backpressure.hh. Does not affect fusion.
+     */
+    void setBackpressure(BackpressureCollector &bp);
+
     /** Register NoC metrics under @p prefix (e.g. "noc."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
@@ -221,6 +231,8 @@ class Network
     Profiler *profiler_ = nullptr;
     /** Busy-until time per directed link, in fractional ticks. */
     std::vector<double> linkFree_;
+    /** Parallel to linkFree_; empty = backpressure off. */
+    std::vector<Resource *> bpLinks_;
     /** Fused-delivery slab and its free list head. */
     std::vector<PendingDelivery> slab_;
     std::uint32_t freeHead_ = kNoSlot;

@@ -231,6 +231,61 @@ writeLatencySection(JsonWriter &w, const LatencySnapshot &lat)
     w.endObject();
 }
 
+void
+writeBackpressureSection(JsonWriter &w, const BackpressureSnapshot &bp)
+{
+    w.key("backpressure").beginObject();
+    w.field("total_ticks", static_cast<std::uint64_t>(bp.totalTicks));
+    w.field("window_ticks", static_cast<std::uint64_t>(bp.windowTicks));
+    w.field("little_violations", bp.littleViolations);
+
+    // Resources in ranked (most-saturated-first) order, matching the
+    // CLI bottleneck report so row N means the same thing in both.
+    w.key("resources").beginArray();
+    for (const std::size_t index : bp.ranked()) {
+        const ResourcePressure &r = bp.resources[index];
+        w.beginObject()
+            .field("name", r.name)
+            .field("kind", resourceKindName(r.kind))
+            .field("capacity", r.capacity)
+            .field("arrivals", r.arrivals)
+            .field("departures", r.departures)
+            .field("rejections", r.rejections)
+            .field("occupancy", r.occupancy)
+            .field("peak", r.peak)
+            .field("mean_occupancy", r.meanOccupancy(bp.totalTicks))
+            .field("saturation",
+                   r.saturationFraction(bp.totalTicks))
+            .field("mean_residency", r.meanResidency());
+        if (r.kind == ResourceKind::Link) {
+            // Analytic links: fractional-tick busy/wait accounting
+            // instead of the time-ordered occupancy integral.
+            w.field("busy_ticks", r.busyTicks)
+                .field("wait_ticks", r.waitTicks);
+        } else {
+            w.field("occ_integral", r.occIntegral)
+                .field("at_capacity_ticks", r.atCapacityTicks)
+                .field("sum_arrive_ticks", r.sumArriveTicks)
+                .field("sum_depart_ticks", r.sumDepartTicks)
+                .field("little_holds", r.littleHolds(bp.totalTicks));
+        }
+        if (!r.windows.empty()) {
+            w.key("windows").beginArray();
+            for (const ResourceWindow &win : r.windows) {
+                w.beginObject()
+                    .field("occ_integral", win.occIntegral)
+                    .field("peak", win.peak)
+                    .field("at_capacity_ticks", win.atCapacityTicks)
+                    .endObject();
+            }
+            w.endArray();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 } // namespace
 
 void
@@ -238,11 +293,13 @@ writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
                  const RunMetadata &meta,
                  const SpatialCollector *spatial,
                  const ProfileSnapshot *profile,
-                 const LatencySnapshot *latency)
+                 const LatencySnapshot *latency,
+                 const BackpressureSnapshot *backpressure)
 {
     JsonWriter w(os);
-    w.beginObject().field("schema", latency ? "hdpat-metrics-v2"
-                                            : "hdpat-metrics-v1");
+    w.beginObject().field("schema", backpressure ? "hdpat-metrics-v3"
+                                    : latency    ? "hdpat-metrics-v2"
+                                                 : "hdpat-metrics-v1");
 
     w.key("run")
         .beginObject()
@@ -308,6 +365,8 @@ writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
         writeProfileSection(w, *profile);
     if (latency)
         writeLatencySection(w, *latency);
+    if (backpressure)
+        writeBackpressureSection(w, *backpressure);
 
     w.endObject();
     os << '\n';

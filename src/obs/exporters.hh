@@ -6,7 +6,9 @@
  *    every registered metric (counters, gauges, summaries, histograms,
  *    time series) plus run metadata. Schema id: "hdpat-metrics-v1",
  *    or "hdpat-metrics-v2" when the optional "latency" section (stage
- *    anatomy, exact quantiles, slowest spans) is present.
+ *    anatomy, exact quantiles, slowest spans) is present, or
+ *    "hdpat-metrics-v3" when the "backpressure" section (per-resource
+ *    saturation accounting, obs/backpressure.hh) is present.
  *
  *  - writeChromeTrace: the span trace in Chrome Trace Event Format
  *    (the JSON-array-of-events flavour), loadable in Perfetto or
@@ -22,6 +24,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/backpressure.hh"
 #include "obs/latency.hh"
 #include "obs/profiler.hh"
 #include "obs/registry.hh"
@@ -43,17 +46,19 @@ struct RunMetadata
 
 /**
  * Dump every metric in @p registry as one JSON document. When
- * @p spatial / @p profile / @p latency are non-null their data is
- * appended as "spatial", "profile", and "latency" sections; omitting
- * them keeps the document byte-identical to pre-introspection exports
- * (including the v1 schema id — only a present "latency" section
- * bumps it to v2).
+ * @p spatial / @p profile / @p latency / @p backpressure are non-null
+ * their data is appended as "spatial", "profile", "latency", and
+ * "backpressure" sections; omitting them keeps the document
+ * byte-identical to pre-introspection exports (including the v1
+ * schema id — a present "latency" section bumps it to v2 and a
+ * present "backpressure" section to v3).
  */
 void writeMetricsJson(std::ostream &os, const MetricRegistry &registry,
                       const RunMetadata &meta,
                       const SpatialCollector *spatial = nullptr,
                       const ProfileSnapshot *profile = nullptr,
-                      const LatencySnapshot *latency = nullptr);
+                      const LatencySnapshot *latency = nullptr,
+                      const BackpressureSnapshot *backpressure = nullptr);
 
 /** Dump @p tracer's span records in Chrome Trace Event Format. */
 void writeChromeTrace(std::ostream &os, const Tracer &tracer);

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Backpressure anatomy tests: Resource transition arithmetic (the
+ * occupancy integral, peaks, time-at-capacity, windowed splits), the
+ * Little's-law dual-path identity as an exact invariant across the
+ * full workload suite, ranked-report determinism, and the
+ * bitwise-invisibility promise (an unobserved run is unaffected by
+ * the subsystem existing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+#include "obs/backpressure.hh"
+#include "workloads/suite.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+// --- Resource transition arithmetic -------------------------------
+
+TEST(BackpressureResourceTest, IntegralPeakAndSaturation)
+{
+    BackpressureCollector bp;
+    Resource *q = bp.add("q", ResourceKind::Queue, 2);
+
+    q->arrive(10);
+    q->arrive(20); // At capacity from t=20.
+    q->depart(30);
+    q->arrive(30); // Same-tick churn: still at capacity.
+    q->reject();
+    q->depart(40);
+    q->depart(50);
+
+    const BackpressureSnapshot snap = bp.snapshot(60);
+    ASSERT_EQ(snap.resources.size(), 1u);
+    const ResourcePressure &p = snap.resources[0];
+
+    EXPECT_EQ(p.arrivals, 3u);
+    EXPECT_EQ(p.departures, 3u);
+    EXPECT_EQ(p.rejections, 1u);
+    EXPECT_EQ(p.occupancy, 0u);
+    EXPECT_EQ(p.peak, 2u);
+    // 1*[10,20) + 2*[20,40) + 1*[40,50) = 10 + 40 + 10.
+    EXPECT_EQ(p.occIntegral, 60u);
+    // occupancy >= 2 over [20,40).
+    EXPECT_EQ(p.atCapacityTicks, 20u);
+    EXPECT_DOUBLE_EQ(p.meanOccupancy(60), 1.0);
+    EXPECT_DOUBLE_EQ(p.saturationFraction(60), 20.0 / 60.0);
+    EXPECT_DOUBLE_EQ(p.meanResidency(), 20.0);
+    EXPECT_TRUE(p.littleHolds(60));
+    EXPECT_EQ(snap.littleViolations, 0u);
+}
+
+TEST(BackpressureResourceTest, LittleIdentityWithResidualOccupancy)
+{
+    BackpressureCollector bp;
+    Resource *r = bp.add("cache", ResourceKind::Residency, 0);
+    r->arrive(5);
+    r->arrive(10);
+    r->depart(20);
+    // One item still resident at snapshot time.
+    const BackpressureSnapshot snap = bp.snapshot(100);
+    const ResourcePressure &p = snap.resources[0];
+    EXPECT_EQ(p.occupancy, 1u);
+    // 1*[5,10) + 2*[10,20) + 1*[20,100) = 5 + 20 + 80 = 105, and the
+    // timestamp path: 20 + 1*100 - (5 + 10) = 105.
+    EXPECT_EQ(p.occIntegral, 105u);
+    EXPECT_TRUE(p.littleHolds(100));
+    EXPECT_EQ(snap.littleViolations, 0u);
+    // Unbounded resources never report saturation.
+    EXPECT_DOUBLE_EQ(p.saturationFraction(100), 0.0);
+}
+
+TEST(BackpressureResourceTest, WindowedHistorySplitsTheIntegral)
+{
+    BackpressureCollector bp(25);
+    Resource *q = bp.add("q", ResourceKind::Queue, 2);
+    q->arrive(10);
+    q->arrive(20);
+    q->depart(30);
+    q->arrive(30);
+    q->depart(40);
+    q->depart(50);
+
+    const BackpressureSnapshot snap = bp.snapshot(60);
+    const ResourcePressure &p = snap.resources[0];
+    ASSERT_GE(p.windows.size(), 2u);
+    // Window 0 covers [0,25): 1*[10,20) + 2*[20,25) = 20.
+    EXPECT_EQ(p.windows[0].occIntegral, 20u);
+    EXPECT_EQ(p.windows[0].peak, 2u);
+    EXPECT_EQ(p.windows[0].atCapacityTicks, 5u);
+    // Window 1 covers [25,50): 2*[25,40) + 1*[40,50) = 40.
+    EXPECT_EQ(p.windows[1].occIntegral, 40u);
+    EXPECT_EQ(p.windows[1].atCapacityTicks, 15u);
+    // The split must be lossless.
+    std::uint64_t windowed = 0;
+    for (const ResourceWindow &w : p.windows)
+        windowed += w.occIntegral;
+    EXPECT_EQ(windowed, p.occIntegral);
+}
+
+TEST(BackpressureResourceTest, LinksAreAnalyticAndOracleExempt)
+{
+    BackpressureCollector bp;
+    Resource *link = bp.add("noc.link.t0.e", ResourceKind::Link, 0);
+    link->linkTraversed(4.0, 1.5);
+    link->linkTraversed(4.0, 0.0);
+    const BackpressureSnapshot snap = bp.snapshot(100);
+    const ResourcePressure &p = snap.resources[0];
+    EXPECT_EQ(p.arrivals, 2u);
+    EXPECT_EQ(p.departures, 2u);
+    EXPECT_DOUBLE_EQ(p.busyTicks, 8.0);
+    EXPECT_DOUBLE_EQ(p.waitTicks, 1.5);
+    EXPECT_DOUBLE_EQ(p.meanOccupancy(100), 0.08);
+    EXPECT_DOUBLE_EQ(p.saturationFraction(100), 0.08);
+    EXPECT_DOUBLE_EQ(p.meanResidency(), 4.75);
+    EXPECT_TRUE(p.littleHolds(100));
+    EXPECT_EQ(snap.littleViolations, 0u);
+}
+
+// --- Ranking and the report ---------------------------------------
+
+TEST(BackpressureSnapshotTest, RankedOrderIsSaturationThenOccupancy)
+{
+    BackpressureSnapshot snap;
+    snap.totalTicks = 100;
+    const auto make = [](const char *name, std::uint64_t capacity,
+                         std::uint64_t at_cap,
+                         std::uint64_t integral) {
+        ResourcePressure p;
+        p.name = name;
+        p.kind = ResourceKind::Queue;
+        p.capacity = capacity;
+        p.atCapacityTicks = at_cap;
+        p.occIntegral = integral;
+        p.arrivals = 1;
+        return p;
+    };
+    snap.resources.push_back(make("idle", 4, 0, 10));
+    snap.resources.push_back(make("hot", 4, 90, 300));
+    snap.resources.push_back(make("busy-unbounded", 0, 0, 700));
+    snap.resources.push_back(make("warm", 4, 50, 200));
+
+    const std::vector<std::size_t> order = snap.ranked();
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(snap.resources[order[0]].name, "hot");
+    EXPECT_EQ(snap.resources[order[1]].name, "warm");
+    // Saturation ties (both 0) break on mean occupancy.
+    EXPECT_EQ(snap.resources[order[2]].name, "busy-unbounded");
+    EXPECT_EQ(snap.resources[order[3]].name, "idle");
+
+    const std::string report = bottleneckReport(snap);
+    EXPECT_NE(report.find("4 resources"), std::string::npos);
+    EXPECT_LT(report.find("hot"), report.find("warm"));
+    EXPECT_LT(report.find("warm"), report.find("idle"));
+    EXPECT_EQ(report.find("WARNING"), std::string::npos);
+
+    snap.littleViolations = 2;
+    EXPECT_NE(bottleneckReport(snap).find("WARNING"),
+              std::string::npos);
+
+    // top_k truncation keeps the header and notes the remainder.
+    const std::string top = bottleneckReport(snap, 2);
+    EXPECT_NE(top.find("hot"), std::string::npos);
+    EXPECT_EQ(top.find("idle"), std::string::npos);
+    EXPECT_NE(top.find("2 more"), std::string::npos);
+}
+
+TEST(BackpressureSnapshotTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(resourceKindName(ResourceKind::Queue), "queue");
+    EXPECT_STREQ(resourceKindName(ResourceKind::Pool), "pool");
+    EXPECT_STREQ(resourceKindName(ResourceKind::Mshr), "mshr");
+    EXPECT_STREQ(resourceKindName(ResourceKind::Residency),
+                 "residency");
+    EXPECT_STREQ(resourceKindName(ResourceKind::Link), "link");
+}
+
+// --- Full-system properties ---------------------------------------
+
+RunSpec
+backpressureSpec(const std::string &workload, std::int64_t window = 0)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.config.name = "backpressure-5x5";
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = workload;
+    spec.opsPerGpm = 400;
+    spec.seed = 0x5eed;
+    spec.obs = ObsOptions{};
+    spec.obs.backpressure = true;
+    spec.obs.backpressureWindow = window;
+    spec.obs.heartbeatInterval = 0;
+    return spec;
+}
+
+TEST(BackpressurePropertyTest, LittlesLawHoldsAcrossTheSuite)
+{
+    // Satellite 3: the dual-path identity -- the incrementally
+    // accumulated occupancy integral against the timestamp-sum
+    // derivation -- must hold exactly for every resource in every
+    // workload. Any missed or double-counted transition anywhere in
+    // the simulator breaks it.
+    for (const std::string &workload : workloadAbbrs()) {
+        const RunResult r = runOnce(backpressureSpec(workload));
+        const BackpressureSnapshot &bp = r.backpressure;
+        EXPECT_FALSE(bp.empty()) << workload;
+        EXPECT_EQ(bp.littleViolations, 0u) << workload;
+        EXPECT_GE(bp.totalTicks, r.totalTicks) << workload;
+        for (const ResourcePressure &p : bp.resources) {
+            EXPECT_TRUE(p.littleHolds(bp.totalTicks))
+                << workload << ": " << p.name;
+            EXPECT_LE(p.departures, p.arrivals)
+                << workload << ": " << p.name;
+            // A completed run drains every transient structure;
+            // only cache residency legitimately retains occupancy.
+            if (p.kind != ResourceKind::Residency) {
+                EXPECT_EQ(p.occupancy, 0u)
+                    << workload << ": " << p.name;
+                EXPECT_EQ(p.arrivals, p.departures)
+                    << workload << ": " << p.name;
+            }
+        }
+    }
+}
+
+TEST(BackpressurePropertyTest, CoreResourcesSeeTraffic)
+{
+    const RunResult r = runOnce(backpressureSpec("SPMV"));
+    const auto pressureOf =
+        [&](const std::string &name) -> const ResourcePressure * {
+        for (const ResourcePressure &p : r.backpressure.resources)
+            if (p.name == name)
+                return &p;
+        return nullptr;
+    };
+    for (const char *name :
+         {"iommu.ingress", "iommu.pw_queue", "iommu.walkers",
+          "gpm.t6.gmmu.queue", "gpm.t6.gmmu.walkers",
+          "gpm.t6.ll_tlb"}) {
+        const ResourcePressure *p = pressureOf(name);
+        ASSERT_NE(p, nullptr) << name;
+        EXPECT_GT(p->arrivals, 0u) << name;
+    }
+    // The remote-MSHR peak can never exceed its capacity (the
+    // evict-then-fill ordering guarantees the same for the LL-TLB).
+    for (const ResourcePressure &p : r.backpressure.resources) {
+        if (p.capacity != 0 && p.kind != ResourceKind::Link) {
+            EXPECT_LE(p.peak, p.capacity) << p.name;
+        }
+    }
+}
+
+TEST(BackpressurePropertyTest, WindowedHistoriesSumToTotals)
+{
+    const RunResult r =
+        runOnce(backpressureSpec("SPMV", 50'000));
+    const BackpressureSnapshot &bp = r.backpressure;
+    EXPECT_EQ(bp.windowTicks, 50'000u);
+    EXPECT_EQ(bp.littleViolations, 0u);
+    bool any_windows = false;
+    for (const ResourcePressure &p : bp.resources) {
+        if (p.kind == ResourceKind::Link)
+            continue;
+        std::uint64_t integral = 0;
+        std::uint64_t at_capacity = 0;
+        std::uint64_t peak = 0;
+        for (const ResourceWindow &w : p.windows) {
+            integral += w.occIntegral;
+            at_capacity += w.atCapacityTicks;
+            peak = std::max(peak, w.peak);
+            any_windows = true;
+        }
+        EXPECT_EQ(integral, p.occIntegral) << p.name;
+        EXPECT_EQ(at_capacity, p.atCapacityTicks) << p.name;
+        EXPECT_LE(peak, p.peak) << p.name;
+    }
+    EXPECT_TRUE(any_windows);
+}
+
+TEST(BackpressurePropertyTest, AccountingIsDeterministic)
+{
+    const RunResult a = runOnce(backpressureSpec("MT"));
+    const RunResult b = runOnce(backpressureSpec("MT"));
+    ASSERT_EQ(a.backpressure.resources.size(),
+              b.backpressure.resources.size());
+    EXPECT_EQ(a.backpressure.totalTicks, b.backpressure.totalTicks);
+    for (std::size_t i = 0; i < a.backpressure.resources.size();
+         ++i) {
+        const ResourcePressure &pa = a.backpressure.resources[i];
+        const ResourcePressure &pb = b.backpressure.resources[i];
+        EXPECT_EQ(pa.name, pb.name);
+        EXPECT_EQ(pa.arrivals, pb.arrivals);
+        EXPECT_EQ(pa.rejections, pb.rejections);
+        EXPECT_EQ(pa.occIntegral, pb.occIntegral);
+        EXPECT_EQ(pa.atCapacityTicks, pb.atCapacityTicks);
+        EXPECT_DOUBLE_EQ(pa.busyTicks, pb.busyTicks);
+    }
+    EXPECT_EQ(bottleneckReport(a.backpressure),
+              bottleneckReport(b.backpressure));
+}
+
+TEST(BackpressurePropertyTest, ObservationDoesNotPerturbTheRun)
+{
+    // The subsystem's core promise: attaching the observer changes
+    // nothing about the simulation itself. (CI additionally holds
+    // whole figure harnesses to byte-identical output.)
+    RunSpec plain = backpressureSpec("PR");
+    plain.obs.backpressure = false;
+    const RunResult off = runOnce(plain);
+    const RunResult on = runOnce(backpressureSpec("PR"));
+    EXPECT_TRUE(off.backpressure.empty());
+    EXPECT_FALSE(on.backpressure.empty());
+    EXPECT_EQ(off.totalTicks, on.totalTicks);
+    EXPECT_EQ(off.opsTotal, on.opsTotal);
+    EXPECT_EQ(off.l1TlbHits, on.l1TlbHits);
+    EXPECT_EQ(off.llTlbHits, on.llTlbHits);
+    EXPECT_EQ(off.localWalks, on.localWalks);
+    EXPECT_EQ(off.remoteResolutions, on.remoteResolutions);
+    EXPECT_EQ(off.iommu.walksCompleted, on.iommu.walksCompleted);
+    EXPECT_EQ(off.gpmFinish, on.gpmFinish);
+}
+
+} // namespace
+} // namespace hdpat

@@ -328,5 +328,83 @@ TEST(ExportValidityTest, LatencySectionIsV2AndComplete)
     std::remove(spec.obs.metricsJsonPath.c_str());
 }
 
+TEST(ExportValidityTest, BackpressureSectionIsV3AndComplete)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.config.meshWidth = 5;
+    spec.config.meshHeight = 5;
+    spec.config.name = "export-bp-5x5";
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 400;
+    spec.seed = 42;
+    spec.obs = ObsOptions{};
+    spec.obs.metricsJsonPath = tmpPath("hdpat-export-bp.json");
+    spec.obs.backpressure = true;
+    spec.obs.backpressureWindow = 50'000;
+    spec.obs.heartbeatInterval = 0;
+    const RunResult result = runOnce(spec);
+    EXPECT_FALSE(result.backpressure.empty());
+
+    const JsonValue doc =
+        parseJsonFileOrDie(spec.obs.metricsJsonPath);
+    EXPECT_EQ(doc.at("schema").asString(), "hdpat-metrics-v3");
+    const JsonValue &bp = doc.at("backpressure");
+    EXPECT_EQ(bp.at("total_ticks").asUint(),
+              result.backpressure.totalTicks);
+    EXPECT_EQ(bp.at("window_ticks").asUint(), 50'000u);
+    EXPECT_EQ(bp.at("little_violations").asUint(), 0u);
+
+    const JsonValue &resources = bp.at("resources");
+    ASSERT_TRUE(resources.isArray());
+    EXPECT_EQ(resources.elements.size(),
+              result.backpressure.resources.size());
+    double prev_saturation = 2.0;
+    for (const JsonValue &r : resources.elements) {
+        const std::string &kind = r.at("kind").asString();
+        EXPECT_TRUE(kind == "queue" || kind == "pool" ||
+                    kind == "mshr" || kind == "residency" ||
+                    kind == "link")
+            << kind;
+        for (const char *key :
+             {"name", "capacity", "arrivals", "departures",
+              "rejections", "occupancy", "peak", "mean_occupancy",
+              "saturation", "mean_residency"})
+            ASSERT_NE(r.find(key), nullptr)
+                << r.at("name").asString() << " lacks " << key;
+        if (kind == "link") {
+            // Analytic links: busy/wait totals, no transition
+            // integral and no oracle field.
+            EXPECT_NE(r.find("busy_ticks"), nullptr);
+            EXPECT_NE(r.find("wait_ticks"), nullptr);
+            EXPECT_EQ(r.find("occ_integral"), nullptr);
+            EXPECT_EQ(r.find("little_holds"), nullptr);
+        } else {
+            EXPECT_NE(r.find("occ_integral"), nullptr);
+            EXPECT_NE(r.find("at_capacity_ticks"), nullptr);
+            EXPECT_NE(r.find("sum_arrive_ticks"), nullptr);
+            EXPECT_NE(r.find("sum_depart_ticks"), nullptr);
+            EXPECT_TRUE(r.at("little_holds").asBool())
+                << r.at("name").asString();
+        }
+        if (const JsonValue *windows = r.find("windows")) {
+            ASSERT_TRUE(windows->isArray());
+            for (const JsonValue &w : windows->elements) {
+                EXPECT_NE(w.find("occ_integral"), nullptr);
+                EXPECT_NE(w.find("peak"), nullptr);
+                EXPECT_NE(w.find("at_capacity_ticks"), nullptr);
+            }
+        }
+        // Export order is the ranked order: saturation descending.
+        const double saturation = r.at("saturation").asNumber();
+        EXPECT_LE(saturation, prev_saturation)
+            << r.at("name").asString();
+        prev_saturation = saturation;
+    }
+
+    std::remove(spec.obs.metricsJsonPath.c_str());
+}
+
 } // namespace
 } // namespace hdpat
