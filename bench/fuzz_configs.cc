@@ -4,16 +4,16 @@
  *
  * Samples random SystemConfig x TranslationPolicy x workload points
  * (see src/fuzz/sampler.cc for the distribution), runs each in a
- * fork-isolated harness under the six oracles listed in
+ * fork-isolated harness under the seven oracles listed in
  * src/fuzz/harness.hh (conservation audit, PPN reference, runMany
- * ordering and NoC-fusion differentials, latency conservation, and
- * the backpressure Little's-law identity), then greedily shrinks any
- * failure to a minimal reproducer and writes it as a `.fuzzcase`
- * file ready for tests/fuzz_corpus/.
+ * ordering and NoC-fusion differentials, latency conservation, the
+ * backpressure Little's-law identity, and the tenancy staleness
+ * oracle), then greedily shrinks any failure to a minimal reproducer
+ * and writes it as a `.fuzzcase` file ready for tests/fuzz_corpus/.
  *
  * Usage:
  *   hdpat_fuzz [--seed N] [--runs N] [--out DIR] [--timeout SEC]
- *              [--replay FILE]...
+ *              [--multi-tenant] [--replay FILE]...
  *
  * Exit status: 0 when every case passed (or every replay passed),
  * 1 when any finding was produced.
@@ -49,6 +49,8 @@ struct Options
     std::vector<std::string> replays;
     /** -1 = leave each case's heapEventQueue field alone. */
     int forceHeapEventQueue = -1;
+    /** Force every sampled case multi-tenant (staleness sweeps). */
+    bool forceMultiTenant = false;
 };
 
 void
@@ -67,7 +69,10 @@ usage(const char *argv0)
         << "                 (repeatable; skips the random sweep)\n"
         << "  --eventq IMPL  force every case onto one event-queue\n"
         << "                 implementation (heap | calendar); default\n"
-        << "                 is each case's own heapEventQueue field\n";
+        << "                 is each case's own heapEventQueue field\n"
+        << "  --multi-tenant force every sampled case multi-tenant\n"
+        << "                 (>=2 ASIDs with switch + churn arrivals),\n"
+        << "                 a directed sweep of the staleness oracle\n";
     std::exit(1);
 }
 
@@ -101,7 +106,9 @@ parseArgs(int argc, char **argv)
                 opt.forceHeapEventQueue = 0;
             else
                 usage(argv[0]);
-        } else
+        } else if (arg == "--multi-tenant")
+            opt.forceMultiTenant = true;
+        else
             usage(argv[0]);
     }
     return opt;
@@ -113,6 +120,19 @@ withEventQueueChoice(FuzzCase c, const Options &opt)
 {
     if (opt.forceHeapEventQueue >= 0)
         c.heapEventQueue = opt.forceHeapEventQueue;
+    return c;
+}
+
+/** Apply --multi-tenant: single-tenant samples get tenants + churn. */
+FuzzCase
+withTenancyChoice(FuzzCase c, const Options &opt, Rng &rng)
+{
+    if (!opt.forceMultiTenant || c.asidCount > 1)
+        return c;
+    c.asidCount = 2 + static_cast<std::int64_t>(rng.uniformInt(3));
+    c.switchRatePerMTicks = 200;
+    if (c.churnRatePerMTicks == 0)
+        c.churnRatePerMTicks = 100;
     return c;
 }
 
@@ -207,13 +227,16 @@ main(int argc, char **argv)
               << opt.seed << ", oracles: validity-prediction + "
               << "conservation/PPN audit + runMany differential + "
               << "NoC fusion differential + latency conservation + "
-              << "backpressure/Little's law\n";
+              << "backpressure/Little's law + tenancy staleness"
+              << (opt.forceMultiTenant ? " (all cases multi-tenant)"
+                                       : "")
+              << "\n";
 
     Rng rng(opt.seed);
     int findings = 0;
     for (int i = 0; i < opt.runs; ++i) {
-        const FuzzCase c =
-            withEventQueueChoice(sampleFuzzCase(rng), opt);
+        const FuzzCase c = withTenancyChoice(
+            withEventQueueChoice(sampleFuzzCase(rng), opt), opt, rng);
         const FuzzOutcome outcome = runFuzzCase(c, opt.timeoutSeconds);
         if (outcome.ok()) {
             if ((i + 1) % 20 == 0)

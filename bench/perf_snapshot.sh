@@ -23,10 +23,14 @@
 #      profiler's and latency attribution's,
 #   8. records the micro_substrates google-benchmark suite as
 #      BENCH_micro.json (next to the fig14 record),
-#   9. appends a one-line digest (commit, date, headline wall-clock
-#      and ns/call numbers, audited counters) to BENCH_history.jsonl,
-#      so the perf trajectory across PRs stays queryable instead of
-#      being overwritten in BENCH_fig14.json.
+#   9. runs the fig_tenant_churn multi-tenant sweep and captures the
+#      exported counters of its heaviest cell (8 tenants, 1000
+#      switches/Mtick), so tenancy-path slowdowns and behavioral
+#      drift in the shootdown/fault machinery land in the record,
+#  10. appends a one-line digest (commit, date, headline wall-clock
+#      and ns/call numbers, audited counters, churn-sweep digest) to
+#      BENCH_history.jsonl, so the perf trajectory across PRs stays
+#      queryable instead of being overwritten in BENCH_fig14.json.
 #
 # Usage: bench/perf_snapshot.sh [BUILD_DIR] [OPS_PER_GPM] > BENCH_fig14.json
 #        MICRO_OUT=path.json overrides the micro-benchmark output path.
@@ -40,11 +44,12 @@ CLI="$BUILD_DIR/examples/hdpat_cli"
 REPORT="$BUILD_DIR/bench/perf_report"
 MICRO="$BUILD_DIR/bench/micro_substrates"
 EVENTQ="$BUILD_DIR/bench/bench_event_queue"
+CHURN="$BUILD_DIR/bench/fig_tenant_churn"
 MICRO_OUT="${MICRO_OUT:-BENCH_micro.json}"
 HISTORY_OUT="${HISTORY_OUT:-BENCH_history.jsonl}"
 CORES="$(nproc)"
 
-for tool in "$BIN" "$CLI" "$REPORT" "$MICRO" "$EVENTQ"; do
+for tool in "$BIN" "$CLI" "$REPORT" "$MICRO" "$EVENTQ" "$CHURN"; do
     if [ ! -x "$tool" ]; then
         echo "error: $tool not found (build first: cmake --build $BUILD_DIR -j)" >&2
         exit 1
@@ -179,6 +184,29 @@ jq -s '.[0] * {benchmarks: (.[0].benchmarks + .[1].benchmarks)}' \
     "$SUBSTRATE_TMP" "$EVENTQ_TMP" > "$MICRO_OUT"
 echo "wrote micro-benchmark record to $MICRO_OUT" >&2
 
+# Multi-tenant churn sweep: wall-clock of the whole tenant-count x
+# switch-rate grid, plus the exported tenancy counters of the
+# heaviest cell. The sweep is deterministic, so the counters gate
+# behavioral drift in the shootdown/fault paths the same way
+# engine.events_scheduled gates NoC fusion.
+CHURN_DIR="$(mktemp -d)"
+trap 'rm -f "$PROFILE_TMP" "$LATENCY_TMP" "$COUNTER_TMP" \
+    "$SUBSTRATE_TMP" "$EVENTQ_TMP"; rm -rf "$CHURN_DIR"' EXIT
+churn_start="$(date +%s.%N)"
+HDPAT_TENANT_CHURN_DIR="$CHURN_DIR" "$CHURN" "$OPS" > /dev/null
+churn_end="$(date +%s.%N)"
+CHURN_SECONDS="$(awk -v s="$churn_start" -v e="$churn_end" \
+    'BEGIN { printf "%.3f", e - s }')"
+CHURN_JSON="$(jq -c '{
+    total_ticks: .run.total_ticks,
+    context_switches: .counters["tenancy.context_switches"],
+    pages_churned: .counters["tenancy.pages_churned"],
+    page_faults: .counters["iommu.page_faults"],
+    faults_serviced: .counters["iommu.faults_serviced"],
+    stale_installs_blocked: .counters["gpm.stale_installs_blocked"],
+    invalidations_received: .counters["gpm.invalidations_received"]
+  }' "$CHURN_DIR/fig_tenant_churn.hdpat.t8.s1000.json")"
+
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 
 cat <<EOF
@@ -196,6 +224,8 @@ cat <<EOF
   "latency_overhead_pct": $LATENCY_OVERHEAD_PCT,
   "backpressure_serial_seconds": $BACKPRESSURE_TIMED,
   "backpressure_overhead_pct": $BACKPRESSURE_OVERHEAD_PCT,
+  "churn_sweep_seconds": $CHURN_SECONDS,
+  "churn_heaviest_cell": $CHURN_JSON,
   "profile": $PROFILE_JSON,
   "latency": $LATENCY_JSON,
   "counters": $COUNTERS_JSON,
@@ -223,12 +253,16 @@ jq -cn \
     --argjson backpressure_pct "$BACKPRESSURE_OVERHEAD_PCT" \
     --argjson profile "$PROFILE_JSON" \
     --argjson counters "$COUNTERS_JSON" \
+    --argjson churn_seconds "$CHURN_SECONDS" \
+    --argjson churn "$CHURN_JSON" \
     '{commit: $commit, date: $date, bench: "fig14_overall",
       ops_per_gpm: $ops, serial_seconds: $serial,
       parallel_seconds: $parallel, speedup: $speedup,
       profiler_overhead_pct: $profiler_pct,
       latency_overhead_pct: $latency_pct,
       backpressure_overhead_pct: $backpressure_pct,
+      churn_sweep_seconds: $churn_seconds,
+      churn_heaviest_cell: $churn,
       ns_per_call: ($profile.sections
           | with_entries(.value = (if .value.calls > 0
               then (.value.nanos / .value.calls | round) else 0 end))),

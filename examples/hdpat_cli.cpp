@@ -319,6 +319,16 @@ parse(int argc, char **argv)
                    "  HDPAT_BACKPRESSURE_REPORT=F  default for "
                    "--backpressure-report\n"
                    "  HDPAT_JOBS=N             default for --jobs\n"
+                   "  HDPAT_TENANTS=N          multiplex N address "
+                   "spaces (ASIDs) onto the wafer\n"
+                   "  HDPAT_SWITCH_RATE=R      Poisson context "
+                   "switches per million ticks (needs N > 1)\n"
+                   "  HDPAT_CHURN_RATE=R       Poisson page "
+                   "unmap/remap shootdowns per million ticks\n"
+                   "  HDPAT_TENANCY_SEED=S     tenant-scheduler RNG "
+                   "seed (all unset = single-tenant,\n"
+                   "                           bitwise-identical "
+                   "runs)\n"
                    "  HDPAT_EVENTQ=IMPL        event queue: calendar "
                    "(default) or heap (legacy; same results)\n"
                    "  HDPAT_NOC_FUSE=0         disable NoC arrival "

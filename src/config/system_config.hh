@@ -117,6 +117,14 @@ struct SystemConfig
     std::size_t iommuTlbMshrs = 8;
     /** Forwarding contexts for Trans-FW-style walk delegation. */
     std::size_t iommuForwardContexts = 64;
+    /**
+     * Bounded not-present fault queue (tenancy churn). Modeled after
+     * the RISC-V IOMMU fault/event queue: capacity bounds outstanding
+     * unserviced faults; a full queue bounces to a timed retry.
+     */
+    std::size_t iommuFaultQueueCapacity = 64;
+    /** Driver-side service time per not-present fault (remap cost). */
+    Tick iommuFaultServiceTicks = 5000;
 
     // ---- Data side ------------------------------------------------------
     std::size_t l2CacheBytes = 4u << 20;

@@ -66,6 +66,16 @@ struct RunResult
      */
     std::uint64_t auditRetireCensusHash = 0;
 
+    // ---- Tenancy (all zero unless enableTenancy was called) -----------
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t pagesChurned = 0;
+    std::uint64_t shootdownRounds = 0;
+    std::uint64_t shootdownRoundsClosed = 0;
+    std::uint64_t invalidationAcks = 0;
+    std::uint64_t staleInstallsBlocked = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t faultsServiced = 0;
+
     // ---- Component snapshots -------------------------------------------
     Iommu::Stats iommu;
     Network::Stats noc;

@@ -88,6 +88,34 @@ obsOptionsFromEnv()
     return obs;
 }
 
+TenancySpec
+tenancySpecFromEnv()
+{
+    TenancySpec tenancy;
+    if (const char *env = std::getenv("HDPAT_TENANTS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            tenancy.asidCount = static_cast<std::uint32_t>(v);
+    }
+    if (const char *env = std::getenv("HDPAT_SWITCH_RATE")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            tenancy.switchRatePerMTicks =
+                static_cast<std::uint64_t>(v);
+    }
+    if (const char *env = std::getenv("HDPAT_CHURN_RATE")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            tenancy.churnRatePerMTicks = static_cast<std::uint64_t>(v);
+    }
+    if (const char *env = std::getenv("HDPAT_TENANCY_SEED")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            tenancy.seed = static_cast<std::uint64_t>(v);
+    }
+    return tenancy;
+}
+
 std::int64_t
 ObsOptions::effectiveSpatialWindow() const
 {
@@ -134,6 +162,8 @@ validationErrors(const RunSpec &spec)
             << spec.footprintScale << ")";
         errors.push_back(oss.str());
     }
+    for (std::string &e : spec.tenancy.validationErrors())
+        errors.push_back(std::move(e));
     return errors;
 }
 
@@ -154,6 +184,11 @@ runOnce(const RunSpec &spec)
     if (spec.captureIommuTrace)
         system.setCaptureIommuTrace(true);
     system.setNocFusion(spec.obs.nocFuse);
+    // Before enableBackpressure (the IOMMU fault queue only registers
+    // as a Resource once a fault handler exists) and before
+    // loadWorkload (per-ASID allocation).
+    if (spec.tenancy.enabled())
+        system.enableTenancy(spec.tenancy);
 
     if (!spec.obs.traceOutPath.empty())
         system.enableTracing(spec.obs.traceCapacity,
@@ -206,7 +241,8 @@ runOnce(const RunSpec &spec)
         streams = WorkloadStreamCache::shared().get(
             StreamKey{spec.workload, spec.footprintScale, ops,
                       spec.seed, system.numGpms(),
-                      spec.config.pageShift});
+                      spec.config.pageShift,
+                      spec.tenancy.asidCount});
     }
     system.loadWorkload(*workload, ops, spec.seed, std::move(streams));
     RunResult result = system.run();

@@ -14,6 +14,7 @@
 #include "config/system_config.hh"
 #include "config/translation_policy.hh"
 #include "driver/run_result.hh"
+#include "driver/tenancy.hh"
 
 namespace hdpat
 {
@@ -103,6 +104,14 @@ struct ObsOptions
 /** ObsOptions populated from HDPAT_* environment variables. */
 ObsOptions obsOptionsFromEnv();
 
+/**
+ * TenancySpec populated from the environment: HDPAT_TENANTS (address
+ * spaces), HDPAT_SWITCH_RATE / HDPAT_CHURN_RATE (Poisson arrivals per
+ * million ticks), HDPAT_TENANCY_SEED. All unset = single-tenant, and
+ * runOnce skips enableTenancy entirely -- bitwise-identical runs.
+ */
+TenancySpec tenancySpecFromEnv();
+
 /** Complete description of one simulation run. */
 struct RunSpec
 {
@@ -116,6 +125,8 @@ struct RunSpec
     double footprintScale = 1.0;
     bool captureIommuTrace = false;
     ObsOptions obs = obsOptionsFromEnv();
+    /** Multi-tenant knobs (default from env; single-tenant if unset). */
+    TenancySpec tenancy = tenancySpecFromEnv();
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "driver/system.hh"
 
 #include <chrono>
+#include <span>
 #include <unordered_map>
 
 #include "sim/log.hh"
@@ -297,6 +298,59 @@ System::enableProfiler()
 }
 
 void
+System::enableTenancy(const TenancySpec &spec)
+{
+    hdpat_fatal_if(loaded_,
+                   "System::enableTenancy after loadWorkload: per-ASID "
+                   "allocation needs the spec first");
+    const std::vector<std::string> errors = spec.validationErrors();
+    if (!errors.empty()) {
+        std::string msg = "invalid TenancySpec:";
+        for (const std::string &e : errors)
+            msg += "\n  - " + e;
+        hdpat_fatal(msg);
+    }
+    tenancySpec_ = spec;
+    tenancy_ = std::make_unique<TenantScheduler>(*this, spec);
+
+    // Not-present fault handler: the driver re-establishes the mapping
+    // on the page's last home with a fresh PFN, and restores the home
+    // GPM's permanent filter entry (a state operation, like the
+    // original seeding -- the fault service delay models the cost).
+    iommu_->setFaultHandler([this](Vpn vpn) {
+        if (pt_.translate(vpn))
+            return; // An earlier fault already re-established it.
+        const Pte *pte = pt_.remap(vpn);
+        hdpat_panic_if(!pte, "IOMMU fault for never-mapped key 0x"
+                                 << std::hex << vpn);
+        Gpm *home = gpmByTile_[static_cast<std::size_t>(pte->home)];
+        if (home)
+            home->seedLocalPages(std::span<const Vpn>(&vpn, 1));
+    });
+
+    // Tenancy-only counters, appended after the single-tenant set so
+    // pre-existing dumps keep their exact key order.
+    tenancy_->registerMetrics(registry_, "tenancy.");
+    iommu_->registerTenancyMetrics(registry_, "iommu.");
+    for (auto &gpm : gpms_) {
+        gpm->registerTenancyMetrics(
+            registry_, "gpm.t" + std::to_string(gpm->tile()) + ".");
+    }
+    const auto sum = [this](std::uint64_t Gpm::Stats::*field) {
+        return MetricRegistry::CounterFn([this, field] {
+            std::uint64_t total = 0;
+            for (const auto &g : gpms_)
+                total += g->stats().*field;
+            return total;
+        });
+    };
+    registry_.addCounter("gpm.stale_installs_blocked",
+                         sum(&Gpm::Stats::staleInstallsBlocked));
+    registry_.addCounter("gpm.invalidations_received",
+                         sum(&Gpm::Stats::invalidationsReceived));
+}
+
+void
 System::enableBackpressure(Tick window)
 {
     backpressure_ = std::make_unique<BackpressureCollector>(window);
@@ -327,7 +381,17 @@ System::loadWorkload(Workload &workload, std::size_t ops_per_gpm,
     loaded_ = true;
     workloadName_ = workload.info().abbr;
 
-    workload.allocate(pt_, topo_.gpmTiles());
+    // One identical allocation per tenant: every ASID's VPN cursor
+    // starts at the same base, so the VA layout (and therefore the
+    // address streams below) is shared across tenants, and only the
+    // ASID tag in the key differs. ASID 0 is the identity.
+    const std::uint32_t asids =
+        tenancySpec_.asidCount > 0 ? tenancySpec_.asidCount : 1;
+    for (std::uint32_t asid = 0; asid < asids; ++asid) {
+        pt_.setActiveAsid(static_cast<Asid>(asid));
+        workload.allocate(pt_, topo_.gpmTiles());
+    }
+    pt_.setActiveAsid(0);
 
     // Seed each GPM's cuckoo filter with its local pages (one pass
     // over the page table, bucketed by home).
@@ -379,6 +443,54 @@ System::shootdown(Vpn vpn)
     return invalidated;
 }
 
+bool
+System::shootdownAsync(Vpn vpn)
+{
+    if (openShootdowns_.count(vpn) || !pt_.translate(vpn))
+        return false;
+
+    // Unmap first: from this tick no walk can observe the old PTE, so
+    // the install gates reject every stale in-flight result while the
+    // invalidations fan out. The IOMMU-side structures (redirection
+    // table, Fig 19 TLB, page-walk caches) drop synchronously -- they
+    // live on the CPU tile issuing the shootdown.
+    pt_.unmap(vpn);
+    iommu_->shootdown(vpn);
+
+    // Cached copies can live on any tile (chain fills, proactive
+    // pushes, neighbour probes), so correctness requires the full
+    // broadcast; the redirection table at most names the one holder
+    // the IOMMU knows about (the directed/broadcast split is counted
+    // by the tenant scheduler).
+    openShootdowns_[vpn] = gpms_.size();
+    if (auditor_) {
+        auditor_->shootdownIssued(vpn, gpms_.size(), engine_.now());
+    }
+    const TileId cpu = topo_.cpuTile();
+    for (auto &g : gpms_) {
+        Gpm *gpm = g.get();
+        const TileId target = gpm->tile();
+        net_.send(cpu, target, NocMessageBytes::kInvalidate,
+                  [this, gpm, target, cpu, vpn] {
+                      gpm->receiveInvalidate(vpn);
+                      net_.send(
+                          target, cpu, NocMessageBytes::kInvalidateAck,
+                          [this, vpn, target] {
+                              if (auditor_) {
+                                  auditor_->invalidationAcked(
+                                      vpn, target, engine_.now());
+                              }
+                              const auto it = openShootdowns_.find(vpn);
+                              hdpat_panic_if(it == openShootdowns_.end(),
+                                             "stray shootdown ack");
+                              if (--it->second == 0)
+                                  openShootdowns_.erase(it);
+                          });
+                  });
+    }
+    return true;
+}
+
 RunResult
 System::run()
 {
@@ -386,6 +498,8 @@ System::run()
 
     for (auto &gpm : gpms_)
         gpm->start();
+    if (tenancy_)
+        tenancy_->start();
     if (heartbeat_)
         heartbeat_->start();
     if (watchdog_)
@@ -421,6 +535,22 @@ System::run()
                               << " did not finish (deadlock?)");
         result.gpmFinish.emplace_back(gpm->tile(), s.finishTick);
         result.totalTicks = std::max(result.totalTicks, s.finishTick);
+    }
+
+    if (auditor_ && pt_.mutationEpoch() > 0) {
+        // Staleness-oracle sweep: after the run drains, no TLB on the
+        // wafer may still hold a translation the page table disavows
+        // (the install gates + shootdown protocol must have caught
+        // every stale copy). Free in single-tenant runs (epoch 0).
+        for (auto &gpm : gpms_)
+            gpm->sweepResidentTranslations(*auditor_);
+        if (const IommuTlb *tlb = iommu_->iommuTlb()) {
+            tlb->tlb().forEachValid([this](Vpn vpn, Pfn pfn) {
+                const Pte *pte = pt_.translate(vpn);
+                if (!pte || pte->pfn != pfn)
+                    auditor_->staleResident(topo_.cpuTile(), vpn, pfn);
+            });
+        }
     }
 
     if (auditor_) {
@@ -499,6 +629,21 @@ System::run()
     result.probeHitsTotal = registry_.counterValue("gpm.probe_hits");
     result.pushesReceivedTotal =
         registry_.counterValue("gpm.pushes_received");
+
+    if (tenancy_) {
+        result.contextSwitches = tenancy_->stats().contextSwitches;
+        result.pagesChurned = tenancy_->stats().pagesChurned;
+        result.staleInstallsBlocked =
+            registry_.counterValue("gpm.stale_installs_blocked");
+        result.pageFaults = iommu_->stats().pageFaults;
+        result.faultsServiced = iommu_->stats().faultsServiced;
+        if (auditor_) {
+            result.shootdownRounds = auditor_->shootdownRounds();
+            result.shootdownRoundsClosed =
+                auditor_->shootdownRoundsClosed();
+            result.invalidationAcks = auditor_->invalidationAcks();
+        }
+    }
 
     result.iommu = iommu_->stats();
     result.noc = net_.stats();

@@ -22,11 +22,13 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "config/system_config.hh"
 #include "config/translation_policy.hh"
 #include "driver/run_result.hh"
+#include "driver/tenancy.hh"
 #include "gpm/gpm.hh"
 #include "hdpat/cluster_map.hh"
 #include "hdpat/concentric_layers.hh"
@@ -157,6 +159,16 @@ class System
      */
     void enableBackpressure(Tick window = 0);
 
+    /**
+     * Enable multi-tenancy: the tenant scheduler (context switches +
+     * page churn), the IOMMU's not-present fault handler (remap on the
+     * page's last home), and the tenancy-only metrics. Must be called
+     * before loadWorkload (per-ASID allocation) and before
+     * enableBackpressure (the fault queue registers only once a fault
+     * handler exists). Bitwise-invisible when never called.
+     */
+    void enableTenancy(const TenancySpec &spec);
+
     /** Run to completion and gather statistics. */
     RunResult run();
 
@@ -168,6 +180,22 @@ class System
      * @return Total cached copies invalidated across the wafer.
      */
     std::size_t shootdown(Vpn vpn);
+
+    /**
+     * Asynchronous shootdown (tenancy churn): unmap the PTE and the
+     * IOMMU-side state now, then send an invalidation packet to every
+     * GPM tile; each tile drops its cached copies on delivery and acks
+     * back over the NoC. The auditor's shootdown ledger demands
+     * exactly one ack per tile per round.
+     * @return false when @p vpn is unmapped or a round is already open.
+     */
+    bool shootdownAsync(Vpn vpn);
+
+    /** True while an async shootdown round for @p vpn awaits acks. */
+    bool shootdownInProgress(Vpn vpn) const
+    {
+        return openShootdowns_.count(vpn) != 0;
+    }
 
     // ---- Component access (tests, examples) ----------------------------
     Engine &engine() { return engine_; }
@@ -207,6 +235,8 @@ class System
     }
     /** Mutable form: callers time their own sections (e.g. export). */
     Profiler *profiler() { return profiler_.get(); }
+    /** Tenant scheduler (null unless enableTenancy was called). */
+    const TenantScheduler *tenancy() const { return tenancy_.get(); }
 
   private:
     /**
@@ -244,6 +274,10 @@ class System
     std::unique_ptr<SpatialSampler> spatialSampler_;
     std::unique_ptr<Profiler> profiler_;
     std::unique_ptr<BackpressureCollector> backpressure_;
+    std::unique_ptr<TenantScheduler> tenancy_;
+    TenancySpec tenancySpec_;
+    /** Open async shootdown rounds: key -> outstanding acks. */
+    std::unordered_map<Vpn, std::size_t> openShootdowns_;
     std::string workloadName_ = "(none)";
     bool loaded_ = false;
 };

@@ -57,6 +57,11 @@ forEachNumericField(Case &c, F &&f)
     f("seed", c.seed);
     f("heapEventQueue", c.heapEventQueue);
     f("nocFuse", c.nocFuse);
+    // Tenancy fields come last: corpus files predating them parse
+    // unchanged (absent keys keep the single-tenant defaults).
+    f("asidCount", c.asidCount);
+    f("switchRatePerMTicks", c.switchRatePerMTicks);
+    f("churnRatePerMTicks", c.churnRatePerMTicks);
 }
 
 /** Negative sampled values target signed config fields; for unsigned
@@ -161,6 +166,12 @@ FuzzCase::toSpec() const
     spec.obs = ObsOptions{};
     spec.obs.heartbeatInterval = 0;
     spec.obs.nocFuse = nocFuse != 0;
+    spec.tenancy = TenancySpec{};
+    spec.tenancy.asidCount = static_cast<std::uint32_t>(toSize(asidCount));
+    spec.tenancy.switchRatePerMTicks =
+        static_cast<std::uint64_t>(toSize(switchRatePerMTicks));
+    spec.tenancy.churnRatePerMTicks =
+        static_cast<std::uint64_t>(toSize(churnRatePerMTicks));
     return spec;
 }
 

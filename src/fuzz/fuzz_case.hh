@@ -78,6 +78,16 @@ struct FuzzCase
      *  still cross-check fused against per-hop delivery. */
     std::int64_t nocFuse = 1;
 
+    // ---- Tenancy -----------------------------------------------------
+    /** Address spaces multiplexed onto the wafer (1 = single-tenant,
+     *  which keeps the case bitwise identical to the pre-tenancy
+     *  simulator). */
+    std::int64_t asidCount = 1;
+    /** Poisson context-switch arrivals per million ticks (0 = never). */
+    std::int64_t switchRatePerMTicks = 0;
+    /** Poisson page unmap+shootdown arrivals per million ticks. */
+    std::int64_t churnRatePerMTicks = 0;
+
     /** Build the RunSpec this case describes (audit left off; the
      *  harness decides observability). */
     RunSpec toSpec() const;

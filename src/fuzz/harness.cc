@@ -174,6 +174,35 @@ childRun(const RunSpec &spec, bool heap_event_queue)
                      observed.backpressure.resources.size());
         _exit(kOracleExit);
     }
+
+    // Oracle 7: tenancy staleness. The audited run (oracle 2) already
+    // carries the heavy machinery -- installs are revalidated against
+    // the page table, the auditor's shootdown ledger demands
+    // exactly-once acks, and the end-of-run sweep panics on any cached
+    // translation that survived its shootdown. What remains checkable
+    // here is the round and fault conservation: every shootdown round
+    // opened must have closed, and every not-present fault enqueued
+    // must have been serviced (an op blocked on a fault cannot retire,
+    // so a finished run implies a drained fault queue).
+    if (single.shootdownRounds != single.shootdownRoundsClosed) {
+        std::fprintf(stderr,
+                     "staleness oracle: %llu shootdown rounds issued "
+                     "but %llu closed\n",
+                     static_cast<unsigned long long>(
+                         single.shootdownRounds),
+                     static_cast<unsigned long long>(
+                         single.shootdownRoundsClosed));
+        _exit(kOracleExit);
+    }
+    if (single.pageFaults != single.faultsServiced) {
+        std::fprintf(stderr,
+                     "staleness oracle: %llu IOMMU faults enqueued "
+                     "but %llu serviced\n",
+                     static_cast<unsigned long long>(single.pageFaults),
+                     static_cast<unsigned long long>(
+                         single.faultsServiced));
+        _exit(kOracleExit);
+    }
     _exit(0);
 }
 

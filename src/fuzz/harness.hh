@@ -1,6 +1,6 @@
 /**
  * @file
- * Fork-isolated execution of one FuzzCase with six oracles:
+ * Fork-isolated execution of one FuzzCase with seven oracles:
  *
  * 1. Validity prediction: validationErrors(spec) empty must mean the
  *    run completes; non-empty must mean it fail-fasts. Divergence in
@@ -22,6 +22,13 @@
  *    accounting on must leave every count unchanged, and the
  *    dual-path occupancy-integral identity (obs/backpressure.hh)
  *    must hold for every registered resource.
+ * 7. Tenancy staleness: multi-tenant cases (asidCount/switchRate/
+ *    churnRate sampled per case) run under the staleness oracle the
+ *    audited run carries -- install-time revalidation, exactly-once
+ *    shootdown acks, and the end-of-run stale-resident sweep all
+ *    panic the child on violation -- plus the harness's own
+ *    conservation checks: rounds opened == rounds closed and IOMMU
+ *    faults enqueued == faults serviced.
  *
  * The child is a fresh fork per case, so a crash, fatal, hang, or
  * abort in the simulator cannot take the fuzzer down with it.

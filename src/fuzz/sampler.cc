@@ -102,6 +102,20 @@ sampleFuzzCase(Rng &rng)
     // either starting value cross-checks both shapes).
     c.nocFuse = rng.chance(0.5);
 
+    // Tenancy: mostly single-tenant (the identity-preserving default)
+    // with a multi-tenant minority that exercises context switches,
+    // churn shootdowns, and the staleness oracle. A rare 0 probes the
+    // asidCount validation bound.
+    c.asidCount = pick(rng, {0, 1, 1, 1, 2, 2, 3, 4});
+    if (c.asidCount > 1) {
+        c.switchRatePerMTicks = pick(rng, {0, 50, 200, 1000});
+        c.churnRatePerMTicks = pick(rng, {0, 20, 100, 500});
+    } else {
+        // Churn without multiple tenants is legal: one tenant's pages
+        // still get unmapped and shot down.
+        c.churnRatePerMTicks = pick(rng, {0, 0, 0, 100});
+    }
+
     return c;
 }
 

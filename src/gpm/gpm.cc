@@ -171,6 +171,16 @@ Gpm::registerMetrics(MetricRegistry &reg,
     gmmu_.registerMetrics(reg, prefix + "gmmu.");
 }
 
+void
+Gpm::registerTenancyMetrics(MetricRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.addCounter(prefix + "stale_installs_blocked",
+                   &stats_.staleInstallsBlocked);
+    reg.addCounter(prefix + "invalidations_received",
+                   &stats_.invalidationsReceived);
+}
+
 std::size_t
 Gpm::shootdown(Vpn vpn)
 {
@@ -188,10 +198,25 @@ Gpm::shootdown(Vpn vpn)
             cuckoo_.erase(vpn);
     }
     // The permanent filter entry for a locally homed page goes too:
-    // the page is being freed from the local page table.
-    if (pt_.homeOf(vpn) == tile_)
+    // the page is being freed from the local page table. lastHomeOf,
+    // not homeOf: the async shootdown unmaps before the invalidation
+    // reaches this tile, and the filter entry must still come out.
+    if (pt_.lastHomeOf(vpn) == tile_)
         cuckoo_.erase(vpn);
     return invalidated;
+}
+
+void
+Gpm::sweepResidentTranslations(Auditor &auditor) const
+{
+    const auto check = [this, &auditor](Vpn vpn, Pfn pfn) {
+        const Pte *pte = pt_.translate(vpn);
+        if (!pte || pte->pfn != pfn)
+            auditor.staleResident(tile_, vpn, pfn);
+    };
+    l1Tlb_.forEachValid(check);
+    l2Tlb_.forEachValid(check);
+    llTlb_.forEachValid(check);
 }
 
 void
@@ -269,12 +294,12 @@ Gpm::tryIssue()
         ++stats_.opsIssued;
         nextIssueTime_ += 1.0 / issueRate_;
         issueBatch_.push_back(*va);
-        issueVpns_.push_back(pt_.vpnOf(*va));
+        issueVpns_.push_back(keyOf(*va));
     }
     if (issueVpns_.size() > 1)
         l1Tlb_.probeMany(issueVpns_);
-    for (const Addr va : issueBatch_)
-        beginOp(va);
+    for (std::size_t i = 0; i < issueBatch_.size(); ++i)
+        beginOp(issueBatch_[i], issueVpns_[i]);
     if (streamDone_) {
         checkFinished();
         return;
@@ -294,13 +319,17 @@ Gpm::tryIssue()
 }
 
 void
-Gpm::beginOp(Addr va)
+Gpm::beginOp(Addr va, Vpn key)
 {
+    // The key is bound here, once, under the ASID active at issue
+    // time; every later stage of the op (translation, remote protocol,
+    // data access, retire) carries it unchanged, so a context switch
+    // mid-flight never re-tags a live request.
     if (tracer_) [[unlikely]]
-        tracer_->begin(tile_, pt_.vpnOf(va), engine_.now());
+        tracer_->begin(tile_, key, engine_.now());
     if (auditor_) [[unlikely]]
-        auditor_->opIssued(tile_, pt_.vpnOf(va), engine_.now());
-    translate(va);
+        auditor_->opIssued(tile_, key, engine_.now());
+    translate(va, key);
 }
 
 void
@@ -335,16 +364,16 @@ Gpm::checkFinished()
 // ---------------------------------------------------------------------
 
 void
-Gpm::translate(Addr va)
+Gpm::translate(Addr va, Vpn key)
 {
     const ProfScope prof(profiler_, ProfSection::Translate);
-    const Vpn vpn = pt_.vpnOf(va);
+    const Vpn vpn = key;
     Tick t = engine_.now() + cfg_.l1Tlb.latency;
 
     if (l1Tlb_.lookup(vpn)) {
         ++stats_.l1TlbHits;
         trace(vpn, SpanEvent::L1TlbHit);
-        dataAccess(va, t);
+        dataAccess(va, vpn, t);
         return;
     }
 
@@ -353,7 +382,7 @@ Gpm::translate(Addr va)
         ++stats_.l2TlbHits;
         trace(vpn, SpanEvent::L2TlbHit);
         l1Tlb_.insert(vpn, *pfn);
-        dataAccess(va, t);
+        dataAccess(va, vpn, t);
         return;
     }
 
@@ -363,7 +392,7 @@ Gpm::translate(Addr va)
         // local page table; go remote immediately.
         ++stats_.cuckooNegatives;
         trace(vpn, SpanEvent::CuckooNegative);
-        startRemote(va, t);
+        startRemote(va, vpn, t);
         return;
     }
 
@@ -372,7 +401,7 @@ Gpm::translate(Addr va)
         ++stats_.llTlbHits;
         trace(vpn, SpanEvent::LastLevelTlbHit);
         fillLocalHierarchy(vpn, entry->pfn, entry->remote);
-        dataAccess(va, t);
+        dataAccess(va, vpn, t);
         return;
     }
 
@@ -408,12 +437,26 @@ Gpm::onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn)
         insertLastLevel(vpn, *pfn, /*remote=*/false,
                         /*prefetched=*/false);
         fillLocalHierarchy(vpn, *pfn, /*remote=*/false);
-        dataAccess(va, engine_.now());
+        dataAccess(va, vpn, engine_.now());
         return;
     }
     ++stats_.cuckooFalsePositives;
     trace(vpn, SpanEvent::CuckooFalsePositive);
-    startRemote(va, engine_.now());
+    startRemote(va, vpn, engine_.now());
+}
+
+bool
+Gpm::installAllowed(Vpn vpn, Pfn pfn)
+{
+    // No unmap ever happened: nothing can be stale, and the gate must
+    // cost nothing (single-tenant runs stay bitwise identical).
+    if (pt_.mutationEpoch() == 0) [[likely]]
+        return true;
+    const Pte *pte = pt_.translate(vpn);
+    if (pte && pte->pfn == pfn)
+        return true;
+    ++stats_.staleInstallsBlocked;
+    return false;
 }
 
 void
@@ -422,7 +465,11 @@ Gpm::fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote)
     // Every resolution path (local walk, peer probe, IOMMU response,
     // proactive push, delegated walk) funnels through here or through
     // insertLastLevel before the PPN becomes visible, so these two are
-    // where the auditor checks it against the reference page walk.
+    // where the auditor checks it against the reference page walk --
+    // and where stale results from walks that raced an unmap are
+    // dropped instead of cached.
+    if (!installAllowed(vpn, pfn))
+        return;
     if (auditor_) [[unlikely]]
         auditor_->pfnResolved(tile_, vpn, pfn, engine_.now());
     l2Tlb_.insert(vpn, pfn, remote);
@@ -432,6 +479,8 @@ Gpm::fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote)
 void
 Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
 {
+    if (!installAllowed(vpn, pfn))
+        return;
     if (auditor_) [[unlikely]]
         auditor_->pfnResolved(tile_, vpn, pfn, engine_.now());
     if (remote) {
@@ -489,27 +538,34 @@ Gpm::insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched)
 // ---------------------------------------------------------------------
 
 void
-Gpm::dataAccess(Addr va, Tick when)
+Gpm::dataAccess(Addr va, Vpn key, Tick when)
 {
     // Run the access at its start time: link and DRAM busy-until state
     // must only ever be advanced at the current tick, or one packet
     // reserved far in the future would stall every later sender.
-    engine_.scheduleAt(when, [this, va] { dataAccessNow(va); });
+    engine_.scheduleAt(when, [this, va, key] { dataAccessNow(va, key); });
 }
 
 void
-Gpm::dataAccessNow(Addr va)
+Gpm::dataAccessNow(Addr va, Vpn key)
 {
     const Tick now = engine_.now();
-    const Vpn vpn = pt_.vpnOf(va);
-    if (dataCache_.access(va)) {
+    const Vpn vpn = key;
+    // Tenants see the same VA layout, so cache tags are scrambled by
+    // ASID to keep their working sets from aliasing; XOR with zero
+    // (ASID 0) is the identity.
+    if (dataCache_.access(
+            va ^ (static_cast<Addr>(asidOfKey(key)) << 48))) {
         ++stats_.dataCacheHits;
         trace(vpn, SpanEvent::DataAccess, tile_);
         completeOpAt(now + cfg_.dataHitLatency, vpn);
         return;
     }
 
-    const TileId home = pt_.homeOf(vpn);
+    // lastHomeOf: an op whose page was unmapped mid-flight still
+    // accesses the HBM that held the frame (equals homeOf for mapped
+    // pages, so single-tenant behavior is unchanged).
+    const TileId home = pt_.lastHomeOf(vpn);
     if (home == tile_ || home == kInvalidTile) {
         ++stats_.dataLocalAccesses;
         trace(vpn, SpanEvent::DataAccess, tile_);

@@ -116,6 +116,12 @@ class Gpm : public PeerEndpoint
         std::uint64_t dataLocalAccesses = 0;
         std::uint64_t dataRemoteAccesses = 0;
 
+        // Tenancy (all zero in single-tenant runs).
+        /** Installs dropped because the PTE changed mid-flight. */
+        std::uint64_t staleInstallsBlocked = 0;
+        /** Shootdown invalidations delivered to this tile. */
+        std::uint64_t invalidationsReceived = 0;
+
         Tick finishTick = 0;
         bool finished = false;
     };
@@ -142,6 +148,15 @@ class Gpm : public PeerEndpoint
     void setWork(std::unique_ptr<AddressStream> stream);
 
     /**
+     * Address space newly issued ops translate under (tenancy). Ops
+     * already in flight keep the key they bound at issue time, so a
+     * context switch never re-tags live requests. ASID 0 (the default)
+     * tags keys to the identity.
+     */
+    void setActiveAsid(Asid asid) { activeAsid_ = asid; }
+    Asid activeAsid() const { return activeAsid_; }
+
+    /**
      * Override the issue engine for the loaded workload.
      *
      * @param ops_per_cycle Aggregate memory-op issue rate (compute
@@ -164,6 +179,24 @@ class Gpm : public PeerEndpoint
      * @return Number of TLB entries invalidated.
      */
     std::size_t shootdown(Vpn vpn);
+
+    /**
+     * Async shootdown protocol: an invalidation packet arrived over
+     * the NoC (the controller sends the ack once this returns).
+     */
+    std::size_t receiveInvalidate(Vpn vpn)
+    {
+        ++stats_.invalidationsReceived;
+        return shootdown(vpn);
+    }
+
+    /**
+     * End-of-run staleness sweep (tenancy oracle): every translation
+     * still resident in this GPM's TLBs must match the page table; an
+     * entry that survived its page's shootdown is reported to
+     * @p auditor as a violation.
+     */
+    void sweepResidentTranslations(Auditor &auditor) const;
 
     /**
      * Per-request span tracer (null = off). Forwarded to the GMMU;
@@ -192,6 +225,13 @@ class Gpm : public PeerEndpoint
     /** Register this GPM's metrics under @p prefix (e.g. "gpm.t3."). */
     void registerMetrics(MetricRegistry &reg,
                          const std::string &prefix) const;
+
+    /**
+     * Register the tenancy-only counters. Split from registerMetrics
+     * so single-tenant metric dumps stay byte-identical.
+     */
+    void registerTenancyMetrics(MetricRegistry &reg,
+                                const std::string &prefix) const;
 
     TileId tile() const { return tile_; }
     bool finished() const { return stats_.finished; }
@@ -239,9 +279,15 @@ class Gpm : public PeerEndpoint
 
     // ---- Issue engine (gpm.cc) ---------------------------------------
     void tryIssue();
-    void beginOp(Addr va);
+    void beginOp(Addr va, Vpn key);
     void completeOpAt(Tick when, Vpn vpn);
     void checkFinished();
+
+    /** Translation key (ASID-tagged VPN) an op issued now binds to. */
+    Vpn keyOf(Addr va) const
+    {
+        return asidKey(activeAsid_, pt_.vpnOf(va));
+    }
 
     /** Record a span event against this GPM's own span for @p vpn. */
     void trace(Vpn vpn, SpanEvent ev, std::uint64_t arg = 0)
@@ -251,17 +297,26 @@ class Gpm : public PeerEndpoint
     }
 
     // ---- Local translation path (gpm.cc) -----------------------------
-    void translate(Addr va);
+    void translate(Addr va, Vpn key);
     void onLocalWalkDone(Addr va, Vpn vpn, std::optional<Pfn> pfn);
     void fillLocalHierarchy(Vpn vpn, Pfn pfn, bool remote);
     void insertLastLevel(Vpn vpn, Pfn pfn, bool remote, bool prefetched);
 
+    /**
+     * Install-time revalidation gate (tenancy): once any page was ever
+     * unmapped, a resolution may only be cached if the page table
+     * still maps @p vpn to @p pfn -- an in-flight walk that sampled a
+     * PTE before an unmap must not re-install it after the shootdown.
+     * Free when no unmap ever happened (the single-tenant fast path).
+     */
+    bool installAllowed(Vpn vpn, Pfn pfn);
+
     // ---- Data path (gpm.cc) ------------------------------------------
-    void dataAccess(Addr va, Tick when);
-    void dataAccessNow(Addr va);
+    void dataAccess(Addr va, Vpn key, Tick when);
+    void dataAccessNow(Addr va, Vpn key);
 
     // ---- Remote client (translation_client.cc) -----------------------
-    void startRemote(Addr va, Tick when);
+    void startRemote(Addr va, Vpn key, Tick when);
     void launchRemoteProtocol(Vpn vpn);
     void launchClusterProbes(Vpn vpn, RemoteCtx &ctx);
     void launchChain(Vpn vpn, RemoteCtx &ctx, std::vector<TileId> chain,
@@ -319,11 +374,21 @@ class Gpm : public PeerEndpoint
     /** Coalesces concurrent local walks of the same VPN (unbounded). */
     MshrFile localWalkMshr_{0};
 
+    /** An op waiting for a free remote MSHR, with its issue-time key. */
+    struct StalledOp
+    {
+        Addr va = 0;
+        Vpn key = 0;
+    };
+
     // Remote client state.
     MshrFile remoteMshr_;
     std::unordered_map<Vpn, RemoteCtx> remoteCtx_;
-    std::deque<Addr> stalledRemote_;
+    std::deque<StalledOp> stalledRemote_;
     std::uint64_t epochCounter_ = 0;
+
+    /** Address space newly issued ops bind to (0 = identity). */
+    Asid activeAsid_ = 0;
 
     // Backpressure resources (null = off); the MSHR files report
     // through their own pressure hooks instead.

@@ -20,14 +20,14 @@ namespace hdpat
 // ---------------------------------------------------------------------
 
 void
-Gpm::startRemote(Addr va, Tick when)
+Gpm::startRemote(Addr va, Vpn key, Tick when)
 {
-    engine_.scheduleAt(when, [this, va] {
+    engine_.scheduleAt(when, [this, va, key] {
         ++stats_.remoteOps;
-        const Vpn vpn = pt_.vpnOf(va);
+        const Vpn vpn = key;
         const auto outcome = remoteMshr_.registerMiss(
-            vpn, [this, va](Vpn, Pfn) {
-                dataAccess(va, engine_.now());
+            vpn, [this, va](Vpn v, Pfn) {
+                dataAccess(va, v, engine_.now());
             });
         switch (outcome) {
           case MshrFile::Outcome::Allocated:
@@ -41,7 +41,7 @@ Gpm::startRemote(Addr va, Tick when)
             // free entry and retries on the next resolution.
             ++stats_.remoteStalls;
             trace(vpn, SpanEvent::RemoteStalled);
-            stalledRemote_.push_back(va);
+            stalledRemote_.push_back({va, key});
             if (bpStalledRemote_) [[unlikely]]
                 bpStalledRemote_->arrive(engine_.now());
             break;
@@ -54,23 +54,24 @@ Gpm::retryStalledRemote()
 {
     if (stalledRemote_.empty())
         return;
-    std::deque<Addr> pending;
+    std::deque<StalledOp> pending;
     pending.swap(stalledRemote_);
-    for (Addr va : pending) {
+    for (const StalledOp op : pending) {
         // Each stalled op leaves the queue for its retry; a still-full
         // MSHR re-enqueues it below as a fresh arrival.
         if (bpStalledRemote_) [[unlikely]]
             bpStalledRemote_->depart(engine_.now());
-        const Vpn vpn = pt_.vpnOf(va);
+        const Addr va = op.va;
+        const Vpn vpn = op.key;
         // A just-finished resolution may already cover this op.
         if (auto pfn = l2Tlb_.lookup(vpn)) {
             l1Tlb_.insert(vpn, *pfn, true);
-            dataAccess(va, engine_.now());
+            dataAccess(va, vpn, engine_.now());
             continue;
         }
         const auto outcome = remoteMshr_.registerMiss(
-            vpn, [this, va](Vpn, Pfn) {
-                dataAccess(va, engine_.now());
+            vpn, [this, va](Vpn v, Pfn) {
+                dataAccess(va, v, engine_.now());
             });
         switch (outcome) {
           case MshrFile::Outcome::Allocated:
@@ -80,7 +81,7 @@ Gpm::retryStalledRemote()
           case MshrFile::Outcome::Merged:
             break;
           case MshrFile::Outcome::Full:
-            stalledRemote_.push_back(va);
+            stalledRemote_.push_back(op);
             if (bpStalledRemote_) [[unlikely]]
                 bpStalledRemote_->arrive(engine_.now());
             break;
@@ -657,9 +658,20 @@ Gpm::receiveDelegatedWalk(const RemoteRequest &req)
     gmmu_.requestWalk(
         req.vpn,
         [this, req](Vpn vpn, std::optional<Pfn> pfn) {
-            hdpat_panic_if(!pfn,
-                           "delegated walk missed at home GPM for VPN "
-                               << vpn);
+            if (!pfn) {
+                // The page was unmapped while the delegation was in
+                // flight (tenant churn): bounce to the IOMMU, which
+                // releases the forwarding context and routes the
+                // request through the fault queue.
+                Iommu *iommu = iommu_;
+                net_.sendTraced(tile_, net_.topology().cpuTile(),
+                                NocMessageBytes::kTranslationResponse,
+                                [iommu, req] {
+                                    iommu->receiveDelegatedMiss(req);
+                                },
+                                req.requester, vpn);
+                return;
+            }
             insertLastLevel(vpn, *pfn, /*remote=*/false,
                             /*prefetched=*/false);
 

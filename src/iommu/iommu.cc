@@ -59,6 +59,8 @@ Iommu::setAuditor(Auditor *auditor)
                            [this] { return ingressQueue_.size(); });
     auditor->addQueueProbe("iommu.pw_queue",
                            [this] { return pwQueue_.size(); });
+    auditor->addQueueProbe("iommu.fault_queue",
+                           [this] { return faultQueue_.size(); });
 }
 
 void
@@ -77,6 +79,11 @@ Iommu::setBackpressure(BackpressureCollector &bp)
                         cfg_.iommuWalkers);
     bpForward_ = bp.add("iommu.forward_contexts", ResourceKind::Pool,
                         cfg_.iommuForwardContexts);
+    // Only when fault handling is live (tenancy): single-tenant
+    // pressure reports keep their exact pre-tenancy resource list.
+    if (faultHandler_)
+        bpFaultQueue_ = bp.add("iommu.fault_queue", ResourceKind::Queue,
+                               cfg_.iommuFaultQueueCapacity);
     if (tlb_) {
         bpTlbMshrs_ = bp.add("iommu.tlb_mshrs", ResourceKind::Mshr,
                              cfg_.iommuTlbMshrs);
@@ -143,6 +150,17 @@ Iommu::registerMetrics(MetricRegistry &reg,
         reg.addCounter(prefix + "rt.evictions", &rt.evictions);
         reg.addCounter(prefix + "rt.invalidations", &rt.invalidations);
     }
+}
+
+void
+Iommu::registerTenancyMetrics(MetricRegistry &reg,
+                              const std::string &prefix) const
+{
+    reg.addCounter(prefix + "page_faults", &stats_.pageFaults);
+    reg.addCounter(prefix + "faults_serviced", &stats_.faultsServiced);
+    reg.addCounter(prefix + "fault_retries", &stats_.faultRetries);
+    reg.addCounter(prefix + "delegated_misses",
+                   &stats_.delegatedMisses);
 }
 
 void
@@ -348,11 +366,22 @@ Iommu::tryStartWalks()
             }
             stats_.pwQueueLatency.add(
                 static_cast<double>(engine_.now() - p.pwEnqueueTick));
-            ++stats_.delegationsSent;
             const TileId home = pt_.homeOf(p.req.vpn);
-            hdpat_panic_if(home == kInvalidTile,
-                           "delegated walk for unmapped VPN "
-                               << p.req.vpn);
+            if (home == kInvalidTile) {
+                // Unmapped before delegation could start (tenant
+                // churn): give the context back and fault instead;
+                // the serviced fault re-enqueues the walk.
+                ++freeForwardContexts_;
+                if (bpPwQueue_) [[unlikely]]
+                    bpForward_->depart(engine_.now());
+                hdpat_panic_if(!faultHandler_,
+                               "delegated walk for unmapped VPN "
+                                   << p.req.vpn);
+                ++stats_.pageFaults;
+                enqueueFault(std::move(p));
+                continue;
+            }
+            ++stats_.delegationsSent;
             trace(p.req, SpanEvent::DelegatedWalk,
                   static_cast<std::uint64_t>(home));
             PeerEndpoint *peer = peers_[static_cast<std::size_t>(home)];
@@ -404,7 +433,26 @@ Iommu::completeWalk(Pending p, Tick walk_start)
 
     const Vpn vpn = p.req.vpn;
     Pte *pte = pt_.translateMutable(vpn);
-    hdpat_panic_if(!pte, "IOMMU walk of unmapped VPN " << vpn);
+    if (!pte) {
+        // Not-present page (unmapped by tenant churn while the walk
+        // was in flight). Without a fault handler this is still the
+        // corruption it always was.
+        hdpat_panic_if(!faultHandler_,
+                       "IOMMU walk of unmapped VPN " << vpn);
+        ++stats_.pageFaults;
+        enqueueFault(std::move(p));
+        sampleDepth();
+        tryStartWalks();
+        scheduleIngress(engine_.now() + 1);
+        return;
+    }
+    finishWalk(std::move(p), pte);
+}
+
+void
+Iommu::finishWalk(Pending p, Pte *pte)
+{
+    const Vpn vpn = p.req.vpn;
     pwc_.fill(vpn);
     ++pte->accessCount;
     const Pfn pfn = pte->pfn;
@@ -528,12 +576,99 @@ Iommu::receiveDelegatedResult(Vpn vpn)
 }
 
 void
+Iommu::receiveDelegatedMiss(const RemoteRequest &req)
+{
+    // The home GPM could not walk the page (unmapped in flight by
+    // tenant churn). Release the forwarding context like a normal
+    // return -- but the request was NOT served: it goes through the
+    // fault queue, and the serviced fault re-delegates the walk.
+    ++freeForwardContexts_;
+    if (bpForward_) [[unlikely]]
+        bpForward_->depart(engine_.now());
+    ++stats_.delegatedMisses;
+    hdpat_panic_if(!faultHandler_,
+                   "delegated walk missed at home GPM for VPN "
+                       << req.vpn << " without a fault handler");
+    ++stats_.pageFaults;
+    Pending p;
+    p.req = req;
+    p.arriveTick = engine_.now();
+    enqueueFault(std::move(p));
+    tryStartWalks();
+    scheduleIngress(engine_.now() + 1);
+}
+
+void
+Iommu::enqueueFault(Pending p)
+{
+    if (faultQueue_.size() >= cfg_.iommuFaultQueueCapacity) {
+        // Bounded and lossless: a full queue bounces the fault to a
+        // timed retry, so saturation shows up as rejections and added
+        // latency, never as a dropped (deadlocked) translation.
+        ++stats_.faultRetries;
+        if (bpFaultQueue_) [[unlikely]]
+            bpFaultQueue_->reject();
+        engine_.scheduleIn(cfg_.iommuFaultServiceTicks,
+                           [this, p = std::move(p)]() mutable {
+                               enqueueFault(std::move(p));
+                           });
+        return;
+    }
+    faultQueue_.push_back(std::move(p));
+    if (bpFaultQueue_) [[unlikely]]
+        bpFaultQueue_->arrive(engine_.now());
+    scheduleFaultService();
+}
+
+void
+Iommu::scheduleFaultService()
+{
+    if (faultServiceBusy_ || faultQueue_.empty())
+        return;
+    faultServiceBusy_ = true;
+    engine_.scheduleIn(cfg_.iommuFaultServiceTicks,
+                       [this] { serviceFault(); });
+}
+
+void
+Iommu::serviceFault()
+{
+    const ProfScope prof(profiler_, ProfSection::IommuPipeline);
+    faultServiceBusy_ = false;
+    Pending p = std::move(faultQueue_.front());
+    faultQueue_.pop_front();
+    if (bpFaultQueue_) [[unlikely]]
+        bpFaultQueue_->depart(engine_.now());
+    ++stats_.faultsServiced;
+
+    const Vpn vpn = p.req.vpn;
+    // The handler re-establishes the mapping on the page's last home
+    // (a no-op when a racing fault already did).
+    faultHandler_(vpn);
+    Pte *pte = pt_.translateMutable(vpn);
+    hdpat_panic_if(!pte, "fault handler left VPN " << vpn
+                                                   << " unmapped");
+    if (pol_.walkMode == IommuWalkMode::ForwardToHome) {
+        // Re-delegate now that the page exists; the home GPM replies
+        // to the requester as usual.
+        enqueueWalk(std::move(p));
+    } else {
+        finishWalk(std::move(p), pte);
+    }
+    scheduleFaultService();
+}
+
+void
 Iommu::shootdown(Vpn vpn)
 {
     if (rt_)
         rt_->invalidate(vpn);
     if (tlb_)
         tlb_->invalidate(vpn);
+    // Latent invalidation-path bug: the page-walk cache kept serving
+    // the shot-down page's upper levels, so a post-remap walk could
+    // skip levels of a hierarchy that no longer exists.
+    pwc_.invalidate(vpn);
 }
 
 void

@@ -62,6 +62,13 @@ class Iommu
         std::uint64_t responsesSent = 0;
         std::uint64_t delegationsSent = 0;
         std::uint64_t delegationReturns = 0;
+        /** Walks that found no PTE (page unmapped by tenant churn). */
+        std::uint64_t pageFaults = 0;
+        std::uint64_t faultsServiced = 0;
+        /** Fault-queue-full bounces (retried, never dropped). */
+        std::uint64_t faultRetries = 0;
+        /** Delegated walks that missed at the home GPM and bounced. */
+        std::uint64_t delegatedMisses = 0;
 
         /** Per served request: time awaiting service initiation. */
         SummaryStat preQueueLatency;
@@ -125,6 +132,35 @@ class Iommu
     void receiveDelegatedResult(Vpn vpn);
 
     /**
+     * Trans-FW: a delegated walk missed at the home GPM (the page was
+     * unmapped in flight). Releases the forwarding context and routes
+     * the request through the fault queue; once the fault handler
+     * re-establishes the mapping the walk is re-delegated.
+     */
+    void receiveDelegatedMiss(const RemoteRequest &req);
+
+    /**
+     * Install the not-present-page handler (tenancy). When set, a walk
+     * of an unmapped VPN enters the bounded fault queue instead of
+     * panicking; after the service delay the handler must re-establish
+     * the mapping (System remaps on the page's last home). Must be
+     * installed before setBackpressure() for the fault queue to show
+     * up in the pressure report.
+     */
+    void setFaultHandler(std::function<void(Vpn)> handler)
+    {
+        faultHandler_ = std::move(handler);
+    }
+
+    /**
+     * Register the tenancy-only counters (faults, retries, delegated
+     * misses). Split from registerMetrics so single-tenant metric
+     * dumps stay byte-identical.
+     */
+    void registerTenancyMetrics(MetricRegistry &reg,
+                                const std::string &prefix) const;
+
+    /**
      * TLB shootdown of one page at the IOMMU side: drops the
      * redirection-table entry and (Fig 19 mode) the IOMMU TLB entry.
      */
@@ -162,6 +198,11 @@ class Iommu
     void enqueueWalk(Pending p);
     void tryStartWalks();
     void completeWalk(Pending p, Tick walk_start);
+    /** Post-walk completion tail shared by walks and serviced faults. */
+    void finishWalk(Pending p, Pte *pte);
+    void enqueueFault(Pending p);
+    void scheduleFaultService();
+    void serviceFault();
     void respond(const RemoteRequest &req, Pfn pfn,
                  TranslationSource source);
     void pushPte(Vpn vpn, Pfn pfn, bool prefetched);
@@ -194,6 +235,10 @@ class Iommu
     PageWalkCache pwc_;
     std::deque<Pending> ingressQueue_;
     std::deque<Pending> pwQueue_;
+    /** Bounded not-present fault queue (tenancy; serviced serially). */
+    std::deque<Pending> faultQueue_;
+    std::function<void(Vpn)> faultHandler_;
+    bool faultServiceBusy_ = false;
     std::size_t freeWalkers_;
     std::size_t freeForwardContexts_;
     bool ingressScheduled_ = false;
@@ -203,6 +248,7 @@ class Iommu
     Resource *bpWalkers_ = nullptr;
     Resource *bpForward_ = nullptr;
     Resource *bpTlbMshrs_ = nullptr;
+    Resource *bpFaultQueue_ = nullptr;
 
     Stats stats_;
 };

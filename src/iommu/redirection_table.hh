@@ -43,6 +43,19 @@ class RedirectionTable
     /** Record that @p vpn's PTE now lives on @p aux_tile. */
     void insert(Vpn vpn, TileId aux_tile);
 
+    /**
+     * Look up @p vpn without touching LRU order or the lookup/hit
+     * stats. The shootdown controller uses this to learn the known
+     * holder tile before invalidating the entry.
+     */
+    std::optional<TileId>
+    peek(Vpn vpn) const
+    {
+        const auto it = map_.find(vpn);
+        return it == map_.end() ? std::nullopt
+                                : std::optional<TileId>(it->second->aux);
+    }
+
     /** Drop @p vpn (e.g., known stale). */
     void invalidate(Vpn vpn);
 

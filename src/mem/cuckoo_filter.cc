@@ -167,17 +167,36 @@ CuckooFilter::insert(Vpn vpn)
         return true;
     }
     // Relocate: kick random victims between the two candidate buckets.
+    // The kick path is recorded so a failed insert can be unwound: the
+    // old behavior of dropping the final homeless victim silently
+    // removed an item the filter had accepted (a false negative), left
+    // the requested key stored even though insert() reported failure,
+    // and let a later erase() of that key delete another entry's
+    // duplicate fingerprint. Unwinding touches no RNG, so successful
+    // inserts and the kick sequence stay bit-identical.
+    std::size_t kickIdx[kMaxKicks];
+    std::uint8_t kickSlot[kMaxKicks];
     std::size_t idx = kickRng_.chance(0.5) ? i1 : i2;
     for (unsigned kick = 0; kick < kMaxKicks; ++kick) {
         const unsigned victim =
             static_cast<unsigned>(kickRng_.uniformInt(kSlotsPerBucket));
         auto &slot = table_[idx * kSlotsPerBucket + victim];
+        kickIdx[kick] = idx;
+        kickSlot[kick] = static_cast<std::uint8_t>(victim);
         std::swap(fp, slot);
         idx = altIndex(idx, fp);
         if (bucketInsert(idx, fp)) {
             ++count_;
             return true;
         }
+    }
+    // Undo every displacement in reverse: the table ends exactly as it
+    // was before the call, so failure means "not inserted", never
+    // "someone else evicted".
+    for (unsigned kick = kMaxKicks; kick-- > 0;) {
+        auto &slot =
+            table_[kickIdx[kick] * kSlotsPerBucket + kickSlot[kick]];
+        std::swap(fp, slot);
     }
     ++stats_.insertFailures;
     return false;

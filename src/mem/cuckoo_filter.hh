@@ -51,11 +51,12 @@ class CuckooFilter
 
     /**
      * Insert @p vpn.
-     * @return false if the filter is too full (after max relocations);
-     *         the item is then dropped, which can only cause false
-     *         negatives at the *simulated structure* level, so callers
-     *         treat failure as "must not rely on the filter" and track
-     *         it via stats.
+     * @return false if the filter is too full (after max relocations).
+     *         A failed insert leaves the table exactly unchanged: the
+     *         relocation chain is unwound, so no previously accepted
+     *         item is ever displaced (which would be a silent false
+     *         negative). Callers treat failure as "must not rely on
+     *         the filter" and track it via stats.
      */
     bool insert(Vpn vpn);
 

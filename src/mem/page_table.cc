@@ -19,10 +19,19 @@ GlobalPageTable::allocate(std::size_t bytes, std::span<const TileId> homes)
     hdpat_fatal_if(bytes == 0, "allocate() of zero bytes");
 
     const std::size_t pages = (bytes + pageBytes() - 1) / pageBytes();
+    // Each ASID bump-allocates its own VPN range from the same base, so
+    // every tenant's buffers land at identical VAs; only the tagged key
+    // differs. ASID 0 keeps using the original cursor member.
+    Vpn &cursor = activeAsid_ == 0
+                      ? nextVpn_
+                      : asidCursors_.try_emplace(activeAsid_, Vpn{0x100})
+                            .first->second;
     BufferHandle handle;
-    handle.baseVa = baseOf(nextVpn_);
+    handle.baseVa = baseOf(cursor);
     handle.numPages = pages;
     handle.pageBytes = pageBytes();
+    hdpat_fatal_if(cursor + pages >= (Vpn{1} << kAsidShift),
+                   "VPN range overflows the ASID tag field");
 
     // Contiguous equal blocks per home; remainder spills round-robin
     // into the earliest homes, mirroring an even driver-side split.
@@ -35,7 +44,7 @@ GlobalPageTable::allocate(std::size_t bytes, std::span<const TileId> homes)
         const std::size_t lane = static_cast<std::size_t>(home);
         std::size_t block = per_home + (h < remainder ? 1 : 0);
         for (std::size_t i = 0; i < block; ++i, ++page) {
-            const Vpn vpn = nextVpn_ + page;
+            const Vpn vpn = asidKey(activeAsid_, cursor + page);
             Pte pte;
             pte.home = home;
             pte.pfn = nextPfn_[lane]++;
@@ -43,7 +52,7 @@ GlobalPageTable::allocate(std::size_t bytes, std::span<const TileId> homes)
         }
         homeCounts_[lane] += block;
     }
-    nextVpn_ += pages;
+    cursor += pages;
     return handle;
 }
 
@@ -67,8 +76,41 @@ GlobalPageTable::unmap(Vpn vpn)
     const std::size_t lane = static_cast<std::size_t>(it->second.home);
     if (lane < homeCounts_.size() && homeCounts_[lane] > 0)
         --homeCounts_[lane];
+    lastHome_[vpn] = it->second.home;
+    ++mutationEpoch_;
     table_.erase(it);
     return true;
+}
+
+const Pte *
+GlobalPageTable::remap(Vpn vpn)
+{
+    if (table_.count(vpn))
+        return nullptr;
+    const auto last = lastHome_.find(vpn);
+    if (last == lastHome_.end())
+        return nullptr;
+    // Same home, fresh PFN: the per-home PFN lane only ever bumps, so
+    // the remapped page's PFN is distinct from every PFN the key ever
+    // had -- stale cached translations can be detected by comparison.
+    const TileId home = last->second;
+    growHomeLanes(home);
+    const std::size_t lane = static_cast<std::size_t>(home);
+    Pte pte;
+    pte.home = home;
+    pte.pfn = nextPfn_[lane]++;
+    ++homeCounts_[lane];
+    return &table_.emplace(vpn, pte).first->second;
+}
+
+TileId
+GlobalPageTable::lastHomeOf(Vpn vpn) const
+{
+    const Pte *pte = translate(vpn);
+    if (pte)
+        return pte->home;
+    const auto it = lastHome_.find(vpn);
+    return it == lastHome_.end() ? kInvalidTile : it->second;
 }
 
 const Pte *

@@ -62,16 +62,55 @@ class GlobalPageTable
 
     /**
      * Allocate a buffer of @p bytes, split across @p homes in contiguous
-     * equal blocks (the last home absorbs the remainder).
+     * equal blocks (the last home absorbs the remainder). Mappings are
+     * keyed under the active ASID (asidKey); the returned buffer's VAs
+     * are raw (untagged), and each ASID's VPN cursor starts at the same
+     * base, so every tenant sees an identical VA layout.
      */
     BufferHandle allocate(std::size_t bytes, std::span<const TileId> homes);
 
     /**
+     * Select the address space subsequent allocate() calls populate.
+     * ASID 0 (the default) tags keys to the identity, so single-tenant
+     * tables are bit-identical to untagged ones.
+     */
+    void setActiveAsid(Asid asid) { activeAsid_ = asid; }
+    Asid activeAsid() const { return activeAsid_; }
+
+    /**
      * Remove a mapping (memory free). The caller is responsible for
-     * shooting down cached copies (System::shootdown does both).
+     * shooting down cached copies (System::shootdown does both). Bumps
+     * the mutation epoch and records the page's home so remap() can
+     * re-establish the mapping on the same HBM.
      * @return true when the VPN was mapped.
      */
     bool unmap(Vpn vpn);
+
+    /**
+     * Re-establish a mapping removed by unmap(), on the same home GPM
+     * with a fresh PFN (per-home PFNs are bump-allocated and never
+     * reused, so a stale cached PFN can always be told apart from the
+     * post-remap one -- PFN comparison is generation comparison).
+     * @return the new PTE, or nullptr when @p vpn was never unmapped
+     *         or is currently mapped.
+     */
+    const Pte *remap(Vpn vpn);
+
+    /**
+     * Home of @p vpn when mapped, else the home it had before its last
+     * unmap (kInvalidTile when never mapped). Invalidation handlers use
+     * this: the async shootdown unmaps first, so by the time a holder
+     * tile processes the invalidation homeOf() already answers
+     * kInvalidTile.
+     */
+    TileId lastHomeOf(Vpn vpn) const;
+
+    /**
+     * Count of unmap() calls ever. Zero means no mapping was ever
+     * retired, so install paths can skip revalidation entirely -- the
+     * single-tenant fast path.
+     */
+    std::uint64_t mutationEpoch() const { return mutationEpoch_; }
 
     /** Look up a mapping; nullptr when the VPN is unmapped. */
     const Pte *translate(Vpn vpn) const;
@@ -106,6 +145,14 @@ class GlobalPageTable
     std::unordered_map<Vpn, Pte> table_;
     /** Next unallocated VPN (bump allocator, starts above null page). */
     Vpn nextVpn_ = 0x100;
+    /** ASID tagged into newly allocated keys (0 = identity). */
+    Asid activeAsid_ = 0;
+    /** Per-ASID VPN cursors for ASIDs > 0 (each starts at 0x100). */
+    std::unordered_map<Asid, Vpn> asidCursors_;
+    /** Home GPM of every unmapped key, for remap() and invalidation. */
+    std::unordered_map<Vpn, TileId> lastHome_;
+    /** Count of unmaps ever (0 = install gates may be skipped). */
+    std::uint64_t mutationEpoch_ = 0;
     /**
      * Per-home lanes indexed by TileId (tiles are small dense ids):
      * pages homed there, and the next free PFN. allocate() bumps both

@@ -65,4 +65,16 @@ PageWalkCache::fill(Vpn vpn)
         caches_[level - 1].insert(prefixOf(vpn, level), 0);
 }
 
+std::size_t
+PageWalkCache::invalidate(Vpn vpn)
+{
+    std::size_t dropped = 0;
+    for (unsigned level = 1; level < levels_ && !caches_.empty();
+         ++level)
+        dropped += caches_[level - 1]
+                       .invalidate(prefixOf(vpn, level))
+                       .has_value();
+    return dropped;
+}
+
 } // namespace hdpat

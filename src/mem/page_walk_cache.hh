@@ -68,6 +68,13 @@ class PageWalkCache
     /** Install the intermediate levels after a completed walk. */
     void fill(Vpn vpn);
 
+    /**
+     * Shootdown support: drop every cached level on @p vpn's walk path
+     * (INVLPG-style conservative paging-structure-cache invalidation).
+     * @return number of entries dropped.
+     */
+    std::size_t invalidate(Vpn vpn);
+
     const Stats &stats() const { return stats_; }
 
   private:

@@ -122,6 +122,21 @@ class Tlb
     /** Drop everything. */
     void flush();
 
+    /**
+     * Visit every resident entry as (vpn, pfn), in slot order, with no
+     * LRU or stats side effects. The end-of-run staleness sweep uses
+     * this to check that nothing resident contradicts the page table.
+     */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn) const
+    {
+        const std::size_t slots = numSets_ * numWays_;
+        for (std::size_t i = 0; i < slots; ++i)
+            if (flags_[i] & kValid)
+                fn(vpns_[i], pfns_[i]);
+    }
+
     std::size_t numSets() const { return numSets_; }
     std::size_t numWays() const { return numWays_; }
     std::size_t capacity() const { return numSets_ * numWays_; }

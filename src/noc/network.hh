@@ -50,6 +50,8 @@ struct NocMessageBytes
     static constexpr std::size_t kProbeRequest = 32;
     static constexpr std::size_t kProbeResponse = 32;
     static constexpr std::size_t kPtePush = 32;
+    static constexpr std::size_t kInvalidate = 32;
+    static constexpr std::size_t kInvalidateAck = 32;
     static constexpr std::size_t kDataHeader = 16;
     static constexpr std::size_t kCacheLine = 64;
 };

@@ -64,6 +64,71 @@ Auditor::pfnResolved(TileId tile, Vpn vpn, Pfn pfn, Tick now)
     }
 }
 
+void
+Auditor::shootdownIssued(Vpn vpn, std::size_t targets, Tick now)
+{
+    ++shootdownRounds_;
+    const auto [it, inserted] = openRounds_.try_emplace(vpn);
+    if (!inserted) {
+        std::ostringstream os;
+        os << "shootdown round opened for vpn 0x" << std::hex << vpn
+           << std::dec << " at tick " << now
+           << " while a previous round is still awaiting "
+           << (it->second.targets - it->second.acked.size()) << " acks";
+        liveViolations_.push_back(os.str());
+        return;
+    }
+    it->second.targets = targets;
+    if (targets == 0) {
+        openRounds_.erase(it);
+        ++shootdownRoundsClosed_;
+    }
+}
+
+void
+Auditor::invalidationAcked(Vpn vpn, TileId tile, Tick now)
+{
+    ++acksTotal_;
+    const auto it = openRounds_.find(vpn);
+    if (it == openRounds_.end()) {
+        std::ostringstream os;
+        os << "invalidation ack from tile " << tile << " for vpn 0x"
+           << std::hex << vpn << std::dec << " at tick " << now
+           << " with no open shootdown round";
+        liveViolations_.push_back(os.str());
+        return;
+    }
+    ShootdownRound &round = it->second;
+    if (std::find(round.acked.begin(), round.acked.end(), tile) !=
+        round.acked.end()) {
+        std::ostringstream os;
+        os << "duplicate invalidation ack from tile " << tile
+           << " for vpn 0x" << std::hex << vpn << std::dec
+           << " at tick " << now;
+        liveViolations_.push_back(os.str());
+        return;
+    }
+    round.acked.push_back(tile);
+    if (round.acked.size() >= round.targets) {
+        openRounds_.erase(it);
+        ++shootdownRoundsClosed_;
+    }
+}
+
+void
+Auditor::staleResident(TileId tile, Vpn vpn, Pfn pfn)
+{
+    ++staleResidents_;
+    constexpr std::uint64_t kMaxRecorded = 16;
+    if (staleResidents_ <= kMaxRecorded) {
+        std::ostringstream os;
+        os << "stale TLB entry resident at tile " << tile << ": vpn 0x"
+           << std::hex << vpn << " -> pfn 0x" << pfn << std::dec
+           << " survived its shootdown (page table disagrees)";
+        liveViolations_.push_back(os.str());
+    }
+}
+
 std::uint64_t
 Auditor::retireCensusHash() const
 {
@@ -181,6 +246,12 @@ Auditor::finalize() const
            << "contradicts the page table";
         report.violations.push_back(os.str());
     }
+    if (staleResidents_ > 16) {
+        std::ostringstream os;
+        os << staleResidents_
+           << " stale resident TLB entries total (first 16 listed)";
+        report.violations.push_back(os.str());
+    }
 
     for (std::size_t p = 0; p < kNumPlanes; ++p) {
         if (sent_[p] == delivered_[p])
@@ -220,6 +291,14 @@ Auditor::finalize() const
         std::ostringstream os;
         os << "queue " << q.name << " still holds " << depth
            << " entries after the run drained";
+        report.violations.push_back(os.str());
+    }
+
+    for (const auto &[vpn, round] : openRounds_) {
+        std::ostringstream os;
+        os << "shootdown round for vpn 0x" << std::hex << vpn
+           << std::dec << " never closed: " << round.acked.size()
+           << " of " << round.targets << " acks received";
         report.violations.push_back(os.str());
     }
 

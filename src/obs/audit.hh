@@ -108,6 +108,28 @@ class Auditor
     void tlbFilled(TileId tile) { ++tlb_[tile].filled; }
     void tlbEvicted(TileId tile) { ++tlb_[tile].evicted; }
 
+    // ---- Shootdown conservation (tenancy churn) ----------------------
+    /**
+     * A shootdown round opened for @p vpn, expecting one ack from each
+     * of @p targets holder tiles. Overlapping rounds for the same key
+     * are a protocol violation (the controller must serialize them).
+     */
+    void shootdownIssued(Vpn vpn, std::size_t targets, Tick now);
+
+    /**
+     * Tile @p tile acked the open round for @p vpn. Exactly one ack
+     * per target per round: duplicates and acks without an open round
+     * are flagged live. The round closes when all targets acked.
+     */
+    void invalidationAcked(Vpn vpn, TileId tile, Tick now);
+
+    /**
+     * End-of-run staleness sweep: a TLB at @p tile still holds
+     * vpn -> pfn although the page table disavows it -- a stale
+     * install survived its shootdown.
+     */
+    void staleResident(TileId tile, Vpn vpn, Pfn pfn);
+
     // ---- Probes read at finalize() -----------------------------------
     /**
      * Register a queue whose depth must be zero once the run drains.
@@ -157,6 +179,13 @@ class Auditor
     {
         return delivered_[static_cast<std::size_t>(p)];
     }
+    std::uint64_t shootdownRounds() const { return shootdownRounds_; }
+    std::uint64_t shootdownRoundsClosed() const
+    {
+        return shootdownRoundsClosed_;
+    }
+    std::uint64_t invalidationAcks() const { return acksTotal_; }
+    std::uint64_t staleResidents() const { return staleResidents_; }
 
   private:
     /** In-flight ops for one (tile, VPN); ops to one page can overlap. */
@@ -200,6 +229,13 @@ class Auditor
         std::function<std::size_t()> depth;
     };
 
+    /** One in-flight shootdown round (acks still outstanding). */
+    struct ShootdownRound
+    {
+        std::size_t targets = 0;
+        std::vector<TileId> acked;
+    };
+
     std::unordered_map<Key, Flight, KeyHash> inFlight_;
     /** Lifetime retire count per (tile, VPN), for the census hash. */
     std::unordered_map<Key, std::uint64_t, KeyHash> retireCensus_;
@@ -217,6 +253,12 @@ class Auditor
     std::map<TileId, TlbBalance> tlb_;
     std::map<TileId, std::function<std::size_t()>> tlbOccupancy_;
     std::vector<QueueProbe> queues_;
+    /** Open shootdown rounds (key -> outstanding acks). */
+    std::unordered_map<Vpn, ShootdownRound> openRounds_;
+    std::uint64_t shootdownRounds_ = 0;
+    std::uint64_t shootdownRoundsClosed_ = 0;
+    std::uint64_t acksTotal_ = 0;
+    std::uint64_t staleResidents_ = 0;
     /** Violations detected live (double retire, spurious retire). */
     std::vector<std::string> liveViolations_;
 };

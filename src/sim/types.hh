@@ -27,6 +27,40 @@ using Pfn = std::uint64_t;
 /** Identifier of a tile (GPM or CPU) on the wafer. */
 using TileId = int;
 
+/** Address-space identifier (tenant) multiplexed onto the wafer. */
+using Asid = std::uint32_t;
+
+/**
+ * ASID tags live in the upper bits of every VPN-keyed structure's
+ * 64-bit key lane, CAM-style: a lookup matches only when both the
+ * ASID field and the VPN field match. Raw VPNs stay far below
+ * 2^kAsidShift (wafer footprints are tens of GiB), so the fields
+ * never collide, and ASID 0 tags to the identity -- a single-tenant
+ * run's keys are bit-identical to the untagged VPNs.
+ */
+constexpr unsigned kAsidShift = 40;
+
+/** Compose the tagged key for (@p asid, @p vpn). */
+constexpr Vpn
+asidKey(Asid asid, Vpn vpn)
+{
+    return (static_cast<Vpn>(asid) << kAsidShift) | vpn;
+}
+
+/** ASID field of a tagged key. */
+constexpr Asid
+asidOfKey(Vpn key)
+{
+    return static_cast<Asid>(key >> kAsidShift);
+}
+
+/** Raw VPN field of a tagged key. */
+constexpr Vpn
+vpnOfKey(Vpn key)
+{
+    return key & ((Vpn{1} << kAsidShift) - 1);
+}
+
 /** Sentinel for "no tick" / "never". */
 constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
 

@@ -1,5 +1,6 @@
 #include "workloads/stream_cache.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <numeric>
 #include <string_view>
@@ -25,6 +26,7 @@ StreamKeyHash::operator()(const StreamKey &k) const
     mix(static_cast<std::size_t>(k.seed));
     mix(k.numGpms);
     mix(k.pageShift);
+    mix(k.asidCount);
     return h;
 }
 
@@ -58,7 +60,16 @@ WorkloadStreamCache::buildTable(const StreamKey &key)
 
     const std::unique_ptr<Workload> workload =
         makeWorkload(key.abbr, key.footprintScale);
-    workload->allocate(pt, fake_tiles);
+    // Mirror System::loadWorkload exactly: one allocate() pass per
+    // ASID. Per-ASID bump cursors give every tenant the same virtual
+    // layout, but the workload's recorded handles come from the *last*
+    // pass, so the replication must match for byte-identity.
+    const std::uint32_t asids = std::max<std::uint32_t>(1, key.asidCount);
+    for (std::uint32_t asid = 0; asid < asids; ++asid) {
+        pt.setActiveAsid(static_cast<Asid>(asid));
+        workload->allocate(pt, fake_tiles);
+    }
+    pt.setActiveAsid(0);
 
     std::vector<std::vector<Addr>> per_gpm(key.numGpms);
     for (std::size_t i = 0; i < key.numGpms; ++i) {

@@ -49,6 +49,14 @@ struct StreamKey
     std::uint64_t seed = 0;
     std::size_t numGpms = 0;
     unsigned pageShift = 12;
+    /**
+     * Tenant dimension: the system allocates the workload once per
+     * ASID, so the workload object's final buffer handles (and thus
+     * the generated streams) are a function of the allocation *count*.
+     * The tenancy Poisson rates (switch/churn) act at run time, after
+     * generation, and deliberately stay out of the key.
+     */
+    std::uint32_t asidCount = 1;
 
     bool operator==(const StreamKey &) const = default;
 };

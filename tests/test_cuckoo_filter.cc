@@ -214,16 +214,60 @@ TEST(CuckooExtremesTest, CapacityOneOverloadFailsCleanly)
 {
     // 8 slots total; flooding far past that must eventually report
     // insert failure (never crash or loop), and every item the filter
-    // accepted must still be found (no false negatives among kept
-    // items -- the dropped one is the final kick victim, which insert
-    // reports via its return value).
+    // accepted must still be found: a failed insert unwinds its kick
+    // path, so no previously accepted item is ever displaced out.
     CuckooFilter filter(1);
     bool sawFailure = false;
-    for (Vpn v = 1; v <= 64; ++v)
-        sawFailure |= !filter.insert(v);
+    std::vector<Vpn> accepted;
+    for (Vpn v = 1; v <= 64; ++v) {
+        if (filter.insert(v))
+            accepted.push_back(v);
+        else
+            sawFailure = true;
+    }
     EXPECT_TRUE(sawFailure);
     EXPECT_LE(filter.size(), filter.slotCount());
     EXPECT_GT(filter.stats().insertFailures, 0u);
+    for (Vpn v : accepted)
+        EXPECT_TRUE(filter.contains(v)) << "vpn " << v;
+}
+
+TEST(CuckooExtremesTest, FailedInsertLeavesTableUnchanged)
+{
+    // Regression for the erase-path corruption chain: a failed insert
+    // used to drop its final homeless kick victim (a false negative
+    // for an accepted item) while leaving the requested key stored, so
+    // a later erase() of the "rejected" key could delete another
+    // entry's shared fingerprint. The kick path must now unwind to the
+    // exact pre-call table.
+    CuckooFilter a(1, 12, 7);
+    CuckooFilter b(1, 12, 7); // Mirror, fed only the accepted items.
+    std::vector<Vpn> accepted;
+    Vpn rejected = 0;
+    for (Vpn v = 1; v <= 4096 && rejected == 0; ++v) {
+        if (a.insert(v))
+            accepted.push_back(v);
+        else
+            rejected = v;
+    }
+    ASSERT_NE(rejected, 0u) << "overload never failed an insert";
+
+    // Identical seed, identical successful-insert sequence: the
+    // mirror never saw the failed insert, so if the undo restored the
+    // table exactly, the two filters answer identically on every key.
+    for (Vpn v : accepted)
+        ASSERT_TRUE(b.insert(v));
+    EXPECT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.size(), accepted.size());
+    for (Vpn v = 1; v <= 4096; ++v)
+        ASSERT_EQ(a.contains(v), b.contains(v)) << "vpn " << v;
+
+    // Erasing the rejected key must behave exactly as on the mirror:
+    // in particular it must not delete another entry's shared
+    // fingerprint that the old code left behind for it.
+    EXPECT_EQ(a.erase(rejected), b.erase(rejected));
+    for (Vpn v : accepted)
+        EXPECT_EQ(a.contains(v), b.contains(v)) << "post-erase " << v;
 }
 
 TEST(CuckooExtremesTest, OneBitFingerprintsDegradeToOccupancyCheck)

@@ -184,6 +184,81 @@ TEST(StreamCacheTest, RunnerEquivalentWithAndWithoutCache)
               slurp(dir + "cache-off.json"));
 }
 
+TEST(StreamCacheTest, AsidCountIsPartOfTheKey)
+{
+    // A 2-tenant run allocates the workload once per ASID, so the
+    // workload's final buffer handles -- and thus the generated
+    // streams -- can differ from the single-tenant build. The key must
+    // keep the entries apart, and the 2-tenant table must match direct
+    // generation that mirrors System::loadWorkload's per-ASID
+    // allocation loop.
+    const MeshTopology topo = MeshTopology::wafer(7, 7);
+    const std::size_t num_gpms = topo.gpmTiles().size();
+    constexpr std::size_t kOps = 300;
+    constexpr std::uint64_t kSeed = 0x5eed;
+
+    WorkloadStreamCache cache;
+    StreamKey one{"SPMV", 1.0, kOps, kSeed, num_gpms, 12};
+    StreamKey two = one;
+    two.asidCount = 2;
+    const auto table_one = cache.get(one);
+    const auto table_two = cache.get(two);
+    EXPECT_NE(table_one.get(), table_two.get());
+    EXPECT_EQ(cache.builds(), 2u);
+
+    GlobalPageTable pt(12);
+    const auto workload = makeWorkload("SPMV");
+    for (Asid asid = 0; asid < 2; ++asid) {
+        pt.setActiveAsid(asid);
+        workload->allocate(pt, topo.gpmTiles());
+    }
+    pt.setActiveAsid(0);
+    for (std::size_t i = 0; i < num_gpms; ++i) {
+        const auto direct =
+            workload->streamFor(i, num_gpms, kOps, kSeed);
+        std::vector<Addr> expect;
+        while (const auto addr = direct->next())
+            expect.push_back(*addr);
+        ASSERT_EQ(table_two->gpm(i), expect) << "gpm " << i;
+    }
+}
+
+/** Satellite of the tenancy PR: 2-tenant runs, cached vs uncached. */
+TEST(StreamCacheTest, TwoTenantRunnerEquivalentWithAndWithoutCache)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "FFT";
+    spec.opsPerGpm = 300;
+    spec.obs.audit = true;
+    spec.tenancy = TenancySpec{};
+    spec.tenancy.asidCount = 2;
+    spec.tenancy.switchRatePerMTicks = 400;
+    spec.tenancy.churnRatePerMTicks = 200;
+
+    const std::string dir = ::testing::TempDir();
+    spec.obs.metricsJsonPath = dir + "tenant-cache-on.json";
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "1", 1), 0);
+    const RunResult cached = runOnce(spec);
+
+    spec.obs.metricsJsonPath = dir + "tenant-cache-off.json";
+    ASSERT_EQ(setenv("HDPAT_STREAM_CACHE", "0", 1), 0);
+    const RunResult uncached = runOnce(spec);
+    ASSERT_EQ(unsetenv("HDPAT_STREAM_CACHE"), 0);
+
+    EXPECT_EQ(cached.totalTicks, uncached.totalTicks);
+    EXPECT_EQ(cached.opsTotal, uncached.opsTotal);
+    EXPECT_EQ(cached.gpmFinish, uncached.gpmFinish);
+    EXPECT_EQ(cached.contextSwitches, uncached.contextSwitches);
+    EXPECT_EQ(cached.pagesChurned, uncached.pagesChurned);
+    EXPECT_EQ(cached.pageFaults, uncached.pageFaults);
+    EXPECT_EQ(cached.auditRetireCensusHash,
+              uncached.auditRetireCensusHash);
+    EXPECT_EQ(slurp(dir + "tenant-cache-on.json"),
+              slurp(dir + "tenant-cache-off.json"));
+}
+
 TEST(StreamCacheTest, EnvKillSwitch)
 {
     ASSERT_EQ(unsetenv("HDPAT_STREAM_CACHE"), 0);
