@@ -4,12 +4,13 @@
  *
  * Samples random SystemConfig x TranslationPolicy x workload points
  * (see src/fuzz/sampler.cc for the distribution), runs each in a
- * fork-isolated harness under the seven oracles listed in
+ * fork-isolated harness under the eight oracles listed in
  * src/fuzz/harness.hh (conservation audit, PPN reference, runMany
  * ordering and NoC-fusion differentials, latency conservation, the
- * backpressure Little's-law identity, and the tenancy staleness
- * oracle), then greedily shrinks any failure to a minimal reproducer
- * and writes it as a `.fuzzcase` file ready for tests/fuzz_corpus/.
+ * backpressure Little's-law identity, the tenancy staleness oracle,
+ * and the domain-parallel differential), then greedily shrinks any
+ * failure to a minimal reproducer and writes it as a `.fuzzcase`
+ * file ready for tests/fuzz_corpus/.
  *
  * Usage:
  *   hdpat_fuzz [--seed N] [--runs N] [--out DIR] [--timeout SEC]
@@ -51,6 +52,8 @@ struct Options
     int forceHeapEventQueue = -1;
     /** Force every sampled case multi-tenant (staleness sweeps). */
     bool forceMultiTenant = false;
+    /** -1 = leave each case's domains field alone. */
+    int forceDomains = -1;
 };
 
 void
@@ -72,7 +75,14 @@ usage(const char *argv0)
         << "                 is each case's own heapEventQueue field\n"
         << "  --multi-tenant force every sampled case multi-tenant\n"
         << "                 (>=2 ASIDs with switch + churn arrivals),\n"
-        << "                 a directed sweep of the staleness oracle\n";
+        << "                 a directed sweep of the staleness oracle\n"
+        << "  --domains K    force every case's domain-parallel shard\n"
+        << "                 count (1 = serial); default is each\n"
+        << "                 case's own domains field. The harness\n"
+        << "                 cross-checks serial vs sharded either\n"
+        << "                 way, so --domains 2 makes every replayed\n"
+        << "                 corpus case exercise the parallel\n"
+        << "                 scheduler\n";
     std::exit(1);
 }
 
@@ -108,18 +118,24 @@ parseArgs(int argc, char **argv)
                 usage(argv[0]);
         } else if (arg == "--multi-tenant")
             opt.forceMultiTenant = true;
-        else
+        else if (arg == "--domains") {
+            opt.forceDomains = std::atoi(value(i));
+            if (opt.forceDomains < 1)
+                usage(argv[0]);
+        } else
             usage(argv[0]);
     }
     return opt;
 }
 
-/** Apply --eventq to one case (no-op when the flag is absent). */
+/** Apply --eventq / --domains to one case (no-ops when absent). */
 FuzzCase
 withEventQueueChoice(FuzzCase c, const Options &opt)
 {
     if (opt.forceHeapEventQueue >= 0)
         c.heapEventQueue = opt.forceHeapEventQueue;
+    if (opt.forceDomains >= 1)
+        c.domains = opt.forceDomains;
     return c;
 }
 
@@ -227,7 +243,8 @@ main(int argc, char **argv)
               << opt.seed << ", oracles: validity-prediction + "
               << "conservation/PPN audit + runMany differential + "
               << "NoC fusion differential + latency conservation + "
-              << "backpressure/Little's law + tenancy staleness"
+              << "backpressure/Little's law + tenancy staleness + "
+              << "domain-parallel differential"
               << (opt.forceMultiTenant ? " (all cases multi-tenant)"
                                        : "")
               << "\n";

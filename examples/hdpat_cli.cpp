@@ -8,7 +8,7 @@
  * Usage:
  *   hdpat_cli [--workload ABBR|all] [--policy NAME] [--config NAME]
  *             [--ops N] [--seed S] [--scale F] [--page-shift N]
- *             [--mesh WxH] [--jobs N]
+ *             [--mesh WxH] [--jobs N] [--domains K]
  *             [--csv FILE] [--trace FILE]
  *             [--metrics-json FILE] [--trace-out FILE]
  *             [--trace-sample N|1/N] [--heartbeat TICKS]
@@ -26,7 +26,10 @@
  * (requires HDPAT_LOG=info). --jobs N (or HDPAT_JOBS=N) runs
  * "--workload all" sweeps N simulations at a time with results
  * identical to serial; multi-run --metrics-json/--trace-out/
- * --spatial-csv paths get a per-run "-<index>" suffix.
+ * --spatial-csv paths get a per-run "-<index>" suffix. --domains K
+ * (or HDPAT_DOMAINS=K) shards each single simulation across K
+ * threads by spatial domain decomposition, also with results
+ * identical to serial.
  *
  * Introspection: --audit verifies conservation invariants at run end
  * (issue/retire, NoC send/deliver, MSHR and TLB balance); --watchdog
@@ -226,12 +229,17 @@ parse(int argc, char **argv)
             const long long n = std::atoll(value().c_str());
             if (n > 0)
                 setDefaultJobs(static_cast<unsigned>(n));
+        } else if (arg == "--domains") {
+            const long long n = std::atoll(value().c_str());
+            if (n > 0)
+                opt.obs.domains = static_cast<unsigned>(n);
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: hdpat_cli [--workload ABBR|all] "
                    "[--policy NAME] [--config NAME] [--ops N] "
                    "[--seed S] [--scale F] [--page-shift N] "
-                   "[--mesh WxH] [--jobs N] [--csv FILE] "
+                   "[--mesh WxH] [--jobs N] [--domains K] "
+                   "[--csv FILE] "
                    "[--trace FILE] [--metrics-json FILE] "
                    "[--trace-out FILE] [--trace-sample N|1/N] "
                    "[--heartbeat TICKS] [--audit] [--watchdog TICKS] "
@@ -244,6 +252,14 @@ parse(int argc, char **argv)
                    "  --jobs N  run multi-workload sweeps N "
                    "simulations at a time (default: HDPAT_JOBS or "
                    "all cores); results are identical to serial\n"
+                   "  --domains K      shard each single simulation "
+                   "across K threads (spatial domain\n"
+                   "                   decomposition with conservative "
+                   "synchronization; default 1 = serial);\n"
+                   "                   results are bitwise identical "
+                   "to serial for any K. Tracing, latency\n"
+                   "                   attribution, spatial heatmaps, "
+                   "and multi-tenancy fall back to serial\n"
                    "  --audit          verify conservation invariants "
                    "at run end (issue/retire, send/deliver,\n"
                    "                   MSHR and LL-TLB balance, queue "
@@ -319,6 +335,8 @@ parse(int argc, char **argv)
                    "  HDPAT_BACKPRESSURE_REPORT=F  default for "
                    "--backpressure-report\n"
                    "  HDPAT_JOBS=N             default for --jobs\n"
+                   "  HDPAT_DOMAINS=K          default for --domains "
+                   "(1 = serial single runs)\n"
                    "  HDPAT_TENANTS=N          multiplex N address "
                    "spaces (ASIDs) onto the wafer\n"
                    "  HDPAT_SWITCH_RATE=R      Poisson context "

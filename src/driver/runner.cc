@@ -63,6 +63,11 @@ obsOptionsFromEnv()
     if (const char *env = std::getenv("HDPAT_NOC_FUSE");
         env && *env && std::string(env) == "0")
         obs.nocFuse = false;
+    if (const char *env = std::getenv("HDPAT_DOMAINS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            obs.domains = static_cast<unsigned>(v);
+    }
     if (const char *env = std::getenv("HDPAT_WATCHDOG"))
         obs.watchdogInterval = std::atoll(env);
     if (const char *env = std::getenv("HDPAT_SPATIAL"))
@@ -184,6 +189,7 @@ runOnce(const RunSpec &spec)
     if (spec.captureIommuTrace)
         system.setCaptureIommuTrace(true);
     system.setNocFusion(spec.obs.nocFuse);
+    system.setDomains(spec.obs.domains);
     // Before enableBackpressure (the IOMMU fault queue only registers
     // as a Resource once a fault handler exists) and before
     // loadWorkload (per-ASID allocation).

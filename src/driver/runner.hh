@@ -68,6 +68,13 @@ struct ObsOptions
      * to off regardless.
      */
     bool nocFuse = true;
+    /**
+     * Domain-parallel shard count for the single run (HDPAT_DOMAINS;
+     * default 1 = serial). K > 1 simulates the wafer as K column-strip
+     * domains on K threads with bitwise-identical results; see
+     * System::setDomains for the automatic fallbacks.
+     */
+    unsigned domains = 1;
     /** Backpressure accounting (HDPAT_BACKPRESSURE). */
     bool backpressure = false;
     /**

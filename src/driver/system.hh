@@ -169,6 +169,24 @@ class System
      */
     void enableTenancy(const TenancySpec &spec);
 
+    /**
+     * Shard the run across @p count spatial domains (contiguous column
+     * strips of the mesh), each simulated on its own thread under
+     * conservative windows of one NoC link latency (sim/domains.hh).
+     * The result is bitwise identical to the serial run: the barrier
+     * sequencer replays all cross-domain work in exact serial order.
+     * 1 (the default) is the serial path. Requests are clamped to the
+     * mesh width; features that observe the global event interleave
+     * mid-run (span tracing, latency attribution, spatial sampling,
+     * multi-tenancy) force a fallback to serial with a notice, as does
+     * a zero-latency NoC (no conservative lookahead). Call before
+     * run(). HDPAT_DOMAINS routes here via the runner.
+     */
+    void setDomains(unsigned count) { requestedDomains_ = count; }
+
+    /** The domain count the last/next run actually uses. */
+    unsigned effectiveDomains() const;
+
     /** Run to completion and gather statistics. */
     RunResult run();
 
@@ -251,6 +269,9 @@ class System
     /** Register every component's metrics (called once from ctor). */
     void registerMetrics();
 
+    /** Build + attach the DomainSet and rewire observers (run()). */
+    void setupDomainParallel(unsigned count);
+
     SystemConfig cfg_;
     TranslationPolicy pol_;
 
@@ -276,6 +297,16 @@ class System
     std::unique_ptr<BackpressureCollector> backpressure_;
     std::unique_ptr<TenantScheduler> tenancy_;
     TenancySpec tenancySpec_;
+    /** Requested domain-parallel shard count (1 = serial). */
+    unsigned requestedDomains_ = 1;
+    /**
+     * The attached domain scheduler (null on serial runs). Stays
+     * attached after run() so post-run reads -- final tick, event
+     * counts, registry exports -- keep resolving through it.
+     */
+    std::unique_ptr<DomainSet> domainSet_;
+    /** Per-domain worker profilers, absorbed into profiler_ at run end. */
+    std::vector<Profiler> domainProfilers_;
     /** Open async shootdown rounds: key -> outstanding acks. */
     std::unordered_map<Vpn, std::size_t> openShootdowns_;
     std::string workloadName_ = "(none)";

@@ -62,6 +62,9 @@ forEachNumericField(Case &c, F &&f)
     f("asidCount", c.asidCount);
     f("switchRatePerMTicks", c.switchRatePerMTicks);
     f("churnRatePerMTicks", c.churnRatePerMTicks);
+    // Appended after tenancy for the same corpus-compatibility reason
+    // (absent key = serial run, the pre-domain behaviour).
+    f("domains", c.domains);
 }
 
 /** Negative sampled values target signed config fields; for unsigned
@@ -166,6 +169,10 @@ FuzzCase::toSpec() const
     spec.obs = ObsOptions{};
     spec.obs.heartbeatInterval = 0;
     spec.obs.nocFuse = nocFuse != 0;
+    // Negative or zero counts mean "serial"; System::effectiveDomains
+    // clamps oversized counts to the mesh width.
+    spec.obs.domains =
+        domains < 1 ? 1u : static_cast<unsigned>(domains);
     spec.tenancy = TenancySpec{};
     spec.tenancy.asidCount = static_cast<std::uint32_t>(toSize(asidCount));
     spec.tenancy.switchRatePerMTicks =

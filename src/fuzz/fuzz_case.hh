@@ -78,6 +78,14 @@ struct FuzzCase
      *  still cross-check fused against per-hop delivery. */
     std::int64_t nocFuse = 1;
 
+    /** Domain-parallel shard count for the case's runs (1 = serial,
+     *  the corpus-compatible default). The harness re-runs the case
+     *  with the count flipped (serial <-> sharded) and requires
+     *  identical counts and census, so either starting value
+     *  cross-checks the conservative-parallel scheduler against the
+     *  serial engine. */
+    std::int64_t domains = 1;
+
     // ---- Tenancy -----------------------------------------------------
     /** Address spaces multiplexed onto the wafer (1 = single-tenant,
      *  which keeps the case bitwise identical to the pre-tenancy

@@ -203,6 +203,22 @@ childRun(const RunSpec &spec, bool heap_event_queue)
                          single.faultsServiced));
         _exit(kOracleExit);
     }
+
+    // Oracle 8: domain-parallel simulation must be invisible. Re-run
+    // the audited case with the shard count flipped (serial cases run
+    // sharded, sharded cases run serial): every count -- totalTicks,
+    // the retire-census hash, the lot -- must match, so the
+    // conservative scheduler's merge order is provably the serial
+    // interleave across the whole sampled config space.
+    RunSpec resharded = audited;
+    resharded.obs.domains = audited.obs.domains > 1 ? 1u : 2u;
+    const RunResult reshardedResult = runOnce(resharded);
+    if (!sameCounts(single, reshardedResult,
+                    "serial vs domain-sharded", &why)) {
+        std::fprintf(stderr, "differential mismatch: %s\n",
+                     why.c_str());
+        _exit(kOracleExit);
+    }
     _exit(0);
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Fork-isolated execution of one FuzzCase with seven oracles:
+ * Fork-isolated execution of one FuzzCase with eight oracles:
  *
  * 1. Validity prediction: validationErrors(spec) empty must mean the
  *    run completes; non-empty must mean it fail-fasts. Divergence in
@@ -29,6 +29,11 @@
  *    panic the child on violation -- plus the harness's own
  *    conservation checks: rounds opened == rounds closed and IOMMU
  *    faults enqueued == faults serviced.
+ * 8. Domain-parallel differential: the audited case re-runs with the
+ *    shard count flipped (serial <-> K=2, or whatever the case
+ *    sampled), and every count -- totalTicks and the retire-census
+ *    hash included -- must match, proving the conservative-parallel
+ *    scheduler replays the exact serial interleave.
  *
  * The child is a fresh fork per case, so a crash, fatal, hang, or
  * abort in the simulator cannot take the fuzzer down with it.

@@ -102,6 +102,13 @@ sampleFuzzCase(Rng &rng)
     // either starting value cross-checks both shapes).
     c.nocFuse = rng.chance(0.5);
 
+    // Domain parallelism: mostly serial (the corpus-compatible
+    // default), with a sharded minority so the whole sampled config
+    // space -- degenerate meshes included -- exercises the
+    // conservative-parallel scheduler. Oversized counts probe the
+    // clamp-to-width fallback.
+    c.domains = pick(rng, {1, 1, 1, 2, 2, 4, 16});
+
     // Tenancy: mostly single-tenant (the identity-preserving default)
     // with a multi-tenant minority that exercises context switches,
     // churn shootdowns, and the staleness oracle. A rare 0 probes the

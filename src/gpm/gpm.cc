@@ -335,17 +335,21 @@ Gpm::beginOp(Addr va, Vpn key)
 void
 Gpm::completeOpAt(Tick when, Vpn vpn)
 {
-    engine_.scheduleAt(when, [this, vpn] {
-        hdpat_panic_if(outstanding_ <= 0, "op completion underflow");
-        --outstanding_;
-        ++stats_.opsCompleted;
-        if (tracer_) [[unlikely]]
-            tracer_->end(tile_, vpn, engine_.now());
-        if (auditor_) [[unlikely]]
-            auditor_->opRetired(tile_, vpn, engine_.now());
-        tryIssue();
-        checkFinished();
-    });
+    engine_.scheduleAt(when, [this, vpn] { completeOpNow(vpn); });
+}
+
+void
+Gpm::completeOpNow(Vpn vpn)
+{
+    hdpat_panic_if(outstanding_ <= 0, "op completion underflow");
+    --outstanding_;
+    ++stats_.opsCompleted;
+    if (tracer_) [[unlikely]]
+        tracer_->end(tile_, vpn, engine_.now());
+    if (auditor_) [[unlikely]]
+        auditor_->opRetired(tile_, vpn, engine_.now());
+    tryIssue();
+    checkFinished();
 }
 
 void
@@ -579,20 +583,18 @@ Gpm::dataAccessNow(Addr va, Vpn key)
     // state is never reserved at a future timestamp.
     ++stats_.dataRemoteAccesses;
     trace(vpn, SpanEvent::DataAccess, home);
-    const Tick t_req = net_.computeArrival(
-        now, tile_, home, NocMessageBytes::kDataHeader);
     Gpm *home_gpm = (*gpms_)[static_cast<std::size_t>(home)];
-    engine_.scheduleAt(t_req, [this, home, home_gpm, vpn] {
-        const Tick t_mem = home_gpm->dram().access(engine_.now(),
-                                                   cfg_.cacheLineBytes);
-        engine_.scheduleAt(t_mem, [this, home, vpn] {
-            const Tick t_resp = net_.computeArrival(
-                engine_.now(), home, tile_,
-                NocMessageBytes::kCacheLine +
-                    NocMessageBytes::kDataHeader);
-            completeOpAt(t_resp, vpn);
-        });
-    });
+    net_.dataHop(tile_, home, NocMessageBytes::kDataHeader,
+                 [this, home, home_gpm, vpn] {
+                     const Tick t_mem = home_gpm->dram().access(
+                         engine_.now(), cfg_.cacheLineBytes);
+                     engine_.scheduleAt(t_mem, [this, home, vpn] {
+                         net_.dataHop(home, tile_,
+                                      NocMessageBytes::kCacheLine +
+                                          NocMessageBytes::kDataHeader,
+                                      [this, vpn] { completeOpNow(vpn); });
+                     });
+                 });
 }
 
 } // namespace hdpat

@@ -281,6 +281,8 @@ class Gpm : public PeerEndpoint
     void tryIssue();
     void beginOp(Addr va, Vpn key);
     void completeOpAt(Tick when, Vpn vpn);
+    /** The retire body (runs at the completion tick's event). */
+    void completeOpNow(Vpn vpn);
     void checkFinished();
 
     /** Translation key (ASID-tagged VPN) an op issued now binds to. */

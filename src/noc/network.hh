@@ -148,6 +148,35 @@ class Network
     void setProfiler(Profiler *profiler) { profiler_ = profiler; }
 
     /**
+     * Attach / detach the domain-parallel scheduler. With one
+     * attached, send() on a worker thread defers its whole body (route
+     * walk, conservation hooks, delivery scheduling) to the barrier
+     * sequencer as a Send record -- cross-tile packets route through
+     * intermediate strips' links, so the shared link-occupancy state
+     * must only ever advance in serial order. Tile-local traffic
+     * (src == dst touches no link) stays live on the worker, with its
+     * packet counts kept as per-domain deltas. Also installs the
+     * sequencer replay hooks and shards the fused-delivery slab per
+     * destination domain (worker-owned during windows, sequencer-owned
+     * at barriers, so slot reuse is phase-disjoint).
+     */
+    void setDomains(DomainSet *domains);
+
+    /** Fold the per-domain local-packet deltas into stats() (run end;
+     *  pure sums, so the fold is order-independent and exact). */
+    void foldDomainStats();
+
+    /**
+     * Data-plane hop: schedule @p at_arrive at
+     * computeArrival(now, src, dst, bytes). The zero-copy data path
+     * uses this instead of send() because raw line movement carries no
+     * conservation companions. On a domain worker a cross-tile hop is
+     * deferred to the sequencer like a send.
+     */
+    void dataHop(TileId src, TileId dst, std::size_t bytes,
+                 EventFn at_arrive);
+
+    /**
      * Register every directed link as an analytic backpressure
      * resource. Link occupancy is computed at send time in fractional
      * ticks (not observed via time-ordered transitions), so links
@@ -192,6 +221,19 @@ class Network
                         EventFn on_arrive, TileId trace_owner,
                         Vpn trace_vpn);
 
+    /**
+     * The full send body at an explicit departure tick: route walk,
+     * conservation hooks, delivery scheduling. send() calls this with
+     * engine_.now(); the domain sequencer calls it when replaying a
+     * worker-deferred Send record at its serial position.
+     */
+    void sendAt(Tick now, TileId src, TileId dst, std::size_t bytes,
+                EventFn on_arrive);
+
+    /** dataHop at an explicit tick (the Hop-record replay path). */
+    void dataHopAt(Tick now, TileId src, TileId dst, std::size_t bytes,
+                   EventFn at_arrive);
+
     /** Companion work folded into a fused delivery. */
     static constexpr std::uint8_t kFuseAudit = 1;
     static constexpr std::uint8_t kFuseTrace = 2;
@@ -217,12 +259,24 @@ class Network
         std::uint32_t nextFree = kNoSlot;
     };
 
+    /**
+     * One slab + free list per destination domain (one shard total on
+     * the serial path). A shard is touched by its owner worker during
+     * windows and by the sequencer at barriers -- phase-disjoint, so
+     * slot reuse needs no locking.
+     */
+    struct FuseShard
+    {
+        std::vector<PendingDelivery> slab;
+        std::uint32_t freeHead = kNoSlot;
+    };
+
     /** Schedule one fused delivery event for @p on_arrive. */
     void scheduleFused(Tick arrive, std::size_t bytes, std::uint8_t mode,
                        TileId dst, TileId trace_owner, Vpn trace_vpn,
                        EventFn on_arrive);
     /** Run a fused delivery: companions, then the arrival callback. */
-    void deliverFused(std::uint32_t slot);
+    void deliverFused(std::uint32_t shard, std::uint32_t slot);
 
     Engine &engine_;
     const MeshTopology &topo_;
@@ -235,10 +289,10 @@ class Network
     std::vector<double> linkFree_;
     /** Parallel to linkFree_; empty = backpressure off. */
     std::vector<Resource *> bpLinks_;
-    /** Fused-delivery slab and its free list head. */
-    std::vector<PendingDelivery> slab_;
-    std::uint32_t freeHead_ = kNoSlot;
+    /** Fused-delivery shards (size 1 serial; one per domain with K). */
+    std::vector<FuseShard> shards_;
     bool fuseEnabled_ = true;
+    DomainSet *domains_ = nullptr;
     Stats stats_;
 };
 

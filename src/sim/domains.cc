@@ -1,0 +1,359 @@
+#include "sim/domains.hh"
+
+#include <barrier>
+#include <thread>
+#include <utility>
+
+// Header-only use (ProfScope): no hdpat_obs link dependency.
+#include "obs/profiler.hh"
+#include "sim/log.hh"
+
+namespace hdpat
+{
+
+thread_local DomainSet::DomainCtx *DomainSet::tlsCtx_ = nullptr;
+
+DomainSet::DomainSet(Config cfg) : cfg_(std::move(cfg))
+{
+    hdpat_panic_if(cfg_.count < 2,
+                   "DomainSet requires >= 2 domains (K=1 is the "
+                   "serial path)");
+    hdpat_panic_if(cfg_.lookahead == 0,
+                   "conservative windows need lookahead >= 1");
+    domains_.reserve(cfg_.count);
+    for (unsigned d = 0; d < cfg_.count; ++d)
+        domains_.push_back(
+            std::make_unique<DomainCtx>(d, cfg_.queueImpl));
+}
+
+DomainSet::~DomainSet() = default;
+
+Profiler *
+DomainSet::workerProfiler()
+{
+    return tlsCtx_ ? tlsCtx_->profiler : nullptr;
+}
+
+void
+DomainSet::setWorkerProfiler(unsigned domain, Profiler *profiler)
+{
+    domains_[domain]->profiler = profiler;
+}
+
+Tick
+DomainSet::now() const
+{
+    return tlsCtx_ ? tlsCtx_->now : seqNow_;
+}
+
+DomainSet::ScopedTarget::ScopedTarget(DomainSet *set, unsigned domain)
+{
+    if (!set || onWorker())
+        return;
+    set_ = set;
+    prev_ = set->seqTarget_;
+    set->seqTarget_ = domain;
+}
+
+DomainSet::ScopedTarget::~ScopedTarget()
+{
+    if (set_)
+        set_->seqTarget_ = prev_;
+}
+
+void
+DomainSet::bumpPending()
+{
+    if (++pending_ > pendingHwm_)
+        pendingHwm_ = pending_;
+}
+
+void
+DomainSet::sequencerSchedule(Tick when, EventFn fn, unsigned target)
+{
+    const std::uint64_t seq = globalSeq_++;
+    domains_[target]->queue.schedule(when, std::move(fn), seq);
+    bumpPending();
+}
+
+void
+DomainSet::scheduleAt(Tick when, EventFn fn)
+{
+    DomainCtx *ctx = tlsCtx_;
+    if (!ctx) {
+        sequencerSchedule(when, std::move(fn), seqTarget_);
+        return;
+    }
+    if (when < windowEnd_) {
+        // Executes before this window's barrier: run live under a
+        // provisional tag; the merge assigns the serial seq.
+        const std::uint64_t tag = kProvBit | ctx->provCtr++;
+        ctx->queue.schedule(when, std::move(fn), tag);
+        Record r;
+        r.kind = Record::Kind::InWindow;
+        r.when = when;
+        r.tag = tag;
+        logRecord(*ctx, r);
+        return;
+    }
+    // At or beyond the window end: stage for barrier insertion.
+    Record r;
+    r.kind = Record::Kind::Sched;
+    r.when = when;
+    r.fnSlot = static_cast<std::uint32_t>(ctx->stagedFns.size());
+    ctx->stagedFns.push_back(std::move(fn));
+    logRecord(*ctx, r);
+}
+
+void
+DomainSet::recordSend(TileId src, TileId dst, std::uint32_t bytes,
+                      EventFn on_arrive)
+{
+    DomainCtx &ctx = *tlsCtx_;
+    Record r;
+    r.kind = Record::Kind::Send;
+    r.when = ctx.now;
+    r.fnSlot = static_cast<std::uint32_t>(ctx.stagedFns.size());
+    r.src = src;
+    r.dst = dst;
+    r.bytes = bytes;
+    ctx.stagedFns.push_back(std::move(on_arrive));
+    logRecord(ctx, r);
+}
+
+void
+DomainSet::recordHop(TileId src, TileId dst, std::uint32_t bytes,
+                     EventFn at_arrive)
+{
+    DomainCtx &ctx = *tlsCtx_;
+    Record r;
+    r.kind = Record::Kind::Hop;
+    r.when = ctx.now;
+    r.fnSlot = static_cast<std::uint32_t>(ctx.stagedFns.size());
+    r.src = src;
+    r.dst = dst;
+    r.bytes = bytes;
+    ctx.stagedFns.push_back(std::move(at_arrive));
+    logRecord(ctx, r);
+}
+
+void
+DomainSet::addLocalPacket(std::uint64_t bytes)
+{
+    DomainCtx &ctx = *tlsCtx_;
+    ++ctx.localPackets;
+    ctx.localBytes += bytes;
+}
+
+std::uint64_t
+DomainSet::localPackets() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->localPackets;
+    return n;
+}
+
+std::uint64_t
+DomainSet::localBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : domains_)
+        n += d->localBytes;
+    return n;
+}
+
+void
+DomainSet::logRecord(DomainCtx &ctx, const Record &r)
+{
+    // Once the ring refuses, stay in the spill for the rest of the
+    // window: the consumer reads ring-then-spill, so mixing after a
+    // refusal would reorder the log.
+    if (!ctx.spilling && ctx.ring.push(r))
+        return;
+    ctx.spilling = true;
+    ctx.spill.push_back(r);
+}
+
+void
+DomainSet::runWindow(DomainCtx &ctx)
+{
+    tlsCtx_ = &ctx;
+    const Tick window_end = windowEnd_;
+    while (ctx.queue.nextTick() < window_end) {
+        Tick when = 0;
+        std::uint64_t tag = 0;
+        EventFn fn = ctx.queue.pop(when, tag);
+        ctx.now = when;
+        Record r;
+        r.kind = Record::Kind::Pop;
+        r.when = when;
+        r.tag = tag;
+        logRecord(ctx, r);
+        {
+            const ProfScope prof(ctx.profiler,
+                                 ProfSection::EventDispatch);
+            fn();
+        }
+    }
+    tlsCtx_ = nullptr;
+}
+
+std::uint64_t
+DomainSet::resolveTag(const DomainCtx &ctx, std::uint64_t tag) const
+{
+    if (!(tag & kProvBit))
+        return tag;
+    const auto it = ctx.provSeq.find(tag);
+    hdpat_panic_if(it == ctx.provSeq.end(),
+                   "unresolved provisional tag in domain merge");
+    return it->second;
+}
+
+void
+DomainSet::advanceWindow()
+{
+    Tick next = kTickNever;
+    for (const auto &d : domains_) {
+        const Tick t = d->queue.nextTick();
+        if (t < next)
+            next = t;
+    }
+    if (next == kTickNever) {
+        done_ = true;
+        return;
+    }
+    windowStart_ = next;
+    windowEnd_ = next + cfg_.lookahead;
+}
+
+void
+DomainSet::mergeWindow()
+{
+    // Collect each domain's window log: the ring portion first, then
+    // the spill, preserving per-domain record order.
+    for (auto &dp : domains_) {
+        DomainCtx &d = *dp;
+        d.log.clear();
+        d.ring.drainTo(d.log);
+        d.log.insert(d.log.end(), d.spill.begin(), d.spill.end());
+        d.spill.clear();
+        d.spilling = false;
+        d.cursor = 0;
+        d.provSeq.clear();
+    }
+
+    // K-way merge of the pop groups by (tick, serial seq). Each log is
+    // a sorted run of the serial pop order; a head's provisional tag is
+    // always resolvable because the schedule that created it was
+    // replayed in an earlier group of the same log.
+    for (;;) {
+        DomainCtx *best = nullptr;
+        Tick best_when = 0;
+        std::uint64_t best_seq = 0;
+        for (auto &dp : domains_) {
+            DomainCtx &d = *dp;
+            if (d.cursor >= d.log.size())
+                continue;
+            const Record &head = d.log[d.cursor];
+            hdpat_panic_if(head.kind != Record::Kind::Pop,
+                           "domain log group does not start with a "
+                           "pop record");
+            const std::uint64_t seq = resolveTag(d, head.tag);
+            if (!best || head.when < best_when ||
+                (head.when == best_when && seq < best_seq)) {
+                best = &d;
+                best_when = head.when;
+                best_seq = seq;
+            }
+        }
+        if (!best)
+            break;
+
+        DomainCtx &d = *best;
+        ++d.cursor; // Consume the Pop record.
+        seqNow_ = best_when;
+        ++executed_;
+        --pending_;
+
+        // Replay the pop's scheduling actions in execution order; this
+        // reproduces the serial engine's seq numbering, its
+        // pending-count trajectory, and (via the Network replay hooks)
+        // the serial link-state evolution.
+        while (d.cursor < d.log.size() &&
+               d.log[d.cursor].kind != Record::Kind::Pop) {
+            const Record &r = d.log[d.cursor++];
+            switch (r.kind) {
+              case Record::Kind::InWindow:
+                d.provSeq.emplace(r.tag, globalSeq_++);
+                bumpPending();
+                break;
+              case Record::Kind::Sched:
+                sequencerSchedule(r.when,
+                                  std::move(d.stagedFns[r.fnSlot]),
+                                  d.idx);
+                break;
+              case Record::Kind::Send:
+                sendReplay_(r.when, r.src, r.dst, r.bytes,
+                            std::move(d.stagedFns[r.fnSlot]));
+                break;
+              case Record::Kind::Hop:
+                hopReplay_(r.when, r.src, r.dst, r.bytes,
+                           std::move(d.stagedFns[r.fnSlot]));
+                break;
+              case Record::Kind::Pop:
+                break; // Unreachable (loop condition).
+            }
+        }
+    }
+
+    for (auto &dp : domains_)
+        dp->stagedFns.clear();
+
+    advanceWindow();
+    if (barrierHook_)
+        barrierHook_(done_ ? seqNow_ : windowStart_);
+}
+
+void
+DomainSet::run()
+{
+    hdpat_panic_if(!sendReplay_ || !hopReplay_,
+                   "DomainSet::run without Network replay hooks");
+    advanceWindow();
+    if (done_)
+        return;
+
+    std::barrier bar(static_cast<std::ptrdiff_t>(cfg_.count));
+    std::vector<std::thread> workers;
+    workers.reserve(cfg_.count - 1);
+    for (unsigned d = 1; d < cfg_.count; ++d) {
+        workers.emplace_back([this, &bar, d] {
+            DomainCtx &ctx = *domains_[d];
+            for (;;) {
+                runWindow(ctx);
+                bar.arrive_and_wait();
+                // Sequencer merge runs on the main thread here.
+                bar.arrive_and_wait();
+                if (done_)
+                    return;
+            }
+        });
+    }
+
+    // The main thread doubles as domain 0's worker and, between the
+    // two barrier phases, as the sequencer.
+    DomainCtx &ctx0 = *domains_[0];
+    for (;;) {
+        runWindow(ctx0);
+        bar.arrive_and_wait();
+        mergeWindow();
+        bar.arrive_and_wait();
+        if (done_)
+            break;
+    }
+    for (std::thread &t : workers)
+        t.join();
+}
+
+} // namespace hdpat

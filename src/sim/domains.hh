@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Conservative domain-parallel scheduler for a single simulation.
+ *
+ * The wafer mesh is partitioned into K contiguous column strips
+ * ("domains"). Each domain owns a private EventQueue and runs on its
+ * own thread; the run proceeds in synchronous-conservative windows
+ * [W, W + lookahead) where lookahead is the minimum cross-domain NoC
+ * latency (one link hop). Inside a window every domain executes its
+ * own events independently: no event executed at tick t < W+lookahead
+ * can cause another domain to act before W+lookahead, because the only
+ * cross-domain influence in the model is a NoC packet, and a packet
+ * sent at t arrives no earlier than t + lookahead >= W + lookahead.
+ * That is the classic null-message bound, applied once per window
+ * instead of per channel.
+ *
+ * Determinism is recovered at the window barrier. Workers do not touch
+ * any shared state during a window; instead every scheduling action is
+ * recorded in a per-domain log (handed off through a lock-free SPSC
+ * ring, sim/spsc_ring.hh) and a single-threaded sequencer replays the
+ * logs at the barrier in exact serial order:
+ *
+ *  - Each pop is logged with its (tick, tag). The K logs are K sorted
+ *    runs of the serial pop order, so a K-way merge by (tick, serial
+ *    seq) reconstructs the serial interleave exactly.
+ *  - Events a worker schedules for later in its own window execute
+ *    live, stamped with a *provisional* tag (top bit set, per-domain
+ *    counter): provisional tags order after every merge-assigned
+ *    serial seq at the same tick, which is serially exact because an
+ *    in-window schedule always carries a larger serial seq than any
+ *    event scheduled before the window. At the barrier the sequencer
+ *    assigns each such event its true serial seq (in merge order, so
+ *    the numbering matches what the serial engine would have used);
+ *    the provisional tag never escapes the window, since the event's
+ *    tick is below the window end and therefore pops before the
+ *    barrier.
+ *  - Events scheduled at or beyond the window end are staged
+ *    (Sched records) and inserted at the barrier with their true
+ *    serial seq.
+ *  - Cross-tile NoC traffic never runs on workers at all: packets
+ *    route through intermediate strips' links, so the shared
+ *    link-occupancy walk must interleave serially with every other
+ *    send. send() on a worker defers the whole send body as a Send
+ *    record; the sequencer replays it -- route walk, conservation
+ *    hooks, delivery scheduling -- at the exact serial position.
+ *    Same for the data path's raw hops (Hop records). Only
+ *    tile-local (src == dst) traffic, which touches no link state,
+ *    executes live.
+ *
+ * The sequencer also replays the serial engine's bookkeeping: the
+ * global schedule count (events_scheduled), the pending-event
+ * trajectory and its high-water mark, and the executed-event count all
+ * come out bitwise identical to the serial run.
+ *
+ * The class is deliberately noc/driver-agnostic: Network installs the
+ * Send/Hop replay hooks, System builds the tile partition and the
+ * barrier hook for coordinator-mode observers (heartbeat, watchdog).
+ */
+
+#ifndef HDPAT_SIM_DOMAINS_HH
+#define HDPAT_SIM_DOMAINS_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/spsc_ring.hh"
+#include "sim/types.hh"
+
+namespace hdpat
+{
+
+class Profiler;
+
+class DomainSet
+{
+  public:
+    struct Config
+    {
+        /** Number of domains (>= 2; K=1 never constructs a set). */
+        unsigned count = 2;
+        /** Conservative window length: min cross-domain NoC latency. */
+        Tick lookahead = 1;
+        /** Tile -> owning domain (contiguous column strips). */
+        std::vector<unsigned> domainOfTile;
+        /** Event-queue implementation for the per-domain queues. */
+        EventQueueImpl queueImpl = defaultEventQueueImpl();
+    };
+
+    /**
+     * Replay hook for a deferred NoC action: @p when is the serial
+     * tick the action ran at, @p fn the staged continuation. Installed
+     * by Network; called by the sequencer in exact serial order.
+     */
+    using ReplayFn = std::function<void(
+        Tick when, TileId src, TileId dst, std::uint32_t bytes,
+        EventFn fn)>;
+
+    /**
+     * Coordinator hook, called once per window barrier after the merge
+     * (workers quiescent, so reading simulation state is safe). Drives
+     * the external-mode heartbeat and stall watchdog.
+     */
+    using BarrierHook = std::function<void(Tick window_start)>;
+
+    explicit DomainSet(Config cfg);
+    ~DomainSet();
+
+    DomainSet(const DomainSet &) = delete;
+    DomainSet &operator=(const DomainSet &) = delete;
+
+    unsigned count() const { return cfg_.count; }
+    Tick lookahead() const { return cfg_.lookahead; }
+    unsigned domainOf(TileId tile) const
+    {
+        return cfg_.domainOfTile[static_cast<std::size_t>(tile)];
+    }
+
+    /** True on a worker thread inside a window. */
+    static bool onWorker() { return tlsCtx_ != nullptr; }
+    /** The calling worker's domain profiler (null off-worker/off). */
+    static Profiler *workerProfiler();
+
+    // ---- Engine-facing dispatch --------------------------------------
+    Tick now() const;
+    /** Mode-routing schedule; the Engine has already validated when. */
+    void scheduleAt(Tick when, EventFn fn);
+    std::size_t pending() const { return pending_; }
+    std::uint64_t executed() const { return executed_; }
+    std::uint64_t scheduled() const { return globalSeq_; }
+    std::size_t pendingHighWater() const { return pendingHwm_; }
+
+    /**
+     * Sequencer-mode schedule routing: which domain's queue receives
+     * the next sequencer-mode scheduleAt. A no-op on workers (their
+     * schedules always land in their own queue), so call sites stay
+     * unconditional. A null @p set is also a no-op (serial path).
+     */
+    class ScopedTarget
+    {
+      public:
+        ScopedTarget(DomainSet *set, unsigned domain);
+        ~ScopedTarget();
+        ScopedTarget(const ScopedTarget &) = delete;
+        ScopedTarget &operator=(const ScopedTarget &) = delete;
+
+      private:
+        DomainSet *set_ = nullptr;
+        unsigned prev_ = 0;
+    };
+
+    // ---- Wiring (setup time) -----------------------------------------
+    void setSendReplay(ReplayFn fn) { sendReplay_ = std::move(fn); }
+    void setHopReplay(ReplayFn fn) { hopReplay_ = std::move(fn); }
+    void setBarrierHook(BarrierHook fn)
+    {
+        barrierHook_ = std::move(fn);
+    }
+    void setWorkerProfiler(unsigned domain, Profiler *profiler);
+
+    // ---- Worker-side deferral (called via Network / data path) -------
+    /** Defer a full Network::send to the barrier sequencer. */
+    void recordSend(TileId src, TileId dst, std::uint32_t bytes,
+                    EventFn on_arrive);
+    /** Defer a data-plane hop (raw computeArrival + schedule). */
+    void recordHop(TileId src, TileId dst, std::uint32_t bytes,
+                   EventFn at_arrive);
+    /** Tile-local packet accounting delta (src == dst fast path). */
+    void addLocalPacket(std::uint64_t bytes);
+    /** Folded into Network::Stats after the run (sums commute). */
+    std::uint64_t localPackets() const;
+    std::uint64_t localBytes() const;
+
+    // ---- The run -----------------------------------------------------
+    /** Window loop until every domain queue drains. */
+    void run();
+    /** Tick of the last executed event (the final "now"). */
+    Tick finalNow() const { return seqNow_; }
+
+  private:
+    /** One per-domain log entry; PODs only (lives in the SPSC ring). */
+    struct Record
+    {
+        enum class Kind : std::uint8_t
+        {
+            Pop,      ///< Worker popped (when, tag).
+            InWindow, ///< Live in-window schedule under a provisional
+                      ///< tag; merge assigns the serial seq.
+            Sched,    ///< Staged schedule at/after the window end.
+            Send,     ///< Deferred Network::send (full serial body).
+            Hop,      ///< Deferred data-plane hop.
+        };
+        Kind kind;
+        Tick when = 0;
+        std::uint64_t tag = 0;
+        std::uint32_t fnSlot = 0;
+        TileId src = 0;
+        TileId dst = 0;
+        std::uint32_t bytes = 0;
+    };
+
+    struct DomainCtx
+    {
+        explicit DomainCtx(unsigned index, EventQueueImpl impl)
+            : idx(index), queue(impl), ring(kRingCapacity)
+        {
+        }
+
+        unsigned idx;
+        EventQueue queue;
+        Tick now = 0;
+        /** Provisional-tag counter (top bit added on use). */
+        std::uint64_t provCtr = 0;
+        Profiler *profiler = nullptr;
+        /** Worker -> sequencer record channel. */
+        SpscRing<Record> ring;
+        /** Overflow once the ring refuses (order: ring then spill). */
+        std::vector<Record> spill;
+        bool spilling = false;
+        /** Staged continuations referenced by fnSlot. */
+        std::vector<EventFn> stagedFns;
+        /** Tile-local packet deltas (src == dst live sends). */
+        std::uint64_t localPackets = 0;
+        std::uint64_t localBytes = 0;
+        // ---- Sequencer-side merge scratch ----------------------------
+        std::vector<Record> log;
+        std::size_t cursor = 0;
+        /** This window's provisional tag -> serial seq. */
+        std::unordered_map<std::uint64_t, std::uint64_t> provSeq;
+    };
+
+    /** Provisional tags sort after every serial seq at the same tick. */
+    static constexpr std::uint64_t kProvBit = std::uint64_t(1) << 63;
+    static constexpr std::size_t kRingCapacity = 8192;
+
+    void runWindow(DomainCtx &ctx);
+    void logRecord(DomainCtx &ctx, const Record &r);
+    /** Drain logs, replay in serial order, advance the window. */
+    void mergeWindow();
+    void advanceWindow();
+    void sequencerSchedule(Tick when, EventFn fn, unsigned target);
+    std::uint64_t resolveTag(const DomainCtx &ctx,
+                             std::uint64_t tag) const;
+    void bumpPending();
+
+    Config cfg_;
+    std::vector<std::unique_ptr<DomainCtx>> domains_;
+    ReplayFn sendReplay_;
+    ReplayFn hopReplay_;
+    BarrierHook barrierHook_;
+    /** Sequencer-mode schedule destination (ScopedTarget). */
+    unsigned seqTarget_ = 0;
+    /** Sequencer-mode "now" (setup: 0; merge: replayed pop tick). */
+    Tick seqNow_ = 0;
+    Tick windowStart_ = 0;
+    Tick windowEnd_ = 0;
+    bool done_ = false;
+    /** Serial schedule numbering (== events_scheduled). */
+    std::uint64_t globalSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t pending_ = 0;
+    std::size_t pendingHwm_ = 0;
+
+    static thread_local DomainCtx *tlsCtx_;
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_DOMAINS_HH

@@ -24,6 +24,13 @@ Engine::~Engine()
 void
 Engine::scheduleAt(Tick when, EventFn fn)
 {
+    if (domains_) [[unlikely]] {
+        hdpat_panic_if(when < domains_->now(),
+                       "scheduling into the past: when="
+                           << when << " now=" << domains_->now());
+        domains_->scheduleAt(when, std::move(fn));
+        return;
+    }
     hdpat_panic_if(when < now_,
                    "scheduling into the past: when=" << when
                        << " now=" << now_);
@@ -33,6 +40,8 @@ Engine::scheduleAt(Tick when, EventFn fn)
 bool
 Engine::step()
 {
+    hdpat_panic_if(domains_,
+                   "step() on a domain-parallel engine (use run())");
     if (queue_.empty())
         return false;
     Tick when = 0;
@@ -49,6 +58,10 @@ Engine::step()
 void
 Engine::run()
 {
+    if (domains_) [[unlikely]] {
+        domains_->run();
+        return;
+    }
     while (step()) {
     }
 }

@@ -38,10 +38,16 @@ EventQueue::~EventQueue() = default;
 void
 EventQueue::schedule(Tick when, EventFn fn)
 {
+    schedule(when, std::move(fn), nextSeq_++);
+}
+
+void
+EventQueue::schedule(Tick when, EventFn fn, std::uint64_t tag)
+{
     if (impl_ == EventQueueImpl::Calendar)
-        scheduleCalendar(when, std::move(fn));
+        scheduleCalendar(when, std::move(fn), tag);
     else
-        scheduleHeap(when, std::move(fn));
+        scheduleHeap(when, std::move(fn), tag);
     ++lifetimeScheduled_;
     ++size_;
     if (size_ > highWater_)
@@ -61,11 +67,18 @@ EventQueue::nextTick() const
 EventFn
 EventQueue::pop(Tick &when)
 {
+    std::uint64_t tag;
+    return pop(when, tag);
+}
+
+EventFn
+EventQueue::pop(Tick &when, std::uint64_t &tag)
+{
     hdpat_panic_if(size_ == 0, "pop() on an empty event queue");
     --size_;
     if (impl_ == EventQueueImpl::Calendar)
-        return popCalendar(when);
-    return popHeap(when);
+        return popCalendar(when, tag);
+    return popHeap(when, tag);
 }
 
 void
@@ -166,7 +179,7 @@ EventQueue::nextOccupiedBucket() const
 }
 
 void
-EventQueue::scheduleCalendar(Tick when, EventFn fn)
+EventQueue::scheduleCalendar(Tick when, EventFn fn, std::uint64_t seq)
 {
     hdpat_panic_if(when < lastPop_,
                    "scheduling into the queue's past: when="
@@ -175,7 +188,7 @@ EventQueue::scheduleCalendar(Tick when, EventFn fn)
     Slot &slot = slots_[s];
     slot.fn = std::move(fn);
     slot.when = when;
-    slot.seq = nextSeq_++;
+    slot.seq = seq;
     slot.next = kNoSlot;
 
     if (when - lastPop_ < kNumBuckets) {
@@ -196,7 +209,7 @@ EventQueue::scheduleCalendar(Tick when, EventFn fn)
 }
 
 EventFn
-EventQueue::popCalendar(Tick &when)
+EventQueue::popCalendar(Tick &when, std::uint64_t &tag)
 {
     Tick cal_tick = kTickNever;
     std::size_t bucket = 0;
@@ -228,6 +241,7 @@ EventQueue::popCalendar(Tick &when)
 
     Slot &slot = slots_[s];
     when = slot.when;
+    tag = slot.seq;
     lastPop_ = when;
     EventFn fn = std::move(slot.fn);
     slot.next = freeHead_;
@@ -327,16 +341,17 @@ EventQueue::later(const HeapEntry &a, const HeapEntry &b)
 }
 
 void
-EventQueue::scheduleHeap(Tick when, EventFn fn)
+EventQueue::scheduleHeap(Tick when, EventFn fn, std::uint64_t seq)
 {
-    heap_.push_back(HeapEntry{when, nextSeq_++, std::move(fn)});
+    heap_.push_back(HeapEntry{when, seq, std::move(fn)});
     heapSiftUp(heap_.size() - 1);
 }
 
 EventFn
-EventQueue::popHeap(Tick &when)
+EventQueue::popHeap(Tick &when, std::uint64_t &tag)
 {
     when = heap_.front().when;
+    tag = heap_.front().seq;
     EventFn fn = std::move(heap_.front().fn);
     heap_.front() = std::move(heap_.back());
     heap_.pop_back();

@@ -88,6 +88,22 @@ class EventQueue
      */
     void schedule(Tick when, EventFn fn);
 
+    /**
+     * Schedule with an explicit tie-break tag instead of the internal
+     * counter. Externally-injected events (domain-parallel handoffs)
+     * carry their serial-equivalent sequence so pop order reproduces
+     * the serial interleave for any domain count.
+     *
+     * Exactness contract: all same-tick insertions into one queue must
+     * arrive in increasing tag order over time (the calendar's
+     * overflow-first tie-break and bucket FIFO both depend on it; the
+     * heap orders by (when, tag) explicitly). The domain scheduler
+     * guarantees this: merge-time inserts carry monotonically
+     * increasing serial seqs, and in-window provisional tags set the
+     * top bit, sorting after every merge-time insert at the same tick.
+     */
+    void schedule(Tick when, EventFn fn, std::uint64_t tag);
+
     /** True when no events remain. */
     bool empty() const { return size_ == 0; }
 
@@ -105,6 +121,11 @@ class EventQueue
      * @return The event callback, moved out of the queue.
      */
     EventFn pop(Tick &when);
+
+    /** Pop variant that also reports the popped event's tie-break tag
+     *  (the internal counter, or the explicit tag it was scheduled
+     *  with). The domain merge uses it to recover serial order. */
+    EventFn pop(Tick &when, std::uint64_t &tag);
 
     /**
      * Discard all pending events. The same-tick tie-break sequence
@@ -166,8 +187,8 @@ class EventQueue
     void overflowSiftUp(std::size_t idx);
     void overflowSiftDown(std::size_t idx);
 
-    void scheduleCalendar(Tick when, EventFn fn);
-    EventFn popCalendar(Tick &when);
+    void scheduleCalendar(Tick when, EventFn fn, std::uint64_t seq);
+    EventFn popCalendar(Tick &when, std::uint64_t &tag);
     Tick nextTickCalendar() const;
     void clearCalendar();
 
@@ -202,8 +223,8 @@ class EventQueue
 
     void heapSiftUp(std::size_t idx);
     void heapSiftDown(std::size_t idx);
-    void scheduleHeap(Tick when, EventFn fn);
-    EventFn popHeap(Tick &when);
+    void scheduleHeap(Tick when, EventFn fn, std::uint64_t seq);
+    EventFn popHeap(Tick &when, std::uint64_t &tag);
 
     std::vector<HeapEntry> heap_;
 

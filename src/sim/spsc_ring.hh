@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Single-producer / single-consumer lock-free ring, the handoff
+ * channel between a domain worker and the barrier sequencer in the
+ * domain-parallel scheduler (sim/domains.hh).
+ *
+ * One producer thread pushes, one consumer thread pops; no locks, no
+ * allocation after construction. The protocol is the classic bounded
+ * ring with monotonic head/tail counters: the producer writes the
+ * element, then publishes it with a release store of tail; the
+ * consumer acquires tail, reads elements, and releases head. Each
+ * index is written by exactly one side, so the only synchronization
+ * points are the two atomic counters.
+ *
+ * Capacity is fixed (a power of two). push() returns false when the
+ * ring is full instead of blocking: the domain scheduler's producer
+ * must never spin on a full ring while the consumer is itself blocked
+ * at the window barrier, so on the first refusal it diverts the rest
+ * of the window's records to a private spill vector and the consumer
+ * drains ring-then-spill, preserving per-producer order.
+ */
+
+#ifndef HDPAT_SIM_SPSC_RING_HH
+#define HDPAT_SIM_SPSC_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace hdpat
+{
+
+template <typename T>
+class SpscRing
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ring elements are copied without construction "
+                  "protocol; keep them trivially copyable");
+
+  public:
+    explicit SpscRing(std::size_t capacity_pow2)
+        : buf_(capacity_pow2), mask_(capacity_pow2 - 1)
+    {
+        static_assert(alignof(std::atomic<std::size_t>) <= 64, "");
+    }
+
+    /** Producer side. False = full (caller spills; never blocks). */
+    bool push(const T &v)
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::size_t head =
+            head_.load(std::memory_order_acquire);
+        if (tail - head > mask_)
+            return false;
+        buf_[tail & mask_] = v;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. False = empty. */
+    bool pop(T &out)
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false;
+        out = buf_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: drain everything currently published. */
+    void drainTo(std::vector<T> &out)
+    {
+        T v;
+        while (pop(v))
+            out.push_back(v);
+    }
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> buf_;
+    const std::size_t mask_;
+    // Separate cache lines so producer and consumer counters never
+    // false-share.
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace hdpat
+
+#endif // HDPAT_SIM_SPSC_RING_HH

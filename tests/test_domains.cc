@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Domain-parallel simulation tests.
+ *
+ * Three layers, mirroring the determinism argument:
+ *  - Queue shadow tests: the explicit-tag schedule/pop overloads
+ *    reproduce the serial pop order for adversarial same-tick boundary
+ *    traffic, on both ordering structures (calendar and heap).
+ *  - External observer mode: the barrier-driven watchdog/heartbeat
+ *    never false-trip on a run that is progressing globally (even if
+ *    one domain is idle at its window horizon), and the watchdog still
+ *    trips on a genuine livelock.
+ *  - End-to-end identity: K-domain runs are bitwise identical to the
+ *    serial run (RunResult counters, retire-census hash, and the whole
+ *    metrics JSON) for K in {2, 4}.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "config/system_config.hh"
+#include "config/translation_policy.hh"
+#include "driver/runner.hh"
+#include "obs/heartbeat.hh"
+#include "obs/watchdog.hh"
+#include "sim/engine.hh"
+#include "sim/event_queue.hh"
+
+namespace hdpat
+{
+namespace
+{
+
+/** Provisional-tag marker used by the domain scheduler: in-window
+ *  worker events sort after every merge-assigned serial seq at the
+ *  same tick. Mirrors DomainSet's internal constant. */
+constexpr std::uint64_t kProvBit = std::uint64_t{1} << 63;
+
+class QueueImplTest : public ::testing::TestWithParam<EventQueueImpl>
+{
+};
+
+/**
+ * Adversarial boundary traffic: events at a handful of ticks straddling
+ * a window edge, inserted in domain-merge order (not serial order) but
+ * with their serial seqs as explicit tags. A reference queue receives
+ * the same events in serial order through the plain (untagged)
+ * overload. Pop order must be identical — this is exactly the property
+ * the sequencer relies on when it re-injects cross-domain work.
+ */
+TEST_P(QueueImplTest, TaggedPopOrderMatchesSerialReference)
+{
+    struct Ev
+    {
+        Tick when;
+        std::uint64_t serial_seq; // position in the serial schedule
+    };
+    // Serial schedule order (seq = index): interleaved ticks with
+    // heavy same-tick contention at the window edge (tick 100).
+    const std::vector<Tick> serial_ticks = {100, 96,  100, 100, 97,
+                                            100, 101, 100, 96,  104,
+                                            100, 101, 100, 97,  100};
+    std::vector<Ev> events;
+    for (std::size_t i = 0; i < serial_ticks.size(); ++i)
+        events.push_back(
+            {serial_ticks[i], static_cast<std::uint64_t>(i)});
+
+    // Reference: plain schedule in serial order.
+    EventQueue reference(GetParam());
+    for (const Ev &e : events) {
+        const std::uint64_t id = e.serial_seq;
+        reference.schedule(e.when, EventFn([id] { (void)id; }));
+    }
+
+    // Shadow: merge order — sorted by (when, seq), the order the
+    // sequencer replays records in. Same-tick insertions arrive in
+    // increasing tag order (the contract both impls depend on), but
+    // the global arrival order differs completely from serial.
+    std::vector<Ev> merge_order = events;
+    std::stable_sort(merge_order.begin(), merge_order.end(),
+                     [](const Ev &a, const Ev &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.serial_seq < b.serial_seq;
+                     });
+    EventQueue shadow(GetParam());
+    for (const Ev &e : merge_order) {
+        const std::uint64_t id = e.serial_seq;
+        shadow.schedule(e.when, EventFn([id] { (void)id; }),
+                        e.serial_seq);
+    }
+
+    ASSERT_EQ(reference.size(), shadow.size());
+    while (!reference.empty()) {
+        Tick ref_when = 0, shadow_when = 0;
+        std::uint64_t ref_tag = 0, shadow_tag = 0;
+        (void)reference.pop(ref_when, ref_tag);
+        (void)shadow.pop(shadow_when, shadow_tag);
+        EXPECT_EQ(ref_when, shadow_when);
+        EXPECT_EQ(ref_tag, shadow_tag);
+    }
+    EXPECT_TRUE(shadow.empty());
+}
+
+/**
+ * Provisional tags (top bit set) sort after every serial tag at the
+ * same tick, regardless of arrival order across ticks: a worker's live
+ * in-window event at tick T runs after all merge-injected events at T,
+ * which is exactly where the serial run would have placed it (the
+ * merge-injected events were scheduled earlier in serial time).
+ */
+TEST_P(QueueImplTest, ProvisionalTagsSortAfterSerialTagsAtSameTick)
+{
+    EventQueue queue(GetParam());
+    std::vector<int> order;
+
+    // Merge phase: serial-tagged events at ticks 200 and 201.
+    queue.schedule(200, EventFn([&order] { order.push_back(0); }), 10);
+    queue.schedule(200, EventFn([&order] { order.push_back(1); }), 11);
+    queue.schedule(201, EventFn([&order] { order.push_back(2); }), 12);
+    // Window phase: the worker schedules live events at the same
+    // ticks with provisional tags (per-domain counter under the top
+    // bit). They must fire after the merge-injected ones.
+    queue.schedule(200, EventFn([&order] { order.push_back(3); }),
+                   kProvBit | 0);
+    queue.schedule(201, EventFn([&order] { order.push_back(4); }),
+                   kProvBit | 1);
+    queue.schedule(200, EventFn([&order] { order.push_back(5); }),
+                   kProvBit | 2);
+
+    while (!queue.empty()) {
+        Tick when = 0;
+        std::uint64_t tag = 0;
+        EventFn fn = queue.pop(when, tag);
+        fn();
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 5, 2, 4}));
+}
+
+/** The tagged pop overload reports the plain overload's internal
+ *  counter too, so the merge can recover serial order from a queue
+ *  populated by untagged schedules. */
+TEST_P(QueueImplTest, PopReportsInternalCounterForUntaggedEvents)
+{
+    EventQueue queue(GetParam());
+    queue.schedule(7, EventFn([] {}));
+    queue.schedule(7, EventFn([] {}));
+    queue.schedule(5, EventFn([] {}));
+
+    Tick when = 0;
+    std::uint64_t tag = 0;
+    (void)queue.pop(when, tag);
+    EXPECT_EQ(when, 5u);
+    EXPECT_EQ(tag, 2u);
+    (void)queue.pop(when, tag);
+    EXPECT_EQ(when, 7u);
+    EXPECT_EQ(tag, 0u);
+    (void)queue.pop(when, tag);
+    EXPECT_EQ(when, 7u);
+    EXPECT_EQ(tag, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Impls, QueueImplTest,
+                         ::testing::Values(EventQueueImpl::Calendar,
+                                           EventQueueImpl::Heap),
+                         [](const auto &info) {
+                             return std::string(
+                                 eventQueueImplName(info.param));
+                         });
+
+// ---- External (barrier-driven) observer mode ---------------------------
+
+/**
+ * A progressing run never trips the external watchdog, even when the
+ * barrier calls in at every window (far more often than the interval)
+ * and individual windows see zero local progress — the situation of a
+ * domain legitimately blocked at its horizon while the wafer as a
+ * whole advances.
+ */
+TEST(DomainObserverTest, ExternalWatchdogIgnoresProgressingRun)
+{
+    Engine engine;
+    std::uint64_t retired = 0;
+    // Global simulation work: events keep executing.
+    std::function<void()> worker = [&] {
+        if (retired < 50) {
+            ++retired;
+            engine.scheduleIn(100, [&] { worker(); });
+        }
+    };
+    engine.scheduleIn(0, [&] { worker(); });
+
+    Watchdog dog(engine, 1000, [&] { return retired; });
+    std::string message;
+    dog.setStallHandler(
+        [&](const std::string &msg) { message = msg; });
+    dog.startExternal();
+    EXPECT_TRUE(dog.running());
+
+    // Drive the engine in steps, calling in from the "barrier" every
+    // 32 ticks (the lookahead) like the domain sequencer does.
+    while (engine.pendingEvents() > 0) {
+        engine.step();
+        dog.checkExternal(engine.now());
+    }
+
+    EXPECT_FALSE(dog.triggered()) << message;
+    EXPECT_GT(dog.checks(), 0u); // It did run checks...
+    EXPECT_LT(dog.checks(), 10u) // ...but interval-gated, not per call.
+        << "external checks must be interval-gated";
+}
+
+/** The external watchdog still catches a genuine livelock: events keep
+ *  firing, the progress counter never moves. */
+TEST(DomainObserverTest, ExternalWatchdogTripsOnLivelock)
+{
+    Engine engine;
+    bool stalled = false;
+    std::function<void()> livelock = [&] {
+        if (!stalled)
+            engine.scheduleIn(10, [&] { livelock(); });
+    };
+    engine.scheduleIn(0, [&] { livelock(); });
+
+    Watchdog dog(engine, 1000, [] { return std::uint64_t{0}; });
+    std::string message;
+    dog.setStallHandler([&](const std::string &msg) {
+        stalled = true;
+        message = msg;
+    });
+    dog.startExternal();
+
+    while (engine.pendingEvents() > 0 && !stalled) {
+        engine.step();
+        dog.checkExternal(engine.now());
+    }
+
+    EXPECT_TRUE(dog.triggered());
+    EXPECT_NE(message.find("no memop retired for 1000 ticks"),
+              std::string::npos)
+        << message;
+}
+
+/** External heartbeat: beats are interval-gated and schedule no engine
+ *  events, so the run's event counts stay serial-identical. */
+TEST(DomainObserverTest, ExternalHeartbeatSchedulesNoEvents)
+{
+    Engine engine;
+    for (int i = 0; i < 10; ++i)
+        engine.scheduleIn(static_cast<Tick>(1 + i * 500), [] {});
+    const std::uint64_t scheduled_before = engine.scheduledEvents();
+
+    Heartbeat beat(engine, 1000);
+    beat.startExternal();
+    EXPECT_TRUE(beat.running());
+    EXPECT_EQ(engine.scheduledEvents(), scheduled_before)
+        << "external mode must not schedule engine events";
+
+    while (engine.pendingEvents() > 0) {
+        engine.step();
+        beat.beatExternal(engine.now());
+    }
+    EXPECT_EQ(engine.scheduledEvents(), scheduled_before);
+    // 10 events at 500-tick spacing = ~4500 ticks = at most 4 beats
+    // at interval 1000 (gated), not one per barrier call.
+    EXPECT_LE(beat.beats(), 4u);
+    EXPECT_GE(beat.beats(), 3u);
+}
+
+// ---- End-to-end bitwise identity ---------------------------------------
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** runOnce at @p domains shards, audited, metrics to @p json_path. */
+RunResult
+runWithDomains(RunSpec spec, unsigned domains,
+               const std::string &json_path)
+{
+    spec.obs.audit = true;
+    spec.obs.domains = domains;
+    spec.obs.metricsJsonPath = json_path;
+    return runOnce(spec);
+}
+
+void
+expectIdenticalToSerial(const RunSpec &spec, unsigned domains,
+                        const std::string &tag)
+{
+    const std::string dir = ::testing::TempDir();
+    const RunResult serial =
+        runWithDomains(spec, 1, dir + tag + "-serial.json");
+    const RunResult sharded =
+        runWithDomains(spec, domains, dir + tag + "-k.json");
+
+    EXPECT_EQ(serial.totalTicks, sharded.totalTicks);
+    EXPECT_EQ(serial.opsTotal, sharded.opsTotal);
+    EXPECT_EQ(serial.gpmFinish, sharded.gpmFinish);
+    EXPECT_EQ(serial.remoteOps, sharded.remoteOps);
+    EXPECT_EQ(serial.sourceCounts, sharded.sourceCounts);
+    EXPECT_EQ(serial.auditIssued, sharded.auditIssued);
+    EXPECT_EQ(serial.auditRetired, sharded.auditRetired);
+    EXPECT_EQ(serial.auditRetireCensusHash,
+              sharded.auditRetireCensusHash);
+
+    const std::string serial_json = slurp(dir + tag + "-serial.json");
+    const std::string sharded_json = slurp(dir + tag + "-k.json");
+    EXPECT_FALSE(serial_json.empty());
+    EXPECT_EQ(serial_json, sharded_json)
+        << tag << ": metrics JSON diverged at K=" << domains;
+}
+
+/** Fig 14 shape at K=2: the MI100 wafer split into two column strips
+ *  must retire the exact serial interleave. */
+TEST(DomainIdentityTest, Fig14BitwiseIdenticalAtTwoDomains)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.opsPerGpm = 300;
+    for (const std::string &abbr :
+         {std::string("SPMV"), std::string("FFT")}) {
+        SCOPED_TRACE(abbr);
+        spec.workload = abbr;
+        expectIdenticalToSerial(spec, 2, "dom14-" + abbr);
+    }
+}
+
+/** Fig 22 shape (7x12 wafer, 83 GPMs) at K=2 and K=4. */
+TEST(DomainIdentityTest, Fig22WaferBitwiseIdenticalAtFourDomains)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100Wafer7x12();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 200;
+    for (const unsigned k : {2u, 4u}) {
+        SCOPED_TRACE(k);
+        expectIdenticalToSerial(spec, k,
+                                "dom22-k" + std::to_string(k));
+    }
+}
+
+/** Heap queue under domains: the tagged overloads keep both ordering
+ *  structures serial-exact, not just the calendar default. */
+TEST(DomainIdentityTest, HeapQueueBitwiseIdenticalAtTwoDomains)
+{
+    ASSERT_EQ(setenv("HDPAT_EVENTQ", "heap", 1), 0);
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "PR";
+    spec.opsPerGpm = 300;
+    expectIdenticalToSerial(spec, 2, "domheap");
+    ASSERT_EQ(unsetenv("HDPAT_EVENTQ"), 0);
+}
+
+/** Ridiculous K clamps to the mesh width and still runs identically
+ *  (System::effectiveDomains caps it; the run must not fall over). */
+TEST(DomainIdentityTest, OversizedDomainCountClampsToWidth)
+{
+    RunSpec spec;
+    spec.config = SystemConfig::mi100();
+    spec.policy = TranslationPolicy::hdpat();
+    spec.workload = "SPMV";
+    spec.opsPerGpm = 150;
+    expectIdenticalToSerial(spec, 64, "domclamp");
+}
+
+} // namespace
+} // namespace hdpat
